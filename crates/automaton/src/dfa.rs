@@ -1,0 +1,199 @@
+//! Determinization of the finite-word automaton derived from a generalized Büchi
+//! automaton.
+//!
+//! Following the LTL₃ construction, the GBA for φ is re-read as an NFA over *finite*
+//! words: a finite word `u` is accepted iff after reading `u` the NFA can sit in a node
+//! from which an accepting infinite continuation exists ([`GeneralizedBuchi::is_live`]
+//! of some successor).  Acceptance of `u` therefore means "`u` can be extended to an
+//! infinite word satisfying φ".  This module performs the subset construction of that
+//! NFA over the explicit alphabet `2^AP`.
+
+use crate::gba::{GeneralizedBuchi, NodeId, INIT_NODE};
+use dlrv_ltl::Assignment;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// A deterministic automaton over the explicit alphabet of assignments on `n_atoms`
+/// atomic propositions.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// Number of atomic propositions (alphabet size is `2^n_atoms`).
+    pub n_atoms: usize,
+    /// Number of states.
+    pub n_states: usize,
+    /// The initial state.
+    pub initial: usize,
+    /// `accepting[s]` — true iff the finite word leading to `s` can be extended to an
+    /// infinite word in the language of the underlying GBA.
+    pub accepting: Vec<bool>,
+    /// Transition table: `table[s][sigma.0]` is the successor of `s` on `sigma`.
+    pub table: Vec<Vec<usize>>,
+}
+
+impl Dfa {
+    /// Builds the DFA for the finite-word semantics of `gba` over `n_atoms` atoms.
+    ///
+    /// Panics if `n_atoms > 16` (the explicit alphabet would be unreasonably large).
+    pub fn from_gba(gba: &GeneralizedBuchi, n_atoms: usize) -> Dfa {
+        assert!(
+            n_atoms <= 16,
+            "explicit subset construction over {n_atoms} atoms is not supported"
+        );
+        let alphabet: Vec<Assignment> = Assignment::enumerate(n_atoms).collect();
+
+        // Pre-compute, for every GBA node, its successors and whether they are live.
+        let n_nodes = gba.nodes.len();
+        let successors: Vec<Vec<NodeId>> = (0..n_nodes).map(|q| gba.successors(q)).collect();
+
+        // A subset state is a sorted set of GBA nodes.  The initial subset is the
+        // singleton {INIT_NODE} (the empty word has been read).
+        let mut subsets: Vec<BTreeSet<NodeId>> = Vec::new();
+        let mut index: HashMap<BTreeSet<NodeId>, usize> = HashMap::new();
+        let mut table: Vec<Vec<usize>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+
+        let is_accepting = |subset: &BTreeSet<NodeId>| -> bool {
+            subset
+                .iter()
+                .any(|&q| successors[q].iter().any(|&r| gba.is_live(r)))
+        };
+
+        let initial_set = BTreeSet::from([INIT_NODE]);
+        index.insert(initial_set.clone(), 0);
+        accepting.push(is_accepting(&initial_set));
+        subsets.push(initial_set);
+        table.push(Vec::new());
+
+        let mut worklist = vec![0usize];
+        while let Some(s) = worklist.pop() {
+            let current = subsets[s].clone();
+            let mut row = Vec::with_capacity(alphabet.len());
+            for &sigma in &alphabet {
+                let mut next: BTreeSet<NodeId> = BTreeSet::new();
+                for &q in &current {
+                    for &r in &successors[q] {
+                        if gba.label_satisfied(r, sigma) {
+                            next.insert(r);
+                        }
+                    }
+                }
+                let id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = subsets.len();
+                        index.insert(next.clone(), id);
+                        accepting.push(is_accepting(&next));
+                        subsets.push(next);
+                        table.push(Vec::new());
+                        worklist.push(id);
+                        id
+                    }
+                };
+                row.push(id);
+            }
+            table[s] = row;
+        }
+
+        // Normalize: every state must have a complete row (placeholder rows were
+        // resized when their state was popped from the worklist).
+        let n_states = subsets.len();
+        debug_assert!(table.iter().all(|r| r.len() == alphabet.len()));
+
+        Dfa {
+            n_atoms,
+            n_states,
+            initial: 0,
+            accepting,
+            table,
+        }
+    }
+
+    /// The successor of `state` on `sigma`.
+    #[inline]
+    pub fn step(&self, state: usize, sigma: Assignment) -> usize {
+        self.table[state][sigma.0 as usize]
+    }
+
+    /// Runs the DFA on a finite word and returns the reached state.
+    pub fn run(&self, word: &[Assignment]) -> usize {
+        word.iter().fold(self.initial, |s, &sigma| self.step(s, sigma))
+    }
+
+    /// True iff the word leading to `state` can be extended to a word in the language.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting[state]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrv_ltl::{AtomId, Formula};
+
+    fn a(i: u32) -> Formula {
+        Formula::Atom(AtomId(i))
+    }
+
+    fn sym(bits: &[u32]) -> Assignment {
+        Assignment::from_true_atoms(bits.iter().map(|&i| AtomId(i)))
+    }
+
+    /// For `F a0`, every finite word is extendable to a satisfying word.
+    #[test]
+    fn eventually_always_extendable() {
+        let gba = GeneralizedBuchi::build(&Formula::eventually(a(0)));
+        let dfa = Dfa::from_gba(&gba, 1);
+        assert!(dfa.is_accepting(dfa.initial));
+        for word in [vec![], vec![sym(&[])], vec![sym(&[]), sym(&[0])]] {
+            assert!(dfa.is_accepting(dfa.run(&word)), "word {word:?}");
+        }
+    }
+
+    /// For `G a0`, a word is extendable iff a0 held at every position so far.
+    #[test]
+    fn globally_extendable_iff_no_violation() {
+        let gba = GeneralizedBuchi::build(&Formula::globally(a(0)));
+        let dfa = Dfa::from_gba(&gba, 1);
+        assert!(dfa.is_accepting(dfa.run(&[sym(&[0]), sym(&[0])])));
+        assert!(!dfa.is_accepting(dfa.run(&[sym(&[0]), sym(&[])])));
+        assert!(!dfa.is_accepting(dfa.run(&[sym(&[]), sym(&[0])])));
+    }
+
+    /// For the negation of `F a0` (= `G !a0`), extendability flips.
+    #[test]
+    fn negation_swaps_acceptance() {
+        let phi = Formula::eventually(a(0));
+        let neg = phi.negated_nnf();
+        let dfa_neg = Dfa::from_gba(&GeneralizedBuchi::build(&neg), 1);
+        // After seeing a0, no extension can satisfy G !a0.
+        assert!(!dfa_neg.is_accepting(dfa_neg.run(&[sym(&[0])])));
+        assert!(dfa_neg.is_accepting(dfa_neg.run(&[sym(&[])])));
+    }
+
+    /// The until property of the running example shape: a U b over two atoms.
+    #[test]
+    fn until_extendability() {
+        let phi = Formula::until(a(0), a(1));
+        let dfa = Dfa::from_gba(&GeneralizedBuchi::build(&phi), 2);
+        // b already seen: satisfied, so certainly extendable.
+        assert!(dfa.is_accepting(dfa.run(&[sym(&[1])])));
+        // a holds so far: still extendable.
+        assert!(dfa.is_accepting(dfa.run(&[sym(&[0]), sym(&[0])])));
+        // a violated before b: not extendable.
+        assert!(!dfa.is_accepting(dfa.run(&[sym(&[])])));
+    }
+
+    /// Determinism and totality of the transition table.
+    #[test]
+    fn table_is_total() {
+        let phi = Formula::globally(Formula::implies(a(0), Formula::eventually(a(1))));
+        let dfa = Dfa::from_gba(&GeneralizedBuchi::build(&phi), 2);
+        assert_eq!(dfa.table.len(), dfa.n_states);
+        for row in &dfa.table {
+            assert_eq!(row.len(), 4);
+            for &t in row {
+                assert!(t < dfa.n_states);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! LTL₃ monitor-automaton synthesis.
+//!
+//! This crate implements the classic Bauer–Leucker–Schallhart construction the paper
+//! relies on (its reference [1]): given an LTL formula φ over global-state atomic
+//! propositions, produce the unique minimal deterministic Moore machine whose output on
+//! every finite word `u` equals the three-valued verdict `[u ⊨ φ]` of Definition 11.
+//!
+//! Pipeline (all implemented from scratch, no external automata libraries):
+//!
+//! 1. [`gba`] — tableau construction (Gerth–Peled–Vardi–Wolper style `expand`) turning
+//!    an NNF formula into a state-labelled generalized Büchi automaton, plus per-state
+//!    language-nonemptiness via SCC analysis.
+//! 2. [`dfa`] — the finite-word NFA obtained by marking states from which an accepting
+//!    continuation exists, determinized by subset construction.
+//! 3. [`monitor`] — the product of the φ- and ¬φ-DFAs, labelled with verdicts
+//!    {⊤, ⊥, ?}, minimized (Moore partition refinement), and equipped with *symbolic*
+//!    transitions: every state pair's guard is compacted into conjunctive cubes, which
+//!    is exactly the transition representation the decentralized algorithm consumes
+//!    (disjunctive guards become several conjunctive transitions, §4.3.3).
+//! 4. [`dot`] — Graphviz export used to regenerate Figures 5.2 and 5.3.
+
+pub mod dfa;
+pub mod dot;
+pub mod gba;
+pub mod monitor;
+
+pub use dfa::Dfa;
+pub use gba::GeneralizedBuchi;
+pub use monitor::{MonitorAutomaton, StateId, SymbolicTransition, TransitionCounts};

@@ -1,0 +1,117 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * the three §4.3 optimizations (token aggregation, duplicate-global-view avoidance,
+//!   disjunctive-transition pruning) toggled individually, and
+//! * decentralized monitoring vs. the centralized baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dlrv_automaton::MonitorAutomaton;
+use dlrv_core::{run_experiment_with_options, ExperimentConfig, PaperProperty};
+use dlrv_distsim::{initial_global_state, run_simulation, SimConfig};
+use dlrv_ltl::Assignment;
+use dlrv_monitor::{CentralizedMonitor, MonitorOptions};
+use dlrv_trace::{generate_workload, WorkloadConfig};
+use std::sync::Arc;
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig {
+        events_per_process: 8,
+        seeds: vec![1],
+        ..ExperimentConfig::paper_default(PaperProperty::C, 3)
+    }
+}
+
+fn bench_optimizations(c: &mut Criterion) {
+    let variants: [(&str, MonitorOptions); 4] = [
+        ("all_on", MonitorOptions::default()),
+        (
+            "no_aggregation",
+            MonitorOptions {
+                aggregate_tokens: false,
+                ..MonitorOptions::default()
+            },
+        ),
+        (
+            "no_dedup",
+            MonitorOptions {
+                dedup_global_views: false,
+                ..MonitorOptions::default()
+            },
+        ),
+        (
+            "no_disjunctive_pruning",
+            MonitorOptions {
+                prune_disjunctive: false,
+                ..MonitorOptions::default()
+            },
+        ),
+    ];
+
+    println!("\nAblation (property C, 3 processes, 8 events/process):");
+    for (name, opts) in variants {
+        let result = run_experiment_with_options(&config(), opts);
+        println!(
+            "  {name}: monitor_messages={} global_views={}",
+            result.avg.monitor_messages, result.avg.total_global_views
+        );
+    }
+
+    let mut group = c.benchmark_group("optimization_ablation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, opts) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, &opts| {
+            b.iter(|| run_experiment_with_options(&config(), opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_central_vs_decentral(c: &mut Criterion) {
+    let (formula, registry) = PaperProperty::B.build(3);
+    let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
+    let registry = Arc::new(registry);
+    let workload = generate_workload(&WorkloadConfig {
+        n_processes: 3,
+        events_per_process: 6,
+        seed: 1,
+        ..WorkloadConfig::default()
+    });
+
+    let mut group = c.benchmark_group("central_vs_decentral");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("decentralized", |b| {
+        b.iter(|| {
+            dlrv_core::run_single(
+                &workload,
+                &registry,
+                &automaton,
+                MonitorOptions::default(),
+            )
+        })
+    });
+    group.bench_function("centralized", |b| {
+        let initial_states = vec![Assignment::ALL_FALSE; 3];
+        b.iter(|| {
+            let _initial = initial_global_state(&workload, &registry);
+            run_simulation(&workload, &registry, &SimConfig::default(), |i| {
+                CentralizedMonitor::new(
+                    i,
+                    3,
+                    0,
+                    automaton.clone(),
+                    registry.clone(),
+                    initial_states.clone(),
+                )
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizations, bench_central_vs_decentral);
+criterion_main!(benches);

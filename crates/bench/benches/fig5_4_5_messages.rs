@@ -1,0 +1,43 @@
+//! Bench for experiments E3/E4 (Fig. 5.4 and Fig. 5.5): monitoring-message overhead of
+//! the decentralized algorithm for all six properties as the process count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dlrv_bench::paper_run;
+use dlrv_core::PaperProperty;
+
+const EVENTS: usize = 10;
+
+fn bench_messages(c: &mut Criterion) {
+    println!("\nFig 5.4 / 5.5 (regenerated, {EVENTS} events/process): monitoring messages");
+    for property in PaperProperty::ALL {
+        for n in [2usize, 3, 4] {
+            let m = paper_run(property, n, EVENTS);
+            println!(
+                "  {} n={}: events={} monitor_messages={}",
+                property.name(),
+                n,
+                m.total_events,
+                m.monitor_messages
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("monitoring_run");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for property in [PaperProperty::A, PaperProperty::B, PaperProperty::D] {
+        for n in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(property.name(), n),
+                &(property, n),
+                |b, &(property, n)| b.iter(|| paper_run(property, n, EVENTS)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_messages);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench for experiments E5/E6 (Fig. 5.6 and Fig. 5.7): detection latency — delay-time
+//! percentage per global state and the number of delayed (queued) events.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dlrv_bench::paper_run;
+use dlrv_core::PaperProperty;
+
+const EVENTS: usize = 10;
+
+fn bench_delay(c: &mut Criterion) {
+    println!("\nFig 5.6 / 5.7 (regenerated, {EVENTS} events/process): delay metrics");
+    for property in PaperProperty::ALL {
+        for n in [2usize, 3, 4] {
+            let m = paper_run(property, n, EVENTS);
+            println!(
+                "  {} n={}: delay_pct_per_gv={:.4} delayed_events={:.2}",
+                property.name(),
+                n,
+                m.delay_time_pct_per_gv,
+                m.avg_delayed_events
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("delay_measurement");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for property in [PaperProperty::C, PaperProperty::F] {
+        for n in [2usize, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(property.name(), n),
+                &(property, n),
+                |b, &(property, n)| b.iter(|| paper_run(property, n, EVENTS)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delay);
+criterion_main!(benches);

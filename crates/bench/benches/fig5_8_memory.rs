@@ -1,0 +1,38 @@
+//! Bench for experiment E7 (Fig. 5.8): memory overhead measured as the total number of
+//! global views created by all monitors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dlrv_bench::paper_run;
+use dlrv_core::PaperProperty;
+
+const EVENTS: usize = 10;
+
+fn bench_memory(c: &mut Criterion) {
+    println!("\nFig 5.8 (regenerated, {EVENTS} events/process): total global views");
+    for property in PaperProperty::ALL {
+        for n in [2usize, 3, 4] {
+            let m = paper_run(property, n, EVENTS);
+            println!(
+                "  {} n={}: global_views={}",
+                property.name(),
+                n,
+                m.total_global_views
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("memory_overhead_run");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("property_C", n), &n, |b, &n| {
+            b.iter(|| paper_run(PaperProperty::C, n, EVENTS))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory);
+criterion_main!(benches);

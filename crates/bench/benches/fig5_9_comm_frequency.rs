@@ -1,0 +1,34 @@
+//! Bench for experiment E8 (Fig. 5.9): the communication-frequency sweep — how message
+//! overhead, delay and global views of property C on 4 processes change as the
+//! program's communication rate drops from Commµ = 3 s to no communication at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dlrv_bench::comm_frequency_run;
+
+const EVENTS: usize = 10;
+
+fn bench_comm_frequency(c: &mut Criterion) {
+    println!("\nFig 5.9 (regenerated, {EVENTS} events/process, 4 processes, property C)");
+    for comm_mu in [Some(3.0), Some(6.0), Some(9.0), Some(15.0), None] {
+        let m = comm_frequency_run(comm_mu, EVENTS);
+        println!(
+            "  commMu={:?}: events={} monitor_messages={} global_views={} delayed={:.2}",
+            comm_mu, m.total_events, m.monitor_messages, m.total_global_views, m.avg_delayed_events
+        );
+    }
+
+    let mut group = c.benchmark_group("comm_frequency");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (label, comm_mu) in [("mu3", Some(3.0)), ("mu15", Some(15.0)), ("none", None)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &comm_mu, |b, &mu| {
+            b.iter(|| comm_frequency_run(mu, EVENTS))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_comm_frequency);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Bench for experiment E1 (Table 5.1 / Fig. 5.1): LTL₃ monitor-automaton synthesis
+//! for every evaluation property, across process counts.  Also prints the regenerated
+//! table rows so `cargo bench` output documents the counts themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dlrv_bench::transition_counts;
+use dlrv_core::PaperProperty;
+
+fn bench_synthesis(c: &mut Criterion) {
+    // Print the table itself once (the benchmark's real deliverable).
+    println!("\nTable 5.1 (regenerated): property, procs, total/outgoing/self-loop transitions");
+    for property in PaperProperty::ALL {
+        for n in [2usize, 3, 4] {
+            let row = transition_counts(property, n);
+            println!(
+                "  {} n={}: total={} outgoing={} self_loops={}",
+                property.name(),
+                n,
+                row.total,
+                row.outgoing,
+                row.self_loops
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("automaton_synthesis");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for property in PaperProperty::ALL {
+        for n in [2usize, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(property.name(), n),
+                &(property, n),
+                |b, &(property, n)| b.iter(|| transition_counts(property, n)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Regenerates every table and figure of the thesis' evaluation chapter as text.
+//!
+//! ```bash
+//! cargo run --release -p dlrv-bench --bin experiments -- all
+//! cargo run --release -p dlrv-bench --bin experiments -- table5_1
+//! cargo run --release -p dlrv-bench --bin experiments -- fig5_4 fig5_5 fig5_6 fig5_7 fig5_8 fig5_9
+//! cargo run --release -p dlrv-bench --bin experiments -- automata_dot
+//! ```
+//!
+//! The numbers are produced by the discrete-event simulator substitute for the paper's
+//! iOS testbed (see DESIGN.md), so absolute values differ from the thesis; the shapes
+//! (growth trends, relative ordering of the properties) are what EXPERIMENTS.md
+//! compares.
+
+use dlrv_automaton::{dot, MonitorAutomaton};
+use dlrv_bench::{comm_frequency_run, paper_run, transition_counts, PROCESS_COUNTS};
+use dlrv_core::PaperProperty;
+use dlrv_monitor::RunMetrics;
+
+/// Events per process used for the figure experiments (the thesis uses 20).
+const EVENTS: usize = 20;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run_all = args.is_empty() || args.iter().any(|a| a == "all");
+    let wants = |name: &str| run_all || args.iter().any(|a| a == name);
+
+    if wants("table5_1") {
+        table5_1();
+    }
+    if wants("automata_dot") {
+        automata_dot();
+    }
+    // Figures 5.4–5.8 all report different metrics of the *same* runs (paper-default
+    // workload, every property × process count), so the sweep is executed once and
+    // printed per figure.
+    let figure_names = ["fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8"];
+    if figure_names.iter().any(|f| wants(f)) {
+        let sweep = run_sweep();
+        if wants("fig5_4") {
+            messages_figure(
+                "Fig 5.4 — messages overhead (properties A, B, C)",
+                &[PaperProperty::A, PaperProperty::B, PaperProperty::C],
+                &sweep,
+            );
+        }
+        if wants("fig5_5") {
+            messages_figure(
+                "Fig 5.5 — messages overhead (properties D, E, F)",
+                &[PaperProperty::D, PaperProperty::E, PaperProperty::F],
+                &sweep,
+            );
+        }
+        if wants("fig5_6") {
+            sweep_figure("Fig 5.6 — delay-time percentage per global state", &sweep);
+        }
+        if wants("fig5_7") {
+            sweep_figure("Fig 5.7 — delayed (queued) events", &sweep);
+        }
+        if wants("fig5_8") {
+            sweep_figure("Fig 5.8 — memory overhead (total global views)", &sweep);
+        }
+    }
+    if wants("fig5_9") {
+        comm_frequency_figure();
+    }
+}
+
+/// One simulated data point per (property, process count) under the paper-default
+/// workload parameters.
+fn run_sweep() -> Vec<(PaperProperty, usize, RunMetrics)> {
+    let mut out = Vec::new();
+    for property in PaperProperty::ALL {
+        for n in PROCESS_COUNTS {
+            out.push((property, n, paper_run(property, n, EVENTS)));
+        }
+    }
+    out
+}
+
+fn table5_1() {
+    println!("== Table 5.1 / Fig 5.1 — number of transitions per automaton ==");
+    println!(
+        "{:<10} {:>6} {:>8} {:>10} {:>11} {:>8}",
+        "property", "procs", "total", "outgoing", "self-loops", "states"
+    );
+    for property in PaperProperty::ALL {
+        for n in PROCESS_COUNTS {
+            let row = transition_counts(property, n);
+            println!(
+                "{:<10} {:>6} {:>8} {:>10} {:>11} {:>8}",
+                property.name(),
+                n,
+                row.total,
+                row.outgoing,
+                row.self_loops,
+                row.states
+            );
+        }
+    }
+    println!();
+}
+
+fn automata_dot() {
+    println!("== Fig 5.2 / 5.3 — monitor automata (DOT) ==");
+    for (property, n) in [
+        (PaperProperty::A, 2),
+        (PaperProperty::B, 4),
+        (PaperProperty::D, 2),
+        (PaperProperty::E, 4),
+        (PaperProperty::F, 2),
+    ] {
+        let (formula, registry) = property.build(n);
+        let automaton = MonitorAutomaton::synthesize(&formula, &registry);
+        println!("--- {} with {} processes ---", property, n);
+        println!(
+            "{}",
+            dot::to_dot(&automaton, &registry, &format!("{property} ({n} procs)"))
+        );
+    }
+}
+
+fn print_metrics_header() {
+    println!(
+        "{:<10} {:>6} {:>8} {:>10} {:>11} {:>13} {:>11} {:>10}",
+        "property", "procs", "events", "mon.msgs", "glob.views", "delayed.evts", "delay%/GV", "verdicts"
+    );
+}
+
+fn print_metrics_row(property: PaperProperty, n: usize, m: &RunMetrics) {
+    let verdicts: Vec<&str> = m
+        .detected_final_verdicts
+        .iter()
+        .map(|v| v.symbol())
+        .collect();
+    println!(
+        "{:<10} {:>6} {:>8} {:>10} {:>11} {:>13.2} {:>11.4} {:>10}",
+        property.name(),
+        n,
+        m.total_events,
+        m.monitor_messages,
+        m.total_global_views,
+        m.avg_delayed_events,
+        m.delay_time_pct_per_gv,
+        verdicts.join(",")
+    );
+}
+
+fn messages_figure(
+    title: &str,
+    properties: &[PaperProperty],
+    sweep: &[(PaperProperty, usize, RunMetrics)],
+) {
+    println!("== {title} ==");
+    println!("(Commµ = 3 s, Commσ = 1 s, Evtµ = 3 s, Evtσ = 1 s, {EVENTS} events/process, 3 seeds)");
+    print_metrics_header();
+    for &(property, n, ref m) in sweep {
+        if properties.contains(&property) {
+            print_metrics_row(property, n, m);
+        }
+    }
+    println!();
+}
+
+fn sweep_figure(title: &str, sweep: &[(PaperProperty, usize, RunMetrics)]) {
+    println!("== {title} ==");
+    print_metrics_header();
+    for &(property, n, ref m) in sweep {
+        print_metrics_row(property, n, m);
+    }
+    println!();
+}
+
+fn comm_frequency_figure() {
+    println!("== Fig 5.9 — communication-frequency sweep (4 processes, property C) ==");
+    println!(
+        "{:<22} {:>8} {:>10} {:>11} {:>13} {:>11}",
+        "configuration", "events", "mon.msgs", "glob.views", "delayed.evts", "delay%/GV"
+    );
+    for comm_mu in [Some(3.0), Some(6.0), Some(9.0), Some(15.0), None] {
+        let m = comm_frequency_run(comm_mu, EVENTS);
+        let label = match comm_mu {
+            Some(mu) => format!("commMu={mu}, evtMu=3"),
+            None => "no comm, evtMu=3".to_string(),
+        };
+        println!(
+            "{:<22} {:>8} {:>10} {:>11} {:>13.2} {:>11.4}",
+            label,
+            m.total_events,
+            m.monitor_messages,
+            m.total_global_views,
+            m.avg_delayed_events,
+            m.delay_time_pct_per_gv
+        );
+    }
+    println!();
+}

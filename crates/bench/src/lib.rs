@@ -1,0 +1,85 @@
+//! Shared helpers for the benchmark harness and the `experiments` binary.
+//!
+//! Every table and figure of the thesis' evaluation chapter (Chapter 5) is regenerated
+//! by a function in this crate; the `experiments` binary prints them as text tables
+//! and the Criterion benches time the underlying runs.
+
+use dlrv_automaton::MonitorAutomaton;
+use dlrv_core::{run_experiment, ExperimentConfig, PaperProperty};
+use dlrv_monitor::RunMetrics;
+
+/// Process counts evaluated by the paper.
+pub const PROCESS_COUNTS: [usize; 4] = [2, 3, 4, 5];
+
+/// One row of Table 5.1 / one series point of Fig. 5.1.
+#[derive(Debug, Clone)]
+pub struct TransitionRow {
+    /// The property.
+    pub property: PaperProperty,
+    /// Number of processes.
+    pub n_processes: usize,
+    /// Total transitions of the synthesized monitor.
+    pub total: usize,
+    /// Outgoing (state-changing) transitions.
+    pub outgoing: usize,
+    /// Self-loop transitions.
+    pub self_loops: usize,
+    /// Number of automaton states.
+    pub states: usize,
+}
+
+/// Synthesizes the monitor of `property` for `n` processes and reports its transition
+/// statistics (Table 5.1, Fig. 5.1a/b).
+pub fn transition_counts(property: PaperProperty, n: usize) -> TransitionRow {
+    let (formula, registry) = property.build(n);
+    let automaton = MonitorAutomaton::synthesize(&formula, &registry);
+    let counts = automaton.transition_counts();
+    TransitionRow {
+        property,
+        n_processes: n,
+        total: counts.total,
+        outgoing: counts.outgoing,
+        self_loops: counts.self_loops,
+        states: automaton.n_states(),
+    }
+}
+
+/// Runs the paper-default experiment for one property / process count
+/// (Figures 5.4–5.8) with a configurable number of events per process.
+pub fn paper_run(property: PaperProperty, n: usize, events_per_process: usize) -> RunMetrics {
+    let config = ExperimentConfig {
+        events_per_process,
+        ..ExperimentConfig::paper_default(property, n)
+    };
+    run_experiment(&config).avg
+}
+
+/// Runs the communication-frequency sweep of Fig. 5.9 (4 processes, property C).
+pub fn comm_frequency_run(comm_mu: Option<f64>, events_per_process: usize) -> RunMetrics {
+    let config = ExperimentConfig {
+        events_per_process,
+        comm_mu,
+        ..ExperimentConfig::paper_default(PaperProperty::C, 4)
+    };
+    run_experiment(&config).avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_counts_grow_with_processes() {
+        let two = transition_counts(PaperProperty::D, 2);
+        let three = transition_counts(PaperProperty::D, 3);
+        assert!(three.total > two.total);
+        assert_eq!(two.total, two.outgoing + two.self_loops);
+    }
+
+    #[test]
+    fn paper_run_produces_metrics() {
+        let m = paper_run(PaperProperty::B, 2, 5);
+        assert!(m.total_events > 0);
+        assert!(m.program_time > 0.0);
+    }
+}

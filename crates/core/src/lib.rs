@@ -1,0 +1,34 @@
+//! High-level public API of the decentralized LTL runtime-verification framework.
+//!
+//! This crate ties the workspace together for downstream users:
+//!
+//! * [`MonitoredSystem`] — builder API: declare a distributed system, attach an LTL
+//!   property (text or AST), pick or generate a workload, run it with decentralized
+//!   monitors and read verdicts/metrics.
+//! * [`PaperProperty`] — the six evaluation properties A–F of the thesis,
+//!   parameterized by process count.
+//! * [`ExperimentConfig`] / [`run_experiment`] — the experiment runner used by the
+//!   benchmark harness to regenerate every table and figure of Chapter 5.
+//!
+//! The lower-level building blocks are re-exported from their crates: LTL syntax
+//! ([`dlrv_ltl`]), monitor-automaton synthesis ([`dlrv_automaton`]), vector clocks and
+//! lattices ([`dlrv_vclock`]), workload generation ([`dlrv_trace`]), the execution
+//! substrates ([`dlrv_distsim`]) and the monitoring algorithms ([`dlrv_monitor`]).
+
+pub mod experiment;
+pub mod properties;
+pub mod system;
+
+pub use experiment::{
+    average_metrics, run_experiment, run_experiment_with_options, run_single, ExperimentConfig,
+    ExperimentResult,
+};
+pub use properties::PaperProperty;
+pub use system::{MonitoredSystem, MonitoringOutcome};
+
+pub use dlrv_automaton;
+pub use dlrv_distsim;
+pub use dlrv_ltl;
+pub use dlrv_monitor;
+pub use dlrv_trace;
+pub use dlrv_vclock;

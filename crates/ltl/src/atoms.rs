@@ -1,0 +1,189 @@
+//! Atomic propositions and their ownership by processes.
+//!
+//! In the paper's model every atomic proposition is a predicate over the *local* state
+//! of exactly one process (e.g. `x1 >= 5` in the running example, or `P0.p` in the
+//! evaluation chapter).  The monitor algorithm relies on this ownership to decide which
+//! conjuncts of a transition guard a given monitor can evaluate locally and which must
+//! be fetched from other monitors via tokens.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a process in the distributed program (`P0`, `P1`, ...).
+pub type ProcessId = usize;
+
+/// Interned identifier of an atomic proposition.
+///
+/// Atom ids are dense (`0..registry.len()`), which lets assignments be represented as
+/// bitmasks ([`crate::Assignment`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// The dense index of this atom.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Metadata attached to a registered atomic proposition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtomInfo {
+    /// Human-readable name, e.g. `"P0.p"` or `"x1>=5"`.
+    pub name: String,
+    /// The process whose local state determines this proposition.
+    pub owner: ProcessId,
+}
+
+/// Registry interning atomic propositions and recording which process owns each.
+///
+/// The registry is shared by the formula parser, the monitor-automaton synthesizer and
+/// the monitors themselves, so that all components agree on atom indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtomRegistry {
+    atoms: Vec<AtomInfo>,
+    by_name: HashMap<String, AtomId>,
+}
+
+impl AtomRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or looks up) the proposition `name` owned by process `owner`.
+    ///
+    /// Registering the same name twice returns the original id; the owner of the first
+    /// registration wins.
+    pub fn intern(&mut self, name: &str, owner: ProcessId) -> AtomId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = AtomId(self.atoms.len() as u32);
+        self.atoms.push(AtomInfo {
+            name: name.to_string(),
+            owner,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Registers `name`, inferring the owning process from a `P<k>.` prefix.
+    ///
+    /// Names that do not follow the convention are assigned to process 0.
+    pub fn intern_auto(&mut self, name: &str) -> AtomId {
+        let owner = Self::owner_from_name(name).unwrap_or(0);
+        self.intern(name, owner)
+    }
+
+    /// Parses the `P<k>.` prefix convention used throughout the evaluation chapter.
+    pub fn owner_from_name(name: &str) -> Option<ProcessId> {
+        let rest = name.strip_prefix('P')?;
+        let dot = rest.find('.')?;
+        rest[..dot].parse::<usize>().ok()
+    }
+
+    /// Looks up an atom by name.
+    pub fn lookup(&self, name: &str) -> Option<AtomId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the metadata of `id`.
+    pub fn info(&self, id: AtomId) -> &AtomInfo {
+        &self.atoms[id.index()]
+    }
+
+    /// Returns the name of `id`.
+    pub fn name(&self, id: AtomId) -> &str {
+        &self.atoms[id.index()].name
+    }
+
+    /// Returns the process owning `id`.
+    pub fn owner(&self, id: AtomId) -> ProcessId {
+        self.atoms[id.index()].owner
+    }
+
+    /// Number of registered atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True when no atoms have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over all registered atom ids.
+    pub fn ids(&self) -> impl Iterator<Item = AtomId> + '_ {
+        (0..self.atoms.len() as u32).map(AtomId)
+    }
+
+    /// Returns all atoms owned by `process`.
+    pub fn atoms_of_process(&self, process: ProcessId) -> Vec<AtomId> {
+        self.ids().filter(|&a| self.owner(a) == process).collect()
+    }
+
+    /// Number of distinct processes that own at least one atom (max owner + 1).
+    pub fn process_count(&self) -> usize {
+        self.atoms.iter().map(|a| a.owner + 1).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut reg = AtomRegistry::new();
+        let a = reg.intern("P0.p", 0);
+        let b = reg.intern("P0.p", 3);
+        assert_eq!(a, b);
+        assert_eq!(reg.owner(a), 0, "first registration wins");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn owner_inference_from_name() {
+        assert_eq!(AtomRegistry::owner_from_name("P0.p"), Some(0));
+        assert_eq!(AtomRegistry::owner_from_name("P12.q"), Some(12));
+        assert_eq!(AtomRegistry::owner_from_name("x1>=5"), None);
+        assert_eq!(AtomRegistry::owner_from_name("Px.q"), None);
+    }
+
+    #[test]
+    fn intern_auto_assigns_owner() {
+        let mut reg = AtomRegistry::new();
+        let a = reg.intern_auto("P2.q");
+        assert_eq!(reg.owner(a), 2);
+        let b = reg.intern_auto("flag");
+        assert_eq!(reg.owner(b), 0);
+    }
+
+    #[test]
+    fn atoms_of_process_filters_by_owner() {
+        let mut reg = AtomRegistry::new();
+        let a0 = reg.intern("P0.p", 0);
+        let a1 = reg.intern("P1.p", 1);
+        let a2 = reg.intern("P1.q", 1);
+        assert_eq!(reg.atoms_of_process(0), vec![a0]);
+        assert_eq!(reg.atoms_of_process(1), vec![a1, a2]);
+        assert!(reg.atoms_of_process(2).is_empty());
+        assert_eq!(reg.process_count(), 2);
+    }
+
+    #[test]
+    fn display_and_index() {
+        let id = AtomId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "a7");
+    }
+}

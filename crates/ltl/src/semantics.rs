@@ -1,0 +1,251 @@
+//! LTL semantics over ultimately-periodic words and the three-valued verdict type.
+//!
+//! The decentralized monitor only ever works with the synthesized Moore machine, but
+//! to *validate* that synthesis this module provides a reference implementation of LTL
+//! semantics (Definition 9 of the thesis) over lasso words `u · v^ω`.  Every infinite
+//! word an automaton-based check can distinguish is ultimately periodic, so agreement
+//! on lassos is the right cross-check for the Büchi construction.
+
+use crate::predicate::Assignment;
+use crate::syntax::Formula;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three-valued LTL₃ verdict (Definition 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// `⊥` — every infinite extension of the observed prefix violates the property.
+    False,
+    /// `?` — the prefix is inconclusive.
+    Unknown,
+    /// `⊤` — every infinite extension of the observed prefix satisfies the property.
+    True,
+}
+
+impl Verdict {
+    /// True for `⊤` or `⊥` (the verdict can never change again).
+    pub fn is_final(self) -> bool {
+        matches!(self, Verdict::True | Verdict::False)
+    }
+
+    /// The verdict of the negated property.
+    pub fn negate(self) -> Verdict {
+        match self {
+            Verdict::True => Verdict::False,
+            Verdict::False => Verdict::True,
+            Verdict::Unknown => Verdict::Unknown,
+        }
+    }
+
+    /// Symbol used in reports: `⊤`, `⊥` or `?`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Verdict::True => "⊤",
+            Verdict::False => "⊥",
+            Verdict::Unknown => "?",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// Evaluates `formula` on the lasso word `prefix · cycle^ω`.
+///
+/// `cycle` must be non-empty.  Returns the truth value of `prefix·cycle^ω ⊨ formula`
+/// at position 0.
+pub fn evaluate_lasso(formula: &Formula, prefix: &[Assignment], cycle: &[Assignment]) -> bool {
+    assert!(!cycle.is_empty(), "lasso cycle must be non-empty");
+    let word: Vec<Assignment> = prefix.iter().chain(cycle.iter()).copied().collect();
+    let n = word.len();
+    let loop_start = prefix.len();
+    let succ = |i: usize| if i + 1 < n { i + 1 } else { loop_start };
+    eval_positions(formula, &word, &succ)[0]
+}
+
+/// Computes, for each position of the unrolled lasso, whether `formula` holds there.
+fn eval_positions(
+    formula: &Formula,
+    word: &[Assignment],
+    succ: &impl Fn(usize) -> usize,
+) -> Vec<bool> {
+    let n = word.len();
+    match formula {
+        Formula::True => vec![true; n],
+        Formula::False => vec![false; n],
+        Formula::Atom(a) => word.iter().map(|asg| asg.get(*a)).collect(),
+        Formula::Not(f) => eval_positions(f, word, succ)
+            .into_iter()
+            .map(|b| !b)
+            .collect(),
+        Formula::And(a, b) => {
+            let va = eval_positions(a, word, succ);
+            let vb = eval_positions(b, word, succ);
+            va.into_iter().zip(vb).map(|(x, y)| x && y).collect()
+        }
+        Formula::Or(a, b) => {
+            let va = eval_positions(a, word, succ);
+            let vb = eval_positions(b, word, succ);
+            va.into_iter().zip(vb).map(|(x, y)| x || y).collect()
+        }
+        Formula::Next(f) => {
+            let vf = eval_positions(f, word, succ);
+            (0..n).map(|i| vf[succ(i)]).collect()
+        }
+        Formula::Until(a, b) => {
+            let va = eval_positions(a, word, succ);
+            let vb = eval_positions(b, word, succ);
+            // Least fixpoint of sat[i] = vb[i] || (va[i] && sat[succ(i)]).
+            let mut sat = vec![false; n];
+            loop {
+                let mut changed = false;
+                for i in (0..n).rev() {
+                    let new = vb[i] || (va[i] && sat[succ(i)]);
+                    if new != sat[i] {
+                        sat[i] = new;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            sat
+        }
+        Formula::Release(a, b) => {
+            let va = eval_positions(a, word, succ);
+            let vb = eval_positions(b, word, succ);
+            // Greatest fixpoint of sat[i] = vb[i] && (va[i] || sat[succ(i)]).
+            let mut sat = vec![true; n];
+            loop {
+                let mut changed = false;
+                for i in (0..n).rev() {
+                    let new = vb[i] && (va[i] || sat[succ(i)]);
+                    if new != sat[i] {
+                        sat[i] = new;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            sat
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::AtomId;
+
+    fn a(i: u32) -> Formula {
+        Formula::Atom(AtomId(i))
+    }
+
+    fn asg(bits: &[u32]) -> Assignment {
+        Assignment::from_true_atoms(bits.iter().map(|&i| AtomId(i)))
+    }
+
+    #[test]
+    fn verdict_basics() {
+        assert!(Verdict::True.is_final());
+        assert!(Verdict::False.is_final());
+        assert!(!Verdict::Unknown.is_final());
+        assert_eq!(Verdict::True.negate(), Verdict::False);
+        assert_eq!(Verdict::Unknown.negate(), Verdict::Unknown);
+        assert_eq!(Verdict::False.symbol(), "⊥");
+        assert!(Verdict::False < Verdict::Unknown && Verdict::Unknown < Verdict::True);
+    }
+
+    #[test]
+    fn eventually_on_lasso() {
+        // F a0 on word where a0 first appears in the cycle.
+        let f = Formula::eventually(a(0));
+        assert!(evaluate_lasso(&f, &[asg(&[])], &[asg(&[]), asg(&[0])]));
+        // F a0 where a0 never appears.
+        assert!(!evaluate_lasso(&f, &[asg(&[])], &[asg(&[])]));
+        // F a0 where a0 appears only in the prefix.
+        assert!(evaluate_lasso(&f, &[asg(&[0])], &[asg(&[])]));
+    }
+
+    #[test]
+    fn globally_on_lasso() {
+        let f = Formula::globally(a(0));
+        assert!(evaluate_lasso(&f, &[asg(&[0])], &[asg(&[0])]));
+        assert!(!evaluate_lasso(&f, &[asg(&[0])], &[asg(&[0]), asg(&[])]));
+        // Violation only in the prefix still falsifies.
+        assert!(!evaluate_lasso(&f, &[asg(&[])], &[asg(&[0])]));
+    }
+
+    #[test]
+    fn until_requires_eventual_goal() {
+        let f = Formula::until(a(0), a(1));
+        // a0 holds until a1 appears.
+        assert!(evaluate_lasso(
+            &f,
+            &[asg(&[0]), asg(&[0]), asg(&[1])],
+            &[asg(&[])]
+        ));
+        // a0 holds forever but a1 never happens: until is strong, so false.
+        assert!(!evaluate_lasso(&f, &[], &[asg(&[0])]));
+        // a1 immediately: true regardless of a0.
+        assert!(evaluate_lasso(&f, &[asg(&[1])], &[asg(&[])]));
+        // a0 fails before a1 appears: false.
+        assert!(!evaluate_lasso(
+            &f,
+            &[asg(&[0]), asg(&[]), asg(&[1])],
+            &[asg(&[])]
+        ));
+    }
+
+    #[test]
+    fn release_is_dual_of_until() {
+        let phi = Formula::release(a(0), a(1));
+        let dual = Formula::not(Formula::until(Formula::not(a(0)), Formula::not(a(1))));
+        for pattern in 0u8..16 {
+            let word: Vec<Assignment> = (0..4)
+                .map(|i| {
+                    let mut s = Assignment::ALL_FALSE;
+                    s.set(AtomId(0), pattern >> i & 1 == 1);
+                    s.set(AtomId(1), pattern >> ((i + 2) % 4) & 1 == 1);
+                    s
+                })
+                .collect();
+            let (prefix, cycle) = word.split_at(2);
+            assert_eq!(
+                evaluate_lasso(&phi, prefix, cycle),
+                evaluate_lasso(&dual, prefix, cycle),
+                "mismatch for pattern {pattern:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_wraps_into_cycle() {
+        let f = Formula::next(a(0));
+        // Word: prefix [!a0], cycle [a0] — X a0 at position 0 looks at cycle[0].
+        assert!(evaluate_lasso(&f, &[asg(&[])], &[asg(&[0])]));
+        // Single-state cycle without prefix: X a0 == a0 on that state.
+        assert!(evaluate_lasso(&f, &[], &[asg(&[0])]));
+        assert!(!evaluate_lasso(&f, &[], &[asg(&[])]));
+    }
+
+    #[test]
+    fn response_property() {
+        // G (req -> F grant), req = a0, grant = a1.
+        let f = Formula::globally(Formula::implies(a(0), Formula::eventually(a(1))));
+        // Every request granted within the cycle.
+        assert!(evaluate_lasso(
+            &f,
+            &[],
+            &[asg(&[0]), asg(&[]), asg(&[1])]
+        ));
+        // A request in the cycle never granted.
+        assert!(!evaluate_lasso(&f, &[asg(&[1])], &[asg(&[0]), asg(&[])]));
+    }
+}

@@ -1,0 +1,871 @@
+//! The decentralized LTL₃ monitoring algorithm of Chapter 4.
+//!
+//! Every process `Pi` is composed with a monitor `Mi` holding a replica of the monitor
+//! automaton.  `Mi` maintains a set of [`GlobalView`]s — hypotheses about the lattice
+//! path the global execution is following — and advances each view's automaton state on
+//! its own local events.  When a view reaches a state with outgoing transitions that
+//! could be enabled by *concurrent* events at other processes, the monitor creates a
+//! [`Token`] carrying those candidate transitions and routes it between monitors
+//! (`SENDTONEXTPROCESS`); monitors visited by the token fold their local events into
+//! the token's constructed global cut and evaluate their conjuncts
+//! (`PROCESSTOKEN`/`EVALUATETOKEN`).  When the token returns to its parent, enabled
+//! transitions fork new global views at the discovered automaton states
+//! (`RECEIVETOKEN`), and views that have converged to the same exploration point are
+//! merged (`MERGESIMILARGLOBALVIEWS`).
+//!
+//! The three optimizations of §4.3 (token aggregation, duplicate-global-view avoidance,
+//! disjunctive-transition pruning) are individually switchable through
+//! [`MonitorOptions`] so the benchmark harness can ablate them.
+
+use crate::global_view::{GlobalView, GvState};
+use crate::messages::{ConjunctEval, EvalState, MonitorMsg, Token, TokenTransition};
+use crate::metrics::MonitorMetrics;
+use dlrv_automaton::{MonitorAutomaton, SymbolicTransition};
+use dlrv_distsim::{MonitorBehavior, MonitorContext};
+use dlrv_ltl::{Assignment, AtomRegistry, Cube, ProcessId, Verdict};
+use dlrv_vclock::{Event, VectorClock};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Switches for the optimizations of §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorOptions {
+    /// §4.3.1 — carry all candidate transitions of an event in a single token instead
+    /// of one token per transition.
+    pub aggregate_tokens: bool,
+    /// §4.3.2 — avoid forking a new global view when an equivalent one already exists.
+    pub dedup_global_views: bool,
+    /// §4.3.3 — once a transition into a target state is enabled, drop sibling
+    /// candidate transitions into the same target.
+    pub prune_disjunctive: bool,
+}
+
+impl Default for MonitorOptions {
+    fn default() -> Self {
+        MonitorOptions {
+            aggregate_tokens: true,
+            dedup_global_views: true,
+            prune_disjunctive: true,
+        }
+    }
+}
+
+/// A decentralized monitor process `Mi` (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct DecentralizedMonitor {
+    /// The process this monitor is attached to.
+    pid: ProcessId,
+    /// Number of processes.
+    n: usize,
+    /// The shared monitor automaton replica.
+    automaton: Arc<MonitorAutomaton>,
+    /// Shared atom registry (for conjunct ownership).
+    registry: Arc<AtomRegistry>,
+    /// Optimization switches.
+    opts: MonitorOptions,
+    /// Local event history (`history` in Algorithm 2), indexed by `sn - 1`.
+    history: Vec<Event>,
+    /// Tokens waiting for a future local event (`w_tokens`).
+    waiting_tokens: Vec<Token>,
+    /// The set of global views (`GV`).
+    views: Vec<GlobalView>,
+    /// Next fresh global-view identifier.
+    next_gv_id: u64,
+    /// Whether the local program has terminated.
+    local_terminated: bool,
+    /// Per-peer termination info: `Some(last_sn)` once the peer announced termination.
+    peer_last_sn: Vec<Option<u64>>,
+    /// Number of tokens currently in flight per originating automaton state (used by
+    /// the §4.3.2 optimization to avoid launching duplicate explorations).
+    in_flight: std::collections::BTreeMap<dlrv_automaton::StateId, usize>,
+    /// Collected metrics.
+    metrics: MonitorMetrics,
+}
+
+impl DecentralizedMonitor {
+    /// INIT (Algorithm 1): creates monitor `Mi` with its initial global view, already
+    /// advanced over the initial global state.
+    pub fn new(
+        pid: ProcessId,
+        n_processes: usize,
+        automaton: Arc<MonitorAutomaton>,
+        registry: Arc<AtomRegistry>,
+        initial_gstate: Assignment,
+        opts: MonitorOptions,
+    ) -> Self {
+        let q0 = automaton.step(automaton.initial, initial_gstate);
+        let gv0 = GlobalView::initial(0, n_processes, initial_gstate, q0);
+        let mut metrics = MonitorMetrics::default();
+        metrics.global_views_created = 1;
+        if automaton.is_final(q0) {
+            metrics
+                .detected_final_verdicts
+                .insert(automaton.verdict(q0));
+        }
+        DecentralizedMonitor {
+            pid,
+            n: n_processes,
+            automaton,
+            registry,
+            opts,
+            history: Vec::new(),
+            waiting_tokens: Vec::new(),
+            views: vec![gv0],
+            next_gv_id: 1,
+            local_terminated: false,
+            peer_last_sn: vec![None; n_processes],
+            in_flight: Default::default(),
+            metrics,
+        }
+    }
+
+    /// The process index this monitor is attached to.
+    pub fn process_id(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The current global views.
+    pub fn views(&self) -> &[GlobalView] {
+        &self.views
+    }
+
+    /// The set of verdicts currently considered possible (one per global view),
+    /// plus any ⊤/⊥ verdict that was detected along the way.
+    pub fn possible_verdicts(&self) -> BTreeSet<Verdict> {
+        let mut set: BTreeSet<Verdict> = self
+            .views
+            .iter()
+            .map(|gv| self.automaton.verdict(gv.q))
+            .collect();
+        set.extend(self.metrics.detected_final_verdicts.iter().copied());
+        set
+    }
+
+    /// ⊤/⊥ verdicts this monitor has detected.
+    pub fn detected_final_verdicts(&self) -> &BTreeSet<Verdict> {
+        &self.metrics.detected_final_verdicts
+    }
+
+    /// A snapshot of this monitor's metrics (view-derived fields filled in).
+    pub fn metrics(&self) -> MonitorMetrics {
+        let mut m = self.metrics.clone();
+        m.global_views_final = self.views.len();
+        m.possible_verdicts = self.possible_verdicts();
+        m
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers
+    // ------------------------------------------------------------------
+
+    /// The guard literals of `transition` owned by process `p`, as a cube.
+    fn conjunct_of(&self, transition: &SymbolicTransition, p: ProcessId) -> Cube {
+        let mut cube = Cube::top();
+        for lit in transition.guard.literals() {
+            if self.registry.owner(lit.atom) == p {
+                cube.insert(*lit);
+            }
+        }
+        cube
+    }
+
+    /// Whether process `p` owns any literal of `transition`'s guard.
+    fn participates(&self, transition: &SymbolicTransition, p: ProcessId) -> bool {
+        transition
+            .guard
+            .literals()
+            .iter()
+            .any(|lit| self.registry.owner(lit.atom) == p)
+    }
+
+    /// Overwrites the atoms owned by `p` in `gstate` with their values in `local`.
+    fn apply_local_state(&self, gstate: &mut Assignment, p: ProcessId, local: Assignment) {
+        for atom in self.registry.atoms_of_process(p) {
+            gstate.set(atom, local.get(atom));
+        }
+    }
+
+    fn record_state_verdict(&mut self, q: dlrv_automaton::StateId) {
+        if self.automaton.is_final(q) {
+            self.metrics
+                .detected_final_verdicts
+                .insert(self.automaton.verdict(q));
+        }
+    }
+
+    /// MERGESIMILARGLOBALVIEWS: collapse views with identical automaton state, cut and
+    /// global state.
+    fn merge_similar_views(&mut self) {
+        let mut kept: Vec<GlobalView> = Vec::with_capacity(self.views.len());
+        for gv in std::mem::take(&mut self.views) {
+            if let Some(existing) = kept.iter_mut().find(|k| k.same_slice(&gv)) {
+                // Prefer the unblocked copy; merge pending queues conservatively.
+                if existing.state == GvState::Waiting && gv.state == GvState::Unblocked {
+                    let pending = std::mem::take(&mut existing.pending);
+                    *existing = gv;
+                    existing.pending = pending;
+                }
+            } else {
+                kept.push(gv);
+            }
+        }
+        self.views = kept;
+    }
+
+    /// CHECKOUTGOINGTRANSITIONS: build the candidate token transitions of `gv` for the
+    /// event `e`.
+    fn candidate_transitions(&self, gv: &GlobalView, e: &Event) -> Vec<TokenTransition> {
+        let mut out = Vec::new();
+        for t in self.automaton.outgoing_transitions(gv.q) {
+            // The local conjunct must be satisfied by the process's own (fresh) state.
+            if !self.conjunct_of(t, self.pid).eval(gv.gstate) {
+                continue;
+            }
+            // Determine which processes "forbid" the transition: their believed state
+            // does not satisfy their conjunct.  If nobody forbids, the transition is
+            // already enabled under the believed state and needs no token.
+            let mut conjuncts = Vec::with_capacity(self.n);
+            let mut has_forbidding = false;
+            for p in 0..self.n {
+                let c = if !self.participates(t, p) {
+                    ConjunctEval::NotInvolved
+                } else if p == self.pid {
+                    ConjunctEval::True
+                } else if self.conjunct_of(t, p).eval(gv.gstate) {
+                    ConjunctEval::True
+                } else {
+                    has_forbidding = true;
+                    ConjunctEval::Unset
+                };
+                conjuncts.push(c);
+            }
+            if !has_forbidding {
+                continue;
+            }
+            let gcut = {
+                let mut g = gv.gcut.clone();
+                g.merge(&e.vc);
+                g
+            };
+            let depend = gcut.clone();
+            let first_unset = conjuncts
+                .iter()
+                .position(|c| *c == ConjunctEval::Unset)
+                .expect("has_forbidding implies an unset conjunct");
+            let next_target_event = gcut.get(first_unset).max(e.vc.get(first_unset)) + 1;
+            out.push(TokenTransition {
+                transition_id: t.id,
+                gcut,
+                depend,
+                gstate: gv.gstate,
+                conjuncts,
+                next_target_process: first_unset,
+                next_target_event,
+                eval: EvalState::Unset,
+            });
+        }
+        out
+    }
+
+    /// SENDTONEXTPROCESS: decide where `token` goes next, following the routing rules
+    /// of §4.2.0.6, and dispatch it (send, keep waiting locally, or hand back to the
+    /// owning global view when this monitor is the parent).
+    fn route_token(&mut self, mut token: Token, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        // Rule 1: an enabled transition sends the token home.
+        let target: RouteTarget = if token
+            .transitions
+            .iter()
+            .any(|t| t.eval == EvalState::Enabled)
+        {
+            RouteTarget::Parent
+        } else if let Some(t) = token.transitions.iter().find(|t| {
+            t.eval == EvalState::Unset && t.next_target_process == self.pid
+        }) {
+            // Rule 2: some transition wants an event of this very process.
+            token.next_target_process = self.pid;
+            token.next_target_event = t.next_target_event;
+            RouteTarget::Local
+        } else if let Some(t) = token.transitions.iter().find(|t| {
+            t.eval == EvalState::Unset
+                && t.next_target_process != token.parent
+                && t.next_target_process != self.pid
+        }) {
+            // Rule 3: visit another process that some transition targets.
+            token.next_target_process = t.next_target_process;
+            token.next_target_event = t.next_target_event;
+            RouteTarget::Remote(t.next_target_process)
+        } else if let Some(t) = token
+            .transitions
+            .iter()
+            .find(|t| t.eval == EvalState::Unset && t.next_target_process == token.parent)
+        {
+            // Rule 4 variant: only the parent is left to visit.
+            token.next_target_process = t.next_target_process;
+            token.next_target_event = t.next_target_event;
+            if token.parent == self.pid {
+                RouteTarget::Local
+            } else {
+                RouteTarget::Parent
+            }
+        } else {
+            RouteTarget::Parent
+        };
+
+        match target {
+            RouteTarget::Local => {
+                // If the requested event is already in our history, process it right
+                // away; otherwise wait for it.
+                self.advance_local_token(token, ctx);
+            }
+            RouteTarget::Remote(p) => {
+                self.metrics.tokens_sent += 1;
+                ctx.send(p, MonitorMsg::Token(token));
+            }
+            RouteTarget::Parent => {
+                if token.parent == self.pid {
+                    self.handle_returned_token(token, ctx);
+                } else {
+                    let parent = token.parent;
+                    self.metrics.tokens_sent += 1;
+                    ctx.send(parent, MonitorMsg::Token(token));
+                }
+            }
+        }
+    }
+
+    /// Feeds the token already-known local events (starting at its target sequence
+    /// number) until it is routed away or has to wait for a future event.
+    fn advance_local_token(&mut self, mut token: Token, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        loop {
+            if token.next_target_process != self.pid {
+                // Re-routing decided elsewhere.
+                self.route_token(token, ctx);
+                return;
+            }
+            let sn = token.next_target_event;
+            if sn == 0 || sn as usize > self.history.len() {
+                if self.local_terminated {
+                    // No further events will ever occur here: the pending conjuncts of
+                    // transitions targeting us can never be satisfied.
+                    self.fail_local_targets(&mut token);
+                    self.dispatch_after_local_processing(token, ctx);
+                } else {
+                    self.waiting_tokens.push(token);
+                }
+                return;
+            }
+            let event = self.history[(sn - 1) as usize].clone();
+            let keep_going = self.process_token_with_event(&mut token, &event);
+            if !keep_going {
+                self.dispatch_after_local_processing(token, ctx);
+                return;
+            }
+        }
+    }
+
+    /// After local processing, decide where the token goes (never "Local" again unless
+    /// it must wait).
+    fn dispatch_after_local_processing(
+        &mut self,
+        token: Token,
+        ctx: &mut MonitorContext<'_, MonitorMsg>,
+    ) {
+        self.route_token(token, ctx);
+    }
+
+    /// PROCESSTOKEN + EVALUATETOKEN for one local event.  Returns `true` when the token
+    /// should continue consuming this monitor's subsequent local events.
+    fn process_token_with_event(&mut self, token: &mut Token, event: &Event) -> bool {
+        let sn = event.sn;
+        // ADDEVENTTOTOKEN for every transition targeting (self, sn).
+        let mut targeted: Vec<usize> = Vec::new();
+        for (idx, tran) in token.transitions.iter_mut().enumerate() {
+            if tran.eval == EvalState::Unset
+                && tran.next_target_process == self.pid
+                && tran.next_target_event == sn
+            {
+                tran.gcut.set(self.pid, sn);
+                tran.depend.merge(&event.vc);
+                let mut gstate = tran.gstate;
+                self.apply_local_state(&mut gstate, self.pid, event.state);
+                tran.gstate = gstate;
+                targeted.push(idx);
+            }
+        }
+        if targeted.is_empty() {
+            return false;
+        }
+
+        // EVALUATETOKEN: evaluate this process's conjunct of every targeted transition.
+        let mut any_true = false;
+        let mut local_results: Vec<(usize, bool)> = Vec::new();
+        for &idx in &targeted {
+            let tran = &token.transitions[idx];
+            if tran.conjuncts[self.pid] == ConjunctEval::NotInvolved {
+                // Only visited to repair an inconsistency; nothing to evaluate here and
+                // this must not influence the ordering flag below.
+                continue;
+            }
+            let symbolic = self.automaton.transition(tran.transition_id).clone();
+            let ok = self.conjunct_of(&symbolic, self.pid).eval(event.state);
+            any_true |= ok;
+            local_results.push((idx, ok));
+        }
+
+        for (idx, ok) in &local_results {
+            let tran = &mut token.transitions[*idx];
+            if tran.conjuncts[self.pid] != ConjunctEval::NotInvolved {
+                if any_true {
+                    tran.conjuncts[self.pid] = if *ok { ConjunctEval::True } else { ConjunctEval::False };
+                } else {
+                    // No candidate satisfied at this event: keep looking at later ones.
+                    tran.conjuncts[self.pid] = ConjunctEval::Unset;
+                }
+            }
+        }
+
+        // Decide each targeted transition's fate.
+        for &idx in &targeted {
+            let tran = &mut token.transitions[idx];
+            if tran.conjuncts[self.pid] == ConjunctEval::False {
+                tran.eval = EvalState::Disabled;
+                tran.next_target_process = token.parent;
+            } else if tran.all_conjuncts_true() {
+                if let Some(k) = tran.inconsistent_process() {
+                    tran.next_target_process = k;
+                    tran.next_target_event = tran.gcut.get(k) + 1;
+                } else {
+                    tran.eval = EvalState::Enabled;
+                    tran.next_target_process = token.parent;
+                }
+            } else if let Some(k) = tran.inconsistent_process() {
+                tran.next_target_process = k;
+                tran.next_target_event = tran.gcut.get(k) + 1;
+            } else if let Some(k) = tran.first_unset_process() {
+                tran.next_target_process = k;
+                tran.next_target_event = tran.gcut.get(k) + 1;
+            }
+        }
+
+        // Continue locally only if some transition still targets this process's future.
+        let continue_here = token.transitions.iter().any(|t| {
+            t.eval == EvalState::Unset && t.next_target_process == self.pid
+        });
+        if continue_here {
+            let next = token
+                .transitions
+                .iter()
+                .filter(|t| t.eval == EvalState::Unset && t.next_target_process == self.pid)
+                .map(|t| t.next_target_event)
+                .min()
+                .expect("continue_here implies a local target");
+            token.next_target_process = self.pid;
+            token.next_target_event = next;
+        }
+        continue_here
+    }
+
+    /// Marks every transition waiting on this (terminated) process as disabled.
+    fn fail_local_targets(&self, token: &mut Token) {
+        for tran in &mut token.transitions {
+            if tran.eval == EvalState::Unset
+                && tran.next_target_process == self.pid
+                && tran.next_target_event as usize > self.history.len()
+            {
+                if tran.conjuncts[self.pid] != ConjunctEval::NotInvolved {
+                    tran.conjuncts[self.pid] = ConjunctEval::False;
+                }
+                tran.eval = EvalState::Disabled;
+                tran.next_target_process = token.parent;
+            }
+        }
+    }
+
+    /// RECEIVETOKEN when this monitor is the token's parent: spawn views for enabled
+    /// transitions, drop disabled ones, retarget inconsistent ones and either finish or
+    /// re-route the token.
+    fn handle_returned_token(&mut self, mut token: Token, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        let owner_idx = self.views.iter().position(|gv| gv.id == token.parent_gv);
+
+        let mut enabled_targets: BTreeSet<dlrv_automaton::StateId> = BTreeSet::new();
+        let mut remaining: Vec<TokenTransition> = Vec::new();
+        for tran in token.transitions.drain(..) {
+            match tran.eval {
+                EvalState::Enabled => {
+                    let target = self.automaton.transition(tran.transition_id).to;
+                    // §4.3.3: once some transition into `target` is enabled, siblings
+                    // into the same target are redundant.
+                    if self.opts.prune_disjunctive && enabled_targets.contains(&target) {
+                        continue;
+                    }
+                    enabled_targets.insert(target);
+                    self.spawn_view(target, tran.gcut.clone(), tran.gstate);
+                }
+                EvalState::Disabled => {}
+                EvalState::Unset => {
+                    let mut tran = tran;
+                    if let Some(k) = tran.inconsistent_process() {
+                        tran.next_target_process = k;
+                        tran.next_target_event = tran.gcut.get(k) + 1;
+                    }
+                    // §4.3.3 also applies to still-pending siblings.
+                    let target = self.automaton.transition(tran.transition_id).to;
+                    if self.opts.prune_disjunctive && enabled_targets.contains(&target) {
+                        continue;
+                    }
+                    remaining.push(tran);
+                }
+            }
+        }
+
+        if remaining.is_empty() {
+            // The exploration is over: release the in-flight slot, unblock the owning
+            // view and drain its queue.
+            if let Some(count) = self.in_flight.get_mut(&token.origin_state) {
+                *count = count.saturating_sub(1);
+            }
+            if let Some(idx) = owner_idx {
+                self.views[idx].state = GvState::Unblocked;
+                self.drain_pending(idx, ctx);
+            }
+            self.merge_similar_views();
+        } else {
+            token.transitions = remaining;
+            self.route_token(token, ctx);
+        }
+    }
+
+    /// Forks a new global view at `q` with the constructed cut and state.
+    fn spawn_view(&mut self, q: dlrv_automaton::StateId, gcut: VectorClock, gstate: Assignment) {
+        if self.opts.dedup_global_views
+            && self
+                .views
+                .iter()
+                .any(|gv| gv.q == q && gv.gcut == gcut && gv.gstate == gstate)
+        {
+            return;
+        }
+        let gv = GlobalView {
+            id: self.next_gv_id,
+            gcut,
+            gstate,
+            q,
+            pending: Default::default(),
+            keep_after_fork: false,
+            state: GvState::Unblocked,
+        };
+        self.next_gv_id += 1;
+        self.metrics.global_views_created += 1;
+        self.record_state_verdict(q);
+        self.views.push(gv);
+    }
+
+    /// PROCESSEVENT (Algorithm 2) for one view; may fork a copy and/or emit a token.
+    fn process_event_on_view(
+        &mut self,
+        mut gv: GlobalView,
+        e: &Event,
+        ctx: &mut MonitorContext<'_, MonitorMsg>,
+    ) -> Vec<GlobalView> {
+        let mut produced = Vec::new();
+
+        // Fold the local event into the view.
+        gv.gcut.set(self.pid, e.vc.get(self.pid));
+        let mut gstate = gv.gstate;
+        self.apply_local_state(&mut gstate, self.pid, e.state);
+        gv.gstate = gstate;
+
+        // The event is inconsistent with the view when it already knows about more
+        // events of other processes than the view has folded in.
+        let is_consistent =
+            (0..self.n).all(|j| j == self.pid || gv.gcut.get(j) >= e.vc.get(j));
+
+        gv.keep_after_fork = false;
+        if is_consistent {
+            let target = self.automaton.step(gv.q, gv.gstate);
+            if target != gv.q || !self.automaton.is_final(gv.q) {
+                gv.q = target;
+                gv.keep_after_fork = true;
+                self.record_state_verdict(target);
+            }
+        }
+
+        // Look for outgoing transitions that concurrent events elsewhere could enable.
+        let candidates = if self.automaton.is_final(gv.q) {
+            Vec::new()
+        } else {
+            self.candidate_transitions(&gv, e)
+        };
+
+        // §4.3.2: if an exploration for this automaton state is already in flight at
+        // this monitor, do not launch a duplicate one — the waiting view will reprocess
+        // the buffered events once its token returns.
+        let already_exploring = self.opts.dedup_global_views
+            && self.in_flight.get(&gv.q).copied().unwrap_or(0) > 0;
+
+        if candidates.is_empty() || already_exploring {
+            produced.push(gv);
+            return produced;
+        }
+
+        // Fork: keep a copy following the local progress path while the original waits
+        // for the token (Algorithm 2, lines 33–37).
+        if gv.keep_after_fork {
+            let duplicate_exists = self.opts.dedup_global_views
+                && self
+                    .views
+                    .iter()
+                    .any(|other| other.same_slice(&gv))
+                || produced.iter().any(|other: &GlobalView| other.same_slice(&gv));
+            if !duplicate_exists {
+                let mut copy = gv.clone();
+                copy.id = self.next_gv_id;
+                self.next_gv_id += 1;
+                copy.keep_after_fork = false;
+                copy.state = GvState::Unblocked;
+                copy.pending.clear();
+                self.metrics.global_views_created += 1;
+                produced.push(copy);
+            }
+        }
+
+        // Emit the token(s).
+        let origin_state = gv.q;
+        gv.state = GvState::Waiting;
+        let parent_gv = gv.id;
+        if self.opts.aggregate_tokens {
+            let token = Token {
+                parent: self.pid,
+                origin_state,
+                parent_gv,
+                parent_event_vc: e.vc.clone(),
+                transitions: candidates,
+                next_target_process: self.pid,
+                next_target_event: 0,
+            };
+            *self.in_flight.entry(origin_state).or_insert(0) += 1;
+            produced.push(gv);
+            self.route_token(token, ctx);
+        } else {
+            for tran in candidates {
+                let token = Token {
+                    parent: self.pid,
+                    origin_state,
+                    parent_gv,
+                    parent_event_vc: e.vc.clone(),
+                    transitions: vec![tran],
+                    next_target_process: self.pid,
+                    next_target_event: 0,
+                };
+                *self.in_flight.entry(origin_state).or_insert(0) += 1;
+                self.route_token(token, ctx);
+            }
+            produced.push(gv);
+        }
+        produced
+    }
+
+    /// Drains the pending queue of view `idx` as long as it stays unblocked.
+    fn drain_pending(&mut self, idx: usize, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        loop {
+            if idx >= self.views.len() || !self.views[idx].is_unblocked() {
+                return;
+            }
+            let Some(event) = self.views[idx].pending.pop_front() else {
+                return;
+            };
+            let gv = self.views.remove(idx);
+            let produced = self.process_event_on_view(gv, &event, ctx);
+            // Reinsert produced views at the same position to keep `idx` meaningful:
+            // the first produced view is the continuation of the drained one.
+            for (offset, v) in produced.into_iter().enumerate() {
+                self.views.insert(idx + offset, v);
+            }
+        }
+    }
+}
+
+enum RouteTarget {
+    Local,
+    Remote(ProcessId),
+    Parent,
+}
+
+impl MonitorBehavior for DecentralizedMonitor {
+    type Message = MonitorMsg;
+
+    /// RECEIVEEVENT (Algorithm 2).
+    fn on_local_event(&mut self, event: &Event, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        self.metrics.events_observed += 1;
+        self.metrics.last_event_time = ctx.now;
+        self.metrics.last_activity_time = ctx.now;
+        self.history.push(event.clone());
+        self.merge_similar_views();
+
+        // Wake up tokens waiting for exactly this event.
+        let waiting = std::mem::take(&mut self.waiting_tokens);
+        for token in waiting {
+            if token.next_target_process == self.pid && token.next_target_event == event.sn {
+                self.advance_local_token(token, ctx);
+            } else {
+                self.waiting_tokens.push(token);
+            }
+        }
+
+        // Deliver the event to every view (waiting views just buffer it).
+        let mut delayed = 0usize;
+        let views = std::mem::take(&mut self.views);
+        let mut rebuilt: Vec<GlobalView> = Vec::with_capacity(views.len());
+        for mut gv in views {
+            gv.pending.push_back(event.clone());
+            if gv.is_unblocked() {
+                // Process the whole queue while the view stays unblocked.
+                loop {
+                    if !gv.is_unblocked() {
+                        break;
+                    }
+                    let Some(e) = gv.pending.pop_front() else { break };
+                    let mut produced = self.process_event_on_view(gv, &e, ctx);
+                    // The first produced view is the continuation; the rest are forks.
+                    gv = produced.remove(0);
+                    rebuilt.extend(produced);
+                }
+                rebuilt.push(gv);
+            } else {
+                delayed += gv.pending.len();
+                rebuilt.push(gv);
+            }
+        }
+        self.views.extend(rebuilt);
+        self.metrics.queued_events_sum += delayed;
+        self.metrics.queued_events_samples += 1;
+        self.metrics.max_queued_events = self.metrics.max_queued_events.max(delayed);
+        self.merge_similar_views();
+    }
+
+    fn on_monitor_message(
+        &mut self,
+        _from: ProcessId,
+        msg: MonitorMsg,
+        ctx: &mut MonitorContext<'_, MonitorMsg>,
+    ) {
+        self.metrics.last_activity_time = ctx.now;
+        match msg {
+            MonitorMsg::Token(token) => {
+                self.metrics.tokens_received += 1;
+                if token.parent == self.pid {
+                    self.handle_returned_token(token, ctx);
+                } else {
+                    // A foreign token: serve it from our history or park it.
+                    self.advance_local_token(token, ctx);
+                }
+            }
+            MonitorMsg::Terminated { process, last_sn } => {
+                self.peer_last_sn[process] = Some(last_sn);
+            }
+        }
+    }
+
+    /// TERMINATE (§4.2.0.10).
+    fn on_local_termination(&mut self, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        self.local_terminated = true;
+        self.metrics.last_activity_time = ctx.now;
+        let last_sn = self.history.len() as u64;
+        // Tell every peer we will produce no more events.
+        for p in 0..self.n {
+            if p != self.pid {
+                ctx.send(
+                    p,
+                    MonitorMsg::Terminated {
+                        process: self.pid,
+                        last_sn,
+                    },
+                );
+            }
+        }
+        // Fail every token parked here waiting for events that will never happen.
+        let waiting = std::mem::take(&mut self.waiting_tokens);
+        for mut token in waiting {
+            self.fail_local_targets(&mut token);
+            self.route_token(token, ctx);
+        }
+        self.metrics.global_views_final = self.views.len();
+        self.metrics.possible_verdicts = self.possible_verdicts();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrv_ltl::Formula;
+
+    fn setup(n: usize, formula: Formula, reg: AtomRegistry) -> Vec<DecentralizedMonitor> {
+        let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &reg));
+        let registry = Arc::new(reg);
+        (0..n)
+            .map(|i| {
+                DecentralizedMonitor::new(
+                    i,
+                    n,
+                    automaton.clone(),
+                    registry.clone(),
+                    Assignment::ALL_FALSE,
+                    MonitorOptions::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_view_reflects_initial_global_state() {
+        let mut reg = AtomRegistry::new();
+        let a0 = reg.intern("P0.p", 0);
+        let _a1 = reg.intern("P1.p", 1);
+        let phi = Formula::eventually(Formula::Atom(a0));
+        let monitors = setup(2, phi, reg);
+        assert_eq!(monitors[0].views().len(), 1);
+        assert_eq!(
+            monitors[0].possible_verdicts(),
+            BTreeSet::from([Verdict::Unknown])
+        );
+    }
+
+    #[test]
+    fn monitor_options_default_enables_all_optimizations() {
+        let opts = MonitorOptions::default();
+        assert!(opts.aggregate_tokens && opts.dedup_global_views && opts.prune_disjunctive);
+    }
+
+    #[test]
+    fn local_only_violation_is_detected_without_tokens() {
+        // G P0.p violated by P0's own first event — no communication needed.
+        let mut reg = AtomRegistry::new();
+        let a0 = reg.intern("P0.p", 0);
+        let phi = Formula::globally(Formula::Atom(a0));
+        // Initial state: P0.p true, so the property is alive initially.
+        let automaton = Arc::new(MonitorAutomaton::synthesize(&phi, &reg));
+        let registry = Arc::new(reg);
+        let init = Assignment::from_true_atoms([a0]);
+        let mut m0 = DecentralizedMonitor::new(
+            0,
+            2,
+            automaton,
+            registry,
+            init,
+            MonitorOptions::default(),
+        );
+        let mut outbox = Vec::new();
+        let mut ctx = MonitorContext::new(0, 2, 1.0, &mut outbox);
+        let event = Event {
+            process: 0,
+            kind: dlrv_vclock::EventKind::Internal,
+            sn: 1,
+            vc: VectorClock::from_entries(vec![1, 0]),
+            state: Assignment::ALL_FALSE, // P0.p becomes false
+            time: 1.0,
+        };
+        m0.on_local_event(&event, &mut ctx);
+        assert!(m0.detected_final_verdicts().contains(&Verdict::False));
+        assert!(outbox.is_empty(), "a purely local violation needs no tokens");
+    }
+}

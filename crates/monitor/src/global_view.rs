@@ -1,0 +1,94 @@
+//! Global views: a monitor's hypotheses about the global execution (§4.2).
+//!
+//! Each global view tracks one lattice path the monitor is exploring: the global cut
+//! constructed so far (as per-process event counts), the believed global state, the
+//! current monitor-automaton state and a queue of local events that arrived while the
+//! view was waiting for a token to return.
+
+use dlrv_automaton::StateId;
+use dlrv_ltl::Assignment;
+use dlrv_vclock::{Event, VectorClock};
+use std::collections::VecDeque;
+
+/// The processing state of a global view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GvState {
+    /// Ready to consume local events.
+    Unblocked,
+    /// A token is in flight; local events are buffered until it returns.
+    Waiting,
+}
+
+/// One global view maintained by a monitor process.
+#[derive(Debug, Clone)]
+pub struct GlobalView {
+    /// Unique identifier within the owning monitor.
+    pub id: u64,
+    /// Per-process event counts of the constructed cut.
+    pub gcut: VectorClock,
+    /// The believed global state (proposition valuation).
+    pub gstate: Assignment,
+    /// Current monitor-automaton state.
+    pub q: StateId,
+    /// Local events buffered while the view is waiting for a token.
+    pub pending: VecDeque<Event>,
+    /// Whether the view survives forking (set when it took a real transition).
+    pub keep_after_fork: bool,
+    /// Processing state.
+    pub state: GvState,
+}
+
+impl GlobalView {
+    /// Creates the initial global view of a monitor: empty cut, initial global state,
+    /// the automaton state reached by feeding the initial global state.
+    pub fn initial(id: u64, n_processes: usize, initial_gstate: Assignment, q: StateId) -> Self {
+        GlobalView {
+            id,
+            gcut: VectorClock::zero(n_processes),
+            gstate: initial_gstate,
+            q,
+            pending: VecDeque::new(),
+            keep_after_fork: false,
+            state: GvState::Unblocked,
+        }
+    }
+
+    /// True when this view and `other` represent the same point of exploration: same
+    /// automaton state and same constructed cut (the merge criterion of
+    /// `MERGESIMILARGLOBALVIEWS`, strengthened with equal global states).
+    pub fn same_slice(&self, other: &GlobalView) -> bool {
+        self.q == other.q && self.gcut == other.gcut && self.gstate == other.gstate
+    }
+
+    /// True when the view can process a new local event immediately.
+    pub fn is_unblocked(&self) -> bool {
+        self.state == GvState::Unblocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_view_is_unblocked() {
+        let gv = GlobalView::initial(0, 3, Assignment::ALL_FALSE, 1);
+        assert!(gv.is_unblocked());
+        assert_eq!(gv.gcut, VectorClock::zero(3));
+        assert_eq!(gv.q, 1);
+        assert!(gv.pending.is_empty());
+        assert!(!gv.keep_after_fork);
+    }
+
+    #[test]
+    fn same_slice_requires_state_cut_and_gstate() {
+        let a = GlobalView::initial(0, 2, Assignment::ALL_FALSE, 0);
+        let mut b = GlobalView::initial(1, 2, Assignment::ALL_FALSE, 0);
+        assert!(a.same_slice(&b));
+        b.q = 1;
+        assert!(!a.same_slice(&b));
+        b.q = 0;
+        b.gcut.increment(0);
+        assert!(!a.same_slice(&b));
+    }
+}

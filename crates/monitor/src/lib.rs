@@ -1,0 +1,29 @@
+//! The decentralized LTL₃ runtime-verification algorithm (the paper's contribution),
+//! plus the centralized baseline it is compared against.
+//!
+//! * [`decentralized`] — the token-based decentralized monitor of Chapter 4:
+//!   [`DecentralizedMonitor`] implements
+//!   [`MonitorBehavior`](dlrv_distsim::MonitorBehavior) and can be run on either
+//!   execution substrate.  Optimizations of §4.3 are switchable via
+//!   [`MonitorOptions`].
+//! * [`centralized`] — the centralized-monitor baseline (every event forwarded to one
+//!   collector that evaluates the full lattice).
+//! * [`messages`] — tokens and termination messages.
+//! * [`global_view`] — the per-monitor exploration state.
+//! * [`metrics`] — per-monitor and per-run measurements matching Chapter 5.
+//! * [`replay`] — a zero-latency driver over recorded computations, used by the
+//!   soundness/completeness test-suite to compare monitors against the lattice oracle.
+
+pub mod centralized;
+pub mod decentralized;
+pub mod global_view;
+pub mod messages;
+pub mod metrics;
+pub mod replay;
+
+pub use centralized::{CentralMsg, CentralizedMonitor};
+pub use decentralized::{DecentralizedMonitor, MonitorOptions};
+pub use global_view::{GlobalView, GvState};
+pub use messages::{ConjunctEval, EvalState, MonitorMsg, Token, TokenTransition};
+pub use metrics::{MonitorMetrics, RunMetrics};
+pub use replay::{replay_decentralized, ReplayResult};

@@ -1,0 +1,159 @@
+//! Monitor-to-monitor messages: tokens and termination notifications (§4.2).
+//!
+//! A *token* is created by a global view when it needs information from other
+//! processes to decide whether some outgoing monitor-automaton transitions are enabled.
+//! It carries one [`TokenTransition`] per candidate transition, each with the global
+//! cut and global state constructed so far, the per-process conjunct evaluations and
+//! the routing target.  Tokens are routed between monitors until every carried
+//! transition is decided (enabled / disabled), then return to their parent.
+
+use dlrv_ltl::{Assignment, ProcessId};
+use dlrv_vclock::VectorClock;
+use serde::{Deserialize, Serialize};
+
+/// Evaluation status of one process's conjunct of a transition guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConjunctEval {
+    /// The process has no literal in the guard.
+    NotInvolved,
+    /// Not yet evaluated against an event of that process.
+    Unset,
+    /// Evaluated true.
+    True,
+    /// Evaluated false.
+    False,
+}
+
+/// Overall evaluation status of a transition carried by a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalState {
+    /// Not yet decided.
+    Unset,
+    /// The guard is satisfied by the constructed consistent global state.
+    Enabled,
+    /// The guard cannot be satisfied (some conjunct evaluated false, or the program
+    /// terminated before the required events occurred).
+    Disabled,
+}
+
+/// One candidate outgoing transition carried by a token
+/// (`OutgoingTransition` in §4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenTransition {
+    /// Index of the symbolic transition in the monitor automaton.
+    pub transition_id: usize,
+    /// The event counts (per process) of the global cut constructed so far.
+    pub gcut: VectorClock,
+    /// The component-wise maximum of all vector clocks folded into the cut; an entry
+    /// exceeding `gcut`'s reveals an inconsistency that must be repaired.
+    pub depend: VectorClock,
+    /// The constructed global state (proposition valuation).
+    pub gstate: Assignment,
+    /// Per-process conjunct evaluations.
+    pub conjuncts: Vec<ConjunctEval>,
+    /// The process this transition wants to visit next.
+    pub next_target_process: ProcessId,
+    /// The local sequence number of the event it wants to inspect there.
+    pub next_target_event: u64,
+    /// Overall evaluation.
+    pub eval: EvalState,
+}
+
+impl TokenTransition {
+    /// True when some process entry of the cut lags behind what `depend` proves must
+    /// have been included (the cut is inconsistent and must be advanced).
+    pub fn inconsistent_process(&self) -> Option<ProcessId> {
+        (0..self.gcut.len()).find(|&k| self.gcut.get(k) < self.depend.get(k))
+    }
+
+    /// The first process whose conjunct is still [`ConjunctEval::Unset`].
+    pub fn first_unset_process(&self) -> Option<ProcessId> {
+        self.conjuncts
+            .iter()
+            .position(|c| *c == ConjunctEval::Unset)
+    }
+
+    /// True when every involved process's conjunct evaluated true.
+    pub fn all_conjuncts_true(&self) -> bool {
+        self.conjuncts
+            .iter()
+            .all(|c| matches!(c, ConjunctEval::True | ConjunctEval::NotInvolved))
+    }
+}
+
+/// A token (monitoring message) exchanged between monitors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Token {
+    /// The process whose monitor created the token.
+    pub parent: ProcessId,
+    /// The automaton state of the global view that launched the exploration.
+    pub origin_state: usize,
+    /// Identifier of the owning global view at the parent.
+    pub parent_gv: u64,
+    /// Vector clock of the parent event that triggered the token.
+    pub parent_event_vc: VectorClock,
+    /// Candidate transitions still being evaluated.
+    pub transitions: Vec<TokenTransition>,
+    /// The process the token should visit next.
+    pub next_target_process: ProcessId,
+    /// The event sequence number it should wait for there.
+    pub next_target_event: u64,
+}
+
+/// Messages exchanged between monitor processes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MonitorMsg {
+    /// A routed token.
+    Token(Token),
+    /// Notification that `process`'s program terminated after `last_sn` local events.
+    Terminated {
+        /// The terminated process.
+        process: ProcessId,
+        /// Sequence number of its last event.
+        last_sn: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt(gcut: Vec<u64>, depend: Vec<u64>, conjuncts: Vec<ConjunctEval>) -> TokenTransition {
+        TokenTransition {
+            transition_id: 0,
+            gcut: VectorClock::from_entries(gcut),
+            depend: VectorClock::from_entries(depend),
+            gstate: Assignment::ALL_FALSE,
+            conjuncts,
+            next_target_process: 0,
+            next_target_event: 1,
+            eval: EvalState::Unset,
+        }
+    }
+
+    #[test]
+    fn inconsistency_detection() {
+        let t = tt(vec![1, 0], vec![1, 2], vec![ConjunctEval::Unset, ConjunctEval::Unset]);
+        assert_eq!(t.inconsistent_process(), Some(1));
+        let ok = tt(vec![1, 2], vec![1, 2], vec![ConjunctEval::Unset, ConjunctEval::Unset]);
+        assert_eq!(ok.inconsistent_process(), None);
+    }
+
+    #[test]
+    fn conjunct_queries() {
+        let t = tt(
+            vec![0, 0, 0],
+            vec![0, 0, 0],
+            vec![ConjunctEval::True, ConjunctEval::NotInvolved, ConjunctEval::Unset],
+        );
+        assert_eq!(t.first_unset_process(), Some(2));
+        assert!(!t.all_conjuncts_true());
+        let done = tt(
+            vec![0, 0],
+            vec![0, 0],
+            vec![ConjunctEval::True, ConjunctEval::NotInvolved],
+        );
+        assert!(done.all_conjuncts_true());
+        assert_eq!(done.first_unset_process(), None);
+    }
+}

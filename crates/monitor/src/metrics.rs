@@ -1,0 +1,174 @@
+//! Per-monitor and aggregated metrics, matching the measurements of Chapter 5.
+//!
+//! The paper reports four quantities per experiment: total monitoring messages,
+//! detection delay (both as queued events and as extra monitoring time per global
+//! state), and memory overhead as the total number of global views created.
+
+use dlrv_ltl::Verdict;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Metrics collected by a single monitor process.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MonitorMetrics {
+    /// Number of tokens (monitoring messages) this monitor sent.
+    pub tokens_sent: usize,
+    /// Number of tokens this monitor received.
+    pub tokens_received: usize,
+    /// Total number of global views ever created (including the initial one).
+    pub global_views_created: usize,
+    /// Number of global views alive at the end of monitoring.
+    pub global_views_final: usize,
+    /// Number of local program events observed.
+    pub events_observed: usize,
+    /// Sum of pending-queue lengths sampled at every local event (delay numerator).
+    pub queued_events_sum: usize,
+    /// Number of samples of the pending queue (delay denominator).
+    pub queued_events_samples: usize,
+    /// Largest pending queue observed.
+    pub max_queued_events: usize,
+    /// Simulated time of the last local program event.
+    pub last_event_time: f64,
+    /// Simulated time of the last monitoring activity (event or token processing).
+    pub last_activity_time: f64,
+    /// Verdicts of final (⊤/⊥) automaton states this monitor detected.
+    pub detected_final_verdicts: BTreeSet<Verdict>,
+    /// All verdicts over this monitor's global views at the end of monitoring.
+    pub possible_verdicts: BTreeSet<Verdict>,
+}
+
+impl MonitorMetrics {
+    /// Average number of events queued behind a waiting global view.
+    pub fn avg_queued_events(&self) -> f64 {
+        if self.queued_events_samples == 0 {
+            0.0
+        } else {
+            self.queued_events_sum as f64 / self.queued_events_samples as f64
+        }
+    }
+}
+
+/// Metrics aggregated over all monitors of one run (one row of a paper figure).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Number of processes.
+    pub n_processes: usize,
+    /// Total program events across all processes.
+    pub total_events: usize,
+    /// Total monitoring messages across all monitors (Fig. 5.4 / 5.5 / 5.9a).
+    pub monitor_messages: usize,
+    /// Total program messages.
+    pub program_messages: usize,
+    /// Total global views created across all monitors (Fig. 5.8 / 5.9c).
+    pub total_global_views: usize,
+    /// Average queued (delayed) events across monitors (Fig. 5.7 / 5.9b).
+    pub avg_delayed_events: f64,
+    /// Delay-time percentage per global state (Fig. 5.6 / 5.9b):
+    /// `((monitor_extra_time / program_time) · 100) / total_global_views`.
+    pub delay_time_pct_per_gv: f64,
+    /// Program duration (simulated seconds).
+    pub program_time: f64,
+    /// Extra monitoring time after program termination (simulated seconds).
+    pub monitor_extra_time: f64,
+    /// Union of final verdicts detected by any monitor.
+    pub detected_final_verdicts: BTreeSet<Verdict>,
+    /// Union of possible verdicts over all monitors' global views.
+    pub possible_verdicts: BTreeSet<Verdict>,
+}
+
+impl RunMetrics {
+    /// Aggregates per-monitor metrics plus run-level timing/counting information.
+    pub fn aggregate(
+        per_monitor: &[MonitorMetrics],
+        total_events: usize,
+        program_messages: usize,
+        monitor_messages: usize,
+        program_time: f64,
+        monitoring_end_time: f64,
+    ) -> RunMetrics {
+        let total_global_views: usize = per_monitor.iter().map(|m| m.global_views_created).sum();
+        let avg_delayed_events = if per_monitor.is_empty() {
+            0.0
+        } else {
+            per_monitor.iter().map(MonitorMetrics::avg_queued_events).sum::<f64>()
+                / per_monitor.len() as f64
+        };
+        let monitor_extra_time = (monitoring_end_time - program_time).max(0.0);
+        let delay_time_pct_per_gv = if program_time > 0.0 && total_global_views > 0 {
+            (monitor_extra_time / program_time * 100.0) / total_global_views as f64
+        } else {
+            0.0
+        };
+        let mut detected = BTreeSet::new();
+        let mut possible = BTreeSet::new();
+        for m in per_monitor {
+            detected.extend(m.detected_final_verdicts.iter().copied());
+            possible.extend(m.possible_verdicts.iter().copied());
+        }
+        RunMetrics {
+            n_processes: per_monitor.len(),
+            total_events,
+            monitor_messages,
+            program_messages,
+            total_global_views,
+            avg_delayed_events,
+            delay_time_pct_per_gv,
+            program_time,
+            monitor_extra_time,
+            detected_final_verdicts: detected,
+            possible_verdicts: possible,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_queued_events_handles_zero_samples() {
+        let m = MonitorMetrics::default();
+        assert_eq!(m.avg_queued_events(), 0.0);
+        let m2 = MonitorMetrics {
+            queued_events_sum: 10,
+            queued_events_samples: 4,
+            ..Default::default()
+        };
+        assert_eq!(m2.avg_queued_events(), 2.5);
+    }
+
+    #[test]
+    fn aggregation_computes_paper_metrics() {
+        let per = vec![
+            MonitorMetrics {
+                global_views_created: 3,
+                queued_events_sum: 4,
+                queued_events_samples: 2,
+                detected_final_verdicts: BTreeSet::from([Verdict::False]),
+                ..Default::default()
+            },
+            MonitorMetrics {
+                global_views_created: 2,
+                queued_events_sum: 0,
+                queued_events_samples: 2,
+                possible_verdicts: BTreeSet::from([Verdict::Unknown]),
+                ..Default::default()
+            },
+        ];
+        let run = RunMetrics::aggregate(&per, 40, 10, 25, 60.0, 66.0);
+        assert_eq!(run.total_global_views, 5);
+        assert_eq!(run.monitor_messages, 25);
+        assert_eq!(run.avg_delayed_events, 1.0);
+        // extra = 6s over 60s = 10%, divided by 5 global views = 2.0
+        assert!((run.delay_time_pct_per_gv - 2.0).abs() < 1e-9);
+        assert!(run.detected_final_verdicts.contains(&Verdict::False));
+        assert!(run.possible_verdicts.contains(&Verdict::Unknown));
+    }
+
+    #[test]
+    fn aggregation_with_zero_program_time() {
+        let run = RunMetrics::aggregate(&[], 0, 0, 0, 0.0, 0.0);
+        assert_eq!(run.delay_time_pct_per_gv, 0.0);
+        assert_eq!(run.avg_delayed_events, 0.0);
+    }
+}

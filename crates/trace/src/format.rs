@@ -1,0 +1,63 @@
+//! Trace-file (de)serialization.
+//!
+//! The paper's devices load their traces from files at startup; this module provides
+//! the equivalent JSON round-trip for [`Workload`]s so experiments can be archived and
+//! replayed byte-for-byte.
+
+use crate::workload::Workload;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serializes a workload to a pretty-printed JSON string.
+pub fn to_json(workload: &Workload) -> String {
+    serde_json::to_string_pretty(workload).expect("workload serialization cannot fail")
+}
+
+/// Parses a workload from JSON.
+pub fn from_json(json: &str) -> Result<Workload, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Writes a workload to `path` as JSON.
+pub fn save(workload: &Workload, path: &Path) -> io::Result<()> {
+    fs::write(path, to_json(workload))
+}
+
+/// Loads a workload from a JSON file at `path`.
+pub fn load(path: &Path) -> io::Result<Workload> {
+    let text = fs::read_to_string(path)?;
+    from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_workload, WorkloadConfig};
+
+    #[test]
+    fn json_roundtrip_preserves_workload() {
+        let w = generate_workload(&WorkloadConfig::paper_default(3, 42));
+        let json = to_json(&w);
+        let back = from_json(&json).expect("parse");
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let w = generate_workload(&WorkloadConfig::paper_default(2, 1));
+        let dir = std::env::temp_dir().join("dlrv-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workload.json");
+        save(&w, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(w, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(from_json("{not json").is_err());
+        assert!(from_json("{}").is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload and trace generation for monitoring experiments.
+//!
+//! The evaluation chapter of the thesis (§5.1–§5.2) drives each device with a trace
+//! file: a sequence of events, each preceded by a wait time drawn from a normal
+//! distribution.  Events are either local proposition-value changes (each process has
+//! two propositions `p` and `q`) or communication events (a broadcast to every other
+//! process).  This crate reproduces that workload model:
+//!
+//! * [`distribution`] — normal sampling (Box–Muller over `rand`, to stay within the
+//!   allowed dependency set).
+//! * [`workload`] — the [`WorkloadConfig`] parameter set (`Evtµ`, `Evtσ`, `Commµ`,
+//!   `Commσ`, process count, events per process, seed) and the generator producing
+//!   [`ProcessTrace`]s, designed — like the paper's traces — so that some lattice path
+//!   can reach a final automaton state.
+//! * [`format`] — JSON (de)serialization of trace files.
+
+pub mod distribution;
+pub mod format;
+pub mod workload;
+
+pub use distribution::NormalSampler;
+pub use workload::{
+    generate_workload, ProcessTrace, TraceAction, TraceEntry, Workload, WorkloadConfig,
+};

@@ -1,0 +1,222 @@
+//! Events of a distributed computation and the recorded computation itself.
+//!
+//! Following §2.1 and §4.2 of the thesis, an event of process `Pi` is an internal
+//! variable update, a message send or a message receive, tagged with the vector clock
+//! of `Pi` at the time of the event, the local sequence number and the resulting local
+//! state (the valuation of `Pi`'s atomic propositions).
+
+use crate::vc::VectorClock;
+use dlrv_ltl::{Assignment, AtomRegistry, ProcessId};
+use serde::{Deserialize, Serialize};
+
+/// The kind of an event (Definition of events in §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A local transition changing the process state.
+    Internal,
+    /// A message send to `to`; the local state is unchanged.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// Program-level message identifier (pairs the send with its receive).
+        msg_id: u64,
+    },
+    /// A broadcast send to every other process (one event, one clock tick); the local
+    /// state is unchanged.  This models the paper's communication events, where a
+    /// process "sends a message to each other process".
+    Broadcast {
+        /// Program-level message identifier shared by all copies of the broadcast.
+        msg_id: u64,
+    },
+    /// A message receive from `from`; the local state is unchanged.
+    Receive {
+        /// Source process.
+        from: ProcessId,
+        /// Program-level message identifier (pairs the receive with its send).
+        msg_id: u64,
+    },
+}
+
+/// An event of a process, as delivered to the co-located monitor
+/// (`e = ⟨T, D, VC, sn⟩` in §4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// The process at which the event occurred.
+    pub process: ProcessId,
+    /// Internal, send or receive.
+    pub kind: EventKind,
+    /// Local sequence number (1-based; sequence number 0 denotes the initial state).
+    pub sn: u64,
+    /// The vector clock of the process immediately after the event.
+    pub vc: VectorClock,
+    /// The valuation of the process's atomic propositions after the event.
+    ///
+    /// Only the bits of atoms owned by `process` are meaningful.
+    pub state: Assignment,
+    /// Simulated time (seconds) at which the event occurred.
+    pub time: f64,
+}
+
+impl Event {
+    /// True iff this event happened before `other` (vector-clock comparison).
+    pub fn happened_before(&self, other: &Event) -> bool {
+        self.vc.happened_before(&other.vc)
+    }
+
+    /// True iff this event and `other` are concurrent.
+    pub fn concurrent(&self, other: &Event) -> bool {
+        self.vc.concurrent(&other.vc)
+    }
+}
+
+/// A recorded distributed computation: per-process initial states and event sequences.
+///
+/// This is the object the *oracle* works on (Chapter 3): it has global knowledge of
+/// every event and can build the full computation lattice.  The decentralized monitors
+/// never see a `Computation` — each only observes its own process's events and what
+/// tokens carry.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Computation {
+    /// Initial local state (proposition valuation) of each process.
+    pub initial_states: Vec<Assignment>,
+    /// Event sequence of each process, in local order (index `k` is the event with
+    /// sequence number `k + 1`).
+    pub events: Vec<Vec<Event>>,
+}
+
+impl Computation {
+    /// Creates an empty computation for `n` processes with the given initial states.
+    pub fn new(initial_states: Vec<Assignment>) -> Self {
+        let n = initial_states.len();
+        Computation {
+            initial_states,
+            events: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of processes.
+    pub fn n_processes(&self) -> usize {
+        self.initial_states.len()
+    }
+
+    /// Total number of events across all processes.
+    pub fn n_events(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
+    }
+
+    /// Appends an event to its process's history.
+    pub fn push(&mut self, event: Event) {
+        let p = event.process;
+        debug_assert_eq!(event.sn as usize, self.events[p].len() + 1);
+        self.events[p].push(event);
+    }
+
+    /// The local state of process `p` after its first `k` events (`k = 0` is the
+    /// initial state).
+    pub fn local_state(&self, p: ProcessId, k: usize) -> Assignment {
+        if k == 0 {
+            self.initial_states[p]
+        } else {
+            self.events[p][k - 1].state
+        }
+    }
+
+    /// The vector clock of process `p` after its first `k` events.
+    pub fn local_clock(&self, p: ProcessId, k: usize) -> VectorClock {
+        if k == 0 {
+            VectorClock::zero(self.n_processes())
+        } else {
+            self.events[p][k - 1].vc.clone()
+        }
+    }
+
+    /// Combines the per-process local states of a frontier into one global assignment.
+    ///
+    /// `frontier[i]` is the number of events of process `i` included in the cut.  The
+    /// global assignment takes each process's owned atoms from that process's local
+    /// state.
+    pub fn global_state(&self, frontier: &[usize], registry: &AtomRegistry) -> Assignment {
+        let mut global = Assignment::ALL_FALSE;
+        for (p, &k) in frontier.iter().enumerate() {
+            let local = self.local_state(p, k);
+            for atom in registry.atoms_of_process(p) {
+                global.set(atom, local.get(atom));
+            }
+        }
+        global
+    }
+
+    /// True iff the frontier is a consistent cut (Definition 4): for every included
+    /// event, all events it depends on are also included.
+    pub fn is_consistent_frontier(&self, frontier: &[usize]) -> bool {
+        for (p, &k) in frontier.iter().enumerate() {
+            let vc = self.local_clock(p, k);
+            for (q, &kq) in frontier.iter().enumerate() {
+                if q != p && vc.get(q) > kq as u64 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The final frontier (all events of every process).
+    pub fn final_frontier(&self) -> Vec<usize> {
+        self.events.iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::running_example;
+
+    #[test]
+    fn paper_happened_before_examples() {
+        let (comp, _) = running_example();
+        // e1_0 (send) happened before e2_2 (x2=15): via the message.
+        let e10 = &comp.events[0][0];
+        let e22 = &comp.events[1][1];
+        assert!(e10.happened_before(e22));
+        // e1_2 (x1=10, third event of P0) is concurrent with e2_1 (recv at P1)?  The
+        // paper states e1_2 ‖ e2_1 using 0-based labels; here: P0's third event and
+        // P1's second event are concurrent.
+        let e12 = &comp.events[0][2];
+        let e21 = &comp.events[1][1];
+        assert!(e12.concurrent(e21));
+    }
+
+    #[test]
+    fn consistent_cut_examples_from_fig_2_2() {
+        let (comp, _) = running_example();
+        // ⟨e1_1, e2_0⟩: P0 has executed 2 events, P1 has executed 1 → consistent.
+        assert!(comp.is_consistent_frontier(&[2, 1]));
+        // ⟨e1_3, e2_2⟩: P0 executed all 4 (including recv of m2), P1 executed 3 →
+        // inconsistent, because P0's recv depends on P1's send (its 4th event).
+        assert!(!comp.is_consistent_frontier(&[4, 3]));
+        // The empty cut and the full cut are always consistent.
+        assert!(comp.is_consistent_frontier(&[0, 0]));
+        assert!(comp.is_consistent_frontier(&comp.final_frontier()));
+    }
+
+    #[test]
+    fn global_state_combines_local_states() {
+        let (comp, reg) = running_example();
+        let a0 = reg.lookup("x1>=5").unwrap();
+        let a1 = reg.lookup("x2>=15").unwrap();
+        // Frontier [2, 2]: x1=5 (a0 true), x2=15 (a1 true).
+        let g = comp.global_state(&[2, 2], &reg);
+        assert!(g.get(a0) && g.get(a1));
+        let g0 = comp.global_state(&[0, 0], &reg);
+        assert!(!g0.get(a0) && !g0.get(a1));
+    }
+
+    #[test]
+    fn local_state_and_clock_at_zero() {
+        let (comp, _) = running_example();
+        assert_eq!(comp.local_state(0, 0), Assignment::ALL_FALSE);
+        assert_eq!(comp.local_clock(1, 0), VectorClock::zero(2));
+        assert_eq!(comp.n_events(), 8);
+        assert_eq!(comp.n_processes(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared example computations used by tests, documentation and examples across the
+//! workspace.
+
+use crate::event::{Computation, Event, EventKind};
+use crate::vc::VectorClock;
+use dlrv_ltl::{Assignment, AtomRegistry};
+
+/// Builds the running example of Fig. 2.1 of the thesis: two processes,
+///
+/// ```text
+/// P1: send(P2,"hello"); x1=5; x1=10; recv(m2);
+/// P2: recv(m1); x2=15; x2=20; send(P1,"world");
+/// ```
+///
+/// with atoms `a0 = "x1>=5"` owned by process 0 and `a1 = "x2>=15"` owned by process 1.
+/// The returned computation contains 8 events and its lattice is the one drawn in
+/// Fig. 2.2b.
+pub fn running_example() -> (Computation, AtomRegistry) {
+    let mut reg = AtomRegistry::new();
+    let a0 = reg.intern("x1>=5", 0);
+    let a1 = reg.intern("x2>=15", 1);
+    let mut comp = Computation::new(vec![Assignment::ALL_FALSE, Assignment::ALL_FALSE]);
+
+    // P0 events: e1 send(m1), e2 x1=5, e3 x1=10, e4 recv(m2)
+    let mut vc0 = VectorClock::zero(2);
+    vc0.increment(0);
+    comp.push(Event {
+        process: 0,
+        kind: EventKind::Send { to: 1, msg_id: 1 },
+        sn: 1,
+        vc: vc0.clone(),
+        state: Assignment::ALL_FALSE,
+        time: 0.0,
+    });
+    vc0.increment(0);
+    comp.push(Event {
+        process: 0,
+        kind: EventKind::Internal,
+        sn: 2,
+        vc: vc0.clone(),
+        state: Assignment::from_true_atoms([a0]),
+        time: 1.0,
+    });
+    vc0.increment(0);
+    comp.push(Event {
+        process: 0,
+        kind: EventKind::Internal,
+        sn: 3,
+        vc: vc0.clone(),
+        state: Assignment::from_true_atoms([a0]),
+        time: 2.0,
+    });
+
+    // P1 events: e1 recv(m1), e2 x2=15, e3 x2=20, e4 send(m2)
+    let mut vc1 = VectorClock::zero(2);
+    vc1.increment(1);
+    vc1.merge(&VectorClock::from_entries(vec![1, 0])); // received m1 sent at [1,0]
+    comp.push(Event {
+        process: 1,
+        kind: EventKind::Receive { from: 0, msg_id: 1 },
+        sn: 1,
+        vc: vc1.clone(),
+        state: Assignment::ALL_FALSE,
+        time: 0.5,
+    });
+    vc1.increment(1);
+    comp.push(Event {
+        process: 1,
+        kind: EventKind::Internal,
+        sn: 2,
+        vc: vc1.clone(),
+        state: Assignment::from_true_atoms([a1]),
+        time: 1.5,
+    });
+    vc1.increment(1);
+    comp.push(Event {
+        process: 1,
+        kind: EventKind::Internal,
+        sn: 3,
+        vc: vc1.clone(),
+        state: Assignment::from_true_atoms([a1]),
+        time: 2.5,
+    });
+    vc1.increment(1);
+    comp.push(Event {
+        process: 1,
+        kind: EventKind::Send { to: 0, msg_id: 2 },
+        sn: 4,
+        vc: vc1.clone(),
+        state: Assignment::from_true_atoms([a1]),
+        time: 3.0,
+    });
+
+    // P0 receives m2.
+    vc0.increment(0);
+    vc0.merge(&vc1);
+    comp.push(Event {
+        process: 0,
+        kind: EventKind::Receive { from: 1, msg_id: 2 },
+        sn: 4,
+        vc: vc0,
+        state: Assignment::from_true_atoms([a0]),
+        time: 3.5,
+    });
+
+    (comp, reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_is_well_formed() {
+        let (comp, reg) = running_example();
+        assert_eq!(comp.n_processes(), 2);
+        assert_eq!(comp.n_events(), 8);
+        assert_eq!(reg.len(), 2);
+        assert!(comp.is_consistent_frontier(&comp.final_frontier()));
+    }
+}

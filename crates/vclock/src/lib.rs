@@ -1,0 +1,28 @@
+//! Vector clocks, events, consistent cuts, computation lattices and computation
+//! slicing — the partial-order substrate of the decentralized monitoring algorithm.
+//!
+//! The thesis assumes the standard asynchronous message-passing model (§2.1): processes
+//! have no shared clock, communicate over reliable FIFO channels, and events are
+//! partially ordered by Lamport's happened-before relation, tracked with vector clocks.
+//! This crate provides:
+//!
+//! * [`VectorClock`] — vector clocks with happened-before, concurrency, join and meet.
+//! * [`Event`] / [`Computation`] — recorded events (internal / send / receive) with
+//!   their clocks and local states, and whole recorded computations.
+//! * [`Lattice`] — the computation lattice of consistent cuts (Definition 6) and the
+//!   oracle of Chapter 3 ([`oracle_evaluate`]) that runs a monitor automaton over all
+//!   lattice paths; this is the ground truth for soundness/completeness testing and the
+//!   conceptual baseline the decentralized algorithm is compared against.
+//! * [`slice`] — conjunctive-predicate detection via least consistent cuts
+//!   (computation slicing, Definitions 13–15).
+
+pub mod event;
+pub mod fixtures;
+pub mod lattice;
+pub mod slice;
+pub mod vc;
+
+pub use event::{Computation, Event, EventKind};
+pub use lattice::{evaluate_path, oracle_evaluate, CutId, Lattice, OracleResult};
+pub use slice::{is_join_irreducible, least_consistent_cut_satisfying, slice_frontiers};
+pub use vc::VectorClock;

@@ -1,0 +1,210 @@
+//! Computation slicing for conjunctive global predicates (Definitions 13–15).
+//!
+//! The decentralized algorithm borrows one ingredient from computation slicing
+//! (Mittal & Garg): the *least consistent cut* whose global state satisfies a
+//! conjunctive predicate.  This module implements that detection on a recorded
+//! computation (the monitors implement the distributed, token-based version; this
+//! centralized version is used by the oracle, by tests and by the duplicate-global-view
+//! optimization's specification).
+
+use crate::event::Computation;
+use dlrv_ltl::{AtomRegistry, Cube};
+
+/// The least consistent cut (as a frontier) at or after `start` whose global state
+/// satisfies the conjunctive predicate `cube`, or `None` if no such cut exists.
+///
+/// This is the classic conjunctive-predicate detection fixpoint: repeatedly advance any
+/// process whose local conjunct is not satisfied, and advance processes as needed to
+/// restore cut consistency.  Because advancing is monotone, the result (when it exists)
+/// is the least such cut above `start`.
+pub fn least_consistent_cut_satisfying(
+    comp: &Computation,
+    registry: &AtomRegistry,
+    cube: &Cube,
+    start: &[usize],
+) -> Option<Vec<usize>> {
+    let n = comp.n_processes();
+    assert_eq!(start.len(), n);
+    let per_process = cube.conjuncts_by_process(registry);
+    let mut frontier = start.to_vec();
+
+    loop {
+        let mut advanced = false;
+
+        // 1. Restore consistency: if some included event knows about more events of
+        //    process q than the frontier includes, advance q.
+        for p in 0..n {
+            let vc = comp.local_clock(p, frontier[p]);
+            for q in 0..n {
+                if q != p && vc.get(q) > frontier[q] as u64 {
+                    if vc.get(q) as usize > comp.events[q].len() {
+                        return None;
+                    }
+                    frontier[q] = vc.get(q) as usize;
+                    advanced = true;
+                }
+            }
+        }
+        if advanced {
+            continue;
+        }
+
+        // 2. Advance any process whose local conjunct is violated.
+        let mut all_satisfied = true;
+        for (&p, conjunct) in &per_process {
+            let local = comp.local_state(p, frontier[p]);
+            if !conjunct.eval(local) {
+                all_satisfied = false;
+                if frontier[p] >= comp.events[p].len() {
+                    return None; // the process can never satisfy its conjunct
+                }
+                frontier[p] += 1;
+                advanced = true;
+            }
+        }
+
+        if all_satisfied {
+            debug_assert!(comp.is_consistent_frontier(&frontier));
+            return Some(frontier);
+        }
+        if !advanced {
+            return None;
+        }
+    }
+}
+
+/// The slice of a computation with respect to a conjunctive predicate: all consistent
+/// cuts (frontiers) whose global state satisfies the predicate.
+///
+/// This explicit enumeration is exponential and exists for testing and for small
+/// oracle-side analyses only.
+pub fn slice_frontiers(
+    comp: &Computation,
+    registry: &AtomRegistry,
+    cube: &Cube,
+) -> Vec<Vec<usize>> {
+    let lattice = crate::lattice::Lattice::build(comp);
+    lattice
+        .frontiers
+        .iter()
+        .filter(|f| cube.eval(comp.global_state(f, registry)))
+        .cloned()
+        .collect()
+}
+
+/// True iff `frontier` is a join-irreducible element of the sub-lattice satisfying
+/// `cube`: it satisfies the predicate and it is not the join (component-wise maximum)
+/// of two *other* satisfying cuts.
+pub fn is_join_irreducible(
+    comp: &Computation,
+    registry: &AtomRegistry,
+    cube: &Cube,
+    frontier: &[usize],
+) -> bool {
+    if !cube.eval(comp.global_state(frontier, registry)) {
+        return false;
+    }
+    let all = slice_frontiers(comp, registry, cube);
+    for a in &all {
+        for b in &all {
+            if a == frontier || b == frontier {
+                continue;
+            }
+            let join: Vec<usize> = a.iter().zip(b.iter()).map(|(x, y)| *x.max(y)).collect();
+            if join == frontier {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::running_example;
+    use dlrv_ltl::Literal;
+
+    #[test]
+    fn least_cut_for_conjunction_of_both_processes() {
+        let (comp, reg) = running_example();
+        let a0 = reg.lookup("x1>=5").unwrap();
+        let a1 = reg.lookup("x2>=15").unwrap();
+        // x1>=5 && x2>=15: earliest when P0 has done 2 events (send, x1=5) and P1 has
+        // done 2 events (recv, x2=15).
+        let cube = Cube::new([Literal::pos(a0), Literal::pos(a1)]).unwrap();
+        let cut = least_consistent_cut_satisfying(&comp, &reg, &cube, &[0, 0]).unwrap();
+        assert_eq!(cut, vec![2, 2]);
+    }
+
+    #[test]
+    fn least_cut_respects_start() {
+        let (comp, reg) = running_example();
+        let a0 = reg.lookup("x1>=5").unwrap();
+        let cube = Cube::new([Literal::pos(a0)]).unwrap();
+        // Starting from the empty cut, the least cut is [2, 0].
+        assert_eq!(
+            least_consistent_cut_satisfying(&comp, &reg, &cube, &[0, 0]).unwrap(),
+            vec![2, 0]
+        );
+        // Starting after P1 already advanced, the least cut keeps P1's position.
+        assert_eq!(
+            least_consistent_cut_satisfying(&comp, &reg, &cube, &[0, 2]).unwrap(),
+            vec![2, 2]
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_conjunct_returns_none() {
+        let (comp, reg) = running_example();
+        let a0 = reg.lookup("x1>=5").unwrap();
+        let a1 = reg.lookup("x2>=15").unwrap();
+        // !x1>=5 && x2>=15 starting after x1 already became >=5: impossible because
+        // x1>=5 never becomes false again in this computation once the start frontier
+        // has passed it.
+        let cube = Cube::new([Literal::neg(a0), Literal::pos(a1)]).unwrap();
+        assert!(least_consistent_cut_satisfying(&comp, &reg, &cube, &[2, 0]).is_none());
+    }
+
+    #[test]
+    fn consistency_forces_other_processes_forward() {
+        let (comp, reg) = running_example();
+        let a1 = reg.lookup("x2>=15").unwrap();
+        // Predicate only about P1, but from a start cut that includes P0's receive of
+        // m2 the cut must pull P1 to at least 4.
+        let cube = Cube::new([Literal::pos(a1)]).unwrap();
+        let cut = least_consistent_cut_satisfying(&comp, &reg, &cube, &[4, 0]).unwrap();
+        assert_eq!(cut, vec![4, 4]);
+    }
+
+    #[test]
+    fn slice_contains_exactly_satisfying_cuts() {
+        let (comp, reg) = running_example();
+        let a0 = reg.lookup("x1>=5").unwrap();
+        let a1 = reg.lookup("x2>=15").unwrap();
+        let cube = Cube::new([Literal::pos(a0), Literal::pos(a1)]).unwrap();
+        let slice = slice_frontiers(&comp, &reg, &cube);
+        assert!(!slice.is_empty());
+        for f in &slice {
+            assert!(cube.eval(comp.global_state(f, &reg)));
+            assert!(f[0] >= 2 && f[1] >= 2);
+        }
+        // The least element of the slice is the least consistent satisfying cut.
+        let least = least_consistent_cut_satisfying(&comp, &reg, &cube, &[0, 0]).unwrap();
+        assert!(slice.contains(&least));
+        for f in &slice {
+            assert!(least.iter().zip(f.iter()).all(|(a, b)| a <= b));
+        }
+    }
+
+    #[test]
+    fn join_irreducibility_of_least_cut() {
+        let (comp, reg) = running_example();
+        let a0 = reg.lookup("x1>=5").unwrap();
+        let cube = Cube::new([Literal::pos(a0)]).unwrap();
+        let least = least_consistent_cut_satisfying(&comp, &reg, &cube, &[0, 0]).unwrap();
+        assert!(is_join_irreducible(&comp, &reg, &cube, &least));
+        // [3,4] is the join of the satisfying cuts [3,2] and [2,4], hence reducible.
+        assert!(!is_join_irreducible(&comp, &reg, &cube, &[3, 4]));
+    }
+}

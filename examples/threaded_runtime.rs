@@ -1,0 +1,67 @@
+//! Running the decentralized monitors on the real multi-threaded runtime (one OS
+//! thread per process, crossbeam channels), standing in for the paper's network of iOS
+//! devices.
+//!
+//! ```bash
+//! cargo run --example threaded_runtime
+//! ```
+
+use dlrv_core::dlrv_automaton::MonitorAutomaton;
+use dlrv_core::dlrv_distsim::{run_threaded, ThreadedConfig};
+use dlrv_core::dlrv_ltl::Assignment;
+use dlrv_core::dlrv_monitor::{DecentralizedMonitor, MonitorOptions};
+use dlrv_core::dlrv_trace::{generate_workload, WorkloadConfig};
+use dlrv_core::PaperProperty;
+use std::sync::Arc;
+
+fn main() {
+    let n = 3;
+    let (formula, registry) = PaperProperty::B.build(n);
+    let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
+    let registry = Arc::new(registry);
+
+    let workload = generate_workload(&WorkloadConfig {
+        n_processes: n,
+        events_per_process: 10,
+        seed: 5,
+        ..WorkloadConfig::default()
+    });
+
+    println!("=== threaded runtime: property B on {n} processes ===");
+    println!("(wait times scaled down 1000x; monitors run inside the process threads)\n");
+
+    let report = run_threaded(
+        &workload,
+        &registry,
+        &ThreadedConfig::default(),
+        |i| {
+            DecentralizedMonitor::new(
+                i,
+                n,
+                automaton.clone(),
+                registry.clone(),
+                Assignment::ALL_FALSE,
+                MonitorOptions::default(),
+            )
+        },
+    );
+
+    println!("recorded events     : {}", report.computation.n_events());
+    println!("monitoring messages : {}", report.monitor_messages);
+    for m in &report.monitors {
+        println!(
+            "  monitor M{}: {} global views alive, verdicts {:?}",
+            m.process_id(),
+            m.views().len(),
+            m.possible_verdicts().iter().map(|v| v.symbol()).collect::<Vec<_>>()
+        );
+    }
+    let satisfied = report
+        .monitors
+        .iter()
+        .any(|m| m.detected_final_verdicts().contains(&dlrv_core::dlrv_ltl::Verdict::True));
+    println!(
+        "\n→ satisfaction detected under real thread asynchrony: {}",
+        satisfied
+    );
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate of the decentralized LTL runtime-verification reproduction.
+//!
+//! It only re-exports [`dlrv_core`] (and, transitively, every workspace crate) so the
+//! repository-level examples and integration tests have a single dependency root.
+
+pub use dlrv_core::*;

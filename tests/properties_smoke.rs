@@ -1,0 +1,74 @@
+//! Smoke tests of the full experiment pipeline for every evaluation property, plus
+//! property-based tests of workload/monitoring invariants.
+
+use dlrv_core::{run_experiment, ExperimentConfig, PaperProperty};
+use proptest::prelude::*;
+
+#[test]
+fn every_paper_property_runs_end_to_end_on_three_processes() {
+    for property in PaperProperty::ALL {
+        let result = run_experiment(&ExperimentConfig::small(property, 3));
+        assert!(result.avg.total_events > 0, "{property}: no events recorded");
+        assert!(result.avg.program_time > 0.0);
+        assert!(
+            result.avg.total_global_views >= 3,
+            "{property}: each monitor starts with one global view"
+        );
+        // Monitoring must terminate with bounded view counts (merging keeps them small).
+        assert!(
+            result.avg.total_global_views <= 50 * 3,
+            "{property}: global views exploded: {}",
+            result.avg.total_global_views
+        );
+    }
+}
+
+#[test]
+fn reachability_properties_produce_fewer_messages_than_until_properties() {
+    // The paper observes that properties B and E (single outgoing transition) have
+    // sub-linear message growth compared to A/C/D/F.
+    let b = run_experiment(&ExperimentConfig::small(PaperProperty::B, 4));
+    let d = run_experiment(&ExperimentConfig::small(PaperProperty::D, 4));
+    assert!(
+        b.avg.monitor_messages <= d.avg.monitor_messages,
+        "B ({}) should not need more messages than D ({})",
+        b.avg.monitor_messages,
+        d.avg.monitor_messages
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Monitoring messages stay within a linear envelope of the number of events —
+    /// the paper's headline claim (no communication explosion).
+    #[test]
+    fn message_overhead_is_linear_in_events(seed in 1u64..500, n in 2usize..4) {
+        let cfg = ExperimentConfig {
+            seeds: vec![seed],
+            events_per_process: 8,
+            ..ExperimentConfig::paper_default(PaperProperty::C, n)
+        };
+        let result = run_experiment(&cfg);
+        let events = result.avg.total_events.max(1);
+        // Generous linear bound: a handful of messages per event per process.
+        prop_assert!(
+            result.avg.monitor_messages <= 8 * events * n,
+            "messages {} exceed linear envelope for {} events on {} processes",
+            result.avg.monitor_messages, events, n
+        );
+    }
+
+    /// The experiment runner is deterministic for a fixed seed.
+    #[test]
+    fn experiments_are_deterministic(seed in 1u64..200) {
+        let cfg = ExperimentConfig {
+            seeds: vec![seed],
+            events_per_process: 6,
+            ..ExperimentConfig::paper_default(PaperProperty::B, 3)
+        };
+        let r1 = run_experiment(&cfg);
+        let r2 = run_experiment(&cfg);
+        prop_assert_eq!(r1.avg, r2.avg);
+    }
+}

@@ -1,0 +1,205 @@
+//! Cross-crate soundness and completeness tests: the decentralized monitors are
+//! compared against the centralized lattice oracle (Chapter 3) on whole executions.
+//!
+//! * **Soundness** — every ⊤/⊥ verdict a monitor detects must be reachable on some
+//!   lattice path of the actual computation (Equation 3.2 of the thesis).
+//! * **Completeness (violations/satisfactions)** — if the oracle finds a lattice path
+//!   reaching ⊥ (resp. ⊤), some monitor must detect ⊥ (resp. ⊤) as well
+//!   (Equation 3.1 restricted to final verdicts, which is what the monitors report to
+//!   the program).
+
+use dlrv_core::dlrv_automaton::MonitorAutomaton;
+use dlrv_core::dlrv_distsim::{run_simulation, NullMonitor, SimConfig};
+use dlrv_core::dlrv_ltl::{Assignment, AtomRegistry, Formula, Verdict};
+use dlrv_core::dlrv_monitor::{replay_decentralized, MonitorOptions};
+use dlrv_core::dlrv_trace::{generate_workload, WorkloadConfig};
+use dlrv_core::dlrv_vclock::{oracle_evaluate, Computation, Lattice, OracleResult};
+use dlrv_core::PaperProperty;
+use std::sync::Arc;
+
+/// Runs a workload program-only (null monitors) to obtain its computation, then
+/// evaluates it with both the oracle and the decentralized monitors.
+fn compare(
+    property: PaperProperty,
+    n: usize,
+    events: usize,
+    seed: u64,
+    comm_mu: Option<f64>,
+) -> (OracleResult, std::collections::BTreeSet<Verdict>, std::collections::BTreeSet<Verdict>) {
+    let (formula, registry) = property.build(n);
+    let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
+    let registry = Arc::new(registry);
+
+    let workload = generate_workload(&WorkloadConfig {
+        n_processes: n,
+        events_per_process: events,
+        comm_mu,
+        seed,
+        ..WorkloadConfig::default()
+    });
+    let report = run_simulation(&workload, &registry, &SimConfig::default(), |_| {
+        NullMonitor::default()
+    });
+    let comp = report.computation;
+
+    let lattice = Lattice::build(&comp);
+    let oracle = oracle_evaluate(&comp, &lattice, &automaton, &registry);
+
+    let result = replay_decentralized(&comp, &registry, &automaton, MonitorOptions::default());
+    (oracle, result.detected_final_verdicts(), result.possible_verdicts())
+}
+
+#[test]
+fn soundness_of_final_verdicts_across_properties_and_seeds() {
+    for property in [PaperProperty::A, PaperProperty::B, PaperProperty::C, PaperProperty::D] {
+        for seed in 1..=4u64 {
+            let (oracle, detected, _) = compare(property, 3, 6, seed, Some(3.0));
+            if detected.contains(&Verdict::False) {
+                assert!(
+                    oracle.violation_reachable,
+                    "{property} seed {seed}: monitors declared ⊥ but no lattice path violates"
+                );
+            }
+            if detected.contains(&Verdict::True) {
+                assert!(
+                    oracle.satisfaction_reachable,
+                    "{property} seed {seed}: monitors declared ⊤ but no lattice path satisfies"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn completeness_for_reachability_properties() {
+    // Properties B and E are reachability properties; thanks to the workload's goal
+    // tail, satisfaction is always reachable on some lattice path, and the monitors
+    // must find it.
+    for property in [PaperProperty::B, PaperProperty::E] {
+        for seed in 1..=3u64 {
+            let (oracle, detected, _) = compare(property, 3, 6, seed, Some(3.0));
+            assert!(oracle.satisfaction_reachable, "{property}: workload should allow ⊤");
+            assert!(
+                detected.contains(&Verdict::True),
+                "{property} seed {seed}: oracle reaches ⊤ but monitors did not detect it"
+            );
+        }
+    }
+}
+
+#[test]
+fn completeness_without_any_communication() {
+    // With no program communication every pair of events of different processes is
+    // concurrent — the hardest case for detecting a global conjunction.
+    for seed in 1..=3u64 {
+        let (oracle, detected, _) = compare(PaperProperty::B, 3, 5, seed, None);
+        assert!(oracle.satisfaction_reachable);
+        assert!(
+            detected.contains(&Verdict::True),
+            "seed {seed}: concurrent satisfaction missed without communication"
+        );
+    }
+}
+
+#[test]
+fn safety_violation_detection_matches_oracle_on_crafted_computation() {
+    // Hand-crafted two-process computation with no communication: P0 raises p then
+    // lowers it; P1 raises p late.  For G !(P0.p && P1.p) the oracle finds a violating
+    // interleaving (both true concurrently); the monitors must find it too.
+    use dlrv_core::dlrv_vclock::{Event, EventKind, VectorClock};
+    let mut reg = AtomRegistry::new();
+    let a = reg.intern("P0.p", 0);
+    let b = reg.intern("P1.p", 1);
+    let mut comp = Computation::new(vec![Assignment::ALL_FALSE, Assignment::ALL_FALSE]);
+    let mk = |process: usize, sn: u64, vc: Vec<u64>, state: Assignment, time: f64| Event {
+        process,
+        kind: EventKind::Internal,
+        sn,
+        vc: VectorClock::from_entries(vc),
+        state,
+        time,
+    };
+    comp.push(mk(0, 1, vec![1, 0], Assignment::from_true_atoms([a]), 1.0));
+    comp.push(mk(0, 2, vec![2, 0], Assignment::ALL_FALSE, 2.0));
+    comp.push(mk(1, 1, vec![0, 1], Assignment::from_true_atoms([b]), 3.0));
+
+    let phi = Formula::globally(Formula::not(Formula::and(Formula::Atom(a), Formula::Atom(b))));
+    let automaton = Arc::new(MonitorAutomaton::synthesize(&phi, &reg));
+    let registry = Arc::new(reg);
+
+    let lattice = Lattice::build(&comp);
+    let oracle = oracle_evaluate(&comp, &lattice, &automaton, &registry);
+    assert!(oracle.violation_reachable, "the oracle must see the concurrent violation");
+
+    let result = replay_decentralized(&comp, &registry, &automaton, MonitorOptions::default());
+    assert!(
+        result.detected_final_verdicts().contains(&Verdict::False),
+        "decentralized monitors must detect the concurrent violation: {:?}",
+        result.possible_verdicts()
+    );
+}
+
+#[test]
+fn no_false_alarm_when_property_cannot_be_decided() {
+    // G(P0.p -> F P1.p) is neither finitely satisfiable nor finitely refutable, so the
+    // monitors must never report ⊥ or ⊤ for it, on any execution.
+    let mut reg = AtomRegistry::new();
+    let a = reg.intern("P0.p", 0);
+    let b = reg.intern("P1.p", 1);
+    let phi = Formula::globally(Formula::implies(
+        Formula::Atom(a),
+        Formula::eventually(Formula::Atom(b)),
+    ));
+    let automaton = Arc::new(MonitorAutomaton::synthesize(&phi, &reg));
+    let registry = Arc::new(reg);
+    let workload = generate_workload(&WorkloadConfig {
+        n_processes: 2,
+        events_per_process: 5,
+        ..WorkloadConfig::default()
+    });
+    let report = run_simulation(&workload, &registry, &SimConfig::default(), |_| {
+        NullMonitor::default()
+    });
+    let result =
+        replay_decentralized(&report.computation, &registry, &automaton, MonitorOptions::default());
+    assert!(result.detected_final_verdicts().is_empty());
+    assert_eq!(
+        result.possible_verdicts(),
+        std::collections::BTreeSet::from([Verdict::Unknown])
+    );
+}
+
+#[test]
+fn optimizations_do_not_change_detected_verdicts() {
+    // Ablation consistency: switching the §4.3 optimizations off must not change the
+    // set of detected final verdicts (they only affect cost).
+    let (formula, registry) = PaperProperty::C.build(3);
+    let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
+    let registry = Arc::new(registry);
+    let workload = generate_workload(&WorkloadConfig {
+        n_processes: 3,
+        events_per_process: 6,
+        seed: 9,
+        ..WorkloadConfig::default()
+    });
+    let report = run_simulation(&workload, &registry, &SimConfig::default(), |_| {
+        NullMonitor::default()
+    });
+    let comp = report.computation;
+
+    let with_opts = replay_decentralized(&comp, &registry, &automaton, MonitorOptions::default());
+    let without_opts = replay_decentralized(
+        &comp,
+        &registry,
+        &automaton,
+        dlrv_core::dlrv_monitor::MonitorOptions {
+            aggregate_tokens: false,
+            dedup_global_views: false,
+            prune_disjunctive: false,
+        },
+    );
+    assert_eq!(
+        with_opts.detected_final_verdicts(),
+        without_opts.detected_final_verdicts()
+    );
+}
