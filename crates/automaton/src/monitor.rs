@@ -11,7 +11,6 @@
 use crate::dfa::Dfa;
 use crate::gba::GeneralizedBuchi;
 use dlrv_ltl::{Assignment, AtomRegistry, Cube, Formula, Predicate, Verdict};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Index of a monitor-automaton state.
@@ -20,7 +19,7 @@ pub type StateId = usize;
 /// A symbolic transition of the monitor automaton: a conjunctive guard between two
 /// states.  Several transitions may connect the same state pair (one per cube of the
 /// guard's DNF).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SymbolicTransition {
     /// Identifier of the transition (dense, unique within the automaton).
     pub id: usize,
@@ -40,7 +39,7 @@ impl SymbolicTransition {
 }
 
 /// Transition statistics as reported in Table 5.1 of the thesis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransitionCounts {
     /// All symbolic transitions.
     pub total: usize,
@@ -294,9 +293,9 @@ fn symbolic_transitions(
             continue;
         }
         let mut by_target: HashMap<StateId, Vec<Assignment>> = HashMap::new();
-        for sigma in 0..n_symbols {
+        for (sigma, &target) in row.iter().enumerate().take(n_symbols) {
             by_target
-                .entry(row[sigma])
+                .entry(target)
                 .or_default()
                 .push(Assignment(sigma as u64));
         }
@@ -431,8 +430,8 @@ mod tests {
         let m = MonitorAutomaton::synthesize(&psi, &registry);
         // Fig. 2.3 has three states: q0, q1 and q⊥ — the minimal monitor has no ⊤ state.
         assert!(m.n_states() >= 3);
-        assert!(m.verdicts.iter().any(|v| *v == Verdict::False));
-        assert!(!m.verdicts.iter().any(|v| *v == Verdict::True));
+        assert!(m.verdicts.contains(&Verdict::False));
+        assert!(!m.verdicts.contains(&Verdict::True));
 
         // Path β of Fig. 3.1 (x2 reaches 15 before x1 reaches 5) stays inconclusive.
         let g0 = Assignment::ALL_FALSE;
@@ -531,6 +530,6 @@ mod tests {
     #[test]
     fn literal_helpers() {
         let lit = Literal::pos(AtomId(0));
-        assert_eq!(lit.negated().positive, false);
+        assert!(!lit.negated().positive);
     }
 }

@@ -5,7 +5,13 @@
 //! cargo run --release -p dlrv-bench --bin experiments -- table5_1
 //! cargo run --release -p dlrv-bench --bin experiments -- fig5_4 fig5_5 fig5_6 fig5_7 fig5_8 fig5_9
 //! cargo run --release -p dlrv-bench --bin experiments -- automata_dot
+//! cargo run --release -p dlrv-bench --bin experiments -- all --jobs 8
 //! ```
+//!
+//! `--jobs N` (or the `DLRV_JOBS` environment variable) caps the worker threads used
+//! to fan out independent seeds and configurations; the default uses every core.
+//! Results are byte-identical for every thread count — each (property, process count,
+//! seed) data point is a deterministic simulation collected in a fixed order.
 //!
 //! The numbers are produced by the discrete-event simulator substitute for the paper's
 //! iOS testbed (see DESIGN.md), so absolute values differ from the thesis; the shapes
@@ -14,14 +20,48 @@
 
 use dlrv_automaton::{dot, MonitorAutomaton};
 use dlrv_bench::{comm_frequency_run, paper_run, transition_counts, PROCESS_COUNTS};
-use dlrv_core::PaperProperty;
+use dlrv_core::{parallel_map_indexed, set_jobs, PaperProperty};
 use dlrv_monitor::RunMetrics;
 
 /// Events per process used for the figure experiments (the thesis uses 20).
 const EVENTS: usize = 20;
 
+/// Strips `--jobs N` / `--jobs=N` out of `args`, applying it via [`set_jobs`].
+fn parse_jobs(args: Vec<String>) -> Vec<String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--jobs" {
+            iter.next()
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            Some(v.to_string())
+        } else {
+            rest.push(arg);
+            continue;
+        };
+        match value.as_deref().map(str::parse::<usize>) {
+            Some(Ok(jobs)) if jobs > 0 => set_jobs(jobs),
+            _ => {
+                eprintln!("error: --jobs expects a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    rest
+}
+
+/// Everything a positional argument may select.
+const KNOWN_TARGETS: [&str; 9] = [
+    "all", "table5_1", "automata_dot", "fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8",
+    "fig5_9",
+];
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_jobs(std::env::args().skip(1).collect());
+    if let Some(unknown) = args.iter().find(|a| !KNOWN_TARGETS.contains(&a.as_str())) {
+        eprintln!("error: unknown target `{unknown}`; expected one of: {}", KNOWN_TARGETS.join(", "));
+        std::process::exit(2);
+    }
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
     let wants = |name: &str| run_all || args.iter().any(|a| a == name);
 
@@ -68,14 +108,19 @@ fn main() {
 
 /// One simulated data point per (property, process count) under the paper-default
 /// workload parameters.
+///
+/// Configurations are independent simulations, so the sweep fans out across worker
+/// threads (bounded by `--jobs`); collecting by index keeps the output order — and
+/// every metric in it — identical to the sequential sweep.
 fn run_sweep() -> Vec<(PaperProperty, usize, RunMetrics)> {
-    let mut out = Vec::new();
-    for property in PaperProperty::ALL {
-        for n in PROCESS_COUNTS {
-            out.push((property, n, paper_run(property, n, EVENTS)));
-        }
-    }
-    out
+    let points: Vec<(PaperProperty, usize)> = PaperProperty::ALL
+        .into_iter()
+        .flat_map(|property| PROCESS_COUNTS.map(|n| (property, n)))
+        .collect();
+    parallel_map_indexed(points.len(), dlrv_core::effective_jobs(), |i| {
+        let (property, n) = points[i];
+        (property, n, paper_run(property, n, EVENTS))
+    })
 }
 
 fn table5_1() {

@@ -1,0 +1,17 @@
+//! Workspace-sanity smoke test: the benchmark-harness helpers produce consistent
+//! Table 5.1 rows and a runnable data point.
+
+use dlrv_bench::{comm_frequency_run, transition_counts};
+use dlrv_core::PaperProperty;
+
+#[test]
+fn harness_helpers_produce_consistent_numbers() {
+    let row = transition_counts(PaperProperty::A, 2);
+    assert_eq!(row.n_processes, 2);
+    assert!(row.states >= 2);
+    assert_eq!(row.total, row.outgoing + row.self_loops);
+
+    let metrics = comm_frequency_run(None, 5);
+    assert!(metrics.total_events > 0);
+    assert!(metrics.monitor_messages > 0, "monitors must exchange tokens");
+}

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this workspace vendors the
+//! API subset the Chapter-5 benches use: [`Criterion`], [`BenchmarkId`],
+//! `benchmark_group` / `bench_function` / `bench_with_input`, [`Bencher::iter`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.  Instead of criterion's
+//! statistical engine it runs a fixed warm-up plus `sample_size` timed samples and
+//! prints mean/min/max per benchmark — enough to compare the relative cost of the
+//! paper's experiments, which is all the evaluation chapter needs.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque wrapper preventing the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    n_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `n_samples` samples of `iters_per_sample` calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call.
+        black_box(routine());
+        for _ in 0..self.n_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!("{label:<50} mean {mean:>12.3?}   min {min:>12.3?}   max {max:>12.3?}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub has no target measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub warms up with a single call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            n_samples: self.sample_size,
+        };
+        routine(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+        self
+    }
+
+    /// Runs `routine` with `input` as a benchmark named `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            n_samples: self.sample_size,
+        };
+        routine(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+        self
+    }
+
+    /// Ends the group (report lines are printed eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` may execute harness-less bench binaries; keep runs short.
+        Criterion {
+            default_sample_size: 5,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, routine);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark targets with a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+        group.finish();
+    }
+
+    #[test]
+    fn bench_with_input_passes_input_through() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("id", 7), &21u64, |b, &x| {
+            b.iter(|| seen = x * 2)
+        });
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -13,12 +13,95 @@ use dlrv_distsim::{initial_global_state, run_simulation, SimConfig};
 use dlrv_ltl::{AtomRegistry, Verdict};
 use dlrv_monitor::{DecentralizedMonitor, MonitorOptions, RunMetrics};
 use dlrv_trace::{generate_workload, WorkloadConfig};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Global thread-count override for experiment fan-out; 0 means "auto".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on threads spawned by [`parallel_map_indexed`]: nested fan-outs run
+    /// sequentially so `--jobs N` caps *total* concurrency instead of multiplying
+    /// at every nesting level (sweep × seeds).
+    static IN_PARALLEL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Sets the number of worker threads used to fan out independent seeds and
+/// configurations (the `--jobs` knob of the `experiments` binary).  `0` restores the
+/// default: the `DLRV_JOBS` environment variable if set, otherwise all available cores.
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// Resolves the effective worker-thread count: [`set_jobs`] override, then the
+/// `DLRV_JOBS` environment variable, then `std::thread::available_parallelism`.
+///
+/// Returns 1 when called from inside a [`parallel_map_indexed`] worker, so nested
+/// fan-outs never exceed the configured cap.
+pub fn effective_jobs() -> usize {
+    if IN_PARALLEL_WORKER.with(|flag| flag.get()) {
+        return 1;
+    }
+    let explicit = JOBS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(jobs) = std::env::var("DLRV_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+    {
+        return jobs;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every index in `0..n` on up to `jobs` scoped worker threads and
+/// returns the results in index order.
+///
+/// Work items must be independent; each is computed exactly once, so for a
+/// deterministic `f` the result vector is identical for every `jobs` value — parallel
+/// runs are byte-identical to sequential ones.  With `jobs <= 1` (or a single item)
+/// everything runs on the caller's thread.
+pub fn parallel_map_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(value);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker left a slot empty")
+        })
+        .collect()
+}
 
 /// Configuration of one experiment data point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// The monitored property.
     pub property: PaperProperty,
@@ -89,7 +172,7 @@ impl ExperimentConfig {
 }
 
 /// The averaged outcome of an experiment (one point of a paper figure).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// The configuration that produced it.
     pub config: ExperimentConfig,
@@ -103,6 +186,10 @@ pub struct ExperimentResult {
 
 /// Runs `config` once per seed with the given optimization options and averages the
 /// metrics.
+///
+/// Seeds are independent, so they fan out across [`effective_jobs`] worker threads;
+/// results are collected in seed order, making the output — including every per-seed
+/// metric — byte-identical to a sequential run.
 pub fn run_experiment_with_options(
     config: &ExperimentConfig,
     opts: MonitorOptions,
@@ -111,13 +198,13 @@ pub fn run_experiment_with_options(
     let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
     let registry = Arc::new(registry);
 
-    let mut per_seed = Vec::new();
+    let per_seed = parallel_map_indexed(config.seeds.len(), effective_jobs(), |i| {
+        let workload = generate_workload(&config.workload_config(config.seeds[i]));
+        run_single(&workload, &registry, &automaton, opts)
+    });
     let mut detected = BTreeSet::new();
-    for &seed in &config.seeds {
-        let workload = generate_workload(&config.workload_config(seed));
-        let metrics = run_single(&workload, &registry, &automaton, opts);
+    for metrics in &per_seed {
         detected.extend(metrics.detected_final_verdicts.iter().copied());
-        per_seed.push(metrics);
     }
 
     let avg = average_metrics(&per_seed);
@@ -219,6 +306,49 @@ mod tests {
             small.avg.monitor_messages
         );
         assert!(large.avg.total_events > small.avg.total_events);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for jobs in [1, 2, 3, 8, 64] {
+            let out = parallel_map_indexed(17, jobs, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+        assert!(parallel_map_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn nested_fan_out_runs_sequentially() {
+        // Inside a worker thread the jobs budget is spent: nested parallel maps must
+        // not multiply concurrency beyond the configured cap.
+        let inner_jobs = parallel_map_indexed(4, 2, |_| effective_jobs());
+        assert!(
+            inner_jobs.iter().all(|&j| j == 1),
+            "nested effective_jobs must be 1, got {inner_jobs:?}"
+        );
+    }
+
+    // Single test for everything touching the global jobs knob, so concurrently
+    // running tests never observe each other's overrides.
+    #[test]
+    fn jobs_knob_and_parallel_determinism() {
+        assert!(effective_jobs() >= 1);
+        set_jobs(3);
+        assert_eq!(effective_jobs(), 3);
+
+        let cfg = ExperimentConfig {
+            seeds: vec![1, 2, 3, 4, 5, 6],
+            events_per_process: 6,
+            ..ExperimentConfig::paper_default(PaperProperty::C, 3)
+        };
+        set_jobs(1);
+        let sequential = run_experiment(&cfg);
+        set_jobs(4);
+        let parallel = run_experiment(&cfg);
+        set_jobs(0);
+        // Full structural equality: every per-seed metric, the averages and the
+        // detected verdicts are identical whatever the thread count.
+        assert_eq!(sequential, parallel);
     }
 
     #[test]

@@ -20,8 +20,8 @@ pub mod properties;
 pub mod system;
 
 pub use experiment::{
-    average_metrics, run_experiment, run_experiment_with_options, run_single, ExperimentConfig,
-    ExperimentResult,
+    average_metrics, effective_jobs, parallel_map_indexed, run_experiment,
+    run_experiment_with_options, run_single, set_jobs, ExperimentConfig, ExperimentResult,
 };
 pub use properties::PaperProperty;
 pub use system::{MonitoredSystem, MonitoringOutcome};

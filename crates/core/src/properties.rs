@@ -7,11 +7,10 @@
 //! property A for two processes is `G(P0.p U P1.p)` as drawn in Fig. 5.2a).
 
 use dlrv_ltl::{AtomRegistry, Formula};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The evaluation properties A–F.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PaperProperty {
     /// `G((P0.p ∧ … ∧ Pk.p) U (Pk+1.p ∧ … ∧ Pn-1.p))` — first half holds until the
     /// second half holds concurrently.

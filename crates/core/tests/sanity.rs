@@ -1,0 +1,16 @@
+//! Workspace-sanity smoke test: every paper property builds and a small experiment
+//! runs end to end through the public API.
+
+use dlrv_core::{run_experiment, ExperimentConfig, PaperProperty};
+
+#[test]
+fn paper_properties_build_and_a_small_experiment_runs() {
+    for property in PaperProperty::ALL {
+        let (formula, registry) = property.build(3);
+        assert!(!formula.to_string().is_empty());
+        assert!(registry.lookup("P0.p").is_some());
+    }
+    let result = run_experiment(&ExperimentConfig::small(PaperProperty::A, 2));
+    assert_eq!(result.per_seed.len(), 1);
+    assert!(result.avg.total_events > 0);
+}

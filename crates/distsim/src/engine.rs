@@ -267,14 +267,14 @@ pub fn run_simulation<B: MonitorBehavior>(
         // The program has quiesced: signal termination to every monitor exactly once.
         if !terminated_signalled && program_items == 0 {
             terminated_signalled = true;
-            for i in 0..n {
+            for (i, monitor) in monitors.iter_mut().enumerate() {
                 let mut ctx = MonitorContext {
                     self_id: i,
                     n_processes: n,
                     now: program_end_time,
                     outbox: &mut outbox,
                 };
-                monitors[i].on_local_termination(&mut ctx);
+                monitor.on_local_termination(&mut ctx);
                 flush_outbox(
                     &mut outbox,
                     i,
@@ -291,14 +291,14 @@ pub fn run_simulation<B: MonitorBehavior>(
 
     // Degenerate case: no program items were ever scheduled (all traces empty).
     if !terminated_signalled {
-        for i in 0..n {
+        for (i, monitor) in monitors.iter_mut().enumerate() {
             let mut ctx = MonitorContext {
                 self_id: i,
                 n_processes: n,
                 now: 0.0,
                 outbox: &mut outbox,
             };
-            monitors[i].on_local_termination(&mut ctx);
+            monitor.on_local_termination(&mut ctx);
             // With no queue left, any messages produced here cannot be delivered; the
             // degenerate case only arises for empty workloads in tests.
             outbox.clear();

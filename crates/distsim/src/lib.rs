@@ -9,8 +9,8 @@
 //! * [`engine`] — a deterministic discrete-event simulator (the primary substrate for
 //!   experiments: seeded, reproducible, records the full [`dlrv_vclock::Computation`]
 //!   for oracle comparison).
-//! * [`threaded`] — a real multi-threaded runtime over crossbeam channels (one OS
-//!   thread per process), demonstrating the same monitor code under genuine
+//! * [`threaded`] — a real multi-threaded runtime over `std::sync::mpsc` channels
+//!   (one OS thread per process), demonstrating the same monitor code under genuine
 //!   asynchrony.
 //!
 //! Monitors plug in through the [`MonitorBehavior`] trait.

@@ -1,5 +1,5 @@
 //! A multi-threaded runtime: one OS thread per process + monitor pair, communicating
-//! over crossbeam channels.
+//! over `std::sync::mpsc` channels.
 //!
 //! The discrete-event simulator ([`crate::engine`]) is the primary, deterministic
 //! substrate; this runtime demonstrates the same monitor code under genuine OS-level
@@ -11,6 +11,7 @@ use crate::behavior::{MonitorBehavior, MonitorContext};
 use dlrv_ltl::{Assignment, AtomRegistry, ProcessId};
 use dlrv_trace::{TraceAction, Workload};
 use dlrv_vclock::{Computation, Event, EventKind, VectorClock};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// Configuration of the threaded runtime.
@@ -71,7 +72,7 @@ where
 {
     let n = workload.config.n_processes;
     let (senders, receivers): (Vec<_>, Vec<_>) = (0..n)
-        .map(|_| crossbeam::channel::unbounded::<ThreadMsg<B::Message>>())
+        .map(|_| mpsc::channel::<ThreadMsg<B::Message>>())
         .unzip();
 
     let p_atoms: Vec<_> = (0..n).map(|i| registry.lookup(&format!("P{i}.p"))).collect();
@@ -196,9 +197,9 @@ where
                         TraceAction::Broadcast => {
                             msg_counter += 1;
                             let msg_id = (i as u64) << 32 | msg_counter;
-                            for to in 0..n {
+                            for (to, sender) in senders.iter().enumerate() {
                                 if to != i {
-                                    let _ = senders[to].send(ThreadMsg::Program {
+                                    let _ = sender.send(ThreadMsg::Program {
                                         from: i,
                                         vc: {
                                             let mut v = vc.clone();
@@ -242,7 +243,7 @@ where
                                 break;
                             }
                         }
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
                             if !terminated_notified {
                                 terminated_notified = true;
                                 let now = start.elapsed().as_secs_f64();
@@ -256,7 +257,7 @@ where
                                 drain_outbox(&mut outbox, &mut sent);
                             }
                         }
-                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
                     }
                 }
                 (monitor, events, initial_state, sent)

@@ -6,7 +6,6 @@
 //! conjuncts of a transition guard a given monitor can evaluate locally and which must
 //! be fetched from other monitors via tokens.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -17,7 +16,7 @@ pub type ProcessId = usize;
 ///
 /// Atom ids are dense (`0..registry.len()`), which lets assignments be represented as
 /// bitmasks ([`crate::Assignment`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AtomId(pub u32);
 
 impl AtomId {
@@ -35,7 +34,7 @@ impl fmt::Display for AtomId {
 }
 
 /// Metadata attached to a registered atomic proposition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AtomInfo {
     /// Human-readable name, e.g. `"P0.p"` or `"x1>=5"`.
     pub name: String,
@@ -47,7 +46,7 @@ pub struct AtomInfo {
 ///
 /// The registry is shared by the formula parser, the monitor-automaton synthesizer and
 /// the monitors themselves, so that all components agree on atom indices.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AtomRegistry {
     atoms: Vec<AtomInfo>,
     by_name: HashMap<String, AtomId>,

@@ -103,16 +103,9 @@ fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
                 out.push((Token::Or, i));
                 i += if input[i..].starts_with("||") { 2 } else { 1 };
             }
-            '-' | '=' => {
-                if input[i..].starts_with("->") || input[i..].starts_with("=>") {
-                    out.push((Token::Implies, i));
-                    i += 2;
-                } else {
-                    return Err(ParseError {
-                        position: i,
-                        message: format!("unexpected character '{c}'"),
-                    });
-                }
+            '-' | '=' if input[i..].starts_with("->") || input[i..].starts_with("=>") => {
+                out.push((Token::Implies, i));
+                i += 2;
             }
             '<' => {
                 if input[i..].starts_with("<>") {

@@ -9,14 +9,13 @@
 
 use crate::atoms::{AtomId, AtomRegistry, ProcessId};
 use crate::syntax::Formula;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A truth assignment over at most 64 atomic propositions, stored as a bitmask.
 ///
 /// Bit `i` is the value of the atom with dense index `i`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Assignment(pub u64);
 
 impl Assignment {
@@ -67,7 +66,7 @@ impl Assignment {
 }
 
 /// A literal: an atomic proposition or its negation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Literal {
     /// The atom.
     pub atom: AtomId,
@@ -106,7 +105,7 @@ impl Literal {
 /// The empty cube is `true`.  Internally literals are kept sorted by atom; a cube never
 /// contains two literals over the same atom (such a conjunction is contradictory and is
 /// rejected by [`Cube::insert`]).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cube {
     literals: Vec<Literal>,
 }
@@ -253,7 +252,7 @@ impl fmt::Display for Cube {
 /// A predicate in disjunctive normal form: a disjunction of [`Cube`]s.
 ///
 /// The empty disjunction is `false`.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Predicate {
     cubes: Vec<Cube>,
 }
@@ -540,7 +539,7 @@ mod tests {
         let mut p = Predicate::bottom();
         p.add_cube(strong.clone());
         p.add_cube(weak.clone());
-        assert_eq!(p.cubes(), &[weak.clone()]);
+        assert_eq!(p.cubes(), std::slice::from_ref(&weak));
         // Adding the stronger cube afterwards is a no-op.
         p.add_cube(strong);
         assert_eq!(p.cubes().len(), 1);

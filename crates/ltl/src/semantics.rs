@@ -8,11 +8,10 @@
 
 use crate::predicate::Assignment;
 use crate::syntax::Formula;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three-valued LTL₃ verdict (Definition 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Verdict {
     /// `⊥` — every infinite extension of the observed prefix violates the property.
     False,

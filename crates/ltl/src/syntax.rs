@@ -6,7 +6,6 @@
 //! constructors here so that pretty-printing round-trips.
 
 use crate::atoms::AtomId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
@@ -15,7 +14,7 @@ use std::sync::Arc;
 ///
 /// The representation uses `Arc` for sharing: monitor-automaton synthesis repeatedly
 /// decomposes formulas and benefits from cheap clones.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Formula {
     /// The constant `true`.
     True,
@@ -54,6 +53,8 @@ impl Formula {
     }
 
     /// Negation with light simplification (`¬¬φ = φ`, `¬true = false`, `¬false = true`).
+    // Smart constructor taking the formula by value; intentionally not `std::ops::Not`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Self {
         match f {
             Formula::True => Formula::False,
@@ -117,14 +118,14 @@ impl Formula {
     pub fn conj<I: IntoIterator<Item = Formula>>(parts: I) -> Self {
         parts
             .into_iter()
-            .fold(Formula::True, |acc, f| Formula::and(acc, f))
+            .fold(Formula::True, Formula::and)
     }
 
     /// Disjunction of an iterator of formulas (`false` when empty).
     pub fn disj<I: IntoIterator<Item = Formula>>(parts: I) -> Self {
         parts
             .into_iter()
-            .fold(Formula::False, |acc, f| Formula::or(acc, f))
+            .fold(Formula::False, Formula::or)
     }
 
     /// Converts the formula into negation normal form (negations pushed to atoms).

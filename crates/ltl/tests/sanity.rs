@@ -1,0 +1,17 @@
+//! Workspace-sanity smoke test: LTL parse/print round-trip.
+
+use dlrv_ltl::{parse, AtomRegistry};
+
+#[test]
+fn parse_round_trips_through_display() {
+    let mut registry = AtomRegistry::new();
+    let formula = parse("G (P0.p -> (P1.p U P2.q))", &mut registry).expect("parse");
+    let printed = formula.to_string();
+    let mut registry2 = AtomRegistry::new();
+    let reparsed = parse(&printed, &mut registry2).expect("reparse printed formula");
+    assert_eq!(
+        reparsed.to_string(),
+        printed,
+        "printing must be a fixed point of parse ∘ print"
+    );
+}

@@ -12,12 +12,11 @@ use dlrv_automaton::MonitorAutomaton;
 use dlrv_distsim::{MonitorBehavior, MonitorContext};
 use dlrv_ltl::{Assignment, AtomRegistry, ProcessId, Verdict};
 use dlrv_vclock::{oracle_evaluate, Computation, Event, Lattice};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Messages of the centralized configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CentralMsg {
     /// A forwarded program event.
     Event(Event),

@@ -95,8 +95,10 @@ impl DecentralizedMonitor {
     ) -> Self {
         let q0 = automaton.step(automaton.initial, initial_gstate);
         let gv0 = GlobalView::initial(0, n_processes, initial_gstate, q0);
-        let mut metrics = MonitorMetrics::default();
-        metrics.global_views_created = 1;
+        let mut metrics = MonitorMetrics {
+            global_views_created: 1,
+            ..MonitorMetrics::default()
+        };
         if automaton.is_final(q0) {
             metrics
                 .detected_final_verdicts
@@ -229,9 +231,9 @@ impl DecentralizedMonitor {
             for p in 0..self.n {
                 let c = if !self.participates(t, p) {
                     ConjunctEval::NotInvolved
-                } else if p == self.pid {
-                    ConjunctEval::True
-                } else if self.conjunct_of(t, p).eval(gv.gstate) {
+                } else if p == self.pid || self.conjunct_of(t, p).eval(gv.gstate) {
+                    // The monitor's own conjunct was already checked above; remote
+                    // conjuncts count as satisfied under the believed state.
                     ConjunctEval::True
                 } else {
                     has_forbidding = true;

@@ -9,10 +9,9 @@
 
 use dlrv_ltl::{Assignment, ProcessId};
 use dlrv_vclock::VectorClock;
-use serde::{Deserialize, Serialize};
 
 /// Evaluation status of one process's conjunct of a transition guard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConjunctEval {
     /// The process has no literal in the guard.
     NotInvolved,
@@ -25,7 +24,7 @@ pub enum ConjunctEval {
 }
 
 /// Overall evaluation status of a transition carried by a token.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvalState {
     /// Not yet decided.
     Unset,
@@ -38,7 +37,7 @@ pub enum EvalState {
 
 /// One candidate outgoing transition carried by a token
 /// (`OutgoingTransition` in §4.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TokenTransition {
     /// Index of the symbolic transition in the monitor automaton.
     pub transition_id: usize,
@@ -82,7 +81,7 @@ impl TokenTransition {
 }
 
 /// A token (monitoring message) exchanged between monitors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The process whose monitor created the token.
     pub parent: ProcessId,
@@ -101,7 +100,7 @@ pub struct Token {
 }
 
 /// Messages exchanged between monitor processes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MonitorMsg {
     /// A routed token.
     Token(Token),

@@ -5,11 +5,10 @@
 //! state), and memory overhead as the total number of global views created.
 
 use dlrv_ltl::Verdict;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Metrics collected by a single monitor process.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MonitorMetrics {
     /// Number of tokens (monitoring messages) this monitor sent.
     pub tokens_sent: usize,
@@ -49,7 +48,7 @@ impl MonitorMetrics {
 }
 
 /// Metrics aggregated over all monitors of one run (one row of a paper figure).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
     /// Number of processes.
     pub n_processes: usize,

@@ -2,21 +2,130 @@
 //!
 //! The paper's devices load their traces from files at startup; this module provides
 //! the equivalent JSON round-trip for [`Workload`]s so experiments can be archived and
-//! replayed byte-for-byte.
+//! replayed byte-for-byte.  Serialization is hand-written over [`dlrv_json`] (the
+//! build environment has no registry access, so `serde`/`serde_json` are unavailable);
+//! the field names below are the stable on-disk schema.
 
-use crate::workload::Workload;
+use crate::workload::{ProcessTrace, TraceAction, TraceEntry, Workload, WorkloadConfig};
+use dlrv_json::{object, Json, JsonError};
 use std::fs;
 use std::io;
 use std::path::Path;
 
+/// Error type of [`from_json`]; re-exported so callers need not depend on `dlrv_json`.
+pub type FormatError = JsonError;
+
+fn config_to_json(config: &WorkloadConfig) -> Json {
+    object([
+        ("n_processes", Json::from(config.n_processes)),
+        ("events_per_process", Json::from(config.events_per_process)),
+        ("evt_mu", Json::from(config.evt_mu)),
+        ("evt_sigma", Json::from(config.evt_sigma)),
+        ("comm_mu", Json::from(config.comm_mu)),
+        ("comm_sigma", Json::from(config.comm_sigma)),
+        ("seed", Json::from(config.seed)),
+        ("goal_tail_fraction", Json::from(config.goal_tail_fraction)),
+        ("initial_p", Json::from(config.initial_p)),
+        ("initial_q", Json::from(config.initial_q)),
+    ])
+}
+
+fn config_from_json(v: &Json) -> Result<WorkloadConfig, FormatError> {
+    Ok(WorkloadConfig {
+        n_processes: v.get("n_processes")?.as_usize()?,
+        events_per_process: v.get("events_per_process")?.as_usize()?,
+        evt_mu: v.get("evt_mu")?.as_f64()?,
+        evt_sigma: v.get("evt_sigma")?.as_f64()?,
+        comm_mu: match v.get("comm_mu")? {
+            Json::Null => None,
+            value => Some(value.as_f64()?),
+        },
+        comm_sigma: v.get("comm_sigma")?.as_f64()?,
+        seed: v.get("seed")?.as_u64()?,
+        goal_tail_fraction: v.get("goal_tail_fraction")?.as_f64()?,
+        initial_p: v.get("initial_p")?.as_bool()?,
+        initial_q: v.get("initial_q")?.as_bool()?,
+    })
+}
+
+fn entry_to_json(entry: &TraceEntry) -> Json {
+    let action = match entry.action {
+        TraceAction::SetProps { p, q } => object([
+            ("kind", Json::from("set_props")),
+            ("p", Json::from(p)),
+            ("q", Json::from(q)),
+        ]),
+        TraceAction::Broadcast => object([("kind", Json::from("broadcast"))]),
+    };
+    object([("wait", Json::from(entry.wait)), ("action", action)])
+}
+
+fn entry_from_json(v: &Json) -> Result<TraceEntry, FormatError> {
+    let action_value = v.get("action")?;
+    let action = match action_value.get("kind")?.as_str()? {
+        "set_props" => TraceAction::SetProps {
+            p: action_value.get("p")?.as_bool()?,
+            q: action_value.get("q")?.as_bool()?,
+        },
+        "broadcast" => TraceAction::Broadcast,
+        other => return Err(JsonError::msg(format!("unknown action kind `{other}`"))),
+    };
+    Ok(TraceEntry {
+        wait: v.get("wait")?.as_f64()?,
+        action,
+    })
+}
+
+fn trace_to_json(trace: &ProcessTrace) -> Json {
+    object([
+        ("initial_p", Json::from(trace.initial.0)),
+        ("initial_q", Json::from(trace.initial.1)),
+        (
+            "entries",
+            Json::Array(trace.entries.iter().map(entry_to_json).collect()),
+        ),
+    ])
+}
+
+fn trace_from_json(v: &Json) -> Result<ProcessTrace, FormatError> {
+    Ok(ProcessTrace {
+        initial: (
+            v.get("initial_p")?.as_bool()?,
+            v.get("initial_q")?.as_bool()?,
+        ),
+        entries: v
+            .get("entries")?
+            .as_array()?
+            .iter()
+            .map(entry_from_json)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
 /// Serializes a workload to a pretty-printed JSON string.
 pub fn to_json(workload: &Workload) -> String {
-    serde_json::to_string_pretty(workload).expect("workload serialization cannot fail")
+    object([
+        ("config", config_to_json(&workload.config)),
+        (
+            "traces",
+            Json::Array(workload.traces.iter().map(trace_to_json).collect()),
+        ),
+    ])
+    .to_string_pretty()
 }
 
 /// Parses a workload from JSON.
-pub fn from_json(json: &str) -> Result<Workload, serde_json::Error> {
-    serde_json::from_str(json)
+pub fn from_json(json: &str) -> Result<Workload, FormatError> {
+    let v = Json::parse(json)?;
+    Ok(Workload {
+        config: config_from_json(v.get("config")?)?,
+        traces: v
+            .get("traces")?
+            .as_array()?
+            .iter()
+            .map(trace_from_json)
+            .collect::<Result<_, _>>()?,
+    })
 }
 
 /// Writes a workload to `path` as JSON.
@@ -59,5 +168,13 @@ mod tests {
     fn malformed_json_is_rejected() {
         assert!(from_json("{not json").is_err());
         assert!(from_json("{}").is_err());
+    }
+
+    #[test]
+    fn no_comm_round_trips_none() {
+        let w = generate_workload(&WorkloadConfig::comm_sweep(2, None, 9));
+        let back = from_json(&to_json(&w)).expect("parse");
+        assert_eq!(back.config.comm_mu, None);
+        assert_eq!(w, back);
     }
 }

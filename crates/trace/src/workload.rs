@@ -11,10 +11,9 @@
 use crate::distribution::NormalSampler;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The action of a trace entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceAction {
     /// Internal event: set the process's propositions `p` and `q`.
     SetProps {
@@ -28,7 +27,7 @@ pub enum TraceAction {
 }
 
 /// One entry of a process trace: wait `wait` seconds, then perform `action`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     /// Wait time before the action, in (simulated) seconds.
     pub wait: f64,
@@ -37,7 +36,7 @@ pub struct TraceEntry {
 }
 
 /// The trace of one process.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ProcessTrace {
     /// Initial values of the process's propositions `(p, q)`.
     pub initial: (bool, bool),
@@ -79,7 +78,7 @@ impl ProcessTrace {
 }
 
 /// A complete workload: one trace per process, plus the configuration that produced it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// The generating configuration.
     pub config: WorkloadConfig,
@@ -88,7 +87,7 @@ pub struct Workload {
 }
 
 /// Parameters of the workload generator (§5.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
     /// Number of processes (devices).
     pub n_processes: usize,

@@ -1,0 +1,18 @@
+//! Workspace-sanity smoke test: workload generation determinism and JSON archive.
+
+use dlrv_trace::{format, generate_workload, WorkloadConfig};
+
+#[test]
+fn generation_is_deterministic_and_archivable() {
+    let cfg = WorkloadConfig::paper_default(3, 1234);
+    let w1 = generate_workload(&cfg);
+    let w2 = generate_workload(&cfg);
+    assert_eq!(w1, w2, "same seed must reproduce the same workload");
+    assert_ne!(
+        w1,
+        generate_workload(&WorkloadConfig::paper_default(3, 1235)),
+        "different seeds must differ"
+    );
+    let back = format::from_json(&format::to_json(&w1)).expect("round-trip");
+    assert_eq!(w1, back);
+}

@@ -7,10 +7,9 @@
 
 use crate::vc::VectorClock;
 use dlrv_ltl::{Assignment, AtomRegistry, ProcessId};
-use serde::{Deserialize, Serialize};
 
 /// The kind of an event (Definition of events in §2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A local transition changing the process state.
     Internal,
@@ -39,7 +38,7 @@ pub enum EventKind {
 
 /// An event of a process, as delivered to the co-located monitor
 /// (`e = ⟨T, D, VC, sn⟩` in §4.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// The process at which the event occurred.
     pub process: ProcessId,
@@ -75,7 +74,7 @@ impl Event {
 /// every event and can build the full computation lattice.  The decentralized monitors
 /// never see a `Computation` — each only observes its own process's events and what
 /// tokens carry.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Computation {
     /// Initial local state (proposition valuation) of each process.
     pub initial_states: Vec<Assignment>,

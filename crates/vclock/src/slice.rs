@@ -35,12 +35,13 @@ pub fn least_consistent_cut_satisfying(
         //    process q than the frontier includes, advance q.
         for p in 0..n {
             let vc = comp.local_clock(p, frontier[p]);
-            for q in 0..n {
-                if q != p && vc.get(q) > frontier[q] as u64 {
-                    if vc.get(q) as usize > comp.events[q].len() {
+            for (q, included) in frontier.iter_mut().enumerate() {
+                let known = vc.get(q);
+                if q != p && known > *included as u64 {
+                    if known as usize > comp.events[q].len() {
                         return None;
                     }
-                    frontier[q] = vc.get(q) as usize;
+                    *included = known as usize;
                     advanced = true;
                 }
             }

@@ -5,12 +5,11 @@
 //! program messages and on monitor tokens; comparing them implements the
 //! happened-before relation and detects concurrency and inconsistency of cuts.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A vector clock over a fixed number of processes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VectorClock {
     entries: Vec<u64>,
 }

@@ -1,0 +1,37 @@
+//! Workspace-sanity smoke test: vector-clock lattice laws.
+//!
+//! One cheap test per workspace crate guards against manifest regressions (a crate
+//! silently dropping out of the build) independently of the heavier suites.
+
+use dlrv_vclock::VectorClock;
+
+#[test]
+fn merge_laws_hold() {
+    let mut a = VectorClock::zero(3);
+    a.increment(0);
+    a.increment(0);
+    a.increment(1);
+    let mut b = VectorClock::zero(3);
+    b.increment(1);
+    b.increment(2);
+
+    // join is commutative, idempotent, and an upper bound.
+    assert_eq!(a.join(&b), b.join(&a));
+    assert_eq!(a.join(&a), a);
+    assert!(a.leq(&a.join(&b)));
+    assert!(b.leq(&a.join(&b)));
+
+    // meet is the dual lower bound.
+    assert_eq!(a.meet(&b), b.meet(&a));
+    assert!(a.meet(&b).leq(&a));
+    assert!(a.meet(&b).leq(&b));
+
+    // a and b disagree on components 0 and 2, so they are concurrent.
+    assert!(a.concurrent(&b));
+
+    // merge is in-place join.
+    let join = a.join(&b);
+    let mut merged = a.clone();
+    merged.merge(&b);
+    assert_eq!(merged, join);
+}
