@@ -1,7 +1,7 @@
 //! LTL₃ monitor-automaton synthesis.
 //!
 //! This crate implements the classic Bauer–Leucker–Schallhart construction the paper
-//! relies on (its reference [1]): given an LTL formula φ over global-state atomic
+//! relies on (its reference \[1\]): given an LTL formula φ over global-state atomic
 //! propositions, produce the unique minimal deterministic Moore machine whose output on
 //! every finite word `u` equals the three-valued verdict `[u ⊨ φ]` of Definition 11.
 //!

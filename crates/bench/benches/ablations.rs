@@ -14,11 +14,12 @@ use dlrv_monitor::{CentralizedMonitor, MonitorOptions};
 use dlrv_trace::{generate_workload, WorkloadConfig};
 use std::sync::Arc;
 
+/// The registry scenario `paper-C-n3`, scaled down to the bench time budget.
 fn config() -> ExperimentConfig {
     ExperimentConfig {
         events_per_process: 8,
         seeds: vec![1],
-        ..ExperimentConfig::paper_default(PaperProperty::C, 3)
+        ..dlrv_bench::registry_scenario("paper-C-n3").config
     }
 }
 

@@ -1,0 +1,46 @@
+//! Bench over the extended (non-paper) registry scenarios: bursty arrivals, hotspot /
+//! ring / pipeline communication topologies.
+//!
+//! The paper's own sweeps are covered by the `fig5_*` benches; this one tracks the
+//! workload shapes the scenario registry adds on top, so a perf regression in a new
+//! shape (e.g. the point-to-point send path) is caught by the same harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlrv_bench::registry_scenario;
+use std::time::Duration;
+
+const EVENTS: usize = 10;
+
+/// The extended scenarios, scaled to the bench time budget (fewer events, one seed).
+const SCENARIOS: [&str; 4] = ["bursty-C-n4", "hotspot-D-n4", "ring-B-n4", "pipeline-A-n4"];
+
+fn bench_extended_scenarios(c: &mut Criterion) {
+    println!("\nExtended registry scenarios (regenerated, {EVENTS} events/process):");
+    for name in SCENARIOS {
+        let mut scenario = registry_scenario(name);
+        scenario.config.events_per_process = EVENTS;
+        scenario.config.seeds = vec![1];
+        let m = scenario.run().avg;
+        println!(
+            "  {name}: events={} monitor_messages={} global_views={} delayed={:.2}",
+            m.total_events, m.monitor_messages, m.total_global_views, m.avg_delayed_events
+        );
+    }
+
+    let mut group = c.benchmark_group("extended_scenarios");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for name in SCENARIOS {
+        let mut scenario = registry_scenario(name);
+        scenario.config.events_per_process = EVENTS;
+        scenario.config.seeds = vec![1];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scenario, |b, s| {
+            b.iter(|| s.run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extended_scenarios);
+criterion_main!(benches);

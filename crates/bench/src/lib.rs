@@ -5,11 +5,37 @@
 //! and the Criterion benches time the underlying runs.
 
 use dlrv_automaton::MonitorAutomaton;
-use dlrv_core::{run_experiment, ExperimentConfig, PaperProperty};
+use dlrv_core::{run_experiment, ExperimentConfig, PaperProperty, Scenario, ScenarioRegistry};
 use dlrv_monitor::RunMetrics;
+use std::sync::OnceLock;
 
 /// Process counts evaluated by the paper.
 pub const PROCESS_COUNTS: [usize; 4] = [2, 3, 4, 5];
+
+/// The standard registry, built once — `registry_scenario` is called inside criterion
+/// measurement loops, which must not time registry construction.
+fn standard_registry() -> &'static ScenarioRegistry {
+    static REGISTRY: OnceLock<ScenarioRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(ScenarioRegistry::standard)
+}
+
+/// Looks up a scenario in the standard registry, panicking with a helpful message on
+/// unknown names (benches and figures reference scenarios by their stable names).
+pub fn registry_scenario(name: &str) -> Scenario {
+    standard_registry()
+        .get(name)
+        .unwrap_or_else(|| panic!("scenario `{name}` is not in the standard registry"))
+        .clone()
+}
+
+/// Runs a registry scenario with its events-per-process overridden (benches and the
+/// figure experiments scale the workload to their time budget) and returns the
+/// averaged metrics.
+pub fn scenario_run(name: &str, events_per_process: usize) -> RunMetrics {
+    let mut scenario = registry_scenario(name);
+    scenario.config.events_per_process = events_per_process;
+    scenario.run().avg
+}
 
 /// One row of Table 5.1 / one series point of Fig. 5.1.
 #[derive(Debug, Clone)]
@@ -46,22 +72,46 @@ pub fn transition_counts(property: PaperProperty, n: usize) -> TransitionRow {
 
 /// Runs the paper-default experiment for one property / process count
 /// (Figures 5.4–5.8) with a configurable number of events per process.
+///
+/// This is the registry scenario `paper-<property>-n<n>`; going through the registry
+/// keeps the figures, the benches and `BENCH_results.json` measuring the same
+/// configurations.  Process counts outside the registered 2–5 sweep still run — the
+/// function stays total — just as an unnamed paper-default configuration.
 pub fn paper_run(property: PaperProperty, n: usize, events_per_process: usize) -> RunMetrics {
-    let config = ExperimentConfig {
+    let name = format!("paper-{}-n{}", property.name(), n);
+    if standard_registry().get(&name).is_some() {
+        return scenario_run(&name, events_per_process);
+    }
+    run_experiment(&ExperimentConfig {
         events_per_process,
         ..ExperimentConfig::paper_default(property, n)
-    };
-    run_experiment(&config).avg
+    })
+    .avg
 }
 
-/// Runs the communication-frequency sweep of Fig. 5.9 (4 processes, property C).
+/// Runs one point of the communication-frequency sweep of Fig. 5.9 (4 processes,
+/// property C) — the registry scenario `commfreq-mu<µ>` / `commfreq-nocomm` when
+/// `comm_mu` is one of the registered points, an unnamed equivalent configuration
+/// otherwise (the name embeds a truncated µ, so the scenario is only used when its
+/// `comm_mu` matches the request exactly).
 pub fn comm_frequency_run(comm_mu: Option<f64>, events_per_process: usize) -> RunMetrics {
-    let config = ExperimentConfig {
-        events_per_process,
-        comm_mu,
-        ..ExperimentConfig::paper_default(PaperProperty::C, 4)
+    let name = match comm_mu {
+        Some(mu) => format!("commfreq-mu{}", mu as u64),
+        None => "commfreq-nocomm".to_string(),
     };
-    run_experiment(&config).avg
+    match standard_registry().get(&name) {
+        Some(scenario) if scenario.config.comm_mu == comm_mu => {
+            scenario_run(&name, events_per_process)
+        }
+        _ => {
+            run_experiment(&ExperimentConfig {
+                events_per_process,
+                comm_mu,
+                ..ExperimentConfig::paper_default(PaperProperty::C, 4)
+            })
+            .avg
+        }
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +131,42 @@ mod tests {
         let m = paper_run(PaperProperty::B, 2, 5);
         assert!(m.total_events > 0);
         assert!(m.program_time > 0.0);
+    }
+
+    #[test]
+    fn scenario_run_matches_direct_execution() {
+        // The registry indirection must not change what is measured.
+        let mut scenario = registry_scenario("paper-B-n2");
+        scenario.config.events_per_process = 5;
+        assert_eq!(scenario_run("paper-B-n2", 5), scenario.run().avg);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the standard registry")]
+    fn unknown_scenarios_panic_with_context() {
+        registry_scenario("paper-Z-n99");
+    }
+
+    #[test]
+    fn paper_run_stays_total_outside_the_registry() {
+        // n=6 has no `paper-*-n6` scenario; the function must fall back to the
+        // equivalent unnamed configuration instead of panicking.
+        let m = paper_run(PaperProperty::B, 6, 4);
+        assert_eq!(m.n_processes, 6);
+        assert!(m.total_events > 0);
+    }
+
+    #[test]
+    fn comm_frequency_run_honors_non_registry_mu() {
+        // mu=3.9 would truncate to the registered `commfreq-mu3` name; the function
+        // must run the requested µ, not the name-collided scenario.
+        let requested = comm_frequency_run(Some(3.9), 4);
+        let direct = run_experiment(&ExperimentConfig {
+            events_per_process: 4,
+            comm_mu: Some(3.9),
+            ..ExperimentConfig::paper_default(PaperProperty::C, 4)
+        })
+        .avg;
+        assert_eq!(requested, direct);
     }
 }

@@ -12,7 +12,7 @@ use dlrv_automaton::MonitorAutomaton;
 use dlrv_distsim::{initial_global_state, run_simulation, SimConfig};
 use dlrv_ltl::{AtomRegistry, Verdict};
 use dlrv_monitor::{DecentralizedMonitor, MonitorOptions, RunMetrics};
-use dlrv_trace::{generate_workload, WorkloadConfig};
+use dlrv_trace::{generate_workload, ArrivalModel, CommTopology, WorkloadConfig};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -120,6 +120,11 @@ pub struct ExperimentConfig {
     pub comm_sigma: f64,
     /// Seeds to average over.
     pub seeds: Vec<u64>,
+    /// How internal-event wait times are drawn (the paper uses [`ArrivalModel::Normal`]).
+    pub arrival: ArrivalModel,
+    /// Who communication events are addressed to (the paper uses
+    /// [`CommTopology::Broadcast`]).
+    pub topology: CommTopology,
 }
 
 impl ExperimentConfig {
@@ -134,6 +139,8 @@ impl ExperimentConfig {
             comm_mu: Some(3.0),
             comm_sigma: 1.0,
             seeds: vec![1, 2, 3],
+            arrival: ArrivalModel::Normal,
+            topology: CommTopology::Broadcast,
         }
     }
 
@@ -167,6 +174,8 @@ impl ExperimentConfig {
             goal_tail_fraction: 0.2,
             initial_p,
             initial_q,
+            arrival: self.arrival,
+            topology: self.topology,
         }
     }
 }

@@ -9,6 +9,11 @@
 //!   parameterized by process count.
 //! * [`ExperimentConfig`] / [`run_experiment`] — the experiment runner used by the
 //!   benchmark harness to regenerate every table and figure of Chapter 5.
+//! * [`Scenario`] / [`ScenarioRegistry`] — every experiment the repository knows how
+//!   to run, by stable name: the paper's sweeps plus extended workload shapes
+//!   (bursty arrivals, ring/pipeline/hotspot topologies, large-N runs).
+//! * [`results`] — the machine-readable `BENCH_results.json` pipeline: sweep
+//!   results serialized over [`dlrv_json`] and parsed back field-for-field.
 //!
 //! The lower-level building blocks are re-exported from their crates: LTL syntax
 //! ([`dlrv_ltl`]), monitor-automaton synthesis ([`dlrv_automaton`]), vector clocks and
@@ -17,6 +22,8 @@
 
 pub mod experiment;
 pub mod properties;
+pub mod results;
+pub mod scenario;
 pub mod system;
 
 pub use experiment::{
@@ -24,10 +31,13 @@ pub use experiment::{
     run_experiment_with_options, run_single, set_jobs, ExperimentConfig, ExperimentResult,
 };
 pub use properties::PaperProperty;
+pub use results::{sweep_from_json, sweep_to_json, ScenarioRecord, RESULTS_SCHEMA_VERSION};
+pub use scenario::{Scenario, ScenarioFamily, ScenarioRegistry};
 pub use system::{MonitoredSystem, MonitoringOutcome};
 
 pub use dlrv_automaton;
 pub use dlrv_distsim;
+pub use dlrv_json;
 pub use dlrv_ltl;
 pub use dlrv_monitor;
 pub use dlrv_trace;

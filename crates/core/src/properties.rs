@@ -39,6 +39,11 @@ impl PaperProperty {
         PaperProperty::F,
     ];
 
+    /// The property with the given single-letter [`name`](Self::name), if any.
+    pub fn from_name(name: &str) -> Option<PaperProperty> {
+        PaperProperty::ALL.into_iter().find(|p| p.name() == name)
+    }
+
     /// Single-letter name.
     pub fn name(self) -> &'static str {
         match self {

@@ -1,0 +1,264 @@
+//! Machine-readable sweep results (`BENCH_results.json`).
+//!
+//! Every run of `experiments --target sweep --format json` emits one document in the
+//! schema below, so the performance trajectory of the repository can be diffed
+//! commit-by-commit.  The document is self-describing: each record carries the full
+//! scenario (name, family, [`ExperimentConfig`], [`MonitorOptions`]) next to its
+//! measured [`RunMetrics`], and [`sweep_from_json`] restores everything
+//! field-for-field (floats use shortest round-trip formatting, see [`dlrv_json`]).
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "generator": "dlrv-experiments",
+//!   "scenarios": [
+//!     {
+//!       "name": "paper-A-n2", "family": "paper", "description": "…",
+//!       "config":  { property, n_processes, events_per_process, evt_mu, …,
+//!                    seeds, arrival, topology },
+//!       "options": { aggregate_tokens, dedup_global_views, prune_disjunctive },
+//!       "avg":      { RunMetrics fields },
+//!       "per_seed": [ { RunMetrics fields }, … ],
+//!       "detected_verdicts": [ "true" | "false" | "unknown", … ]
+//!     }, …
+//!   ]
+//! }
+//! ```
+
+use crate::experiment::{ExperimentConfig, ExperimentResult};
+use crate::properties::PaperProperty;
+use crate::scenario::{Scenario, ScenarioFamily};
+use dlrv_json::{object, Json, JsonError};
+use dlrv_ltl::Verdict;
+use dlrv_monitor::{verdict_from_name, verdict_name, MonitorOptions, RunMetrics};
+use dlrv_trace::format::{arrival_from_json, arrival_to_json, topology_from_json, topology_to_json};
+use std::collections::BTreeSet;
+
+/// Version of the `BENCH_results.json` schema produced by [`sweep_to_json`].
+pub const RESULTS_SCHEMA_VERSION: u64 = 1;
+
+/// One parsed-back record of a sweep document: the scenario plus its measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRecord {
+    /// The scenario exactly as it was run.
+    pub scenario: Scenario,
+    /// Metric averages over the seeds.
+    pub avg: RunMetrics,
+    /// Per-seed metrics, in seed order.
+    pub per_seed: Vec<RunMetrics>,
+    /// Union of detected ⊤/⊥ verdicts over all seeds.
+    pub detected_verdicts: BTreeSet<Verdict>,
+}
+
+/// Serializes an experiment configuration (property by letter, shapes as tagged
+/// objects).
+pub fn config_to_json(config: &ExperimentConfig) -> Json {
+    object([
+        ("property", Json::from(config.property.name())),
+        ("n_processes", Json::from(config.n_processes)),
+        ("events_per_process", Json::from(config.events_per_process)),
+        ("evt_mu", Json::from(config.evt_mu)),
+        ("evt_sigma", Json::from(config.evt_sigma)),
+        ("comm_mu", Json::from(config.comm_mu)),
+        ("comm_sigma", Json::from(config.comm_sigma)),
+        ("seeds", Json::from(config.seeds.clone())),
+        ("arrival", arrival_to_json(&config.arrival)),
+        ("topology", topology_to_json(&config.topology)),
+    ])
+}
+
+/// Parses an experiment configuration back from its [`config_to_json`] form.
+pub fn config_from_json(v: &Json) -> Result<ExperimentConfig, JsonError> {
+    let property_name = v.get("property")?.as_str()?;
+    let property = PaperProperty::from_name(property_name)
+        .ok_or_else(|| JsonError::msg(format!("unknown property `{property_name}`")))?;
+    Ok(ExperimentConfig {
+        property,
+        n_processes: v.get("n_processes")?.as_usize()?,
+        events_per_process: v.get("events_per_process")?.as_usize()?,
+        evt_mu: v.get("evt_mu")?.as_f64()?,
+        evt_sigma: v.get("evt_sigma")?.as_f64()?,
+        comm_mu: match v.get("comm_mu")? {
+            Json::Null => None,
+            value => Some(value.as_f64()?),
+        },
+        comm_sigma: v.get("comm_sigma")?.as_f64()?,
+        seeds: v
+            .get("seeds")?
+            .as_array()?
+            .iter()
+            .map(Json::as_u64)
+            .collect::<Result<_, _>>()?,
+        arrival: arrival_from_json(v.get("arrival")?)?,
+        topology: topology_from_json(v.get("topology")?)?,
+    })
+}
+
+/// Serializes the §4.3 optimization switches.
+pub fn options_to_json(options: &MonitorOptions) -> Json {
+    object([
+        ("aggregate_tokens", Json::from(options.aggregate_tokens)),
+        ("dedup_global_views", Json::from(options.dedup_global_views)),
+        ("prune_disjunctive", Json::from(options.prune_disjunctive)),
+    ])
+}
+
+/// Parses the optimization switches back.
+pub fn options_from_json(v: &Json) -> Result<MonitorOptions, JsonError> {
+    Ok(MonitorOptions {
+        aggregate_tokens: v.get("aggregate_tokens")?.as_bool()?,
+        dedup_global_views: v.get("dedup_global_views")?.as_bool()?,
+        prune_disjunctive: v.get("prune_disjunctive")?.as_bool()?,
+    })
+}
+
+fn verdicts_to_json(set: &BTreeSet<Verdict>) -> Json {
+    Json::Array(set.iter().map(|&v| Json::from(verdict_name(v))).collect())
+}
+
+fn record_to_json(scenario: &Scenario, result: &ExperimentResult) -> Json {
+    object([
+        ("name", Json::from(scenario.name.as_str())),
+        ("family", Json::from(scenario.family.name())),
+        ("description", Json::from(scenario.description.as_str())),
+        ("config", config_to_json(&scenario.config)),
+        ("options", options_to_json(&scenario.options)),
+        ("avg", result.avg.to_json()),
+        (
+            "per_seed",
+            Json::Array(result.per_seed.iter().map(RunMetrics::to_json).collect()),
+        ),
+        ("detected_verdicts", verdicts_to_json(&result.detected_verdicts)),
+    ])
+}
+
+fn record_from_json(v: &Json) -> Result<ScenarioRecord, JsonError> {
+    let family_name = v.get("family")?.as_str()?;
+    let family = ScenarioFamily::from_name(family_name)
+        .ok_or_else(|| JsonError::msg(format!("unknown scenario family `{family_name}`")))?;
+    Ok(ScenarioRecord {
+        scenario: Scenario {
+            name: v.get("name")?.as_str()?.to_string(),
+            description: v.get("description")?.as_str()?.to_string(),
+            family,
+            config: config_from_json(v.get("config")?)?,
+            options: options_from_json(v.get("options")?)?,
+        },
+        avg: RunMetrics::from_json(v.get("avg")?)?,
+        per_seed: v
+            .get("per_seed")?
+            .as_array()?
+            .iter()
+            .map(RunMetrics::from_json)
+            .collect::<Result<_, _>>()?,
+        detected_verdicts: v
+            .get("detected_verdicts")?
+            .as_array()?
+            .iter()
+            .map(|item| verdict_from_name(item.as_str()?))
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Builds the full sweep document from `(scenario, result)` pairs.
+pub fn sweep_to_json(runs: &[(Scenario, ExperimentResult)]) -> Json {
+    object([
+        ("schema_version", Json::from(RESULTS_SCHEMA_VERSION)),
+        ("generator", Json::from("dlrv-experiments")),
+        (
+            "scenarios",
+            Json::Array(runs.iter().map(|(s, r)| record_to_json(s, r)).collect()),
+        ),
+    ])
+}
+
+/// Parses a sweep document produced by [`sweep_to_json`].
+///
+/// Rejects documents with a newer `schema_version` than this build understands.
+pub fn sweep_from_json(v: &Json) -> Result<Vec<ScenarioRecord>, JsonError> {
+    let version = v.get("schema_version")?.as_u64()?;
+    if version > RESULTS_SCHEMA_VERSION {
+        return Err(JsonError::msg(format!(
+            "results schema version {version} is newer than supported {RESULTS_SCHEMA_VERSION}"
+        )));
+    }
+    v.get("scenarios")?
+        .as_array()?
+        .iter()
+        .map(record_from_json)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioRegistry;
+    use dlrv_trace::{ArrivalModel, CommTopology};
+
+    fn small(name: &str) -> Scenario {
+        let mut s = ScenarioRegistry::standard().get(name).expect(name).clone();
+        s.config.events_per_process = 5;
+        s.config.seeds = vec![1, 2];
+        s
+    }
+
+    #[test]
+    fn sweep_document_round_trips() {
+        let scenarios = [small("paper-B-n2"), small("ring-B-n4")];
+        let runs: Vec<_> = scenarios.iter().map(|s| (s.clone(), s.run())).collect();
+        let text = sweep_to_json(&runs).to_string_pretty();
+        let records = sweep_from_json(&Json::parse(&text).expect("parse")).expect("schema");
+        assert_eq!(records.len(), runs.len());
+        for (record, (scenario, result)) in records.iter().zip(&runs) {
+            assert_eq!(&record.scenario, scenario);
+            assert_eq!(record.avg, result.avg);
+            assert_eq!(record.per_seed, result.per_seed);
+            assert_eq!(record.detected_verdicts, result.detected_verdicts);
+        }
+    }
+
+    #[test]
+    fn config_round_trips_every_shape() {
+        for config in [
+            ExperimentConfig::paper_default(PaperProperty::A, 2),
+            ExperimentConfig {
+                comm_mu: None,
+                ..ExperimentConfig::paper_default(PaperProperty::C, 4)
+            },
+            ExperimentConfig {
+                arrival: ArrivalModel::Bursty {
+                    burst_len: 4,
+                    intra_scale: 0.2,
+                    gap_scale: 3.0,
+                },
+                topology: CommTopology::Hotspot { hub: 1 },
+                ..ExperimentConfig::paper_default(PaperProperty::F, 5)
+            },
+        ] {
+            let text = config_to_json(&config).to_string_pretty();
+            let back = config_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(config, back);
+        }
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let options = MonitorOptions {
+            aggregate_tokens: false,
+            ..MonitorOptions::default()
+        };
+        let back = options_from_json(&options_to_json(&options)).unwrap();
+        assert_eq!(options, back);
+    }
+
+    #[test]
+    fn newer_schema_versions_are_rejected() {
+        let doc = object([
+            ("schema_version", Json::from(RESULTS_SCHEMA_VERSION + 1)),
+            ("generator", Json::from("dlrv-experiments")),
+            ("scenarios", Json::Array(vec![])),
+        ]);
+        let err = sweep_from_json(&doc).unwrap_err();
+        assert!(err.message.contains("newer than supported"));
+    }
+}

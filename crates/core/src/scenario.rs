@@ -1,0 +1,343 @@
+//! The scenario registry: every experiment this repository knows how to run, by name.
+//!
+//! A [`Scenario`] bundles everything one data point needs — the monitored
+//! [`PaperProperty`], the process count, the workload shape
+//! ([`ArrivalModel`] / [`CommTopology`] via [`ExperimentConfig`]) and the
+//! [`MonitorOptions`] — under a stable name.  The [`ScenarioRegistry`] is the single
+//! source of truth consumed by the `experiments` binary (`--target sweep`,
+//! `--list-scenarios`), the criterion benches and the JSON results pipeline
+//! ([`crate::results`]), so a new workload shape added here is immediately
+//! measurable everywhere.
+//!
+//! [`ScenarioRegistry::standard`] covers the paper's evaluation (Chapter 5: six
+//! properties × 2–5 processes under normally-distributed workloads, plus the
+//! communication-frequency sweep of Fig. 5.9) and extends it with shapes the paper
+//! does not measure: bursty event arrivals, hotspot / ring / pipeline communication
+//! topologies, and large-N runs up to 8 processes.
+
+use crate::experiment::{run_experiment_with_options, ExperimentConfig, ExperimentResult};
+use crate::properties::PaperProperty;
+use dlrv_monitor::MonitorOptions;
+use dlrv_trace::{ArrivalModel, CommTopology};
+use std::fmt;
+
+/// Which part of the evaluation a scenario belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioFamily {
+    /// The paper's main sweep (Figures 5.4–5.8): every property × process count under
+    /// the default workload.
+    Paper,
+    /// The communication-frequency sweep of Fig. 5.9.
+    CommFrequency,
+    /// Workload shapes beyond the paper: bursty arrivals, non-broadcast topologies,
+    /// large process counts.
+    Extended,
+}
+
+impl ScenarioFamily {
+    /// Stable lowercase name used in listings and the JSON schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioFamily::Paper => "paper",
+            ScenarioFamily::CommFrequency => "comm-frequency",
+            ScenarioFamily::Extended => "extended",
+        }
+    }
+
+    /// The family with the given [`name`](Self::name), if any.
+    pub fn from_name(name: &str) -> Option<ScenarioFamily> {
+        [
+            ScenarioFamily::Paper,
+            ScenarioFamily::CommFrequency,
+            ScenarioFamily::Extended,
+        ]
+        .into_iter()
+        .find(|f| f.name() == name)
+    }
+}
+
+impl fmt::Display for ScenarioFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, reusable experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Stable name (`paper-A-n2`, `bursty-C-n4`, …), unique within a registry.
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// Which part of the evaluation it belongs to.
+    pub family: ScenarioFamily,
+    /// Property, process count, workload shape and seeds.
+    pub config: ExperimentConfig,
+    /// Monitor-optimization switches (§4.3).
+    pub options: MonitorOptions,
+}
+
+impl Scenario {
+    /// Runs the scenario: one simulation per seed, metrics averaged.
+    pub fn run(&self) -> ExperimentResult {
+        run_experiment_with_options(&self.config, self.options)
+    }
+}
+
+/// An ordered, name-addressable collection of scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRegistry {
+    scenarios: Vec<Scenario>,
+}
+
+impl ScenarioRegistry {
+    /// The empty registry.
+    pub fn new() -> Self {
+        ScenarioRegistry::default()
+    }
+
+    /// The standard registry: the paper's sweeps plus the extended workload shapes.
+    ///
+    /// Names are stable; `BENCH_results.json` files produced by different commits are
+    /// diffed scenario-by-scenario against them.
+    pub fn standard() -> Self {
+        let mut registry = ScenarioRegistry::new();
+
+        // The paper's main sweep: Figures 5.4–5.8 report the same runs through
+        // different metrics, so one scenario per (property, process count) suffices.
+        for property in PaperProperty::ALL {
+            for n in [2usize, 3, 4, 5] {
+                registry.push(Scenario {
+                    name: format!("paper-{}-n{}", property.name(), n),
+                    description: format!(
+                        "Paper sweep (Figs 5.4-5.8): property {}, {} processes, \
+                         N(3,1) arrivals, broadcast communication",
+                        property.name(),
+                        n
+                    ),
+                    family: ScenarioFamily::Paper,
+                    config: ExperimentConfig::paper_default(property, n),
+                    options: MonitorOptions::default(),
+                });
+            }
+        }
+
+        // The communication-frequency sweep of Fig. 5.9 (4 processes, property C).
+        for comm_mu in [Some(3.0), Some(6.0), Some(9.0), Some(15.0), None] {
+            let (suffix, label) = match comm_mu {
+                Some(mu) => (format!("mu{}", mu as u64), format!("Commmu = {mu} s")),
+                None => ("nocomm".to_string(), "no communication".to_string()),
+            };
+            registry.push(Scenario {
+                name: format!("commfreq-{suffix}"),
+                description: format!(
+                    "Communication-frequency sweep (Fig 5.9): property C, 4 processes, {label}"
+                ),
+                family: ScenarioFamily::CommFrequency,
+                config: ExperimentConfig {
+                    comm_mu,
+                    ..ExperimentConfig::paper_default(PaperProperty::C, 4)
+                },
+                options: MonitorOptions::default(),
+            });
+        }
+
+        // Extended shapes the paper does not measure.
+        registry.push(Scenario {
+            name: "bursty-C-n4".to_string(),
+            description: "Bursty event arrivals: property C, 4 processes, bursts of 4 \
+                          rapid events separated by long gaps"
+                .to_string(),
+            family: ScenarioFamily::Extended,
+            config: ExperimentConfig {
+                arrival: ArrivalModel::Bursty {
+                    burst_len: 4,
+                    intra_scale: 0.2,
+                    gap_scale: 3.0,
+                },
+                ..ExperimentConfig::paper_default(PaperProperty::C, 4)
+            },
+            options: MonitorOptions::default(),
+        });
+        registry.push(Scenario {
+            name: "hotspot-D-n4".to_string(),
+            description: "Hotspot communication: property D, 4 processes, all messages \
+                          funnel through process 0"
+                .to_string(),
+            family: ScenarioFamily::Extended,
+            config: ExperimentConfig {
+                topology: CommTopology::Hotspot { hub: 0 },
+                ..ExperimentConfig::paper_default(PaperProperty::D, 4)
+            },
+            options: MonitorOptions::default(),
+        });
+        registry.push(Scenario {
+            name: "ring-B-n4".to_string(),
+            description: "Ring topology: property B, 4 processes, each process sends \
+                          only to its ring successor"
+                .to_string(),
+            family: ScenarioFamily::Extended,
+            config: ExperimentConfig {
+                topology: CommTopology::Ring,
+                ..ExperimentConfig::paper_default(PaperProperty::B, 4)
+            },
+            options: MonitorOptions::default(),
+        });
+        registry.push(Scenario {
+            name: "pipeline-A-n4".to_string(),
+            description: "Pipeline topology: property A, 4 processes, messages flow \
+                          P0 -> P1 -> P2 -> P3"
+                .to_string(),
+            family: ScenarioFamily::Extended,
+            config: ExperimentConfig {
+                topology: CommTopology::Pipeline,
+                ..ExperimentConfig::paper_default(PaperProperty::A, 4)
+            },
+            options: MonitorOptions::default(),
+        });
+        for n in [6usize, 8] {
+            registry.push(Scenario {
+                name: format!("large-B-n{n}"),
+                description: format!(
+                    "Large-N run: property B, {n} processes (beyond the paper's 5), \
+                     broadcast communication"
+                ),
+                family: ScenarioFamily::Extended,
+                config: ExperimentConfig::paper_default(PaperProperty::B, n),
+                options: MonitorOptions::default(),
+            });
+        }
+        registry.push(Scenario {
+            name: "large-A-n6-ring".to_string(),
+            description: "Large-N run: property A, 6 processes over a ring (bounded \
+                          per-process fan-out at scale)"
+                .to_string(),
+            family: ScenarioFamily::Extended,
+            config: ExperimentConfig {
+                topology: CommTopology::Ring,
+                ..ExperimentConfig::paper_default(PaperProperty::A, 6)
+            },
+            options: MonitorOptions::default(),
+        });
+
+        registry
+    }
+
+    /// Adds a scenario.
+    ///
+    /// Panics if a scenario with the same name is already registered — names are the
+    /// stable keys of the results pipeline, so a silent overwrite would corrupt
+    /// cross-commit diffs.
+    pub fn push(&mut self, scenario: Scenario) {
+        assert!(
+            self.get(&scenario.name).is_none(),
+            "duplicate scenario name `{}`",
+            scenario.name
+        );
+        self.scenarios.push(scenario);
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// All scenarios, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.iter()
+    }
+
+    /// The scenarios of one family, in registration order.
+    pub fn family(&self, family: ScenarioFamily) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.iter().filter(move |s| s.family == family)
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True when no scenarios are registered.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a ScenarioRegistry {
+    type Item = &'a Scenario;
+    type IntoIter = std::slice::Iter<'a, Scenario>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.scenarios.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_covers_the_paper_sweep() {
+        let registry = ScenarioRegistry::standard();
+        for property in PaperProperty::ALL {
+            for n in [2usize, 3, 4, 5] {
+                let name = format!("paper-{}-n{}", property.name(), n);
+                let s = registry.get(&name).unwrap_or_else(|| panic!("missing {name}"));
+                assert_eq!(s.config.property, property);
+                assert_eq!(s.config.n_processes, n);
+                assert_eq!(s.family, ScenarioFamily::Paper);
+            }
+        }
+        assert_eq!(registry.family(ScenarioFamily::Paper).count(), 24);
+        assert_eq!(registry.family(ScenarioFamily::CommFrequency).count(), 5);
+        assert!(
+            registry.family(ScenarioFamily::Extended).count() >= 3,
+            "at least three non-paper scenarios are required"
+        );
+    }
+
+    #[test]
+    fn scenario_names_are_unique() {
+        let registry = ScenarioRegistry::standard();
+        let mut names: Vec<_> = registry.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "scenario names must be unique");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scenario name")]
+    fn duplicate_names_are_rejected() {
+        let mut registry = ScenarioRegistry::standard();
+        let clone = registry.iter().next().unwrap().clone();
+        registry.push(clone);
+    }
+
+    #[test]
+    fn extended_scenarios_run_and_produce_metrics() {
+        // Scaled-down copies of the extended shapes: the point is that every new
+        // workload shape actually executes end-to-end, not the absolute numbers.
+        let registry = ScenarioRegistry::standard();
+        for name in ["bursty-C-n4", "hotspot-D-n4", "ring-B-n4", "pipeline-A-n4"] {
+            let mut scenario = registry.get(name).expect(name).clone();
+            scenario.config.events_per_process = 6;
+            scenario.config.seeds = vec![1];
+            let result = scenario.run();
+            assert!(result.avg.total_events > 0, "{name} must simulate events");
+            assert!(result.avg.program_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in [
+            ScenarioFamily::Paper,
+            ScenarioFamily::CommFrequency,
+            ScenarioFamily::Extended,
+        ] {
+            assert_eq!(ScenarioFamily::from_name(family.name()), Some(family));
+        }
+        assert_eq!(ScenarioFamily::from_name("nope"), None);
+    }
+}

@@ -5,7 +5,7 @@
 //! processes execute their trace entries at simulated wall-clock times, program
 //! messages and monitor messages travel over reliable FIFO channels with configurable
 //! latency, and every program event is handed to the co-located
-//! [`MonitorBehavior`](crate::MonitorBehavior) exactly as the paper's programs hand
+//! [`MonitorBehavior`] exactly as the paper's programs hand
 //! events to their monitors.  The full [`Computation`] is recorded on the side so that
 //! the oracle can be evaluated on the very same execution.
 
@@ -175,6 +175,30 @@ pub fn run_simulation<B: MonitorBehavior>(
                         Event {
                             process,
                             kind: EventKind::Broadcast { msg_id },
+                            sn: clocks[process].get(process),
+                            vc: clocks[process].clone(),
+                            state: states[process],
+                            time: now,
+                        }
+                    }
+                    TraceAction::Send { to } => {
+                        assert!(to < n && to != process, "send target must be a peer");
+                        msg_id += 1;
+                        queue.push(QueueItem {
+                            time: now + config.program_msg_latency,
+                            seq: next_seq(&mut seq),
+                            kind: ItemKind::ProgramMsg {
+                                to,
+                                from: process,
+                                vc: clocks[process].clone(),
+                                msg_id,
+                            },
+                        });
+                        program_items += 1;
+                        program_messages += 1;
+                        Event {
+                            process,
+                            kind: EventKind::Send { to, msg_id },
                             sn: clocks[process].get(process),
                             vc: clocks[process].clone(),
                             state: states[process],
@@ -491,6 +515,28 @@ mod tests {
             assert!(events
                 .iter()
                 .all(|e| matches!(e.kind, EventKind::Internal)));
+        }
+    }
+
+    #[test]
+    fn ring_topology_routes_point_to_point() {
+        use dlrv_trace::CommTopology;
+        let workload =
+            generate_workload(&WorkloadConfig::with_topology(4, CommTopology::Ring, 6));
+        let reg = registry_for(4);
+        let report = run_simulation(&workload, &reg, &SimConfig::default(), |_| NullMonitor::default());
+        let sends: usize = workload.traces.iter().map(|t| t.n_sends()).sum();
+        assert!(sends > 0);
+        // Every point-to-point send is exactly one program message and one receive.
+        assert_eq!(report.program_messages, sends);
+        for (i, events) in report.computation.events.iter().enumerate() {
+            for e in events {
+                match e.kind {
+                    EventKind::Send { to, .. } => assert_eq!(to, (i + 1) % 4),
+                    EventKind::Receive { from, .. } => assert_eq!(i, (from + 1) % 4),
+                    _ => {}
+                }
+            }
         }
     }
 

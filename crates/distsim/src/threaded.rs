@@ -219,6 +219,24 @@ where
                                 time: now,
                             }
                         }
+                        TraceAction::Send { to } => {
+                            assert!(to < n && to != i, "send target must be a peer");
+                            msg_counter += 1;
+                            let msg_id = (i as u64) << 32 | msg_counter;
+                            let _ = senders[to].send(ThreadMsg::Program {
+                                from: i,
+                                vc: vc.clone(),
+                                msg_id,
+                            });
+                            Event {
+                                process: i,
+                                kind: EventKind::Send { to, msg_id },
+                                sn: vc.get(i),
+                                vc: vc.clone(),
+                                state,
+                                time: now,
+                            }
+                        }
                     };
                     events.push(event.clone());
                     let mut ctx = MonitorContext {

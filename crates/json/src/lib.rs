@@ -154,6 +154,21 @@ impl Json {
         }
     }
 
+    /// The value of `key` in an object, or `None` when the key is absent.
+    ///
+    /// Unlike [`Json::get`], a missing key is not an error — this is how parsers of
+    /// versioned on-disk schemas accept documents written before a field existed.
+    /// A non-object still errors.
+    pub fn get_opt(&self, key: &str) -> Result<Option<&Json>, JsonError> {
+        match self {
+            Json::Object(fields) => Ok(fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)),
+            other => Err(JsonError::msg(format!(
+                "expected object with key `{key}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
     /// The boolean value.
     pub fn as_bool(&self) -> Result<bool, JsonError> {
         match self {
@@ -581,6 +596,14 @@ mod tests {
             let text = Json::from(x).to_string_pretty();
             assert_eq!(Json::parse(&text).unwrap().as_f64().unwrap(), x);
         }
+    }
+
+    #[test]
+    fn get_opt_distinguishes_missing_from_malformed() {
+        let v = Json::parse(r#"{"a": 1}"#).unwrap();
+        assert_eq!(v.get_opt("a").unwrap(), Some(&Json::Int(1)));
+        assert_eq!(v.get_opt("b").unwrap(), None);
+        assert!(Json::Int(3).get_opt("a").is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub enum CentralMsg {
 
 /// A monitor participating in the centralized configuration.
 ///
-/// The monitor attached to [`CentralizedMonitor::central`] collects events; all others
+/// The monitor attached to the `central` process collects events; all others
 /// forward.
 #[derive(Debug, Clone)]
 pub struct CentralizedMonitor {

@@ -25,5 +25,5 @@ pub use centralized::{CentralMsg, CentralizedMonitor};
 pub use decentralized::{DecentralizedMonitor, MonitorOptions};
 pub use global_view::{GlobalView, GvState};
 pub use messages::{ConjunctEval, EvalState, MonitorMsg, Token, TokenTransition};
-pub use metrics::{MonitorMetrics, RunMetrics};
+pub use metrics::{verdict_from_name, verdict_name, MonitorMetrics, RunMetrics};
 pub use replay::{replay_decentralized, ReplayResult};

@@ -4,8 +4,39 @@
 //! detection delay (both as queued events and as extra monitoring time per global
 //! state), and memory overhead as the total number of global views created.
 
+use dlrv_json::{object, Json, JsonError};
 use dlrv_ltl::Verdict;
 use std::collections::BTreeSet;
+
+/// Stable on-disk name of a verdict (`"true"`, `"false"`, `"unknown"`).
+pub fn verdict_name(v: Verdict) -> &'static str {
+    match v {
+        Verdict::True => "true",
+        Verdict::False => "false",
+        Verdict::Unknown => "unknown",
+    }
+}
+
+/// Parses a verdict from its [`verdict_name`] form.
+pub fn verdict_from_name(name: &str) -> Result<Verdict, JsonError> {
+    match name {
+        "true" => Ok(Verdict::True),
+        "false" => Ok(Verdict::False),
+        "unknown" => Ok(Verdict::Unknown),
+        other => Err(JsonError::msg(format!("unknown verdict `{other}`"))),
+    }
+}
+
+fn verdicts_to_json(set: &BTreeSet<Verdict>) -> Json {
+    Json::Array(set.iter().map(|&v| Json::from(verdict_name(v))).collect())
+}
+
+fn verdicts_from_json(v: &Json) -> Result<BTreeSet<Verdict>, JsonError> {
+    v.as_array()?
+        .iter()
+        .map(|item| verdict_from_name(item.as_str()?))
+        .collect()
+}
 
 /// Metrics collected by a single monitor process.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -76,6 +107,47 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
+    /// Serializes the metrics as a JSON object; the field names below are the stable
+    /// schema of `BENCH_results.json` records.
+    ///
+    /// Floats are printed with Rust's shortest round-trip formatting (see
+    /// [`dlrv_json`]), so [`RunMetrics::from_json`] restores every field exactly.
+    pub fn to_json(&self) -> Json {
+        object([
+            ("n_processes", Json::from(self.n_processes)),
+            ("total_events", Json::from(self.total_events)),
+            ("monitor_messages", Json::from(self.monitor_messages)),
+            ("program_messages", Json::from(self.program_messages)),
+            ("total_global_views", Json::from(self.total_global_views)),
+            ("avg_delayed_events", Json::from(self.avg_delayed_events)),
+            ("delay_time_pct_per_gv", Json::from(self.delay_time_pct_per_gv)),
+            ("program_time", Json::from(self.program_time)),
+            ("monitor_extra_time", Json::from(self.monitor_extra_time)),
+            (
+                "detected_final_verdicts",
+                verdicts_to_json(&self.detected_final_verdicts),
+            ),
+            ("possible_verdicts", verdicts_to_json(&self.possible_verdicts)),
+        ])
+    }
+
+    /// Parses metrics back from their [`RunMetrics::to_json`] form, field-for-field.
+    pub fn from_json(v: &Json) -> Result<RunMetrics, JsonError> {
+        Ok(RunMetrics {
+            n_processes: v.get("n_processes")?.as_usize()?,
+            total_events: v.get("total_events")?.as_usize()?,
+            monitor_messages: v.get("monitor_messages")?.as_usize()?,
+            program_messages: v.get("program_messages")?.as_usize()?,
+            total_global_views: v.get("total_global_views")?.as_usize()?,
+            avg_delayed_events: v.get("avg_delayed_events")?.as_f64()?,
+            delay_time_pct_per_gv: v.get("delay_time_pct_per_gv")?.as_f64()?,
+            program_time: v.get("program_time")?.as_f64()?,
+            monitor_extra_time: v.get("monitor_extra_time")?.as_f64()?,
+            detected_final_verdicts: verdicts_from_json(v.get("detected_final_verdicts")?)?,
+            possible_verdicts: verdicts_from_json(v.get("possible_verdicts")?)?,
+        })
+    }
+
     /// Aggregates per-monitor metrics plus run-level timing/counting information.
     pub fn aggregate(
         per_monitor: &[MonitorMetrics],
@@ -162,6 +234,38 @@ mod tests {
         assert!((run.delay_time_pct_per_gv - 2.0).abs() < 1e-9);
         assert!(run.detected_final_verdicts.contains(&Verdict::False));
         assert!(run.possible_verdicts.contains(&Verdict::Unknown));
+    }
+
+    #[test]
+    fn run_metrics_json_round_trips_field_for_field() {
+        let m = RunMetrics {
+            n_processes: 4,
+            total_events: 123,
+            monitor_messages: 456,
+            program_messages: 78,
+            total_global_views: 90,
+            avg_delayed_events: 1.0 / 3.0,
+            delay_time_pct_per_gv: 0.123456789,
+            program_time: 59.87,
+            monitor_extra_time: 2.5e-3,
+            detected_final_verdicts: BTreeSet::from([Verdict::True]),
+            possible_verdicts: BTreeSet::from([Verdict::True, Verdict::Unknown]),
+        };
+        let text = m.to_json().to_string_pretty();
+        let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(m, back);
+        // And the default all-zero metrics too.
+        let zero = RunMetrics::default();
+        let back = RunMetrics::from_json(&Json::parse(&zero.to_json().to_string_pretty()).unwrap());
+        assert_eq!(zero, back.unwrap());
+    }
+
+    #[test]
+    fn verdict_names_round_trip() {
+        for v in [Verdict::True, Verdict::False, Verdict::Unknown] {
+            assert_eq!(verdict_from_name(verdict_name(v)).unwrap(), v);
+        }
+        assert!(verdict_from_name("maybe").is_err());
     }
 
     #[test]

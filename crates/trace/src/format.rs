@@ -6,7 +6,9 @@
 //! build environment has no registry access, so `serde`/`serde_json` are unavailable);
 //! the field names below are the stable on-disk schema.
 
-use crate::workload::{ProcessTrace, TraceAction, TraceEntry, Workload, WorkloadConfig};
+use crate::workload::{
+    ArrivalModel, CommTopology, ProcessTrace, TraceAction, TraceEntry, Workload, WorkloadConfig,
+};
 use dlrv_json::{object, Json, JsonError};
 use std::fs;
 use std::io;
@@ -14,6 +16,62 @@ use std::path::Path;
 
 /// Error type of [`from_json`]; re-exported so callers need not depend on `dlrv_json`.
 pub type FormatError = JsonError;
+
+/// Serializes an arrival model as a tagged object.
+pub fn arrival_to_json(arrival: &ArrivalModel) -> Json {
+    match arrival {
+        ArrivalModel::Normal => object([("model", Json::from("normal"))]),
+        ArrivalModel::Bursty {
+            burst_len,
+            intra_scale,
+            gap_scale,
+        } => object([
+            ("model", Json::from("bursty")),
+            ("burst_len", Json::from(*burst_len)),
+            ("intra_scale", Json::from(*intra_scale)),
+            ("gap_scale", Json::from(*gap_scale)),
+        ]),
+    }
+}
+
+/// Parses an arrival model from its tagged-object form.
+pub fn arrival_from_json(v: &Json) -> Result<ArrivalModel, FormatError> {
+    match v.get("model")?.as_str()? {
+        "normal" => Ok(ArrivalModel::Normal),
+        "bursty" => Ok(ArrivalModel::Bursty {
+            burst_len: v.get("burst_len")?.as_usize()?,
+            intra_scale: v.get("intra_scale")?.as_f64()?,
+            gap_scale: v.get("gap_scale")?.as_f64()?,
+        }),
+        other => Err(JsonError::msg(format!("unknown arrival model `{other}`"))),
+    }
+}
+
+/// Serializes a communication topology as a tagged object.
+pub fn topology_to_json(topology: &CommTopology) -> Json {
+    match topology {
+        CommTopology::Broadcast => object([("kind", Json::from("broadcast"))]),
+        CommTopology::Ring => object([("kind", Json::from("ring"))]),
+        CommTopology::Pipeline => object([("kind", Json::from("pipeline"))]),
+        CommTopology::Hotspot { hub } => object([
+            ("kind", Json::from("hotspot")),
+            ("hub", Json::from(*hub)),
+        ]),
+    }
+}
+
+/// Parses a communication topology from its tagged-object form.
+pub fn topology_from_json(v: &Json) -> Result<CommTopology, FormatError> {
+    match v.get("kind")?.as_str()? {
+        "broadcast" => Ok(CommTopology::Broadcast),
+        "ring" => Ok(CommTopology::Ring),
+        "pipeline" => Ok(CommTopology::Pipeline),
+        "hotspot" => Ok(CommTopology::Hotspot {
+            hub: v.get("hub")?.as_usize()?,
+        }),
+        other => Err(JsonError::msg(format!("unknown topology kind `{other}`"))),
+    }
+}
 
 fn config_to_json(config: &WorkloadConfig) -> Json {
     object([
@@ -27,6 +85,8 @@ fn config_to_json(config: &WorkloadConfig) -> Json {
         ("goal_tail_fraction", Json::from(config.goal_tail_fraction)),
         ("initial_p", Json::from(config.initial_p)),
         ("initial_q", Json::from(config.initial_q)),
+        ("arrival", arrival_to_json(&config.arrival)),
+        ("topology", topology_to_json(&config.topology)),
     ])
 }
 
@@ -45,6 +105,14 @@ fn config_from_json(v: &Json) -> Result<WorkloadConfig, FormatError> {
         goal_tail_fraction: v.get("goal_tail_fraction")?.as_f64()?,
         initial_p: v.get("initial_p")?.as_bool()?,
         initial_q: v.get("initial_q")?.as_bool()?,
+        // Both fields postdate the first on-disk schema; archives written before
+        // them carry the (then-only) paper shapes.
+        arrival: v
+            .get_opt("arrival")?
+            .map_or(Ok(ArrivalModel::Normal), arrival_from_json)?,
+        topology: v
+            .get_opt("topology")?
+            .map_or(Ok(CommTopology::Broadcast), topology_from_json)?,
     })
 }
 
@@ -56,6 +124,10 @@ fn entry_to_json(entry: &TraceEntry) -> Json {
             ("q", Json::from(q)),
         ]),
         TraceAction::Broadcast => object([("kind", Json::from("broadcast"))]),
+        TraceAction::Send { to } => object([
+            ("kind", Json::from("send")),
+            ("to", Json::from(to)),
+        ]),
     };
     object([("wait", Json::from(entry.wait)), ("action", action)])
 }
@@ -68,6 +140,9 @@ fn entry_from_json(v: &Json) -> Result<TraceEntry, FormatError> {
             q: action_value.get("q")?.as_bool()?,
         },
         "broadcast" => TraceAction::Broadcast,
+        "send" => TraceAction::Send {
+            to: action_value.get("to")?.as_usize()?,
+        },
         other => return Err(JsonError::msg(format!("unknown action kind `{other}`"))),
     };
     Ok(TraceEntry {
@@ -115,9 +190,14 @@ pub fn to_json(workload: &Workload) -> String {
 }
 
 /// Parses a workload from JSON.
+///
+/// Beyond syntactic validity, the workload is checked for internal consistency (one
+/// trace per process, send targets that name an existing peer), so a malformed
+/// archive fails here with a descriptive error instead of panicking later inside a
+/// simulation substrate.
 pub fn from_json(json: &str) -> Result<Workload, FormatError> {
     let v = Json::parse(json)?;
-    Ok(Workload {
+    let workload = Workload {
         config: config_from_json(v.get("config")?)?,
         traces: v
             .get("traces")?
@@ -125,7 +205,26 @@ pub fn from_json(json: &str) -> Result<Workload, FormatError> {
             .iter()
             .map(trace_from_json)
             .collect::<Result<_, _>>()?,
-    })
+    };
+    let n = workload.config.n_processes;
+    if workload.traces.len() != n {
+        return Err(JsonError::msg(format!(
+            "workload declares {n} processes but carries {} traces",
+            workload.traces.len()
+        )));
+    }
+    for (i, trace) in workload.traces.iter().enumerate() {
+        for entry in &trace.entries {
+            if let TraceAction::Send { to } = entry.action {
+                if to >= n || to == i {
+                    return Err(JsonError::msg(format!(
+                        "process {i}: send target {to} is not a peer of a {n}-process workload"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(workload)
 }
 
 /// Writes a workload to `path` as JSON.
@@ -168,6 +267,76 @@ mod tests {
     fn malformed_json_is_rejected() {
         assert!(from_json("{not json").is_err());
         assert!(from_json("{}").is_err());
+    }
+
+    #[test]
+    fn inconsistent_workloads_are_rejected_at_parse_time() {
+        // Round-trip a valid 2-process ring workload, then corrupt it: out-of-range
+        // and self-targeted sends, and a missing trace, must all fail in from_json
+        // (not panic later in a simulator).
+        use crate::workload::CommTopology;
+        let good = to_json(&generate_workload(&WorkloadConfig {
+            events_per_process: 4,
+            ..WorkloadConfig::with_topology(2, CommTopology::Ring, 8)
+        }));
+        assert!(from_json(&good).is_ok());
+
+        let out_of_range = good.replacen("\"to\": 1", "\"to\": 9", 1);
+        assert_ne!(out_of_range, good, "fixture must contain a send to process 1");
+        let err = from_json(&out_of_range).unwrap_err();
+        assert!(err.message.contains("not a peer"), "got: {}", err.message);
+
+        let self_send = good.replacen("\"to\": 1", "\"to\": 0", 1);
+        assert!(from_json(&self_send).unwrap_err().message.contains("not a peer"));
+
+        let missing_trace =
+            good.replacen("\"n_processes\": 2", "\"n_processes\": 3", 1);
+        let err = from_json(&missing_trace).unwrap_err();
+        assert!(err.message.contains("carries 2 traces"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn new_shapes_round_trip() {
+        use crate::workload::{ArrivalModel, CommTopology};
+        for cfg in [
+            WorkloadConfig::bursty(3, 4, 21),
+            WorkloadConfig::with_topology(4, CommTopology::Ring, 22),
+            WorkloadConfig::with_topology(4, CommTopology::Pipeline, 23),
+            WorkloadConfig::with_topology(4, CommTopology::Hotspot { hub: 2 }, 24),
+            WorkloadConfig {
+                arrival: ArrivalModel::Bursty {
+                    burst_len: 5,
+                    intra_scale: 0.1,
+                    gap_scale: 4.0,
+                },
+                topology: CommTopology::Ring,
+                ..WorkloadConfig::default()
+            },
+        ] {
+            let w = generate_workload(&cfg);
+            let back = from_json(&to_json(&w)).expect("parse");
+            assert_eq!(w, back);
+        }
+    }
+
+    #[test]
+    fn pre_scenario_archives_still_parse() {
+        // A config written before the arrival/topology fields existed must load with
+        // the paper defaults.  This pins the schema's backward compatibility.
+        let old = r#"{
+          "config": {
+            "n_processes": 2, "events_per_process": 0,
+            "evt_mu": 3.0, "evt_sigma": 1.0, "comm_mu": 3.0, "comm_sigma": 1.0,
+            "seed": 1, "goal_tail_fraction": 0.2, "initial_p": false, "initial_q": false
+          },
+          "traces": [
+            {"initial_p": false, "initial_q": false, "entries": []},
+            {"initial_p": false, "initial_q": false, "entries": []}
+          ]
+        }"#;
+        let w = from_json(old).expect("old archive parses");
+        assert_eq!(w.config.arrival, crate::workload::ArrivalModel::Normal);
+        assert_eq!(w.config.topology, crate::workload::CommTopology::Broadcast);
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //! * [`workload`] — the [`WorkloadConfig`] parameter set (`Evtµ`, `Evtσ`, `Commµ`,
 //!   `Commσ`, process count, events per process, seed) and the generator producing
 //!   [`ProcessTrace`]s, designed — like the paper's traces — so that some lattice path
-//!   can reach a final automaton state.
-//! * [`format`] — JSON (de)serialization of trace files.
+//!   can reach a final automaton state.  Beyond the paper's single shape, workloads
+//!   are parameterized by an [`ArrivalModel`] (normally-distributed or bursty event
+//!   arrivals) and a [`CommTopology`] (broadcast, ring, pipeline, or hotspot
+//!   communication), which is what the scenario registry in `dlrv-core` builds on.
+//! * [`mod@format`] — JSON (de)serialization of trace files.
 
 pub mod distribution;
 pub mod format;
@@ -20,5 +23,6 @@ pub mod workload;
 
 pub use distribution::NormalSampler;
 pub use workload::{
-    generate_workload, ProcessTrace, TraceAction, TraceEntry, Workload, WorkloadConfig,
+    generate_workload, ArrivalModel, CommTopology, ProcessTrace, TraceAction, TraceEntry,
+    Workload, WorkloadConfig,
 };

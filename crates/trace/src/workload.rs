@@ -24,6 +24,53 @@ pub enum TraceAction {
     },
     /// Communication event: broadcast a message to every other process.
     Broadcast,
+    /// Communication event: send a single message to process `to` (used by the
+    /// ring/pipeline/hotspot topologies, where communication is point-to-point
+    /// instead of the paper's broadcast).
+    Send {
+        /// Destination process.
+        to: usize,
+    },
+}
+
+/// How internal-event wait times are drawn (`Evtµ`/`Evtσ` stay the base
+/// distribution in every model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// The paper's model: every wait is an independent `N(Evtµ, Evtσ)` sample.
+    Normal,
+    /// Bursty arrivals: events come in bursts of `burst_len`.  The first event of a
+    /// burst waits `sample · gap_scale` (a long inter-burst gap), the remaining
+    /// events of the burst wait `sample · intra_scale` (rapid fire).  With
+    /// `intra_scale < 1 < gap_scale` the mean event rate stays comparable to
+    /// [`ArrivalModel::Normal`] while the instantaneous rate oscillates.
+    Bursty {
+        /// Number of internal events per burst (≥ 1).
+        burst_len: usize,
+        /// Wait-time multiplier inside a burst (typically « 1).
+        intra_scale: f64,
+        /// Wait-time multiplier for the gap before each burst (typically > 1).
+        gap_scale: f64,
+    },
+}
+
+/// Who a process's communication events are addressed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommTopology {
+    /// The paper's model: every communication event broadcasts to all other
+    /// processes.
+    Broadcast,
+    /// Ring: process `i` sends to `(i + 1) mod n`.
+    Ring,
+    /// Pipeline: process `i` sends to `i + 1`; the last process generates no
+    /// communication events.
+    Pipeline,
+    /// Hotspot: every process sends to the hub process only, and the hub
+    /// broadcasts to everyone — all communication funnels through one process.
+    Hotspot {
+        /// The hub process (clamped to the process count at generation time).
+        hub: usize,
+    },
 }
 
 /// One entry of a process trace: wait `wait` seconds, then perform `action`.
@@ -71,6 +118,19 @@ impl ProcessTrace {
             .count()
     }
 
+    /// Number of point-to-point send entries.
+    pub fn n_sends(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.action, TraceAction::Send { .. }))
+            .count()
+    }
+
+    /// Number of communication entries of any kind (broadcasts + sends).
+    pub fn n_comm(&self) -> usize {
+        self.n_broadcasts() + self.n_sends()
+    }
+
     /// Total simulated duration of the trace (sum of waits).
     pub fn duration(&self) -> f64 {
         self.entries.iter().map(|e| e.wait).sum()
@@ -116,6 +176,10 @@ pub struct WorkloadConfig {
     pub initial_p: bool,
     /// Initial value of every process's `q` proposition.
     pub initial_q: bool,
+    /// How internal-event wait times are drawn.
+    pub arrival: ArrivalModel,
+    /// Who communication events are addressed to.
+    pub topology: CommTopology,
 }
 
 impl Default for WorkloadConfig {
@@ -131,6 +195,8 @@ impl Default for WorkloadConfig {
             goal_tail_fraction: 0.2,
             initial_p: false,
             initial_q: false,
+            arrival: ArrivalModel::Normal,
+            topology: CommTopology::Broadcast,
         }
     }
 }
@@ -156,6 +222,31 @@ impl WorkloadConfig {
             ..WorkloadConfig::default()
         }
     }
+
+    /// The paper-default workload with bursty event arrivals: bursts of `burst_len`
+    /// rapid events (waits scaled by 0.2) separated by long gaps (waits scaled by 3).
+    pub fn bursty(n_processes: usize, burst_len: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            n_processes,
+            seed,
+            arrival: ArrivalModel::Bursty {
+                burst_len,
+                intra_scale: 0.2,
+                gap_scale: 3.0,
+            },
+            ..WorkloadConfig::default()
+        }
+    }
+
+    /// The paper-default workload over a non-broadcast communication topology.
+    pub fn with_topology(n_processes: usize, topology: CommTopology, seed: u64) -> Self {
+        WorkloadConfig {
+            n_processes,
+            topology,
+            seed,
+            ..WorkloadConfig::default()
+        }
+    }
 }
 
 /// Generates a workload from `config`.
@@ -165,13 +256,30 @@ impl WorkloadConfig {
 /// to `true`, guaranteeing (as the paper's traces do) that a lattice path leading to a
 /// final automaton state exists for the evaluation properties.
 pub fn generate_workload(config: &WorkloadConfig) -> Workload {
-    let mut traces = Vec::with_capacity(config.n_processes);
-    for p in 0..config.n_processes {
+    let n = config.n_processes;
+    let mut traces = Vec::with_capacity(n);
+    for p in 0..n {
         // Per-process RNG so that adding processes does not perturb existing traces.
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(p as u64));
         let mut evt_wait = NormalSampler::new(config.evt_mu, config.evt_sigma);
-        let mut comm_wait = config
-            .comm_mu
+        // What this process's communication events do; `None` disables communication
+        // for this process (point-to-point topologies need a peer to send to).
+        let comm_action = match config.topology {
+            CommTopology::Broadcast => Some(TraceAction::Broadcast),
+            CommTopology::Ring if n >= 2 => Some(TraceAction::Send { to: (p + 1) % n }),
+            CommTopology::Pipeline if p + 1 < n => Some(TraceAction::Send { to: p + 1 }),
+            CommTopology::Hotspot { hub } if n >= 2 => {
+                let hub = hub.min(n - 1);
+                if p == hub {
+                    Some(TraceAction::Broadcast)
+                } else {
+                    Some(TraceAction::Send { to: hub })
+                }
+            }
+            _ => None,
+        };
+        let mut comm_wait = comm_action
+            .and(config.comm_mu)
             .map(|mu| NormalSampler::new(mu, config.comm_sigma));
 
         let mut entries = Vec::new();
@@ -183,14 +291,24 @@ pub fn generate_workload(config: &WorkloadConfig) -> Workload {
         let mut next_comm = comm_wait.as_mut().map(|s| s.sample(&mut rng));
         let mut elapsed = 0.0f64;
         for k in 0..n_events {
-            let wait = evt_wait.sample(&mut rng);
+            let wait = match config.arrival {
+                ArrivalModel::Normal => evt_wait.sample(&mut rng),
+                ArrivalModel::Bursty {
+                    burst_len,
+                    intra_scale,
+                    gap_scale,
+                } => {
+                    let scale = if k % burst_len.max(1) == 0 { gap_scale } else { intra_scale };
+                    evt_wait.sample(&mut rng) * scale
+                }
+            };
             let event_time = elapsed + wait;
             // Emit any communication events that fall before this internal event.
             while let Some(t) = next_comm {
                 if t <= event_time {
                     entries.push(TraceEntry {
                         wait: (t - elapsed).max(0.0),
-                        action: TraceAction::Broadcast,
+                        action: comm_action.expect("comm_wait implies comm_action"),
                     });
                     elapsed = t;
                     next_comm = comm_wait.as_mut().map(|s| t + s.sample(&mut rng));
@@ -271,7 +389,7 @@ mod tests {
                 .rev()
                 .find_map(|e| match e.action {
                     TraceAction::SetProps { p, q } => Some((p, q)),
-                    TraceAction::Broadcast => None,
+                    TraceAction::Broadcast | TraceAction::Send { .. } => None,
                 })
                 .unwrap();
             assert_eq!(last_internal, (true, true));
@@ -296,6 +414,91 @@ mod tests {
         assert!(
             fast_b > slow_b,
             "expected more broadcasts at Commµ=3 ({fast_b}) than at Commµ=15 ({slow_b})"
+        );
+    }
+
+    #[test]
+    fn new_shapes_leave_default_workloads_untouched() {
+        // The arrival/topology extension must not perturb the paper's workloads: a
+        // default-shaped config draws exactly the same traces as before the fields
+        // existed (same RNG consumption, same waits, same actions).
+        let w = generate_workload(&WorkloadConfig::paper_default(3, 7));
+        assert_eq!(w.config.arrival, ArrivalModel::Normal);
+        assert_eq!(w.config.topology, CommTopology::Broadcast);
+        for t in &w.traces {
+            assert_eq!(t.n_sends(), 0, "broadcast topology must not emit sends");
+        }
+    }
+
+    #[test]
+    fn ring_topology_sends_to_successor() {
+        let w = generate_workload(&WorkloadConfig::with_topology(4, CommTopology::Ring, 3));
+        for (i, t) in w.traces.iter().enumerate() {
+            assert_eq!(t.n_broadcasts(), 0);
+            assert!(t.n_sends() > 0, "ring processes must communicate");
+            for e in &t.entries {
+                if let TraceAction::Send { to } = e.action {
+                    assert_eq!(to, (i + 1) % 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_last_process_is_silent() {
+        let w = generate_workload(&WorkloadConfig::with_topology(3, CommTopology::Pipeline, 5));
+        assert!(w.traces[0].n_sends() > 0);
+        assert!(w.traces[1].n_sends() > 0);
+        assert_eq!(w.traces[2].n_comm(), 0, "pipeline tail must not send");
+        for e in &w.traces[0].entries {
+            if let TraceAction::Send { to } = e.action {
+                assert_eq!(to, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_funnels_through_hub() {
+        let hub = 1;
+        let w = generate_workload(&WorkloadConfig::with_topology(
+            4,
+            CommTopology::Hotspot { hub },
+            9,
+        ));
+        for (i, t) in w.traces.iter().enumerate() {
+            if i == hub {
+                assert!(t.n_broadcasts() > 0, "hub must broadcast");
+                assert_eq!(t.n_sends(), 0);
+            } else {
+                assert_eq!(t.n_broadcasts(), 0);
+                for e in &t.entries {
+                    if let TraceAction::Send { to } = e.action {
+                        assert_eq!(to, hub);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_have_higher_wait_variance() {
+        let normal = generate_workload(&WorkloadConfig::paper_default(2, 13));
+        let bursty = generate_workload(&WorkloadConfig::bursty(2, 4, 13));
+        let spread = |w: &Workload| {
+            let waits: Vec<f64> = w.traces[0]
+                .entries
+                .iter()
+                .filter(|e| matches!(e.action, TraceAction::SetProps { .. }))
+                .map(|e| e.wait)
+                .collect();
+            let mean = waits.iter().sum::<f64>() / waits.len() as f64;
+            waits.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / waits.len() as f64
+        };
+        assert!(
+            spread(&bursty) > spread(&normal),
+            "bursty waits must oscillate more than normal waits ({} vs {})",
+            spread(&bursty),
+            spread(&normal)
         );
     }
 

@@ -13,7 +13,7 @@
 //!   oracle of Chapter 3 ([`oracle_evaluate`]) that runs a monitor automaton over all
 //!   lattice paths; this is the ground truth for soundness/completeness testing and the
 //!   conceptual baseline the decentralized algorithm is compared against.
-//! * [`slice`] — conjunctive-predicate detection via least consistent cuts
+//! * [`mod@slice`] — conjunctive-predicate detection via least consistent cuts
 //!   (computation slicing, Definitions 13–15).
 
 pub mod event;

@@ -31,6 +31,7 @@ fn main() {
         // so the formation-until-confirmed property is live from the start.
         initial_p: true,
         initial_q: false,
+        ..WorkloadConfig::default()
     });
 
     println!("=== drone swarm: 4 drones, decentralized monitors ===\n");

@@ -1,0 +1,447 @@
+//! Regenerates every table and figure of the thesis' evaluation chapter as text, and
+//! emits machine-readable sweep results for the scenario registry.
+//!
+//! ```bash
+//! cargo run --release --bin experiments -- all
+//! cargo run --release --bin experiments -- table5_1
+//! cargo run --release --bin experiments -- fig5_4 fig5_5 fig5_6 fig5_7 fig5_8 fig5_9
+//! cargo run --release --bin experiments -- automata_dot
+//! cargo run --release --bin experiments -- all --jobs 8
+//! cargo run --release --bin experiments -- --list-scenarios
+//! cargo run --release --bin experiments -- --target sweep
+//! cargo run --release --bin experiments -- --target sweep --format json --out BENCH_results.json
+//! ```
+//!
+//! Targets select what to run: the classic figure/table targets print the paper's
+//! text tables, and `sweep` runs every scenario of the standard registry
+//! ([`ScenarioRegistry`]) — the paper's sweeps plus the extended workload shapes.
+//! Targets are positional arguments; `--target NAME` is an equivalent spelling.
+//!
+//! `--format json` (only valid for `sweep`) emits the `BENCH_results.json` document
+//! (see `dlrv_core::results` for the schema) instead of a text table, and `--out
+//! PATH` redirects it to a file.  Unknown formats, `--out` without `--format json`,
+//! and `--format json` with a text-only target are rejected with an error — nothing
+//! is silently ignored.
+//!
+//! `--jobs N` (or the `DLRV_JOBS` environment variable) caps the worker threads used
+//! to fan out independent seeds and configurations; the default uses every core.
+//! Results are byte-identical for every thread count — each (property, process count,
+//! seed) data point is a deterministic simulation collected in a fixed order.
+//!
+//! The numbers are produced by the discrete-event simulator substitute for the paper's
+//! iOS testbed (see DESIGN.md), so absolute values differ from the thesis; the shapes
+//! (growth trends, relative ordering of the properties) are what EXPERIMENTS.md
+//! compares.
+
+use dlrv_automaton::{dot, MonitorAutomaton};
+use dlrv_bench::{comm_frequency_run, paper_run, transition_counts, PROCESS_COUNTS};
+use dlrv_core::{
+    parallel_map_indexed, set_jobs, sweep_to_json, ExperimentResult, PaperProperty, Scenario,
+    ScenarioRegistry,
+};
+use dlrv_monitor::RunMetrics;
+use std::path::PathBuf;
+use std::process::exit;
+
+/// Events per process used for the figure experiments (the thesis uses 20).
+const EVENTS: usize = 20;
+
+/// Everything a target argument may select.
+const KNOWN_TARGETS: [&str; 10] = [
+    "all", "table5_1", "automata_dot", "fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8",
+    "fig5_9", "sweep",
+];
+
+/// Output format of metric-producing targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+/// Parsed command line.
+struct Cli {
+    targets: Vec<String>,
+    format: Format,
+    out: Option<PathBuf>,
+    list_scenarios: bool,
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: experiments [TARGET...] [--target NAME] [--jobs N] \
+         [--format text|json] [--out PATH] [--list-scenarios]"
+    );
+    exit(2);
+}
+
+/// Parses the command line, applying `--jobs` via [`set_jobs`] and validating every
+/// flag combination up front — an unknown `--format` or a stray `--out` is an error,
+/// never silently ignored.
+fn parse_cli(args: Vec<String>) -> Cli {
+    let mut cli = Cli {
+        targets: Vec::new(),
+        format: Format::Text,
+        out: None,
+        list_scenarios: false,
+    };
+    let mut iter = args.into_iter();
+    // `--flag value` and `--flag=value` are both accepted.
+    let flag_value = |iter: &mut std::vec::IntoIter<String>, flag: &str, inline: Option<&str>| {
+        match inline {
+            Some(v) => v.to_string(),
+            None => iter
+                .next()
+                .unwrap_or_else(|| usage_error(&format!("{flag} expects a value"))),
+        }
+    };
+    while let Some(arg) = iter.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        match flag.as_str() {
+            "--jobs" => {
+                let value = flag_value(&mut iter, "--jobs", inline.as_deref());
+                match value.parse::<usize>() {
+                    Ok(jobs) if jobs > 0 => set_jobs(jobs),
+                    _ => usage_error("--jobs expects a positive integer"),
+                }
+            }
+            "--target" => {
+                let value = flag_value(&mut iter, "--target", inline.as_deref());
+                cli.targets.push(value);
+            }
+            "--format" => {
+                let value = flag_value(&mut iter, "--format", inline.as_deref());
+                cli.format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => usage_error(&format!(
+                        "unknown format `{other}`; expected `text` or `json`"
+                    )),
+                };
+            }
+            "--out" => {
+                let value = flag_value(&mut iter, "--out", inline.as_deref());
+                cli.out = Some(PathBuf::from(value));
+            }
+            "--list-scenarios" => {
+                if inline.is_some() {
+                    usage_error("--list-scenarios takes no value");
+                }
+                cli.list_scenarios = true;
+            }
+            other if other.starts_with("--") => {
+                usage_error(&format!("unknown flag `{other}`"));
+            }
+            _ => cli.targets.push(arg),
+        }
+    }
+
+    if let Some(unknown) = cli.targets.iter().find(|t| !KNOWN_TARGETS.contains(&t.as_str())) {
+        usage_error(&format!(
+            "unknown target `{unknown}`; expected one of: {}",
+            KNOWN_TARGETS.join(", ")
+        ));
+    }
+    if cli.list_scenarios && !cli.targets.is_empty() {
+        usage_error("--list-scenarios cannot be combined with targets");
+    }
+    if cli.out.is_some() && cli.format != Format::Json {
+        usage_error("--out requires --format json (text output goes to stdout)");
+    }
+    if cli.format == Format::Json {
+        if cli.list_scenarios {
+            usage_error("--list-scenarios has no JSON form; drop --format json");
+        }
+        if cli.targets.is_empty() {
+            usage_error("--format json requires an explicit target (only `sweep` emits JSON)");
+        }
+        if let Some(unsupported) = cli.targets.iter().find(|t| t.as_str() != "sweep") {
+            usage_error(&format!(
+                "target `{unsupported}` only produces text output; \
+                 `--format json` supports: sweep"
+            ));
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli(std::env::args().skip(1).collect());
+
+    if cli.list_scenarios {
+        list_scenarios();
+        return;
+    }
+
+    let run_all = cli.targets.is_empty() || cli.targets.iter().any(|a| a == "all");
+    // `all` reproduces the paper's evaluation chapter; the registry sweep (which
+    // includes non-paper scenarios) runs only when asked for by name.
+    let wants = |name: &str| {
+        (run_all && name != "sweep") || cli.targets.iter().any(|a| a == name)
+    };
+
+    if wants("table5_1") {
+        table5_1();
+    }
+    if wants("automata_dot") {
+        automata_dot();
+    }
+    // Figures 5.4–5.8 all report different metrics of the *same* runs (paper-default
+    // workload, every property × process count), so the sweep is executed once and
+    // printed per figure.
+    let figure_names = ["fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8"];
+    if figure_names.iter().any(|f| wants(f)) {
+        let sweep = run_sweep();
+        if wants("fig5_4") {
+            messages_figure(
+                "Fig 5.4 — messages overhead (properties A, B, C)",
+                &[PaperProperty::A, PaperProperty::B, PaperProperty::C],
+                &sweep,
+            );
+        }
+        if wants("fig5_5") {
+            messages_figure(
+                "Fig 5.5 — messages overhead (properties D, E, F)",
+                &[PaperProperty::D, PaperProperty::E, PaperProperty::F],
+                &sweep,
+            );
+        }
+        if wants("fig5_6") {
+            sweep_figure("Fig 5.6 — delay-time percentage per global state", &sweep);
+        }
+        if wants("fig5_7") {
+            sweep_figure("Fig 5.7 — delayed (queued) events", &sweep);
+        }
+        if wants("fig5_8") {
+            sweep_figure("Fig 5.8 — memory overhead (total global views)", &sweep);
+        }
+    }
+    if wants("fig5_9") {
+        comm_frequency_figure();
+    }
+    if wants("sweep") {
+        registry_sweep(cli.format, cli.out.as_deref());
+    }
+}
+
+/// One simulated data point per (property, process count) under the paper-default
+/// workload parameters.
+///
+/// Configurations are independent simulations, so the sweep fans out across worker
+/// threads (bounded by `--jobs`); collecting by index keeps the output order — and
+/// every metric in it — identical to the sequential sweep.
+fn run_sweep() -> Vec<(PaperProperty, usize, RunMetrics)> {
+    let points: Vec<(PaperProperty, usize)> = PaperProperty::ALL
+        .into_iter()
+        .flat_map(|property| PROCESS_COUNTS.map(|n| (property, n)))
+        .collect();
+    parallel_map_indexed(points.len(), dlrv_core::effective_jobs(), |i| {
+        let (property, n) = points[i];
+        (property, n, paper_run(property, n, EVENTS))
+    })
+}
+
+fn list_scenarios() {
+    let registry = ScenarioRegistry::standard();
+    println!("== Scenario registry ({} scenarios) ==", registry.len());
+    println!("{:<18} {:<16} description", "name", "family");
+    for scenario in &registry {
+        println!(
+            "{:<18} {:<16} {}",
+            scenario.name,
+            scenario.family.name(),
+            scenario.description
+        );
+    }
+}
+
+/// Runs every scenario of the standard registry and reports it in `format`.
+///
+/// Scenarios are independent, so they fan out across worker threads exactly like the
+/// figure sweep; collection order is registry order, making both the text table and
+/// the JSON document deterministic.
+fn registry_sweep(format: Format, out: Option<&std::path::Path>) {
+    let registry = ScenarioRegistry::standard();
+    let scenarios: Vec<&Scenario> = registry.iter().collect();
+    let results: Vec<(Scenario, ExperimentResult)> =
+        parallel_map_indexed(scenarios.len(), dlrv_core::effective_jobs(), |i| {
+            (scenarios[i].clone(), scenarios[i].run())
+        });
+
+    match format {
+        Format::Json => {
+            let text = sweep_to_json(&results).to_string_pretty();
+            match out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, text) {
+                        eprintln!("error: cannot write `{}`: {e}", path.display());
+                        exit(1);
+                    }
+                    println!(
+                        "wrote {} ({} scenarios)",
+                        path.display(),
+                        results.len()
+                    );
+                }
+                None => println!("{text}"),
+            }
+        }
+        Format::Text => {
+            println!("== Scenario sweep ({} scenarios) ==", results.len());
+            println!(
+                "{:<18} {:<16} {:>6} {:>8} {:>10} {:>11} {:>13} {:>11} {:>10}",
+                "scenario",
+                "family",
+                "procs",
+                "events",
+                "mon.msgs",
+                "glob.views",
+                "delayed.evts",
+                "delay%/GV",
+                "verdicts"
+            );
+            for (scenario, result) in &results {
+                let verdicts: Vec<&str> = result
+                    .detected_verdicts
+                    .iter()
+                    .map(|v| v.symbol())
+                    .collect();
+                println!(
+                    "{:<18} {:<16} {:>6} {:>8} {:>10} {:>11} {:>13.2} {:>11.4} {:>10}",
+                    scenario.name,
+                    scenario.family.name(),
+                    scenario.config.n_processes,
+                    result.avg.total_events,
+                    result.avg.monitor_messages,
+                    result.avg.total_global_views,
+                    result.avg.avg_delayed_events,
+                    result.avg.delay_time_pct_per_gv,
+                    verdicts.join(",")
+                );
+            }
+            println!();
+        }
+    }
+}
+
+fn table5_1() {
+    println!("== Table 5.1 / Fig 5.1 — number of transitions per automaton ==");
+    println!(
+        "{:<10} {:>6} {:>8} {:>10} {:>11} {:>8}",
+        "property", "procs", "total", "outgoing", "self-loops", "states"
+    );
+    for property in PaperProperty::ALL {
+        for n in PROCESS_COUNTS {
+            let row = transition_counts(property, n);
+            println!(
+                "{:<10} {:>6} {:>8} {:>10} {:>11} {:>8}",
+                property.name(),
+                n,
+                row.total,
+                row.outgoing,
+                row.self_loops,
+                row.states
+            );
+        }
+    }
+    println!();
+}
+
+fn automata_dot() {
+    println!("== Fig 5.2 / 5.3 — monitor automata (DOT) ==");
+    for (property, n) in [
+        (PaperProperty::A, 2),
+        (PaperProperty::B, 4),
+        (PaperProperty::D, 2),
+        (PaperProperty::E, 4),
+        (PaperProperty::F, 2),
+    ] {
+        let (formula, registry) = property.build(n);
+        let automaton = MonitorAutomaton::synthesize(&formula, &registry);
+        println!("--- {} with {} processes ---", property, n);
+        println!(
+            "{}",
+            dot::to_dot(&automaton, &registry, &format!("{property} ({n} procs)"))
+        );
+    }
+}
+
+fn print_metrics_header() {
+    println!(
+        "{:<10} {:>6} {:>8} {:>10} {:>11} {:>13} {:>11} {:>10}",
+        "property", "procs", "events", "mon.msgs", "glob.views", "delayed.evts", "delay%/GV", "verdicts"
+    );
+}
+
+fn print_metrics_row(property: PaperProperty, n: usize, m: &RunMetrics) {
+    let verdicts: Vec<&str> = m
+        .detected_final_verdicts
+        .iter()
+        .map(|v| v.symbol())
+        .collect();
+    println!(
+        "{:<10} {:>6} {:>8} {:>10} {:>11} {:>13.2} {:>11.4} {:>10}",
+        property.name(),
+        n,
+        m.total_events,
+        m.monitor_messages,
+        m.total_global_views,
+        m.avg_delayed_events,
+        m.delay_time_pct_per_gv,
+        verdicts.join(",")
+    );
+}
+
+fn messages_figure(
+    title: &str,
+    properties: &[PaperProperty],
+    sweep: &[(PaperProperty, usize, RunMetrics)],
+) {
+    println!("== {title} ==");
+    println!("(Commµ = 3 s, Commσ = 1 s, Evtµ = 3 s, Evtσ = 1 s, {EVENTS} events/process, 3 seeds)");
+    print_metrics_header();
+    for &(property, n, ref m) in sweep {
+        if properties.contains(&property) {
+            print_metrics_row(property, n, m);
+        }
+    }
+    println!();
+}
+
+fn sweep_figure(title: &str, sweep: &[(PaperProperty, usize, RunMetrics)]) {
+    println!("== {title} ==");
+    print_metrics_header();
+    for &(property, n, ref m) in sweep {
+        print_metrics_row(property, n, m);
+    }
+    println!();
+}
+
+fn comm_frequency_figure() {
+    println!("== Fig 5.9 — communication-frequency sweep (4 processes, property C) ==");
+    println!(
+        "{:<22} {:>8} {:>10} {:>11} {:>13} {:>11}",
+        "configuration", "events", "mon.msgs", "glob.views", "delayed.evts", "delay%/GV"
+    );
+    for comm_mu in [Some(3.0), Some(6.0), Some(9.0), Some(15.0), None] {
+        let m = comm_frequency_run(comm_mu, EVENTS);
+        let label = match comm_mu {
+            Some(mu) => format!("commMu={mu}, evtMu=3"),
+            None => "no comm, evtMu=3".to_string(),
+        };
+        println!(
+            "{:<22} {:>8} {:>10} {:>11} {:>13.2} {:>11.4}",
+            label,
+            m.total_events,
+            m.monitor_messages,
+            m.total_global_views,
+            m.avg_delayed_events,
+            m.delay_time_pct_per_gv
+        );
+    }
+    println!();
+}

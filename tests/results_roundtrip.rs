@@ -1,0 +1,117 @@
+//! Round-trip of the machine-readable results pipeline: a sweep document emitted the
+//! way `experiments --target sweep --format json` emits it must parse back via
+//! `dlrv-json` and match the in-memory `RunMetrics` **field-for-field** — the
+//! integers exactly, the floats bit-for-bit (shortest round-trip formatting), the
+//! verdict sets element-for-element.
+
+use dlrv::dlrv_json::Json;
+use dlrv::dlrv_monitor::RunMetrics;
+use dlrv::{sweep_from_json, sweep_to_json, ExperimentResult, Scenario, ScenarioRegistry};
+
+/// A scaled-down copy of a registry scenario (fewer events/seeds keep the test fast
+/// without changing what is serialized).
+fn small(name: &str) -> Scenario {
+    let mut scenario = ScenarioRegistry::standard()
+        .get(name)
+        .unwrap_or_else(|| panic!("scenario `{name}` must be registered"))
+        .clone();
+    scenario.config.events_per_process = 5;
+    scenario.config.seeds = vec![1, 2];
+    scenario
+}
+
+#[test]
+fn sweep_json_round_trips_run_metrics_field_for_field() {
+    // One scenario per family, including an extended shape, so every serialization
+    // path (property letters, comm_mu = None, arrival/topology tags) is exercised.
+    let scenarios = [
+        small("paper-D-n3"),
+        small("commfreq-nocomm"),
+        small("bursty-C-n4"),
+        small("hotspot-D-n4"),
+    ];
+    let runs: Vec<(Scenario, ExperimentResult)> =
+        scenarios.iter().map(|s| (s.clone(), s.run())).collect();
+
+    let text = sweep_to_json(&runs).to_string_pretty();
+    let parsed = Json::parse(&text).expect("emitted document must be valid JSON");
+    let records = sweep_from_json(&parsed).expect("schema must be accepted");
+
+    assert_eq!(records.len(), runs.len());
+    for (record, (scenario, result)) in records.iter().zip(&runs) {
+        // The scenario itself (name, family, config incl. workload shape, options).
+        assert_eq!(&record.scenario, scenario, "{}", scenario.name);
+
+        // Every metric field, exactly — averages and per-seed alike.
+        assert_metrics_eq(&record.avg, &result.avg, &scenario.name);
+        assert_eq!(record.per_seed.len(), result.per_seed.len());
+        for (parsed_seed, original_seed) in record.per_seed.iter().zip(&result.per_seed) {
+            assert_metrics_eq(parsed_seed, original_seed, &scenario.name);
+        }
+        assert_eq!(record.detected_verdicts, result.detected_verdicts);
+    }
+}
+
+/// Field-for-field comparison with per-field messages, so a schema regression names
+/// the exact metric it broke (a plain `assert_eq!` on the struct would only say
+/// "something differs").
+fn assert_metrics_eq(parsed: &RunMetrics, original: &RunMetrics, scenario: &str) {
+    assert_eq!(parsed.n_processes, original.n_processes, "{scenario}: n_processes");
+    assert_eq!(parsed.total_events, original.total_events, "{scenario}: total_events");
+    assert_eq!(
+        parsed.monitor_messages, original.monitor_messages,
+        "{scenario}: monitor_messages"
+    );
+    assert_eq!(
+        parsed.program_messages, original.program_messages,
+        "{scenario}: program_messages"
+    );
+    assert_eq!(
+        parsed.total_global_views, original.total_global_views,
+        "{scenario}: total_global_views"
+    );
+    // Floats must survive bit-for-bit thanks to shortest round-trip formatting.
+    assert_eq!(
+        parsed.avg_delayed_events.to_bits(),
+        original.avg_delayed_events.to_bits(),
+        "{scenario}: avg_delayed_events"
+    );
+    assert_eq!(
+        parsed.delay_time_pct_per_gv.to_bits(),
+        original.delay_time_pct_per_gv.to_bits(),
+        "{scenario}: delay_time_pct_per_gv"
+    );
+    assert_eq!(
+        parsed.program_time.to_bits(),
+        original.program_time.to_bits(),
+        "{scenario}: program_time"
+    );
+    assert_eq!(
+        parsed.monitor_extra_time.to_bits(),
+        original.monitor_extra_time.to_bits(),
+        "{scenario}: monitor_extra_time"
+    );
+    assert_eq!(
+        parsed.detected_final_verdicts, original.detected_final_verdicts,
+        "{scenario}: detected_final_verdicts"
+    );
+    assert_eq!(
+        parsed.possible_verdicts, original.possible_verdicts,
+        "{scenario}: possible_verdicts"
+    );
+}
+
+#[test]
+fn emitted_document_declares_current_schema_version() {
+    let scenario = small("paper-B-n2");
+    let runs = vec![(scenario.clone(), scenario.run())];
+    let doc = sweep_to_json(&runs);
+    assert_eq!(
+        doc.get("schema_version").unwrap().as_u64().unwrap(),
+        dlrv::RESULTS_SCHEMA_VERSION
+    );
+    assert_eq!(
+        doc.get("generator").unwrap().as_str().unwrap(),
+        "dlrv-experiments"
+    );
+}
