@@ -1,0 +1,60 @@
+//! Bench over the streaming throughput family: concurrent sessions pumped through
+//! the sharded `dlrv-stream` runtime, scaled to the bench time budget.
+//!
+//! The shard-scaling scenarios (`throughput-C-s400-sh{1,2,4}`) are the interesting
+//! series: a regression in the ingestion path (codec, routing, batching, or the
+//! incremental feed itself) shows up here before it shows up in production-sized
+//! sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlrv_bench::registry_scenario;
+use dlrv_core::StreamParams;
+use std::time::Duration;
+
+const EVENTS: usize = 5;
+const SESSIONS: usize = 40;
+
+const SCENARIOS: [&str; 3] = [
+    "throughput-C-s400-sh1",
+    "throughput-C-s400-sh2",
+    "throughput-C-s400-sh4",
+];
+
+/// A registry throughput scenario scaled to the bench budget (fewer sessions and
+/// events; the shard count under test is preserved).
+fn scaled(name: &str) -> dlrv_core::Scenario {
+    let mut scenario = registry_scenario(name);
+    scenario.config.events_per_process = EVENTS;
+    let n_shards = scenario.stream.expect("throughput scenario").n_shards;
+    scenario.stream = Some(StreamParams::sized(SESSIONS, n_shards));
+    scenario
+}
+
+fn bench_throughput_scenarios(c: &mut Criterion) {
+    println!("\nStreaming throughput scenarios ({SESSIONS} sessions, {EVENTS} events/process):");
+    for name in SCENARIOS {
+        let m = scaled(name).run().avg;
+        println!(
+            "  {name}: events={} events/sec={:.0} wall={:.3}s shards={}",
+            m.total_events,
+            m.events_per_sec,
+            m.wall_clock_secs,
+            m.per_shard.len()
+        );
+    }
+
+    let mut group = c.benchmark_group("throughput_scenarios");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for name in SCENARIOS {
+        let scenario = scaled(name);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scenario, |b, s| {
+            b.iter(|| s.run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput_scenarios);
+criterion_main!(benches);

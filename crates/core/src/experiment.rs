@@ -153,7 +153,10 @@ impl ExperimentConfig {
         }
     }
 
-    fn workload_config(&self, seed: u64) -> WorkloadConfig {
+    /// The workload-generator parameters for one seed (also used by the throughput
+    /// runner and the stream-equivalence test, which generate one workload per
+    /// streamed session).
+    pub fn workload_config(&self, seed: u64) -> WorkloadConfig {
         // Initial proposition values are chosen per property so that the property is
         // neither trivially violated nor trivially satisfied at the initial global
         // state (the paper's traces encode this in the trace files): until-style
@@ -255,6 +258,9 @@ pub fn run_single(
 }
 
 /// Averages a slice of run metrics field-by-field (verdict sets are unioned).
+///
+/// Per-shard metrics average element-wise when every run used the same shard count
+/// (the only configuration the registry produces); otherwise they are dropped.
 pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
     if runs.is_empty() {
         return RunMetrics::default();
@@ -273,6 +279,8 @@ pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
         avg.delay_time_pct_per_gv += r.delay_time_pct_per_gv;
         avg.program_time += r.program_time;
         avg.monitor_extra_time += r.monitor_extra_time;
+        avg.wall_clock_secs += r.wall_clock_secs;
+        avg.events_per_sec += r.events_per_sec;
         avg.detected_final_verdicts
             .extend(r.detected_final_verdicts.iter().copied());
         avg.possible_verdicts.extend(r.possible_verdicts.iter().copied());
@@ -285,7 +293,49 @@ pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
     avg.delay_time_pct_per_gv /= k;
     avg.program_time /= k;
     avg.monitor_extra_time /= k;
+    avg.wall_clock_secs /= k;
+    avg.events_per_sec /= k;
+    avg.per_shard = average_shards(runs);
     avg
+}
+
+/// Element-wise average of per-shard metrics across runs with identical shard counts.
+fn average_shards(runs: &[RunMetrics]) -> Vec<dlrv_monitor::ShardMetrics> {
+    let n_shards = runs[0].per_shard.len();
+    if n_shards == 0 || runs.iter().any(|r| r.per_shard.len() != n_shards) {
+        return Vec::new();
+    }
+    let k = runs.len() as f64;
+    (0..n_shards)
+        .map(|s| {
+            let mut out = dlrv_monitor::ShardMetrics {
+                shard: s,
+                ..Default::default()
+            };
+            for r in runs {
+                let m = &r.per_shard[s];
+                out.sessions_opened += m.sessions_opened;
+                out.sessions_closed += m.sessions_closed;
+                out.events_processed += m.events_processed;
+                out.batches += m.batches;
+                out.max_batch_len = out.max_batch_len.max(m.max_batch_len);
+                out.busy_secs += m.busy_secs;
+                out.avg_queue_latency_secs += m.avg_queue_latency_secs;
+                out.max_queue_latency_secs = out.max_queue_latency_secs.max(m.max_queue_latency_secs);
+                out.backpressure_stalls += m.backpressure_stalls;
+                out.routing_errors += m.routing_errors;
+            }
+            out.sessions_opened = (out.sessions_opened as f64 / k).round() as usize;
+            out.sessions_closed = (out.sessions_closed as f64 / k).round() as usize;
+            out.events_processed = (out.events_processed as f64 / k).round() as usize;
+            out.batches = (out.batches as f64 / k).round() as usize;
+            out.backpressure_stalls = (out.backpressure_stalls as f64 / k).round() as usize;
+            out.routing_errors = (out.routing_errors as f64 / k).round() as usize;
+            out.busy_secs /= k;
+            out.avg_queue_latency_secs /= k;
+            out
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -11,7 +11,11 @@
 //!   benchmark harness to regenerate every table and figure of Chapter 5.
 //! * [`Scenario`] / [`ScenarioRegistry`] — every experiment the repository knows how
 //!   to run, by stable name: the paper's sweeps plus extended workload shapes
-//!   (bursty arrivals, ring/pipeline/hotspot topologies, large-N runs).
+//!   (bursty arrivals, ring/pipeline/hotspot topologies, large-N runs) and the
+//!   online throughput family ([`StreamParams`], `--target throughput`).
+//! * [`throughput`] — the streaming benchmark runner: hundreds–thousands of
+//!   concurrent sessions encoded to wire bytes and pumped through the sharded
+//!   [`dlrv_stream`] runtime.
 //! * [`results`] — the machine-readable `BENCH_results.json` pipeline: sweep
 //!   results serialized over [`dlrv_json`] and parsed back field-for-field.
 //!
@@ -25,6 +29,7 @@ pub mod properties;
 pub mod results;
 pub mod scenario;
 pub mod system;
+pub mod throughput;
 
 pub use experiment::{
     average_metrics, effective_jobs, parallel_map_indexed, run_experiment,
@@ -32,13 +37,15 @@ pub use experiment::{
 };
 pub use properties::PaperProperty;
 pub use results::{sweep_from_json, sweep_to_json, ScenarioRecord, RESULTS_SCHEMA_VERSION};
-pub use scenario::{Scenario, ScenarioFamily, ScenarioRegistry};
+pub use scenario::{Scenario, ScenarioFamily, ScenarioRegistry, StreamParams};
 pub use system::{MonitoredSystem, MonitoringOutcome};
+pub use throughput::run_throughput;
 
 pub use dlrv_automaton;
 pub use dlrv_distsim;
 pub use dlrv_json;
 pub use dlrv_ltl;
 pub use dlrv_monitor;
+pub use dlrv_stream;
 pub use dlrv_trace;
 pub use dlrv_vclock;

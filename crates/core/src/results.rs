@@ -27,7 +27,7 @@
 
 use crate::experiment::{ExperimentConfig, ExperimentResult};
 use crate::properties::PaperProperty;
-use crate::scenario::{Scenario, ScenarioFamily};
+use crate::scenario::{Scenario, ScenarioFamily, StreamParams};
 use dlrv_json::{object, Json, JsonError};
 use dlrv_ltl::Verdict;
 use dlrv_monitor::{verdict_from_name, verdict_name, MonitorOptions, RunMetrics};
@@ -112,6 +112,26 @@ pub fn options_from_json(v: &Json) -> Result<MonitorOptions, JsonError> {
     })
 }
 
+/// Serializes the streaming-engine sizing of a throughput scenario.
+pub fn stream_params_to_json(params: &StreamParams) -> Json {
+    object([
+        ("n_sessions", Json::from(params.n_sessions)),
+        ("n_shards", Json::from(params.n_shards)),
+        ("mailbox_capacity", Json::from(params.mailbox_capacity)),
+        ("batch_size", Json::from(params.batch_size)),
+    ])
+}
+
+/// Parses the streaming-engine sizing back.
+pub fn stream_params_from_json(v: &Json) -> Result<StreamParams, JsonError> {
+    Ok(StreamParams {
+        n_sessions: v.get("n_sessions")?.as_usize()?,
+        n_shards: v.get("n_shards")?.as_usize()?,
+        mailbox_capacity: v.get("mailbox_capacity")?.as_usize()?,
+        batch_size: v.get("batch_size")?.as_usize()?,
+    })
+}
+
 fn verdicts_to_json(set: &BTreeSet<Verdict>) -> Json {
     Json::Array(set.iter().map(|&v| Json::from(verdict_name(v))).collect())
 }
@@ -123,6 +143,13 @@ fn record_to_json(scenario: &Scenario, result: &ExperimentResult) -> Json {
         ("description", Json::from(scenario.description.as_str())),
         ("config", config_to_json(&scenario.config)),
         ("options", options_to_json(&scenario.options)),
+        (
+            "stream",
+            scenario
+                .stream
+                .as_ref()
+                .map_or(Json::Null, stream_params_to_json),
+        ),
         ("avg", result.avg.to_json()),
         (
             "per_seed",
@@ -143,6 +170,11 @@ fn record_from_json(v: &Json) -> Result<ScenarioRecord, JsonError> {
             family,
             config: config_from_json(v.get("config")?)?,
             options: options_from_json(v.get("options")?)?,
+            // Absent or null in documents written before the throughput family.
+            stream: match v.get_opt("stream")? {
+                None | Some(Json::Null) => None,
+                Some(params) => Some(stream_params_from_json(params)?),
+            },
         },
         avg: RunMetrics::from_json(v.get("avg")?)?,
         per_seed: v
@@ -239,6 +271,22 @@ mod tests {
             let back = config_from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(config, back);
         }
+    }
+
+    #[test]
+    fn throughput_records_round_trip_with_stream_params() {
+        let mut scenario = ScenarioRegistry::standard()
+            .get("throughput-B-s200-sh4")
+            .expect("registered")
+            .clone();
+        scenario.config.events_per_process = 4;
+        scenario.stream = Some(crate::scenario::StreamParams::sized(10, 2));
+        let runs = vec![(scenario.clone(), scenario.run())];
+        let text = sweep_to_json(&runs).to_string_pretty();
+        let records = sweep_from_json(&Json::parse(&text).expect("parse")).expect("schema");
+        assert_eq!(records[0].scenario, scenario);
+        assert_eq!(records[0].avg.per_shard.len(), 2);
+        assert_eq!(records[0].avg, runs[0].1.avg);
     }
 
     #[test]

@@ -13,13 +13,18 @@
 //! properties × 2–5 processes under normally-distributed workloads, plus the
 //! communication-frequency sweep of Fig. 5.9) and extends it with shapes the paper
 //! does not measure: bursty event arrivals, hotspot / ring / pipeline communication
-//! topologies, and large-N runs up to 8 processes.
+//! topologies, large-N runs up to 8 processes — and the **throughput family**
+//! ([`ScenarioFamily::Throughput`]): hundreds to a thousand concurrent sessions
+//! streamed through the online sharded `dlrv-stream` runtime, sized by
+//! [`StreamParams`] and run by `experiments --target throughput`.
 
 use crate::experiment::{run_experiment_with_options, ExperimentConfig, ExperimentResult};
 use crate::properties::PaperProperty;
+use crate::throughput::run_throughput;
 use dlrv_monitor::MonitorOptions;
 use dlrv_trace::{ArrivalModel, CommTopology};
 use std::fmt;
+use std::time::Instant;
 
 /// Which part of the evaluation a scenario belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +37,9 @@ pub enum ScenarioFamily {
     /// Workload shapes beyond the paper: bursty arrivals, non-broadcast topologies,
     /// large process counts.
     Extended,
+    /// Online ingestion benchmarks: many concurrent sessions streamed through the
+    /// sharded `dlrv-stream` runtime (`--target throughput`).
+    Throughput,
 }
 
 impl ScenarioFamily {
@@ -41,6 +49,7 @@ impl ScenarioFamily {
             ScenarioFamily::Paper => "paper",
             ScenarioFamily::CommFrequency => "comm-frequency",
             ScenarioFamily::Extended => "extended",
+            ScenarioFamily::Throughput => "throughput",
         }
     }
 
@@ -50,9 +59,36 @@ impl ScenarioFamily {
             ScenarioFamily::Paper,
             ScenarioFamily::CommFrequency,
             ScenarioFamily::Extended,
+            ScenarioFamily::Throughput,
         ]
         .into_iter()
         .find(|f| f.name() == name)
+    }
+}
+
+/// Streaming-engine parameters of a throughput scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamParams {
+    /// Number of concurrent monitored sessions.
+    pub n_sessions: usize,
+    /// Number of worker shards.
+    pub n_shards: usize,
+    /// Bound of each shard's mailbox (backpressure threshold).
+    pub mailbox_capacity: usize,
+    /// Maximum records a shard applies per wakeup.
+    pub batch_size: usize,
+}
+
+impl StreamParams {
+    /// The registry's default engine sizing: deep-enough mailboxes to keep shards
+    /// busy, small batches to keep queue latency bounded.
+    pub fn sized(n_sessions: usize, n_shards: usize) -> Self {
+        StreamParams {
+            n_sessions,
+            n_shards,
+            mailbox_capacity: 1024,
+            batch_size: 32,
+        }
     }
 }
 
@@ -75,12 +111,32 @@ pub struct Scenario {
     pub config: ExperimentConfig,
     /// Monitor-optimization switches (§4.3).
     pub options: MonitorOptions,
+    /// `Some` for throughput scenarios: how many concurrent sessions to stream
+    /// through the sharded runtime and how the engine is sized.  `None` runs the
+    /// classic offline experiment.
+    pub stream: Option<StreamParams>,
 }
 
 impl Scenario {
-    /// Runs the scenario: one simulation per seed, metrics averaged.
+    /// Runs the scenario — offline experiment or streamed throughput run, one
+    /// simulation per seed, metrics averaged.
+    ///
+    /// The averaged metrics additionally report a wall-clock duration
+    /// (`avg.wall_clock_secs`), the one run-to-run-varying field of the results
+    /// document.  For offline scenarios it is the scenario's total elapsed time;
+    /// for throughput scenarios the engine-measured ingestion time averaged over
+    /// seeds is kept as-is, so `events_per_sec` and `wall_clock_secs` stay
+    /// consistent with each other (workload generation is excluded from both).
     pub fn run(&self) -> ExperimentResult {
-        run_experiment_with_options(&self.config, self.options)
+        let started = Instant::now();
+        let mut result = match &self.stream {
+            None => run_experiment_with_options(&self.config, self.options),
+            Some(params) => run_throughput(&self.config, params, self.options),
+        };
+        if self.stream.is_none() {
+            result.avg.wall_clock_secs = started.elapsed().as_secs_f64();
+        }
+        result
     }
 }
 
@@ -118,6 +174,7 @@ impl ScenarioRegistry {
                     family: ScenarioFamily::Paper,
                     config: ExperimentConfig::paper_default(property, n),
                     options: MonitorOptions::default(),
+                    stream: None,
                 });
             }
         }
@@ -139,6 +196,7 @@ impl ScenarioRegistry {
                     ..ExperimentConfig::paper_default(PaperProperty::C, 4)
                 },
                 options: MonitorOptions::default(),
+                stream: None,
             });
         }
 
@@ -158,6 +216,7 @@ impl ScenarioRegistry {
                 ..ExperimentConfig::paper_default(PaperProperty::C, 4)
             },
             options: MonitorOptions::default(),
+            stream: None,
         });
         registry.push(Scenario {
             name: "hotspot-D-n4".to_string(),
@@ -170,6 +229,7 @@ impl ScenarioRegistry {
                 ..ExperimentConfig::paper_default(PaperProperty::D, 4)
             },
             options: MonitorOptions::default(),
+            stream: None,
         });
         registry.push(Scenario {
             name: "ring-B-n4".to_string(),
@@ -182,6 +242,7 @@ impl ScenarioRegistry {
                 ..ExperimentConfig::paper_default(PaperProperty::B, 4)
             },
             options: MonitorOptions::default(),
+            stream: None,
         });
         registry.push(Scenario {
             name: "pipeline-A-n4".to_string(),
@@ -194,6 +255,7 @@ impl ScenarioRegistry {
                 ..ExperimentConfig::paper_default(PaperProperty::A, 4)
             },
             options: MonitorOptions::default(),
+            stream: None,
         });
         for n in [6usize, 8] {
             registry.push(Scenario {
@@ -205,6 +267,7 @@ impl ScenarioRegistry {
                 family: ScenarioFamily::Extended,
                 config: ExperimentConfig::paper_default(PaperProperty::B, n),
                 options: MonitorOptions::default(),
+                stream: None,
             });
         }
         registry.push(Scenario {
@@ -218,6 +281,92 @@ impl ScenarioRegistry {
                 ..ExperimentConfig::paper_default(PaperProperty::A, 6)
             },
             options: MonitorOptions::default(),
+            stream: None,
+        });
+
+        // The throughput family: online ingestion through the sharded streaming
+        // runtime (`--target throughput`).  Sessions are deliberately small (few
+        // processes, short traces) — the measured quantity is how many concurrent
+        // sessions the engine sustains, not per-session lattice exploration.
+        let stream_config = |property, n_processes, events| ExperimentConfig {
+            events_per_process: events,
+            seeds: vec![1],
+            ..ExperimentConfig::paper_default(property, n_processes)
+        };
+
+        // Every property at a fixed engine size: ingestion cost per property shape.
+        for property in PaperProperty::ALL {
+            registry.push(Scenario {
+                name: format!("throughput-{}-s200-sh4", property.name()),
+                description: format!(
+                    "Streaming ingestion: 200 concurrent sessions of property {}, \
+                     3 processes, 4 shards",
+                    property.name()
+                ),
+                family: ScenarioFamily::Throughput,
+                config: stream_config(property, 3, 6),
+                options: MonitorOptions::default(),
+                stream: Some(StreamParams::sized(200, 4)),
+            });
+        }
+
+        // Shard-count scaling at a fixed workload: the engine's speedup curve.
+        for n_shards in [1usize, 2, 4, 8] {
+            registry.push(Scenario {
+                name: format!("throughput-C-s400-sh{n_shards}"),
+                description: format!(
+                    "Shard scaling: 400 concurrent sessions of property C, \
+                     2 processes, {n_shards} shard(s)"
+                ),
+                family: ScenarioFamily::Throughput,
+                config: stream_config(PaperProperty::C, 2, 8),
+                options: MonitorOptions::default(),
+                stream: Some(StreamParams::sized(400, n_shards)),
+            });
+        }
+
+        // Workload shapes over the wire: bursty arrivals and a ring topology.
+        registry.push(Scenario {
+            name: "throughput-C-s200-sh4-bursty".to_string(),
+            description: "Streaming ingestion under bursty arrivals: 200 sessions, \
+                          property C, 4 shards"
+                .to_string(),
+            family: ScenarioFamily::Throughput,
+            config: ExperimentConfig {
+                arrival: ArrivalModel::Bursty {
+                    burst_len: 4,
+                    intra_scale: 0.2,
+                    gap_scale: 3.0,
+                },
+                ..stream_config(PaperProperty::C, 3, 6)
+            },
+            options: MonitorOptions::default(),
+            stream: Some(StreamParams::sized(200, 4)),
+        });
+        registry.push(Scenario {
+            name: "throughput-B-s200-sh4-ring".to_string(),
+            description: "Streaming ingestion over a ring topology: 200 sessions, \
+                          property B, 4 shards"
+                .to_string(),
+            family: ScenarioFamily::Throughput,
+            config: ExperimentConfig {
+                topology: CommTopology::Ring,
+                ..stream_config(PaperProperty::B, 3, 6)
+            },
+            options: MonitorOptions::default(),
+            stream: Some(StreamParams::sized(200, 4)),
+        });
+
+        // The load test: a thousand concurrent sessions on eight shards.
+        registry.push(Scenario {
+            name: "throughput-B-s1000-sh8".to_string(),
+            description: "Load test: 1000 concurrent sessions of property B, \
+                          2 processes, 8 shards"
+                .to_string(),
+            family: ScenarioFamily::Throughput,
+            config: stream_config(PaperProperty::B, 2, 6),
+            options: MonitorOptions::default(),
+            stream: Some(StreamParams::sized(1000, 8)),
         });
 
         registry
@@ -297,6 +446,62 @@ mod tests {
     }
 
     #[test]
+    fn throughput_family_covers_properties_and_shard_counts() {
+        let registry = ScenarioRegistry::standard();
+        // Every paper property is streamed …
+        for property in PaperProperty::ALL {
+            let name = format!("throughput-{}-s200-sh4", property.name());
+            let s = registry.get(&name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(s.family, ScenarioFamily::Throughput);
+            assert_eq!(s.stream.unwrap().n_sessions, 200);
+        }
+        // … and at least three distinct shard counts are measured (the engine's
+        // scaling curve needs ≥ 3 points).
+        let shard_counts: std::collections::BTreeSet<usize> = registry
+            .family(ScenarioFamily::Throughput)
+            .map(|s| s.stream.unwrap().n_shards)
+            .collect();
+        assert!(
+            shard_counts.len() >= 3,
+            "need ≥ 3 shard counts, got {shard_counts:?}"
+        );
+        // Offline scenarios never carry stream params.
+        for s in &registry {
+            assert_eq!(
+                s.stream.is_some(),
+                s.family == ScenarioFamily::Throughput,
+                "{}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn small_throughput_scenario_runs_end_to_end() {
+        let registry = ScenarioRegistry::standard();
+        let mut scenario = registry.get("throughput-B-s200-sh4").expect("registered").clone();
+        scenario.config.events_per_process = 4;
+        scenario.stream = Some(StreamParams::sized(12, 2));
+        let result = scenario.run();
+        assert_eq!(result.avg.per_shard.len(), 2);
+        assert!(result.avg.events_per_sec > 0.0);
+        assert!(result.avg.wall_clock_secs > 0.0);
+        assert!(result.detected_verdicts.contains(&dlrv_ltl::Verdict::True));
+    }
+
+    #[test]
+    fn offline_scenarios_report_wall_clock_duration() {
+        let registry = ScenarioRegistry::standard();
+        let mut scenario = registry.get("paper-B-n2").expect("registered").clone();
+        scenario.config.events_per_process = 4;
+        scenario.config.seeds = vec![1];
+        let result = scenario.run();
+        assert!(result.avg.wall_clock_secs > 0.0, "scenario duration must be measured");
+        assert_eq!(result.avg.events_per_sec, 0.0, "offline runs have no ingestion rate");
+        assert!(result.avg.per_shard.is_empty());
+    }
+
+    #[test]
     fn scenario_names_are_unique() {
         let registry = ScenarioRegistry::standard();
         let mut names: Vec<_> = registry.iter().map(|s| s.name.as_str()).collect();
@@ -335,6 +540,7 @@ mod tests {
             ScenarioFamily::Paper,
             ScenarioFamily::CommFrequency,
             ScenarioFamily::Extended,
+            ScenarioFamily::Throughput,
         ] {
             assert_eq!(ScenarioFamily::from_name(family.name()), Some(family));
         }

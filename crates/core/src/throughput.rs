@@ -1,0 +1,236 @@
+//! The throughput runner: drives hundreds–thousands of concurrent monitored sessions
+//! through the online [`ShardedRuntime`] and measures ingestion throughput.
+//!
+//! One throughput run works end-to-end over the wire path:
+//!
+//! 1. For every session, a seeded workload is generated and executed under the
+//!    deterministic simulator (with no-op monitors) to obtain its vector-clocked
+//!    event sequence — the stand-in for a live distributed program emitting events.
+//! 2. All sessions' records (open, events in round-robin interleaving across
+//!    sessions, close) are **encoded into one framed byte stream** with the
+//!    `dlrv-stream` codec.
+//! 3. The byte stream is pumped through a [`ReaderSource`] into the sharded runtime:
+//!    frames are decoded, hash-routed to shards, applied in batches by the
+//!    per-session decentralized monitors.
+//! 4. The shutdown report is folded into [`RunMetrics`]: aggregate events/sec,
+//!    wall-clock duration and per-shard measurements next to the usual monitoring
+//!    metrics (messages, global views, verdicts).
+//!
+//! Because each session's events are fed in timestamp order, every session's
+//! verdicts equal the offline replay of the same trace (pinned by the
+//! `stream_equivalence` integration test) — the throughput family measures the
+//! online engine, it does not change what is detected.
+
+use crate::experiment::{average_metrics, ExperimentConfig, ExperimentResult};
+use crate::scenario::StreamParams;
+use dlrv_automaton::MonitorAutomaton;
+use dlrv_distsim::{initial_global_state, run_simulation, NullMonitor, SimConfig};
+use dlrv_ltl::{AtomRegistry, Verdict};
+use dlrv_monitor::{timestamp_order, MonitorOptions, RunMetrics};
+use dlrv_stream::{
+    encode_stream, interleave_sessions, ReaderSource, SessionSpec, SessionStream,
+    ShardedRuntime, StreamConfig,
+};
+use dlrv_trace::generate_workload;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Derives the workload seed of one session from the run seed; sessions must not
+/// share traces, and the mixing keeps run seeds 1, 2, 3 … from overlapping.
+fn session_seed(run_seed: u64, session: u64) -> u64 {
+    run_seed.wrapping_mul(0x100_0003).wrapping_add(session).wrapping_add(1)
+}
+
+
+/// Runs `params.n_sessions` concurrent sessions of `config`'s workload through the
+/// sharded streaming runtime, once per seed in `config.seeds`, and averages the
+/// metrics exactly like the offline experiment runner.
+pub fn run_throughput(
+    config: &ExperimentConfig,
+    params: &StreamParams,
+    opts: MonitorOptions,
+) -> ExperimentResult {
+    let (formula, registry) = config.property.build(config.n_processes);
+    let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
+    let registry = Arc::new(registry);
+
+    let per_seed: Vec<RunMetrics> = config
+        .seeds
+        .iter()
+        .map(|&seed| run_once(config, params, opts, seed, &automaton, &registry))
+        .collect();
+
+    let mut detected = BTreeSet::new();
+    for metrics in &per_seed {
+        detected.extend(metrics.detected_final_verdicts.iter().copied());
+    }
+    ExperimentResult {
+        config: config.clone(),
+        avg: average_metrics(&per_seed),
+        per_seed,
+        detected_verdicts: detected,
+    }
+}
+
+/// One streaming run: generate all session inputs, encode the wire stream, pump it
+/// through a fresh runtime, fold the report into [`RunMetrics`].
+fn run_once(
+    config: &ExperimentConfig,
+    params: &StreamParams,
+    opts: MonitorOptions,
+    seed: u64,
+    automaton: &Arc<MonitorAutomaton>,
+    registry: &Arc<AtomRegistry>,
+) -> RunMetrics {
+    // Phase 1: workload generation (the simulated "live programs").  Not measured:
+    // the scenario times the ingestion engine, not the trace generator.
+    let mut inputs = Vec::with_capacity(params.n_sessions);
+    let mut program_messages = 0usize;
+    let mut program_time = 0.0f64;
+    for s in 0..params.n_sessions {
+        let workload = generate_workload(&config.workload_config(session_seed(seed, s as u64)));
+        let report = run_simulation(&workload, registry, &SimConfig::default(), |_| {
+            NullMonitor::default()
+        });
+        program_messages += report.program_messages;
+        program_time = program_time.max(report.program_end_time);
+        let events = timestamp_order(&report.computation)
+            .into_iter()
+            .map(|(_, p, sn)| report.computation.events[p][(sn - 1) as usize].clone())
+            .collect();
+        inputs.push(SessionStream {
+            session: s as u64,
+            property: config.property.name().to_string(),
+            n_processes: config.n_processes,
+            initial_state: initial_global_state(&workload, registry).0,
+            events,
+        });
+    }
+
+    // Phase 2: the canonical interleaved wire stream.
+    let bytes = encode_stream(&interleave_sessions(&inputs));
+
+    // Phase 3: pump the bytes through the runtime (decode + route + monitor).
+    let started = Instant::now();
+    let runtime = ShardedRuntime::start(StreamConfig {
+        n_shards: params.n_shards,
+        mailbox_capacity: params.mailbox_capacity,
+        batch_size: params.batch_size,
+    });
+    let spec = Arc::new(SessionSpec {
+        n_processes: config.n_processes,
+        automaton: automaton.clone(),
+        registry: registry.clone(),
+        initial_state: dlrv_ltl::Assignment::ALL_FALSE, // replaced per session below
+        options: opts,
+    });
+    let mut source = ReaderSource::new(&bytes[..]);
+    runtime
+        .pump(&mut source, &mut |open| {
+            // Sessions share automaton and registry; only the initial state differs.
+            Ok(Arc::new(SessionSpec {
+                n_processes: open.n_processes,
+                automaton: spec.automaton.clone(),
+                registry: spec.registry.clone(),
+                initial_state: open.initial_state,
+                options: spec.options,
+            }))
+        })
+        .expect("a freshly encoded stream must decode");
+    let report = runtime.shutdown();
+    let wall_clock_secs = started.elapsed().as_secs_f64();
+
+    // Phase 4: fold into RunMetrics.
+    debug_assert_eq!(report.sessions.len(), params.n_sessions);
+    debug_assert!(
+        report.per_shard.iter().all(|m| m.routing_errors == 0),
+        "a well-formed generated stream must not misroute"
+    );
+    let mut metrics = RunMetrics {
+        n_processes: config.n_processes,
+        total_events: report.total_events,
+        program_messages,
+        program_time,
+        wall_clock_secs,
+        events_per_sec: if wall_clock_secs > 0.0 {
+            report.total_events as f64 / wall_clock_secs
+        } else {
+            0.0
+        },
+        per_shard: report.per_shard,
+        ..RunMetrics::default()
+    };
+    for outcome in report.sessions.values() {
+        metrics.monitor_messages += outcome.monitor_messages;
+        metrics.total_global_views += outcome.global_views;
+        metrics
+            .detected_final_verdicts
+            .extend(outcome.detected_verdicts.iter().copied());
+        metrics
+            .possible_verdicts
+            .extend(outcome.possible_verdicts.iter().copied());
+    }
+    metrics
+}
+
+/// True when every session of a throughput run reached a conclusive or consistent
+/// verdict set — a cheap structural sanity check used by tests.
+pub fn verdicts_nonempty(metrics: &RunMetrics) -> bool {
+    !metrics.possible_verdicts.is_empty() || metrics.detected_final_verdicts.contains(&Verdict::True)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::PaperProperty;
+    use crate::scenario::StreamParams;
+
+    fn small_config(property: PaperProperty) -> ExperimentConfig {
+        ExperimentConfig {
+            events_per_process: 5,
+            seeds: vec![1],
+            ..ExperimentConfig::paper_default(property, 2)
+        }
+    }
+
+    #[test]
+    fn throughput_run_produces_streaming_metrics() {
+        let params = StreamParams {
+            n_sessions: 20,
+            n_shards: 3,
+            mailbox_capacity: 64,
+            batch_size: 8,
+        };
+        let result = run_throughput(
+            &small_config(PaperProperty::B),
+            &params,
+            MonitorOptions::default(),
+        );
+        let m = &result.avg;
+        assert!(m.total_events > 0);
+        assert!(m.wall_clock_secs > 0.0);
+        assert!(m.events_per_sec > 0.0);
+        assert_eq!(m.per_shard.len(), 3);
+        let shard_events: usize = m.per_shard.iter().map(|s| s.events_processed).sum();
+        assert_eq!(shard_events, m.total_events);
+        let opened: usize = m.per_shard.iter().map(|s| s.sessions_opened).sum();
+        assert_eq!(opened, params.n_sessions);
+        // The workload's goal tail satisfies reachability property B in every session.
+        assert!(result.detected_verdicts.contains(&Verdict::True));
+        assert!(verdicts_nonempty(m));
+    }
+
+    #[test]
+    fn session_seeds_do_not_collide_across_runs() {
+        let mut seen = std::collections::BTreeSet::new();
+        for run_seed in 1..=3u64 {
+            for s in 0..100u64 {
+                assert!(
+                    seen.insert(session_seed(run_seed, s)),
+                    "collision at run {run_seed}, session {s}"
+                );
+            }
+        }
+    }
+}

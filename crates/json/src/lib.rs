@@ -84,6 +84,44 @@ impl Json {
         out
     }
 
+    /// Prints without any whitespace — the wire form (`dlrv-stream` frames), where
+    /// indentation would only inflate every message.  Parses back identically to
+    /// the pretty form.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Array(items) => {
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (k, (key, value)) in fields.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars print identically in both forms.
+            scalar => scalar.write(out, 0),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -580,6 +618,26 @@ mod tests {
         ]);
         let text = v.to_string_pretty();
         assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_print_round_trips_and_has_no_whitespace() {
+        let v = object([
+            ("seed", Json::from(u64::MAX)),
+            ("mu", Json::from(3.5f64)),
+            ("name", Json::from("q\"uote\\")),
+            ("flags", Json::from(vec![true, false])),
+            ("none", Json::from(Option::<u64>::None)),
+            ("empty_arr", Json::Array(vec![])),
+            ("empty_obj", Json::Object(vec![])),
+        ]);
+        let text = v.to_string_compact();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        // Identical value as the pretty form, strictly fewer bytes.
+        assert_eq!(Json::parse(&text).unwrap(), Json::parse(&v.to_string_pretty()).unwrap());
+        assert!(text.len() < v.to_string_pretty().len());
+        // No structural whitespace (none of the strings above contain spaces).
+        assert!(!text.chars().any(|c| c.is_whitespace()), "compact form: {text}");
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! The incremental feed API: drive a set of co-located monitors one event at a time.
+//!
+//! The batch drivers ([`crate::replay`], the `dlrv-distsim` substrates) require the
+//! whole computation up front.  A [`FeedSession`] inverts that: it owns the monitors
+//! of one monitored execution ("session") and exposes
+//! [`feed_event`](FeedSession::feed_event) — deliver one program event, drain all
+//! monitor-to-monitor messages to quiescence, report the verdict so far — and
+//! [`finish`](FeedSession::finish) for end-of-stream.  This is the substrate of the
+//! online `dlrv-stream` runtime, where events arrive over a wire and millions of
+//! sessions are monitored concurrently, none of which can afford to materialize its
+//! trace first.
+//!
+//! Feeding events in timestamp order makes a session behaviorally identical to
+//! [`replay_decentralized`](crate::replay::replay_decentralized) (which is itself
+//! implemented on top of `FeedSession`): the token algorithm only ever reacts to the
+//! delivered event sequence, so online feeding preserves the soundness and
+//! completeness of the offline path — the equivalence is pinned by the repository's
+//! `stream_equivalence` integration test.
+//!
+//! [`combined_verdict`] defines what a single incremental call reports when monitors
+//! have detected final verdicts on several lattice paths.
+
+use crate::centralized::CentralizedMonitor;
+use crate::decentralized::{DecentralizedMonitor, MonitorOptions};
+use dlrv_automaton::MonitorAutomaton;
+use dlrv_distsim::{MonitorBehavior, MonitorContext};
+use dlrv_ltl::{Assignment, AtomRegistry, ProcessId, Verdict};
+use dlrv_vclock::Event;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Verdict reporting shared by every monitor kind a [`FeedSession`] can drive.
+pub trait SessionVerdicts {
+    /// ⊤/⊥ verdicts this monitor has detected so far.
+    fn detected_verdicts(&self) -> BTreeSet<Verdict>;
+    /// All verdicts this monitor still considers possible.
+    fn possible_verdicts(&self) -> BTreeSet<Verdict>;
+}
+
+impl SessionVerdicts for DecentralizedMonitor {
+    fn detected_verdicts(&self) -> BTreeSet<Verdict> {
+        self.detected_final_verdicts().clone()
+    }
+
+    fn possible_verdicts(&self) -> BTreeSet<Verdict> {
+        self.possible_verdicts()
+    }
+}
+
+impl SessionVerdicts for CentralizedMonitor {
+    fn detected_verdicts(&self) -> BTreeSet<Verdict> {
+        self.metrics().detected_final_verdicts
+    }
+
+    fn possible_verdicts(&self) -> BTreeSet<Verdict> {
+        self.metrics().possible_verdicts
+    }
+}
+
+/// Collapses a set of detected final verdicts into the single verdict an online
+/// caller acts on: a detected violation dominates, then a detected satisfaction,
+/// otherwise the execution is still inconclusive.
+pub fn combined_verdict(detected: &BTreeSet<Verdict>) -> Verdict {
+    if detected.contains(&Verdict::False) {
+        Verdict::False
+    } else if detected.contains(&Verdict::True) {
+        Verdict::True
+    } else {
+        Verdict::Unknown
+    }
+}
+
+/// An incremental monitoring session: the monitors of one execution plus the
+/// in-flight monitor messages between them.
+///
+/// Message delivery is zero-latency and drained to quiescence after every fed event
+/// (exactly the discipline of the replay driver), so a session fed the events of a
+/// computation in timestamp order produces the same verdicts — and the same number of
+/// monitor messages — as replaying that computation offline.
+#[derive(Debug)]
+pub struct FeedSession<B: MonitorBehavior> {
+    monitors: Vec<B>,
+    inflight: VecDeque<(ProcessId, ProcessId, B::Message)>,
+    messages: usize,
+    /// Largest event timestamp seen; termination is signalled at this time.
+    last_time: f64,
+    finished: bool,
+}
+
+impl<B: MonitorBehavior + SessionVerdicts> FeedSession<B> {
+    /// Creates a session over monitors built by `make_monitor`, one per process.
+    pub fn new(n_processes: usize, make_monitor: impl FnMut(ProcessId) -> B) -> Self {
+        FeedSession {
+            monitors: (0..n_processes).map(make_monitor).collect(),
+            inflight: VecDeque::new(),
+            messages: 0,
+            last_time: 0.0,
+            finished: false,
+        }
+    }
+
+    /// Number of processes (monitors) in the session.
+    pub fn n_processes(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// The monitors, in process order.
+    pub fn monitors(&self) -> &[B] {
+        &self.monitors
+    }
+
+    /// Consumes the session, returning its monitors.
+    pub fn into_monitors(self) -> Vec<B> {
+        self.monitors
+    }
+
+    /// Total monitor-to-monitor messages exchanged so far.
+    pub fn monitor_messages(&self) -> usize {
+        self.messages
+    }
+
+    /// True once [`finish`](Self::finish) has run.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Delivers one program event to the monitor of its process and drains monitor
+    /// messages to quiescence.  Returns the [`combined_verdict`] detected so far.
+    ///
+    /// Events of one process must arrive in local (sequence-number) order; events of
+    /// different processes should arrive in timestamp order for equivalence with the
+    /// offline replay.  Feeding a finished session panics.
+    pub fn feed_event(&mut self, event: &Event) -> Verdict {
+        assert!(!self.finished, "cannot feed a finished session");
+        let p = event.process;
+        assert!(p < self.monitors.len(), "event process {p} out of range");
+        self.last_time = self.last_time.max(event.time);
+        let now = event.time;
+        let mut outbox = Vec::new();
+        {
+            let mut ctx = MonitorContext::new(p, self.monitors.len(), now, &mut outbox);
+            self.monitors[p].on_local_event(event, &mut ctx);
+        }
+        self.messages += outbox.len();
+        for (dest, m) in outbox {
+            self.inflight.push_back((p, dest, m));
+        }
+        self.drain(now);
+        self.verdict()
+    }
+
+    /// Signals end-of-stream: every monitor's local termination runs at the latest
+    /// seen timestamp and messages drain to quiescence.  Idempotent; returns the
+    /// final [`combined_verdict`].
+    pub fn finish(&mut self) -> Verdict {
+        if self.finished {
+            return self.verdict();
+        }
+        self.finished = true;
+        let n = self.monitors.len();
+        let end_time = self.last_time;
+        for p in 0..n {
+            let mut outbox = Vec::new();
+            {
+                let mut ctx = MonitorContext::new(p, n, end_time, &mut outbox);
+                self.monitors[p].on_local_termination(&mut ctx);
+            }
+            self.messages += outbox.len();
+            for (dest, m) in outbox {
+                self.inflight.push_back((p, dest, m));
+            }
+            self.drain(end_time);
+        }
+        self.verdict()
+    }
+
+    /// The [`combined_verdict`] over every monitor's detections so far.
+    pub fn verdict(&self) -> Verdict {
+        combined_verdict(&self.detected_verdicts())
+    }
+
+    /// Union of ⊤/⊥ verdicts detected by any monitor.
+    pub fn detected_verdicts(&self) -> BTreeSet<Verdict> {
+        let mut set = BTreeSet::new();
+        for m in &self.monitors {
+            set.extend(m.detected_verdicts());
+        }
+        set
+    }
+
+    /// Union of the verdicts any monitor still considers possible.
+    pub fn possible_verdicts(&self) -> BTreeSet<Verdict> {
+        let mut set = BTreeSet::new();
+        for m in &self.monitors {
+            set.extend(m.possible_verdicts());
+        }
+        set
+    }
+
+    /// Delivers in-flight monitor messages until no monitor has anything queued.
+    fn drain(&mut self, now: f64) {
+        let n = self.monitors.len();
+        while let Some((from, to, msg)) = self.inflight.pop_front() {
+            let mut outbox = Vec::new();
+            {
+                let mut ctx = MonitorContext::new(to, n, now, &mut outbox);
+                self.monitors[to].on_monitor_message(from, msg, &mut ctx);
+            }
+            self.messages += outbox.len();
+            for (dest, m) in outbox {
+                self.inflight.push_back((to, dest, m));
+            }
+        }
+    }
+}
+
+/// A feed session over decentralized (token-algorithm) monitors.
+pub type DecentralizedSession = FeedSession<DecentralizedMonitor>;
+
+/// A feed session over the centralized baseline.
+pub type CentralizedSession = FeedSession<CentralizedMonitor>;
+
+/// Creates a decentralized session: one [`DecentralizedMonitor`] per process, all
+/// starting from `initial_gstate`.
+pub fn decentralized_session(
+    n_processes: usize,
+    automaton: &Arc<MonitorAutomaton>,
+    registry: &Arc<AtomRegistry>,
+    initial_gstate: Assignment,
+    opts: MonitorOptions,
+) -> DecentralizedSession {
+    FeedSession::new(n_processes, |i| {
+        DecentralizedMonitor::new(
+            i,
+            n_processes,
+            automaton.clone(),
+            registry.clone(),
+            initial_gstate,
+            opts,
+        )
+    })
+}
+
+/// Creates a centralized session with the collector at process `central`.
+pub fn centralized_session(
+    n_processes: usize,
+    central: ProcessId,
+    automaton: &Arc<MonitorAutomaton>,
+    registry: &Arc<AtomRegistry>,
+    initial_states: Vec<Assignment>,
+) -> CentralizedSession {
+    FeedSession::new(n_processes, |i| {
+        CentralizedMonitor::new(
+            i,
+            n_processes,
+            central,
+            automaton.clone(),
+            registry.clone(),
+            initial_states.clone(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrv_ltl::Formula;
+    use dlrv_vclock::{EventKind, VectorClock};
+
+    fn two_proc_setup() -> (Arc<MonitorAutomaton>, Arc<AtomRegistry>, dlrv_ltl::AtomId, dlrv_ltl::AtomId)
+    {
+        let mut reg = AtomRegistry::new();
+        let a = reg.intern("P0.p", 0);
+        let b = reg.intern("P1.p", 1);
+        let phi = Formula::eventually(Formula::and(Formula::Atom(a), Formula::Atom(b)));
+        let automaton = Arc::new(MonitorAutomaton::synthesize(&phi, &reg));
+        (automaton, Arc::new(reg), a, b)
+    }
+
+    fn internal(process: ProcessId, sn: u64, vc: Vec<u64>, state: Assignment, time: f64) -> Event {
+        Event {
+            process,
+            kind: EventKind::Internal,
+            sn,
+            vc: VectorClock::from_entries(vc),
+            state,
+            time,
+        }
+    }
+
+    #[test]
+    fn feeding_concurrent_goal_states_detects_satisfaction() {
+        let (automaton, registry, a, b) = two_proc_setup();
+        let mut session = decentralized_session(
+            2,
+            &automaton,
+            &registry,
+            Assignment::ALL_FALSE,
+            MonitorOptions::default(),
+        );
+        assert_eq!(session.verdict(), Verdict::Unknown);
+        let v1 = session.feed_event(&internal(0, 1, vec![1, 0], Assignment::from_true_atoms([a]), 1.0));
+        assert_eq!(v1, Verdict::Unknown);
+        session.feed_event(&internal(1, 1, vec![0, 1], Assignment::from_true_atoms([b]), 2.0));
+        let final_verdict = session.finish();
+        // F(a && b) is satisfied on the concurrent cut where both propositions hold.
+        assert_eq!(final_verdict, Verdict::True);
+        assert!(session.monitor_messages() > 0, "exploration requires tokens");
+        // finish is idempotent.
+        assert_eq!(session.finish(), Verdict::True);
+    }
+
+    #[test]
+    fn centralized_session_reaches_same_verdict() {
+        let (automaton, registry, a, b) = two_proc_setup();
+        let mut session = centralized_session(
+            2,
+            0,
+            &automaton,
+            &registry,
+            vec![Assignment::ALL_FALSE; 2],
+        );
+        session.feed_event(&internal(0, 1, vec![1, 0], Assignment::from_true_atoms([a]), 1.0));
+        session.feed_event(&internal(1, 1, vec![0, 1], Assignment::from_true_atoms([b]), 2.0));
+        assert_eq!(session.finish(), Verdict::True);
+        // The non-central monitor forwarded two events and one Done message.
+        assert_eq!(session.monitor_messages(), 2);
+    }
+
+    #[test]
+    fn combined_verdict_precedence() {
+        use std::iter::FromIterator;
+        assert_eq!(combined_verdict(&BTreeSet::new()), Verdict::Unknown);
+        assert_eq!(
+            combined_verdict(&BTreeSet::from_iter([Verdict::True])),
+            Verdict::True
+        );
+        assert_eq!(
+            combined_verdict(&BTreeSet::from_iter([Verdict::True, Verdict::False])),
+            Verdict::False
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finished session")]
+    fn feeding_after_finish_panics() {
+        let (automaton, registry, a, _) = two_proc_setup();
+        let mut session = decentralized_session(
+            2,
+            &automaton,
+            &registry,
+            Assignment::ALL_FALSE,
+            MonitorOptions::default(),
+        );
+        session.finish();
+        session.feed_event(&internal(0, 1, vec![1, 0], Assignment::from_true_atoms([a]), 1.0));
+    }
+}

@@ -13,9 +13,13 @@
 //! * [`metrics`] — per-monitor and per-run measurements matching Chapter 5.
 //! * [`replay`] — a zero-latency driver over recorded computations, used by the
 //!   soundness/completeness test-suite to compare monitors against the lattice oracle.
+//! * [`feed`] — the incremental feed API: a [`FeedSession`] delivers events one at a
+//!   time (`feed_event(&mut self, ev) -> Verdict`) so monitors no longer require a
+//!   complete trace up front; the substrate of the online `dlrv-stream` runtime.
 
 pub mod centralized;
 pub mod decentralized;
+pub mod feed;
 pub mod global_view;
 pub mod messages;
 pub mod metrics;
@@ -23,7 +27,11 @@ pub mod replay;
 
 pub use centralized::{CentralMsg, CentralizedMonitor};
 pub use decentralized::{DecentralizedMonitor, MonitorOptions};
+pub use feed::{
+    centralized_session, combined_verdict, decentralized_session, CentralizedSession,
+    DecentralizedSession, FeedSession, SessionVerdicts,
+};
 pub use global_view::{GlobalView, GvState};
 pub use messages::{ConjunctEval, EvalState, MonitorMsg, Token, TokenTransition};
-pub use metrics::{verdict_from_name, verdict_name, MonitorMetrics, RunMetrics};
-pub use replay::{replay_decentralized, ReplayResult};
+pub use metrics::{verdict_from_name, verdict_name, MonitorMetrics, RunMetrics, ShardMetrics};
+pub use replay::{replay_decentralized, timestamp_order, ReplayResult};

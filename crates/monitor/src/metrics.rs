@@ -78,6 +78,72 @@ impl MonitorMetrics {
     }
 }
 
+/// Metrics of one worker shard of the streaming runtime (`dlrv-stream`).
+///
+/// Plain data so `RunMetrics` can embed per-shard measurements without this crate
+/// depending on the runtime; the streaming runtime fills it in at shutdown.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Sessions opened on this shard.
+    pub sessions_opened: usize,
+    /// Sessions closed (finished) on this shard.
+    pub sessions_closed: usize,
+    /// Program events applied by this shard.
+    pub events_processed: usize,
+    /// Mailbox batches processed.
+    pub batches: usize,
+    /// Largest batch drained in one go.
+    pub max_batch_len: usize,
+    /// Wall-clock seconds this shard spent applying batches (its busy time).
+    pub busy_secs: f64,
+    /// Mean wall-clock latency between a record's enqueue and its application.
+    pub avg_queue_latency_secs: f64,
+    /// Largest such latency.
+    pub max_queue_latency_secs: f64,
+    /// Times a producer found this shard's mailbox full and had to block.
+    pub backpressure_stalls: usize,
+    /// Records addressed to an unknown or already-closed session.
+    pub routing_errors: usize,
+}
+
+impl ShardMetrics {
+    /// Serializes the shard metrics; field names are part of the results schema.
+    pub fn to_json(&self) -> Json {
+        object([
+            ("shard", Json::from(self.shard)),
+            ("sessions_opened", Json::from(self.sessions_opened)),
+            ("sessions_closed", Json::from(self.sessions_closed)),
+            ("events_processed", Json::from(self.events_processed)),
+            ("batches", Json::from(self.batches)),
+            ("max_batch_len", Json::from(self.max_batch_len)),
+            ("busy_secs", Json::from(self.busy_secs)),
+            ("avg_queue_latency_secs", Json::from(self.avg_queue_latency_secs)),
+            ("max_queue_latency_secs", Json::from(self.max_queue_latency_secs)),
+            ("backpressure_stalls", Json::from(self.backpressure_stalls)),
+            ("routing_errors", Json::from(self.routing_errors)),
+        ])
+    }
+
+    /// Parses shard metrics back from their [`ShardMetrics::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<ShardMetrics, JsonError> {
+        Ok(ShardMetrics {
+            shard: v.get("shard")?.as_usize()?,
+            sessions_opened: v.get("sessions_opened")?.as_usize()?,
+            sessions_closed: v.get("sessions_closed")?.as_usize()?,
+            events_processed: v.get("events_processed")?.as_usize()?,
+            batches: v.get("batches")?.as_usize()?,
+            max_batch_len: v.get("max_batch_len")?.as_usize()?,
+            busy_secs: v.get("busy_secs")?.as_f64()?,
+            avg_queue_latency_secs: v.get("avg_queue_latency_secs")?.as_f64()?,
+            max_queue_latency_secs: v.get("max_queue_latency_secs")?.as_f64()?,
+            backpressure_stalls: v.get("backpressure_stalls")?.as_usize()?,
+            routing_errors: v.get("routing_errors")?.as_usize()?,
+        })
+    }
+}
+
 /// Metrics aggregated over all monitors of one run (one row of a paper figure).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
@@ -104,6 +170,15 @@ pub struct RunMetrics {
     pub detected_final_verdicts: BTreeSet<Verdict>,
     /// Union of possible verdicts over all monitors' global views.
     pub possible_verdicts: BTreeSet<Verdict>,
+    /// Wall-clock duration of the run/scenario that produced these metrics (seconds;
+    /// `0.0` when not measured).  Unlike every field above this is real elapsed time,
+    /// not simulated time, so it varies run to run.
+    pub wall_clock_secs: f64,
+    /// Aggregate ingestion throughput of a streaming run (events per wall-clock
+    /// second; `0.0` for offline runs).
+    pub events_per_sec: f64,
+    /// Per-shard measurements of a streaming run (empty for offline runs).
+    pub per_shard: Vec<ShardMetrics>,
 }
 
 impl RunMetrics {
@@ -128,6 +203,12 @@ impl RunMetrics {
                 verdicts_to_json(&self.detected_final_verdicts),
             ),
             ("possible_verdicts", verdicts_to_json(&self.possible_verdicts)),
+            ("wall_clock_secs", Json::from(self.wall_clock_secs)),
+            ("events_per_sec", Json::from(self.events_per_sec)),
+            (
+                "per_shard",
+                Json::Array(self.per_shard.iter().map(ShardMetrics::to_json).collect()),
+            ),
         ])
     }
 
@@ -145,6 +226,18 @@ impl RunMetrics {
             monitor_extra_time: v.get("monitor_extra_time")?.as_f64()?,
             detected_final_verdicts: verdicts_from_json(v.get("detected_final_verdicts")?)?,
             possible_verdicts: verdicts_from_json(v.get("possible_verdicts")?)?,
+            // The three streaming fields postdate the first schema-v1 documents;
+            // records written before them carry offline runs only.
+            wall_clock_secs: v.get_opt("wall_clock_secs")?.map_or(Ok(0.0), Json::as_f64)?,
+            events_per_sec: v.get_opt("events_per_sec")?.map_or(Ok(0.0), Json::as_f64)?,
+            per_shard: match v.get_opt("per_shard")? {
+                None => Vec::new(),
+                Some(arr) => arr
+                    .as_array()?
+                    .iter()
+                    .map(ShardMetrics::from_json)
+                    .collect::<Result<_, _>>()?,
+            },
         })
     }
 
@@ -188,6 +281,7 @@ impl RunMetrics {
             monitor_extra_time,
             detected_final_verdicts: detected,
             possible_verdicts: possible,
+            ..RunMetrics::default()
         }
     }
 }
@@ -250,6 +344,7 @@ mod tests {
             monitor_extra_time: 2.5e-3,
             detected_final_verdicts: BTreeSet::from([Verdict::True]),
             possible_verdicts: BTreeSet::from([Verdict::True, Verdict::Unknown]),
+            ..RunMetrics::default()
         };
         let text = m.to_json().to_string_pretty();
         let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -258,6 +353,60 @@ mod tests {
         let zero = RunMetrics::default();
         let back = RunMetrics::from_json(&Json::parse(&zero.to_json().to_string_pretty()).unwrap());
         assert_eq!(zero, back.unwrap());
+    }
+
+    #[test]
+    fn streaming_fields_round_trip() {
+        let m = RunMetrics {
+            wall_clock_secs: 1.25,
+            events_per_sec: 123456.789,
+            per_shard: vec![
+                ShardMetrics {
+                    shard: 0,
+                    sessions_opened: 10,
+                    sessions_closed: 10,
+                    events_processed: 400,
+                    batches: 17,
+                    max_batch_len: 32,
+                    busy_secs: 0.5,
+                    avg_queue_latency_secs: 1.5e-4,
+                    max_queue_latency_secs: 3.0e-3,
+                    backpressure_stalls: 2,
+                    routing_errors: 0,
+                },
+                ShardMetrics {
+                    shard: 1,
+                    ..ShardMetrics::default()
+                },
+            ],
+            ..RunMetrics::default()
+        };
+        let text = m.to_json().to_string_pretty();
+        let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn pre_streaming_records_still_parse() {
+        // A record written before the streaming fields existed must load with zeroed
+        // streaming metrics.  This pins the schema's backward compatibility.
+        let mut m = RunMetrics {
+            n_processes: 3,
+            total_events: 12,
+            ..RunMetrics::default()
+        };
+        m.wall_clock_secs = 9.0; // will be stripped below
+        let Json::Object(mut fields) = m.to_json() else {
+            panic!("metrics must serialize to an object")
+        };
+        fields.retain(|(k, _)| {
+            !matches!(k.as_str(), "wall_clock_secs" | "events_per_sec" | "per_shard")
+        });
+        let back = RunMetrics::from_json(&Json::Object(fields)).unwrap();
+        assert_eq!(back.wall_clock_secs, 0.0);
+        assert_eq!(back.events_per_sec, 0.0);
+        assert!(back.per_shard.is_empty());
+        assert_eq!(back.total_events, 12);
     }
 
     #[test]

@@ -8,12 +8,11 @@
 //! against the lattice oracle on thousands of random computations.
 
 use crate::decentralized::{DecentralizedMonitor, MonitorOptions};
-use crate::messages::MonitorMsg;
+use crate::feed::decentralized_session;
 use dlrv_automaton::MonitorAutomaton;
-use dlrv_distsim::{MonitorBehavior, MonitorContext};
 use dlrv_ltl::{AtomRegistry, ProcessId, Verdict};
 use dlrv_vclock::Computation;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// The result of a replay run.
@@ -45,7 +44,26 @@ impl ReplayResult {
     }
 }
 
+/// Merges a computation's events into one timestamp-ordered `(time, process, sn)`
+/// sequence (ties broken by process id, then sequence number, which respects each
+/// process's local order).  This is the canonical delivery order of both the replay
+/// driver and the streaming runtime's session feeds.
+pub fn timestamp_order(comp: &Computation) -> Vec<(f64, ProcessId, u64)> {
+    let mut all: Vec<(f64, ProcessId, u64)> = Vec::new();
+    for (p, events) in comp.events.iter().enumerate() {
+        for e in events {
+            all.push((e.time, p, e.sn));
+        }
+    }
+    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    all
+}
+
 /// Replays `comp` through freshly created decentralized monitors for `automaton`.
+///
+/// Implemented as an incremental [`FeedSession`](crate::feed::FeedSession) fed the
+/// computation's events in [`timestamp_order`], so the offline path and the online
+/// (streamed) path are the same code driving the same monitors.
 pub fn replay_decentralized(
     comp: &Computation,
     registry: &Arc<AtomRegistry>,
@@ -54,85 +72,15 @@ pub fn replay_decentralized(
 ) -> ReplayResult {
     let n = comp.n_processes();
     let initial_gstate = comp.global_state(&vec![0; n], registry);
-    let mut monitors: Vec<DecentralizedMonitor> = (0..n)
-        .map(|i| {
-            DecentralizedMonitor::new(
-                i,
-                n,
-                automaton.clone(),
-                registry.clone(),
-                initial_gstate,
-                opts,
-            )
-        })
-        .collect();
-
-    // Merge all events into one timestamp-ordered sequence (ties broken by process id,
-    // then sequence number, which respects each process's local order).
-    let mut all: Vec<(f64, ProcessId, u64)> = Vec::new();
-    for (p, events) in comp.events.iter().enumerate() {
-        for e in events {
-            all.push((e.time, p, e.sn));
-        }
+    let mut session = decentralized_session(n, automaton, registry, initial_gstate, opts);
+    for (_, p, sn) in timestamp_order(comp) {
+        session.feed_event(&comp.events[p][(sn - 1) as usize]);
     }
-    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
-
-    let mut messages = 0usize;
-    let mut inflight: VecDeque<(ProcessId, ProcessId, MonitorMsg)> = VecDeque::new();
-
-    let drain = |monitors: &mut Vec<DecentralizedMonitor>,
-                     inflight: &mut VecDeque<(ProcessId, ProcessId, MonitorMsg)>,
-                     messages: &mut usize,
-                     now: f64| {
-        while let Some((from, to, msg)) = inflight.pop_front() {
-            let mut outbox = Vec::new();
-            {
-                let mut ctx = MonitorContext::new(to, monitors.len(), now, &mut outbox);
-                monitors[to].on_monitor_message(from, msg, &mut ctx);
-            }
-            *messages += outbox.len();
-            for (dest, m) in outbox {
-                inflight.push_back((to, dest, m));
-            }
-        }
-    };
-
-    for (time, p, sn) in all {
-        let event = comp.events[p][(sn - 1) as usize].clone();
-        let mut outbox = Vec::new();
-        {
-            let mut ctx = MonitorContext::new(p, n, time, &mut outbox);
-            monitors[p].on_local_event(&event, &mut ctx);
-        }
-        messages += outbox.len();
-        for (dest, m) in outbox {
-            inflight.push_back((p, dest, m));
-        }
-        drain(&mut monitors, &mut inflight, &mut messages, time);
-    }
-
-    // Program quiescence: signal termination everywhere, then drain to quiescence.
-    let end_time = comp
-        .events
-        .iter()
-        .flat_map(|es| es.iter().map(|e| e.time))
-        .fold(0.0f64, f64::max);
-    for p in 0..n {
-        let mut outbox = Vec::new();
-        {
-            let mut ctx = MonitorContext::new(p, n, end_time, &mut outbox);
-            monitors[p].on_local_termination(&mut ctx);
-        }
-        messages += outbox.len();
-        for (dest, m) in outbox {
-            inflight.push_back((p, dest, m));
-        }
-        drain(&mut monitors, &mut inflight, &mut messages, end_time);
-    }
-
+    session.finish();
+    let monitor_messages = session.monitor_messages();
     ReplayResult {
-        monitors,
-        monitor_messages: messages,
+        monitors: session.into_monitors(),
+        monitor_messages,
     }
 }
 

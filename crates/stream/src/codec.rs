@@ -1,0 +1,557 @@
+//! The wire codec of the streaming runtime: length-prefixed JSON records.
+//!
+//! A stream is a sequence of *frames*.  Each frame is a 4-byte big-endian length
+//! followed by that many bytes of JSON (over the in-tree [`dlrv_json`] — this build
+//! environment has no serde), encoding one [`StreamRecord`]: a session opening, one
+//! program event of a session, or a session close.  The framing makes record
+//! boundaries independent of JSON whitespace and lets a reader hand the decoder
+//! arbitrary byte chunks — exactly what a socket delivers.
+//!
+//! [`EventSource`] abstracts where records come from: an in-memory vector
+//! ([`VecSource`]), any [`std::io::Read`] ([`ReaderSource`]), or something custom
+//! (a socket acceptor, a replay file).  The sharded runtime only ever sees the trait.
+
+use dlrv_json::{object, Json, JsonError};
+use dlrv_ltl::{Assignment, ProcessId};
+use dlrv_vclock::{Event, EventKind, VectorClock};
+use std::fmt;
+use std::io::Read;
+
+/// Identifies one monitored session within a stream.
+pub type SessionId = u64;
+
+/// Upper bound on a single frame's payload; a corrupt length prefix fails fast
+/// instead of asking the decoder to buffer gigabytes.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Error of the codec layer: framing, JSON syntax, or I/O.
+#[derive(Debug)]
+pub struct StreamError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl StreamError {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        StreamError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<JsonError> for StreamError {
+    fn from(e: JsonError) -> Self {
+        StreamError::msg(format!("wire JSON: {e}"))
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::msg(format!("wire I/O: {e}"))
+    }
+}
+
+/// One record of the wire protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamRecord {
+    /// Opens session `session`: subsequent events belong to a fresh set of monitors.
+    Open {
+        /// The session being opened.
+        session: SessionId,
+        /// Name of the monitored property (resolved by the receiver; for the
+        /// repository's workloads this is a paper property letter `A`–`F`).
+        property: String,
+        /// Number of processes in the monitored execution.
+        n_processes: usize,
+        /// Initial global state of the session's propositions, as raw
+        /// [`Assignment`] bits.
+        initial_state: u64,
+    },
+    /// One program event of an open session.
+    Event {
+        /// The session the event belongs to.
+        session: SessionId,
+        /// The event, exactly as a co-located monitor would observe it.
+        event: Event,
+    },
+    /// Closes session `session`: end-of-stream for its monitors, final verdict due.
+    Close {
+        /// The session being closed.
+        session: SessionId,
+    },
+}
+
+impl StreamRecord {
+    /// The session this record addresses.
+    pub fn session(&self) -> SessionId {
+        match self {
+            StreamRecord::Open { session, .. }
+            | StreamRecord::Event { session, .. }
+            | StreamRecord::Close { session } => *session,
+        }
+    }
+}
+
+/// Serializes an event kind as a tagged object.
+fn kind_to_json(kind: &EventKind) -> Json {
+    match kind {
+        EventKind::Internal => object([("kind", Json::from("internal"))]),
+        EventKind::Send { to, msg_id } => object([
+            ("kind", Json::from("send")),
+            ("to", Json::from(*to)),
+            ("msg_id", Json::from(*msg_id)),
+        ]),
+        EventKind::Broadcast { msg_id } => object([
+            ("kind", Json::from("broadcast")),
+            ("msg_id", Json::from(*msg_id)),
+        ]),
+        EventKind::Receive { from, msg_id } => object([
+            ("kind", Json::from("receive")),
+            ("from", Json::from(*from)),
+            ("msg_id", Json::from(*msg_id)),
+        ]),
+    }
+}
+
+fn kind_from_json(v: &Json) -> Result<EventKind, JsonError> {
+    match v.get("kind")?.as_str()? {
+        "internal" => Ok(EventKind::Internal),
+        "send" => Ok(EventKind::Send {
+            to: v.get("to")?.as_usize()?,
+            msg_id: v.get("msg_id")?.as_u64()?,
+        }),
+        "broadcast" => Ok(EventKind::Broadcast {
+            msg_id: v.get("msg_id")?.as_u64()?,
+        }),
+        "receive" => Ok(EventKind::Receive {
+            from: v.get("from")?.as_usize()?,
+            msg_id: v.get("msg_id")?.as_u64()?,
+        }),
+        other => Err(JsonError::msg(format!("unknown event kind `{other}`"))),
+    }
+}
+
+/// Serializes a program event.  The local state travels as raw [`Assignment`] bits
+/// (an atom-indexed bitmask), and the vector clock as a plain array.
+pub fn event_to_json(event: &Event) -> Json {
+    object([
+        ("process", Json::from(event.process)),
+        ("kind", kind_to_json(&event.kind)),
+        ("sn", Json::from(event.sn)),
+        (
+            "vc",
+            Json::Array(event.vc.entries().iter().map(|&e| Json::from(e)).collect()),
+        ),
+        ("state", Json::from(event.state.0)),
+        ("time", Json::from(event.time)),
+    ])
+}
+
+/// Parses a program event back from its [`event_to_json`] form.
+pub fn event_from_json(v: &Json) -> Result<Event, JsonError> {
+    let process: ProcessId = v.get("process")?.as_usize()?;
+    let vc_entries: Vec<u64> = v
+        .get("vc")?
+        .as_array()?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<Result<_, _>>()?;
+    if process >= vc_entries.len() {
+        return Err(JsonError::msg(format!(
+            "event process {process} out of range for a {}-entry vector clock",
+            vc_entries.len()
+        )));
+    }
+    Ok(Event {
+        process,
+        kind: kind_from_json(v.get("kind")?)?,
+        sn: v.get("sn")?.as_u64()?,
+        vc: VectorClock::from_entries(vc_entries),
+        state: Assignment(v.get("state")?.as_u64()?),
+        time: v.get("time")?.as_f64()?,
+    })
+}
+
+/// Serializes one wire record as a tagged JSON object (the frame payload).
+pub fn record_to_json(record: &StreamRecord) -> Json {
+    match record {
+        StreamRecord::Open {
+            session,
+            property,
+            n_processes,
+            initial_state,
+        } => object([
+            ("type", Json::from("open")),
+            ("session", Json::from(*session)),
+            ("property", Json::from(property.as_str())),
+            ("n_processes", Json::from(*n_processes)),
+            ("initial_state", Json::from(*initial_state)),
+        ]),
+        StreamRecord::Event { session, event } => object([
+            ("type", Json::from("event")),
+            ("session", Json::from(*session)),
+            ("event", event_to_json(event)),
+        ]),
+        StreamRecord::Close { session } => object([
+            ("type", Json::from("close")),
+            ("session", Json::from(*session)),
+        ]),
+    }
+}
+
+/// Parses one wire record.
+pub fn record_from_json(v: &Json) -> Result<StreamRecord, JsonError> {
+    let session = v.get("session")?.as_u64()?;
+    match v.get("type")?.as_str()? {
+        "open" => Ok(StreamRecord::Open {
+            session,
+            property: v.get("property")?.as_str()?.to_string(),
+            n_processes: v.get("n_processes")?.as_usize()?,
+            initial_state: v.get("initial_state")?.as_u64()?,
+        }),
+        "event" => Ok(StreamRecord::Event {
+            session,
+            event: event_from_json(v.get("event")?)?,
+        }),
+        "close" => Ok(StreamRecord::Close { session }),
+        other => Err(JsonError::msg(format!("unknown record type `{other}`"))),
+    }
+}
+
+/// Encodes one record as a frame: 4-byte big-endian payload length + compact JSON
+/// payload (no whitespace — this is the hot wire path).
+pub fn encode_frame(record: &StreamRecord) -> Vec<u8> {
+    let payload = record_to_json(record).to_string_compact().into_bytes();
+    assert!(payload.len() <= MAX_FRAME_LEN, "record exceeds MAX_FRAME_LEN");
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Encodes a whole record sequence into one byte stream.
+pub fn encode_stream(records: &[StreamRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in records {
+        out.extend_from_slice(&encode_frame(r));
+    }
+    out
+}
+
+/// One session's worth of wire input for [`interleave_sessions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStream {
+    /// The session id the records will carry.
+    pub session: SessionId,
+    /// Property name for the [`StreamRecord::Open`].
+    pub property: String,
+    /// Process count for the open record.
+    pub n_processes: usize,
+    /// Initial-state bits for the open record.
+    pub initial_state: u64,
+    /// The session's events, already in delivery (timestamp) order.
+    pub events: Vec<Event>,
+}
+
+/// Builds the canonical multi-session record sequence: every session's `Open`
+/// first, then events interleaved round-robin across sessions (so every shard
+/// juggles many live sessions at once instead of one after another), then every
+/// `Close`.
+///
+/// Both the throughput runner and the stream-equivalence test construct their wire
+/// streams through this function, so they always exercise the same record shape.
+pub fn interleave_sessions(sessions: &[SessionStream]) -> Vec<StreamRecord> {
+    let mut records = Vec::new();
+    for s in sessions {
+        records.push(StreamRecord::Open {
+            session: s.session,
+            property: s.property.clone(),
+            n_processes: s.n_processes,
+            initial_state: s.initial_state,
+        });
+    }
+    let longest = sessions.iter().map(|s| s.events.len()).max().unwrap_or(0);
+    for k in 0..longest {
+        for s in sessions {
+            if let Some(event) = s.events.get(k) {
+                records.push(StreamRecord::Event {
+                    session: s.session,
+                    event: event.clone(),
+                });
+            }
+        }
+    }
+    for s in sessions {
+        records.push(StreamRecord::Close { session: s.session });
+    }
+    records
+}
+
+/// An incremental frame decoder: feed it byte chunks of any size, pull complete
+/// records out.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed (compacted lazily).
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing, so the buffer never holds already-decoded frames.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decodes the next complete record, or `None` when more bytes are needed.
+    pub fn next_record(&mut self) -> Result<Option<StreamRecord>, StreamError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(StreamError::msg(format!(
+                "frame length {len} exceeds maximum {MAX_FRAME_LEN}"
+            )));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = &avail[4..4 + len];
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| StreamError::msg("frame payload is not UTF-8"))?;
+        let record = record_from_json(&Json::parse(text)?)?;
+        self.pos += 4 + len;
+        Ok(Some(record))
+    }
+}
+
+/// Where the runtime's records come from.
+pub trait EventSource {
+    /// The next record, `None` at end-of-stream.
+    fn next_record(&mut self) -> Result<Option<StreamRecord>, StreamError>;
+}
+
+/// An in-memory record source (already-decoded records, no wire bytes involved).
+#[derive(Debug)]
+pub struct VecSource {
+    records: std::vec::IntoIter<StreamRecord>,
+}
+
+impl VecSource {
+    /// A source yielding `records` in order.
+    pub fn new(records: Vec<StreamRecord>) -> Self {
+        VecSource {
+            records: records.into_iter(),
+        }
+    }
+}
+
+impl EventSource for VecSource {
+    fn next_record(&mut self) -> Result<Option<StreamRecord>, StreamError> {
+        Ok(self.records.next())
+    }
+}
+
+/// Decodes framed records from any [`Read`] — a file, a socket, an in-memory cursor.
+#[derive(Debug)]
+pub struct ReaderSource<R: Read> {
+    reader: R,
+    decoder: FrameDecoder,
+    chunk: Vec<u8>,
+    eof: bool,
+}
+
+impl<R: Read> ReaderSource<R> {
+    /// Wraps `reader`; bytes are pulled in fixed-size chunks as records are needed.
+    pub fn new(reader: R) -> Self {
+        ReaderSource {
+            reader,
+            decoder: FrameDecoder::new(),
+            chunk: vec![0u8; 64 * 1024],
+            eof: false,
+        }
+    }
+}
+
+impl<R: Read> EventSource for ReaderSource<R> {
+    fn next_record(&mut self) -> Result<Option<StreamRecord>, StreamError> {
+        loop {
+            if let Some(record) = self.decoder.next_record()? {
+                return Ok(Some(record));
+            }
+            if self.eof {
+                if self.decoder.pending_bytes() > 0 {
+                    return Err(StreamError::msg(format!(
+                        "stream ends mid-frame ({} trailing bytes)",
+                        self.decoder.pending_bytes()
+                    )));
+                }
+                return Ok(None);
+            }
+            let n = self.reader.read(&mut self.chunk)?;
+            if n == 0 {
+                self.eof = true;
+            } else {
+                self.decoder.push(&self.chunk[..n]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> Event {
+        Event {
+            process: 1,
+            kind: EventKind::Receive { from: 0, msg_id: 7 },
+            sn: 3,
+            vc: VectorClock::from_entries(vec![2, 3]),
+            state: Assignment(0b1010),
+            time: 4.25,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let records = [
+            StreamRecord::Open {
+                session: 42,
+                property: "C".to_string(),
+                n_processes: 2,
+                initial_state: 5,
+            },
+            StreamRecord::Event {
+                session: 42,
+                event: sample_event(),
+            },
+            StreamRecord::Close { session: 42 },
+        ];
+        for r in &records {
+            let text = record_to_json(r).to_string_pretty();
+            let back = record_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(&back, r);
+        }
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        for kind in [
+            EventKind::Internal,
+            EventKind::Send { to: 2, msg_id: 9 },
+            EventKind::Broadcast { msg_id: 1 },
+            EventKind::Receive { from: 1, msg_id: 3 },
+        ] {
+            let event = Event {
+                kind,
+                process: 0,
+                sn: 1,
+                vc: VectorClock::from_entries(vec![1, 0, 0]),
+                state: Assignment::ALL_FALSE,
+                time: 0.5,
+            };
+            let back = event_from_json(&event_to_json(&event)).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn frame_decoder_handles_byte_at_a_time_input() {
+        let records = vec![
+            StreamRecord::Open {
+                session: 1,
+                property: "B".to_string(),
+                n_processes: 3,
+                initial_state: 0,
+            },
+            StreamRecord::Event {
+                session: 1,
+                event: sample_event(),
+            },
+            StreamRecord::Close { session: 1 },
+        ];
+        let bytes = encode_stream(&records);
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for b in bytes {
+            decoder.push(&[b]);
+            while let Some(r) = decoder.next_record().unwrap() {
+                decoded.push(r);
+            }
+        }
+        assert_eq!(decoded, records);
+        assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn reader_source_round_trips_and_rejects_truncation() {
+        let records = vec![
+            StreamRecord::Open {
+                session: 9,
+                property: "A".to_string(),
+                n_processes: 2,
+                initial_state: 1,
+            },
+            StreamRecord::Close { session: 9 },
+        ];
+        let bytes = encode_stream(&records);
+        let mut source = ReaderSource::new(&bytes[..]);
+        let mut decoded = Vec::new();
+        while let Some(r) = source.next_record().unwrap() {
+            decoded.push(r);
+        }
+        assert_eq!(decoded, records);
+
+        // Truncated stream: the decoder must error, not silently stop.
+        let mut truncated = ReaderSource::new(&bytes[..bytes.len() - 3]);
+        assert!(truncated.next_record().unwrap().is_some());
+        assert!(truncated.next_record().is_err());
+    }
+
+    #[test]
+    fn oversized_frame_lengths_are_rejected() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&u32::MAX.to_be_bytes());
+        assert!(decoder.next_record().is_err());
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        // A process index outside its own vector clock must fail at parse time.
+        let bad = object([
+            ("process", Json::from(5usize)),
+            ("kind", object([("kind", Json::from("internal"))])),
+            ("sn", Json::from(1u64)),
+            ("vc", Json::Array(vec![Json::from(1u64)])),
+            ("state", Json::from(0u64)),
+            ("time", Json::from(1.0)),
+        ]);
+        assert!(event_from_json(&bad).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! Online sharded multi-session monitoring runtime.
+//!
+//! Everything else in this workspace monitors one recorded execution at a time,
+//! offline: `dlrv-trace` materializes a full trace, a substrate replays it, metrics
+//! come out.  This crate is the *online* ingestion path the production road map
+//! needs: events arrive incrementally — possibly as raw bytes — and many independent
+//! monitored executions ("sessions") run concurrently over a fixed pool of worker
+//! shards.
+//!
+//! * [`codec`] — the wire format: length-prefixed JSON records ([`StreamRecord`])
+//!   over the in-tree `dlrv-json`, an incremental [`FrameDecoder`], and the
+//!   [`EventSource`] abstraction ([`VecSource`] for in-memory records,
+//!   [`ReaderSource`] for any `std::io::Read`).
+//! * [`runtime`] — the [`ShardedRuntime`]: hash-sharded session routing onto N
+//!   worker threads, bounded mailboxes with backpressure, batched event
+//!   application, session open/feed/close lifecycle, graceful drain/shutdown, and
+//!   per-shard [`ShardMetrics`](dlrv_monitor::ShardMetrics).
+//!
+//! Each session is an incremental [`FeedSession`](dlrv_monitor::FeedSession) of
+//! decentralized token-algorithm monitors, so a streamed session produces exactly
+//! the verdicts of the offline replay of the same events — the repository's
+//! `stream_equivalence` integration test pins this for every paper property.
+
+pub mod codec;
+pub mod runtime;
+
+pub use codec::{
+    encode_frame, encode_stream, event_from_json, event_to_json, interleave_sessions,
+    record_from_json, record_to_json, EventSource, FrameDecoder, ReaderSource, SessionId,
+    SessionStream, StreamError, StreamRecord, VecSource, MAX_FRAME_LEN,
+};
+pub use runtime::{
+    OpenRequest, SessionOutcome, SessionSpec, ShardedRuntime, StreamConfig, StreamReport,
+};

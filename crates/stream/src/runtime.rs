@@ -1,0 +1,689 @@
+//! The sharded multi-session runtime: N worker shards, each owning the incremental
+//! [`FeedSession`](dlrv_monitor::FeedSession)s of the sessions hashed onto it.
+//!
+//! The design goals, in order:
+//!
+//! * **Isolation** — sessions are independent monitored executions; a session's
+//!   monitors live on exactly one shard, so no lock is ever taken around monitor
+//!   state.
+//! * **Backpressure** — shard mailboxes are bounded `std::sync::mpsc::sync_channel`s;
+//!   a producer that outruns a shard blocks (after a counted `try_send` miss) instead
+//!   of growing an unbounded queue.
+//! * **Batching** — a shard drains up to [`StreamConfig::batch_size`] records per
+//!   wakeup and applies them in one go, amortizing channel overhead on hot shards.
+//! * **Graceful drain** — shutdown delivers every in-flight record, finishes any
+//!   session the stream never closed, and reports per-shard plus aggregate metrics.
+//!
+//! Shards are plain `std::thread`s — this workspace is fully offline, so there is no
+//! async executor; the paper's monitors are CPU-bound anyway, which makes one thread
+//! per shard the right shape.
+
+use crate::codec::{EventSource, SessionId, StreamError, StreamRecord};
+use dlrv_automaton::MonitorAutomaton;
+use dlrv_ltl::{Assignment, AtomRegistry, Verdict};
+use dlrv_monitor::{decentralized_session, DecentralizedSession, MonitorOptions, ShardMetrics};
+use dlrv_vclock::Event;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sizing knobs of a [`ShardedRuntime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Number of worker shards (threads).
+    pub n_shards: usize,
+    /// Bound of each shard's mailbox; a full mailbox blocks producers.
+    pub mailbox_capacity: usize,
+    /// Maximum records a shard applies per wakeup.
+    pub batch_size: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            n_shards: 4,
+            mailbox_capacity: 1024,
+            batch_size: 32,
+        }
+    }
+}
+
+/// Everything a shard needs to instantiate a session's monitors.
+///
+/// Specs are shared (`Arc`) across sessions monitoring the same property, so the
+/// expensive automaton synthesis happens once per property, not once per session.
+#[derive(Debug)]
+pub struct SessionSpec {
+    /// Number of processes in the monitored execution.
+    pub n_processes: usize,
+    /// The monitor-automaton replica every per-process monitor shares.
+    pub automaton: Arc<MonitorAutomaton>,
+    /// The atom registry (conjunct ownership).
+    pub registry: Arc<AtomRegistry>,
+    /// Initial global state of the session.
+    pub initial_state: Assignment,
+    /// §4.3 optimization switches.
+    pub options: MonitorOptions,
+}
+
+/// An [`StreamRecord::Open`] as seen by the spec resolver of [`ShardedRuntime::pump`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenRequest<'a> {
+    /// The session being opened.
+    pub session: SessionId,
+    /// Property name from the wire.
+    pub property: &'a str,
+    /// Process count from the wire.
+    pub n_processes: usize,
+    /// Initial global state decoded from the wire bits.
+    pub initial_state: Assignment,
+}
+
+/// The final state of one monitored session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// The combined final verdict (⊥ dominates ⊤ dominates ?).
+    pub verdict: Verdict,
+    /// Union of ⊤/⊥ verdicts detected by the session's monitors.
+    pub detected_verdicts: BTreeSet<Verdict>,
+    /// Union of verdicts the monitors still considered possible at close.
+    pub possible_verdicts: BTreeSet<Verdict>,
+    /// Monitor-to-monitor (token) messages exchanged inside the session.
+    pub monitor_messages: usize,
+    /// Program events the session's monitors observed.
+    pub events: usize,
+    /// Global views created across the session's monitors.
+    pub global_views: usize,
+    /// True when the session was finished by shutdown drain rather than an explicit
+    /// [`StreamRecord::Close`].
+    pub drained: bool,
+}
+
+/// Aggregate result of a runtime's lifetime, produced by [`ShardedRuntime::shutdown`].
+#[derive(Debug)]
+pub struct StreamReport {
+    /// Per-shard measurements, in shard order.
+    pub per_shard: Vec<ShardMetrics>,
+    /// Outcome of every session ever opened, keyed by session id.
+    pub sessions: BTreeMap<SessionId, SessionOutcome>,
+    /// Wall-clock seconds from start to the end of shutdown.
+    pub wall_secs: f64,
+    /// Program events applied across all shards.
+    pub total_events: usize,
+    /// `total_events / wall_secs` (0 for an empty run).
+    pub events_per_sec: f64,
+}
+
+enum ShardMsg {
+    Open {
+        session: SessionId,
+        spec: Arc<SessionSpec>,
+        enqueued: Instant,
+    },
+    Event {
+        session: SessionId,
+        event: Event,
+        enqueued: Instant,
+    },
+    Close {
+        session: SessionId,
+        enqueued: Instant,
+    },
+    /// Shutdown sentinel: sent last, so everything before it is already delivered.
+    Drain,
+}
+
+struct ShardResult {
+    metrics: ShardMetrics,
+    outcomes: Vec<(SessionId, SessionOutcome)>,
+}
+
+/// The online sharded monitoring engine.
+///
+/// ```
+/// use dlrv_stream::{ShardedRuntime, SessionSpec, StreamConfig};
+/// use dlrv_monitor::MonitorOptions;
+/// use dlrv_ltl::{Assignment, AtomRegistry, Formula};
+/// use dlrv_automaton::MonitorAutomaton;
+/// use std::sync::Arc;
+///
+/// let mut reg = AtomRegistry::new();
+/// let a = reg.intern("P0.p", 0);
+/// let b = reg.intern("P1.p", 1);
+/// let phi = Formula::eventually(Formula::and(Formula::Atom(a), Formula::Atom(b)));
+/// let spec = Arc::new(SessionSpec {
+///     n_processes: 2,
+///     automaton: Arc::new(MonitorAutomaton::synthesize(&phi, &reg)),
+///     registry: Arc::new(reg),
+///     initial_state: Assignment::ALL_FALSE,
+///     options: MonitorOptions::default(),
+/// });
+/// let runtime = ShardedRuntime::start(StreamConfig { n_shards: 2, ..Default::default() });
+/// runtime.open_session(7, spec);
+/// // … feed events with runtime.feed_event(7, event) …
+/// runtime.close_session(7);
+/// let report = runtime.shutdown();
+/// assert!(report.sessions.contains_key(&7));
+/// ```
+#[derive(Debug)]
+pub struct ShardedRuntime {
+    senders: Vec<SyncSender<ShardMsg>>,
+    handles: Vec<JoinHandle<ShardResult>>,
+    stalls: Vec<AtomicUsize>,
+    started: Instant,
+}
+
+impl ShardedRuntime {
+    /// Spawns `config.n_shards` worker threads and returns the handle used to route
+    /// records at them.
+    pub fn start(config: StreamConfig) -> ShardedRuntime {
+        assert!(config.n_shards > 0, "need at least one shard");
+        assert!(config.mailbox_capacity > 0, "mailboxes must hold at least one record");
+        assert!(config.batch_size > 0, "batches must hold at least one record");
+        let mut senders = Vec::with_capacity(config.n_shards);
+        let mut handles = Vec::with_capacity(config.n_shards);
+        for shard in 0..config.n_shards {
+            let (tx, rx) = sync_channel::<ShardMsg>(config.mailbox_capacity);
+            let batch_size = config.batch_size;
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dlrv-shard-{shard}"))
+                    .spawn(move || shard_worker(shard, rx, batch_size))
+                    .expect("spawning a shard worker failed"),
+            );
+        }
+        ShardedRuntime {
+            stalls: (0..config.n_shards).map(|_| AtomicUsize::new(0)).collect(),
+            senders,
+            handles,
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard a session is routed to (stable hash of the session id, so a
+    /// session's records always land on the same mailbox and stay FIFO).
+    pub fn shard_of(&self, session: SessionId) -> usize {
+        (splitmix64(session) % self.senders.len() as u64) as usize
+    }
+
+    /// Opens `session` with the monitors described by `spec`.
+    pub fn open_session(&self, session: SessionId, spec: Arc<SessionSpec>) {
+        self.send(
+            self.shard_of(session),
+            ShardMsg::Open {
+                session,
+                spec,
+                enqueued: Instant::now(),
+            },
+        );
+    }
+
+    /// Routes one program event at its session.  Blocks when the shard's mailbox is
+    /// full — that is the backpressure contract.
+    pub fn feed_event(&self, session: SessionId, event: Event) {
+        self.send(
+            self.shard_of(session),
+            ShardMsg::Event {
+                session,
+                event,
+                enqueued: Instant::now(),
+            },
+        );
+    }
+
+    /// Closes `session`: its monitors observe end-of-stream and the final verdict is
+    /// recorded for the shutdown report.
+    pub fn close_session(&self, session: SessionId) {
+        self.send(
+            self.shard_of(session),
+            ShardMsg::Close {
+                session,
+                enqueued: Instant::now(),
+            },
+        );
+    }
+
+    /// Drives an [`EventSource`] to exhaustion: every record is routed to its shard,
+    /// with `resolve` turning each [`StreamRecord::Open`] into a [`SessionSpec`]
+    /// (typically a cache keyed by property name and process count).
+    ///
+    /// Returns the number of records pumped.
+    pub fn pump(
+        &self,
+        source: &mut dyn EventSource,
+        resolve: &mut dyn FnMut(&OpenRequest<'_>) -> Result<Arc<SessionSpec>, StreamError>,
+    ) -> Result<usize, StreamError> {
+        let mut pumped = 0usize;
+        while let Some(record) = source.next_record()? {
+            match record {
+                StreamRecord::Open {
+                    session,
+                    property,
+                    n_processes,
+                    initial_state,
+                } => {
+                    let spec = resolve(&OpenRequest {
+                        session,
+                        property: &property,
+                        n_processes,
+                        initial_state: Assignment(initial_state),
+                    })?;
+                    self.open_session(session, spec);
+                }
+                StreamRecord::Event { session, event } => self.feed_event(session, event),
+                StreamRecord::Close { session } => self.close_session(session),
+            }
+            pumped += 1;
+        }
+        Ok(pumped)
+    }
+
+    /// Graceful shutdown: delivers everything still queued, finishes sessions the
+    /// stream never closed, joins the workers and returns the report.
+    pub fn shutdown(self) -> StreamReport {
+        for tx in &self.senders {
+            // A full mailbox blocks here too; Drain must arrive after all records.
+            let _ = tx.send(ShardMsg::Drain);
+        }
+        drop(self.senders);
+        let mut per_shard = Vec::with_capacity(self.handles.len());
+        let mut sessions = BTreeMap::new();
+        for (shard, handle) in self.handles.into_iter().enumerate() {
+            let mut result = handle.join().expect("shard worker panicked");
+            result.metrics.backpressure_stalls = self.stalls[shard].load(Ordering::Relaxed);
+            per_shard.push(result.metrics);
+            for (id, outcome) in result.outcomes {
+                sessions.insert(id, outcome);
+            }
+        }
+        let wall_secs = self.started.elapsed().as_secs_f64();
+        let total_events: usize = per_shard.iter().map(|m| m.events_processed).sum();
+        let events_per_sec = if wall_secs > 0.0 {
+            total_events as f64 / wall_secs
+        } else {
+            0.0
+        };
+        StreamReport {
+            per_shard,
+            sessions,
+            wall_secs,
+            total_events,
+            events_per_sec,
+        }
+    }
+
+    fn send(&self, shard: usize, msg: ShardMsg) {
+        match self.senders[shard].try_send(msg) {
+            Ok(()) => {}
+            Err(TrySendError::Full(msg)) => {
+                self.stalls[shard].fetch_add(1, Ordering::Relaxed);
+                self.senders[shard]
+                    .send(msg)
+                    .expect("shard worker terminated while its mailbox was full");
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                panic!("shard worker terminated before shutdown");
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, deterministic session-id hash (the std hasher is
+/// randomly seeded per process, which would make shard routing irreproducible).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn shard_worker(shard: usize, rx: Receiver<ShardMsg>, batch_size: usize) -> ShardResult {
+    let mut sessions: BTreeMap<SessionId, DecentralizedSession> = BTreeMap::new();
+    let mut outcomes: Vec<(SessionId, SessionOutcome)> = Vec::new();
+    let mut metrics = ShardMetrics {
+        shard,
+        ..ShardMetrics::default()
+    };
+    let mut latency_sum = 0.0f64;
+    let mut latency_samples = 0usize;
+    let mut batch: Vec<ShardMsg> = Vec::with_capacity(batch_size);
+    let mut draining = false;
+
+    while !draining {
+        batch.clear();
+        match rx.recv() {
+            Ok(msg) => batch.push(msg),
+            // All senders gone without a Drain (runtime dropped): treat as drain.
+            Err(_) => break,
+        }
+        while batch.len() < batch_size {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+
+        let started = Instant::now();
+        metrics.batches += 1;
+        metrics.max_batch_len = metrics.max_batch_len.max(batch.len());
+        for msg in batch.drain(..) {
+            let mut note_latency = |enqueued: Instant| {
+                let lat = enqueued.elapsed().as_secs_f64();
+                latency_sum += lat;
+                latency_samples += 1;
+                metrics.max_queue_latency_secs = metrics.max_queue_latency_secs.max(lat);
+            };
+            match msg {
+                ShardMsg::Open {
+                    session,
+                    spec,
+                    enqueued,
+                } => {
+                    note_latency(enqueued);
+                    if sessions.contains_key(&session) {
+                        metrics.routing_errors += 1;
+                        continue;
+                    }
+                    sessions.insert(
+                        session,
+                        decentralized_session(
+                            spec.n_processes,
+                            &spec.automaton,
+                            &spec.registry,
+                            spec.initial_state,
+                            spec.options,
+                        ),
+                    );
+                    metrics.sessions_opened += 1;
+                }
+                ShardMsg::Event {
+                    session,
+                    event,
+                    enqueued,
+                } => {
+                    note_latency(enqueued);
+                    match sessions.get_mut(&session) {
+                        // A decodable but inconsistent event (process index or clock
+                        // width not matching the session) must not panic the shard —
+                        // the wire may carry anything; count it like a misroute.
+                        Some(feed)
+                            if event.process < feed.n_processes()
+                                && event.vc.len() == feed.n_processes() =>
+                        {
+                            feed.feed_event(&event);
+                            metrics.events_processed += 1;
+                        }
+                        _ => metrics.routing_errors += 1,
+                    }
+                }
+                ShardMsg::Close { session, enqueued } => {
+                    note_latency(enqueued);
+                    match sessions.remove(&session) {
+                        Some(mut feed) => {
+                            feed.finish();
+                            outcomes.push((session, outcome_of(feed, false)));
+                            metrics.sessions_closed += 1;
+                        }
+                        None => metrics.routing_errors += 1,
+                    }
+                }
+                ShardMsg::Drain => draining = true,
+            }
+        }
+        metrics.busy_secs += started.elapsed().as_secs_f64();
+    }
+
+    // Graceful drain: the stream ended without closing these sessions.
+    for (id, mut feed) in std::mem::take(&mut sessions) {
+        feed.finish();
+        outcomes.push((id, outcome_of(feed, true)));
+    }
+    metrics.avg_queue_latency_secs = if latency_samples > 0 {
+        latency_sum / latency_samples as f64
+    } else {
+        0.0
+    };
+    ShardResult { metrics, outcomes }
+}
+
+fn outcome_of(session: DecentralizedSession, drained: bool) -> SessionOutcome {
+    let mut events = 0usize;
+    let mut global_views = 0usize;
+    for m in session.monitors() {
+        let mm = m.metrics();
+        events += mm.events_observed;
+        global_views += mm.global_views_created;
+    }
+    SessionOutcome {
+        verdict: session.verdict(),
+        detected_verdicts: session.detected_verdicts(),
+        possible_verdicts: session.possible_verdicts(),
+        monitor_messages: session.monitor_messages(),
+        events,
+        global_views,
+        drained,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{encode_stream, ReaderSource};
+    use dlrv_ltl::Formula;
+    use dlrv_vclock::{EventKind, VectorClock};
+
+    fn reachability_spec() -> Arc<SessionSpec> {
+        let mut reg = AtomRegistry::new();
+        let a = reg.intern("P0.p", 0);
+        let b = reg.intern("P1.p", 1);
+        let phi = Formula::eventually(Formula::and(Formula::Atom(a), Formula::Atom(b)));
+        Arc::new(SessionSpec {
+            n_processes: 2,
+            automaton: Arc::new(MonitorAutomaton::synthesize(&phi, &reg)),
+            registry: Arc::new(reg),
+            initial_state: Assignment::ALL_FALSE,
+            options: MonitorOptions::default(),
+        })
+    }
+
+    fn goal_events() -> Vec<Event> {
+        // P0 raises its p at t=1, P1 at t=2; the concurrent cut satisfies F(a && b).
+        vec![
+            Event {
+                process: 0,
+                kind: EventKind::Internal,
+                sn: 1,
+                vc: VectorClock::from_entries(vec![1, 0]),
+                state: Assignment(0b01),
+                time: 1.0,
+            },
+            Event {
+                process: 1,
+                kind: EventKind::Internal,
+                sn: 1,
+                vc: VectorClock::from_entries(vec![0, 1]),
+                state: Assignment(0b10),
+                time: 2.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn sessions_reach_verdicts_across_shard_counts() {
+        for n_shards in [1, 2, 4] {
+            let runtime = ShardedRuntime::start(StreamConfig {
+                n_shards,
+                ..StreamConfig::default()
+            });
+            let spec = reachability_spec();
+            for session in 0..10u64 {
+                runtime.open_session(session, spec.clone());
+                for e in goal_events() {
+                    runtime.feed_event(session, e);
+                }
+                runtime.close_session(session);
+            }
+            let report = runtime.shutdown();
+            assert_eq!(report.sessions.len(), 10, "{n_shards} shards");
+            for (id, outcome) in &report.sessions {
+                assert_eq!(outcome.verdict, Verdict::True, "session {id}");
+                assert!(!outcome.drained);
+                assert_eq!(outcome.events, 2);
+                assert!(outcome.monitor_messages > 0);
+            }
+            assert_eq!(report.total_events, 20);
+            assert_eq!(report.per_shard.len(), n_shards);
+            let opened: usize = report.per_shard.iter().map(|m| m.sessions_opened).sum();
+            assert_eq!(opened, 10);
+            assert!(report.events_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_sessions_count_as_routing_errors() {
+        let runtime = ShardedRuntime::start(StreamConfig {
+            n_shards: 1,
+            ..StreamConfig::default()
+        });
+        runtime.feed_event(99, goal_events()[0].clone());
+        runtime.close_session(99);
+        let report = runtime.shutdown();
+        assert_eq!(report.per_shard[0].routing_errors, 2);
+        assert!(report.sessions.is_empty());
+    }
+
+    #[test]
+    fn shutdown_drains_unclosed_sessions() {
+        let runtime = ShardedRuntime::start(StreamConfig::default());
+        let spec = reachability_spec();
+        runtime.open_session(5, spec);
+        for e in goal_events() {
+            runtime.feed_event(5, e);
+        }
+        // No close: shutdown must finish the session anyway.
+        let report = runtime.shutdown();
+        let outcome = &report.sessions[&5];
+        assert!(outcome.drained);
+        assert_eq!(outcome.verdict, Verdict::True);
+    }
+
+    #[test]
+    fn pump_routes_wire_records_end_to_end() {
+        let mut records = Vec::new();
+        for session in 0..4u64 {
+            records.push(StreamRecord::Open {
+                session,
+                property: "goal".to_string(),
+                n_processes: 2,
+                initial_state: 0,
+            });
+        }
+        for e in goal_events() {
+            for session in 0..4u64 {
+                records.push(StreamRecord::Event {
+                    session,
+                    event: e.clone(),
+                });
+            }
+        }
+        for session in 0..4u64 {
+            records.push(StreamRecord::Close { session });
+        }
+        let bytes = encode_stream(&records);
+
+        let runtime = ShardedRuntime::start(StreamConfig {
+            n_shards: 2,
+            mailbox_capacity: 2, // tiny mailbox: exercise the backpressure path
+            batch_size: 4,
+        });
+        let spec = reachability_spec();
+        let mut source = ReaderSource::new(&bytes[..]);
+        let pumped = runtime
+            .pump(&mut source, &mut |open| {
+                assert_eq!(open.property, "goal");
+                assert_eq!(open.n_processes, 2);
+                Ok(spec.clone())
+            })
+            .unwrap();
+        assert_eq!(pumped, records.len());
+        let report = runtime.shutdown();
+        assert_eq!(report.sessions.len(), 4);
+        assert!(report.sessions.values().all(|o| o.verdict == Verdict::True));
+    }
+
+    #[test]
+    fn session_routing_is_deterministic() {
+        let a = ShardedRuntime::start(StreamConfig {
+            n_shards: 4,
+            ..StreamConfig::default()
+        });
+        let b = ShardedRuntime::start(StreamConfig {
+            n_shards: 4,
+            ..StreamConfig::default()
+        });
+        for session in 0..100u64 {
+            assert_eq!(a.shard_of(session), b.shard_of(session));
+        }
+        // All shards get some sessions (splitmix64 spreads consecutive ids).
+        let mut seen = [false; 4];
+        for session in 0..100u64 {
+            seen[a.shard_of(session)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn inconsistent_events_do_not_kill_the_shard() {
+        let runtime = ShardedRuntime::start(StreamConfig {
+            n_shards: 1,
+            ..StreamConfig::default()
+        });
+        let spec = reachability_spec(); // 2 processes
+        runtime.open_session(1, spec);
+        // Process index out of range for the session.
+        let mut bad = goal_events()[0].clone();
+        bad.process = 5;
+        bad.vc = VectorClock::from_entries(vec![0, 0, 0, 0, 0, 1]);
+        runtime.feed_event(1, bad);
+        // Clock width not matching the session.
+        let mut wide = goal_events()[0].clone();
+        wide.vc = VectorClock::from_entries(vec![1, 0, 0]);
+        runtime.feed_event(1, wide);
+        // The shard must still be alive and able to finish the session normally.
+        for e in goal_events() {
+            runtime.feed_event(1, e);
+        }
+        runtime.close_session(1);
+        let report = runtime.shutdown();
+        assert_eq!(report.per_shard[0].routing_errors, 2);
+        assert_eq!(report.sessions[&1].verdict, Verdict::True);
+        assert_eq!(report.sessions[&1].events, 2);
+    }
+
+    #[test]
+    fn duplicate_open_is_a_routing_error() {
+        let runtime = ShardedRuntime::start(StreamConfig {
+            n_shards: 1,
+            ..StreamConfig::default()
+        });
+        let spec = reachability_spec();
+        runtime.open_session(1, spec.clone());
+        runtime.open_session(1, spec);
+        runtime.close_session(1);
+        let report = runtime.shutdown();
+        assert_eq!(report.per_shard[0].routing_errors, 1);
+        assert_eq!(report.per_shard[0].sessions_opened, 1);
+        assert_eq!(report.sessions.len(), 1);
+    }
+}

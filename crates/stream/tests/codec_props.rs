@@ -1,0 +1,121 @@
+//! Property-based tests of the wire codec: arbitrary events and record sequences must
+//! survive the JSON round-trip, and the frame decoder must reassemble any chunking of
+//! the byte stream — the wire never guarantees record-aligned reads.
+
+use dlrv_ltl::Assignment;
+use dlrv_stream::{
+    encode_stream, event_from_json, event_to_json, record_from_json, record_to_json,
+    FrameDecoder, StreamRecord,
+};
+use dlrv_vclock::{Event, EventKind, VectorClock};
+use proptest::prelude::*;
+
+/// SplitMix64 step: expands one seed into a reproducible pseudo-random sequence.
+fn mix(seed: &mut u64) -> u64 {
+    *seed = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    *seed >> 17
+}
+
+/// Builds an arbitrary (but internally consistent) event from a seed.
+fn event_from_seed(mut seed: u64) -> Event {
+    let n = 2 + (mix(&mut seed) % 6) as usize;
+    let process = (mix(&mut seed) % n as u64) as usize;
+    let kind = match mix(&mut seed) % 4 {
+        0 => EventKind::Internal,
+        1 => EventKind::Send {
+            to: (process + 1) % n,
+            msg_id: mix(&mut seed),
+        },
+        2 => EventKind::Broadcast {
+            msg_id: mix(&mut seed),
+        },
+        _ => EventKind::Receive {
+            from: (process + 1) % n,
+            msg_id: mix(&mut seed),
+        },
+    };
+    let entries: Vec<u64> = (0..n).map(|_| mix(&mut seed) % 1000).collect();
+    let sn = entries[process].max(1);
+    // Times are arbitrary finite doubles; dlrv-json prints shortest round-trip form.
+    let time = (mix(&mut seed) % 1_000_000) as f64 * 0.001 + (mix(&mut seed) % 997) as f64 * 1e-9;
+    Event {
+        process,
+        kind,
+        sn,
+        vc: VectorClock::from_entries(entries),
+        state: Assignment(mix(&mut seed)),
+        time,
+    }
+}
+
+/// Builds an arbitrary record from a seed.
+fn record_from_seed(mut seed: u64) -> StreamRecord {
+    let session = mix(&mut seed);
+    match mix(&mut seed) % 3 {
+        0 => StreamRecord::Open {
+            session,
+            property: format!("prop-{}", mix(&mut seed) % 26),
+            n_processes: 2 + (mix(&mut seed) % 6) as usize,
+            initial_state: mix(&mut seed),
+        },
+        1 => StreamRecord::Event {
+            session,
+            event: event_from_seed(mix(&mut seed)),
+        },
+        _ => StreamRecord::Close { session },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_events_round_trip_exactly(seed in 0u64..1 << 48) {
+        let event = event_from_seed(seed);
+        let back = event_from_json(&event_to_json(&event))
+            .map_err(|e| format!("{e}"))
+            .unwrap();
+        // Bit-for-bit: the timestamp float included.
+        prop_assert_eq!(&back, &event);
+        prop_assert_eq!(back.time.to_bits(), event.time.to_bits());
+    }
+
+    #[test]
+    fn arbitrary_records_round_trip(seed in 0u64..1 << 48) {
+        let record = record_from_seed(seed);
+        let json = record_to_json(&record);
+        let back = record_from_json(&json).map_err(|e| format!("{e}")).unwrap();
+        prop_assert_eq!(back, record);
+    }
+
+    #[test]
+    fn framed_streams_survive_arbitrary_chunking(
+        seed in 0u64..1 << 48,
+        n_records in 1usize..20,
+        chunk_seed in 1u64..1 << 32,
+    ) {
+        let records: Vec<StreamRecord> =
+            (0..n_records).map(|i| record_from_seed(seed.wrapping_add(i as u64 * 7919))).collect();
+        let bytes = encode_stream(&records);
+
+        // Slice the byte stream into pseudo-random chunks (1..=97 bytes each) and
+        // feed them to the decoder one at a time.
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut pos = 0usize;
+        let mut s = chunk_seed;
+        while pos < bytes.len() {
+            let len = (1 + mix(&mut s) % 97) as usize;
+            let end = (pos + len).min(bytes.len());
+            decoder.push(&bytes[pos..end]);
+            pos = end;
+            while let Some(r) = decoder.next_record().map_err(|e| format!("{e}"))? {
+                decoded.push(r);
+            }
+        }
+        prop_assert_eq!(decoded, records);
+        prop_assert!(decoder.pending_bytes() == 0, "trailing bytes after full stream");
+    }
+}

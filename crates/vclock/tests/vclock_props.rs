@@ -1,0 +1,116 @@
+//! Property-based tests of the vector-clock laws the monitoring algorithm relies on:
+//! join/merge is a commutative, associative, idempotent lattice operation, and
+//! happened-before is a strict partial order with concurrency as its complement.
+//!
+//! Clocks are generated from integer seeds via a SplitMix64 expansion (the vendored
+//! `proptest` draws integers from ranges), so each case is reproducible from its
+//! printed inputs.
+
+use dlrv_vclock::VectorClock;
+use proptest::prelude::*;
+
+/// Expands a seed into a clock of `n` entries with small, collision-friendly values.
+///
+/// Small entry ranges (0..8) make equal and ordered clock pairs likely, so the laws
+/// are exercised on the interesting cases (equality, comparability) and not only on
+/// almost-surely-concurrent random clocks.
+fn clock_from(mut seed: u64, n: usize) -> VectorClock {
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        seed = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        entries.push((seed >> 33) % 8);
+    }
+    VectorClock::from_entries(entries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn join_is_commutative(a in 0u64..1 << 40, b in 0u64..1 << 40, n in 2usize..6) {
+        let (x, y) = (clock_from(a, n), clock_from(b, n));
+        prop_assert_eq!(x.join(&y), y.join(&x));
+    }
+
+    #[test]
+    fn join_is_idempotent_and_merge_agrees(a in 0u64..1 << 40, n in 2usize..6) {
+        let x = clock_from(a, n);
+        prop_assert_eq!(x.join(&x), x.clone());
+        let mut merged = x.clone();
+        merged.merge(&x);
+        prop_assert_eq!(merged, x);
+    }
+
+    #[test]
+    fn join_is_associative(a in 0u64..1 << 40, b in 0u64..1 << 40, c in 0u64..1 << 40, n in 2usize..6) {
+        let (x, y, z) = (clock_from(a, n), clock_from(b, n), clock_from(c, n));
+        prop_assert_eq!(x.join(&y).join(&z), x.join(&y.join(&z)));
+    }
+
+    #[test]
+    fn merge_is_an_upper_bound(a in 0u64..1 << 40, b in 0u64..1 << 40, n in 2usize..6) {
+        let (x, y) = (clock_from(a, n), clock_from(b, n));
+        let j = x.join(&y);
+        prop_assert!(x.leq(&j), "x must be below x ⊔ y");
+        prop_assert!(y.leq(&j), "y must be below x ⊔ y");
+        // And the meet is a lower bound, absorbed by the join.
+        let m = x.meet(&y);
+        prop_assert!(m.leq(&x) && m.leq(&y));
+        // Absorption: x ⊔ (x ⊓ y) = x.
+        prop_assert_eq!(x.join(&m), x.clone());
+    }
+
+    #[test]
+    fn happened_before_is_irreflexive(a in 0u64..1 << 40, n in 2usize..6) {
+        let x = clock_from(a, n);
+        prop_assert!(!x.happened_before(&x));
+        prop_assert!(!x.concurrent(&x), "a clock is never concurrent with itself");
+    }
+
+    #[test]
+    fn happened_before_is_asymmetric(a in 0u64..1 << 40, b in 0u64..1 << 40, n in 2usize..6) {
+        let (x, y) = (clock_from(a, n), clock_from(b, n));
+        if x.happened_before(&y) {
+            prop_assert!(!y.happened_before(&x));
+            prop_assert!(!x.concurrent(&y));
+        }
+    }
+
+    #[test]
+    fn happened_before_is_transitive(
+        a in 0u64..1 << 40,
+        b in 0u64..1 << 40,
+        c in 0u64..1 << 40,
+        n in 2usize..6,
+    ) {
+        let (x, z) = (clock_from(a, n), clock_from(c, n));
+        // Force a known x < y < z chain frequently: y = x ⊔ z ⊔ bump.
+        let mut y = x.join(&z);
+        y.increment((b % n as u64) as usize);
+        prop_assert!(x.happened_before(&y) || x == y.meet(&x));
+        if x.happened_before(&y) && y.happened_before(&z) {
+            prop_assert!(x.happened_before(&z));
+        }
+        // Generic triple, too (usually concurrent, occasionally chained).
+        let w = clock_from(b, n);
+        if x.happened_before(&w) && w.happened_before(&z) {
+            prop_assert!(x.happened_before(&z));
+        }
+    }
+
+    #[test]
+    fn exactly_one_ordering_holds(a in 0u64..1 << 40, b in 0u64..1 << 40, n in 2usize..6) {
+        // Trichotomy over the partial order: equal, <, >, or concurrent — exactly one.
+        let (x, y) = (clock_from(a, n), clock_from(b, n));
+        let relations = [
+            x == y,
+            x.happened_before(&y),
+            y.happened_before(&x),
+            x.concurrent(&y),
+        ];
+        let holding = relations.iter().filter(|&&r| r).count();
+        prop_assert!(holding == 1, "expected exactly one relation, got {} for {:?} vs {:?}", holding, x, y);
+    }
+}

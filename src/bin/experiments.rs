@@ -10,17 +10,29 @@
 //! cargo run --release --bin experiments -- --list-scenarios
 //! cargo run --release --bin experiments -- --target sweep
 //! cargo run --release --bin experiments -- --target sweep --format json --out BENCH_results.json
+//! cargo run --release --bin experiments -- --target sweep --scenario ring-B-n4
+//! cargo run --release --bin experiments -- --target throughput --format json
+//! cargo run --release --bin experiments -- --validate-results BENCH_results.json
 //! ```
 //!
 //! Targets select what to run: the classic figure/table targets print the paper's
-//! text tables, and `sweep` runs every scenario of the standard registry
-//! ([`ScenarioRegistry`]) — the paper's sweeps plus the extended workload shapes.
-//! Targets are positional arguments; `--target NAME` is an equivalent spelling.
+//! text tables, `sweep` runs the offline scenarios of the standard registry
+//! ([`ScenarioRegistry`]) — the paper's sweeps plus the extended workload shapes —
+//! and `throughput` runs the streaming family (hundreds–thousands of concurrent
+//! sessions through the sharded `dlrv-stream` runtime).  Targets are positional
+//! arguments; `--target NAME` is an equivalent spelling.
 //!
-//! `--format json` (only valid for `sweep`) emits the `BENCH_results.json` document
-//! (see `dlrv_core::results` for the schema) instead of a text table, and `--out
-//! PATH` redirects it to a file.  Unknown formats, `--out` without `--format json`,
-//! and `--format json` with a text-only target are rejected with an error — nothing
+//! `--scenario NAME[,NAME…]` restricts a registry target (`sweep` / `throughput`)
+//! to the named scenarios, so a single data point can be (re)run without the whole
+//! sweep; unknown names and names outside the requested target are rejected.
+//!
+//! `--format json` (valid for `sweep` and `throughput`, one registry target at a
+//! time) emits the `BENCH_results.json` document (see `dlrv_core::results` for the
+//! schema) instead of a text table, and `--out PATH` redirects it to a file.
+//! `--validate-results PATH` re-parses a results document with the in-tree parser
+//! (`sweep_from_json`) and fails loudly on schema drift — CI uses it instead of an
+//! external JSON tool.  Unknown formats, `--out` without `--format json`, and
+//! `--format json` with a text-only target are rejected with an error — nothing
 //! is silently ignored.
 //!
 //! `--jobs N` (or the `DLRV_JOBS` environment variable) caps the worker threads used
@@ -37,7 +49,7 @@ use dlrv_automaton::{dot, MonitorAutomaton};
 use dlrv_bench::{comm_frequency_run, paper_run, transition_counts, PROCESS_COUNTS};
 use dlrv_core::{
     parallel_map_indexed, set_jobs, sweep_to_json, ExperimentResult, PaperProperty, Scenario,
-    ScenarioRegistry,
+    ScenarioFamily, ScenarioRegistry,
 };
 use dlrv_monitor::RunMetrics;
 use std::path::PathBuf;
@@ -47,10 +59,14 @@ use std::process::exit;
 const EVENTS: usize = 20;
 
 /// Everything a target argument may select.
-const KNOWN_TARGETS: [&str; 10] = [
+const KNOWN_TARGETS: [&str; 11] = [
     "all", "table5_1", "automata_dot", "fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8",
-    "fig5_9", "sweep",
+    "fig5_9", "sweep", "throughput",
 ];
+
+/// The targets backed by the scenario registry (the ones `--scenario` can filter and
+/// `--format json` can serialize).
+const REGISTRY_TARGETS: [&str; 2] = ["sweep", "throughput"];
 
 /// Output format of metric-producing targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,13 +81,18 @@ struct Cli {
     format: Format,
     out: Option<PathBuf>,
     list_scenarios: bool,
+    /// Scenario-name filter for registry targets (`--scenario a,b` / repeated flags).
+    scenarios: Vec<String>,
+    /// Results document to re-parse and check (`--validate-results PATH`).
+    validate: Option<PathBuf>,
 }
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: experiments [TARGET...] [--target NAME] [--jobs N] \
-         [--format text|json] [--out PATH] [--list-scenarios]"
+         [--format text|json] [--out PATH] [--scenario NAME[,NAME...]] \
+         [--list-scenarios] [--validate-results PATH]"
     );
     exit(2);
 }
@@ -85,6 +106,8 @@ fn parse_cli(args: Vec<String>) -> Cli {
         format: Format::Text,
         out: None,
         list_scenarios: false,
+        scenarios: Vec::new(),
+        validate: None,
     };
     let mut iter = args.into_iter();
     // `--flag value` and `--flag=value` are both accepted.
@@ -127,6 +150,20 @@ fn parse_cli(args: Vec<String>) -> Cli {
                 let value = flag_value(&mut iter, "--out", inline.as_deref());
                 cli.out = Some(PathBuf::from(value));
             }
+            "--scenario" => {
+                let value = flag_value(&mut iter, "--scenario", inline.as_deref());
+                for name in value.split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        usage_error("--scenario expects non-empty scenario names");
+                    }
+                    cli.scenarios.push(name.to_string());
+                }
+            }
+            "--validate-results" => {
+                let value = flag_value(&mut iter, "--validate-results", inline.as_deref());
+                cli.validate = Some(PathBuf::from(value));
+            }
             "--list-scenarios" => {
                 if inline.is_some() {
                     usage_error("--list-scenarios takes no value");
@@ -149,21 +186,81 @@ fn parse_cli(args: Vec<String>) -> Cli {
     if cli.list_scenarios && !cli.targets.is_empty() {
         usage_error("--list-scenarios cannot be combined with targets");
     }
+    if cli.validate.is_some()
+        && (!cli.targets.is_empty()
+            || cli.list_scenarios
+            || cli.format != Format::Text
+            || cli.out.is_some()
+            || !cli.scenarios.is_empty())
+    {
+        usage_error("--validate-results is a standalone action; drop the other flags");
+    }
     if cli.out.is_some() && cli.format != Format::Json {
         usage_error("--out requires --format json (text output goes to stdout)");
+    }
+    if !cli.scenarios.is_empty() {
+        let registry_targets: Vec<&String> = cli
+            .targets
+            .iter()
+            .filter(|t| REGISTRY_TARGETS.contains(&t.as_str()))
+            .collect();
+        if registry_targets.is_empty() {
+            usage_error("--scenario only filters registry targets (sweep, throughput)");
+        }
+        // Unknown names fail here rather than silently selecting nothing.
+        let registry = ScenarioRegistry::standard();
+        let mut covered_targets: Vec<&str> = Vec::new();
+        for name in &cli.scenarios {
+            let Some(scenario) = registry.get(name) else {
+                usage_error(&format!(
+                    "unknown scenario `{name}`; run --list-scenarios for the registry"
+                ));
+            };
+            let wanted_target = match scenario.family {
+                ScenarioFamily::Throughput => "throughput",
+                _ => "sweep",
+            };
+            if !cli.targets.iter().any(|t| t == wanted_target) {
+                usage_error(&format!(
+                    "scenario `{name}` belongs to target `{wanted_target}`, \
+                     which was not requested"
+                ));
+            }
+            covered_targets.push(wanted_target);
+        }
+        // Every requested registry target must keep at least one scenario, or the
+        // run would do hours of work and then fail on the empty one.
+        for target in registry_targets {
+            if !covered_targets.contains(&target.as_str()) {
+                usage_error(&format!(
+                    "--scenario selects nothing for target `{target}`; \
+                     drop the target or name one of its scenarios"
+                ));
+            }
+        }
     }
     if cli.format == Format::Json {
         if cli.list_scenarios {
             usage_error("--list-scenarios has no JSON form; drop --format json");
         }
         if cli.targets.is_empty() {
-            usage_error("--format json requires an explicit target (only `sweep` emits JSON)");
+            usage_error(
+                "--format json requires an explicit target (sweep and throughput emit JSON)",
+            );
         }
-        if let Some(unsupported) = cli.targets.iter().find(|t| t.as_str() != "sweep") {
+        if let Some(unsupported) = cli
+            .targets
+            .iter()
+            .find(|t| !REGISTRY_TARGETS.contains(&t.as_str()))
+        {
             usage_error(&format!(
                 "target `{unsupported}` only produces text output; \
-                 `--format json` supports: sweep"
+                 `--format json` supports: {}",
+                REGISTRY_TARGETS.join(", ")
             ));
+        }
+        if cli.targets.len() > 1 {
+            usage_error("--format json emits one document; pick a single registry target");
         }
     }
     cli
@@ -176,12 +273,16 @@ fn main() {
         list_scenarios();
         return;
     }
+    if let Some(path) = &cli.validate {
+        validate_results(path);
+        return;
+    }
 
     let run_all = cli.targets.is_empty() || cli.targets.iter().any(|a| a == "all");
-    // `all` reproduces the paper's evaluation chapter; the registry sweep (which
-    // includes non-paper scenarios) runs only when asked for by name.
+    // `all` reproduces the paper's evaluation chapter; the registry targets (which
+    // include non-paper scenarios) run only when asked for by name.
     let wants = |name: &str| {
-        (run_all && name != "sweep") || cli.targets.iter().any(|a| a == name)
+        (run_all && !REGISTRY_TARGETS.contains(&name)) || cli.targets.iter().any(|a| a == name)
     };
 
     if wants("table5_1") {
@@ -224,7 +325,47 @@ fn main() {
         comm_frequency_figure();
     }
     if wants("sweep") {
-        registry_sweep(cli.format, cli.out.as_deref());
+        registry_target(false, &cli);
+    }
+    if wants("throughput") {
+        registry_target(true, &cli);
+    }
+}
+
+/// Re-parses a results document with the in-tree parser; exits non-zero on any
+/// syntax or schema error, so CI needs no external JSON tooling.
+fn validate_results(path: &std::path::Path) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read `{}`: {e}", path.display());
+            exit(1);
+        }
+    };
+    let parsed = match dlrv_core::dlrv_json::Json::parse(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: `{}` is not valid JSON: {e}", path.display());
+            exit(1);
+        }
+    };
+    match dlrv_core::sweep_from_json(&parsed) {
+        Ok(records) => {
+            let streamed = records.iter().filter(|r| r.scenario.stream.is_some()).count();
+            println!(
+                "{}: valid results document ({} scenarios, {} streamed)",
+                path.display(),
+                records.len(),
+                streamed
+            );
+        }
+        Err(e) => {
+            eprintln!(
+                "error: `{}` does not match the results schema: {e}",
+                path.display()
+            );
+            exit(1);
+        }
     }
 }
 
@@ -259,23 +400,42 @@ fn list_scenarios() {
     }
 }
 
-/// Runs every scenario of the standard registry and reports it in `format`.
+/// Runs one registry target — the offline sweep (`throughput = false`) or the
+/// streaming family (`throughput = true`) — honoring the `--scenario` filter, and
+/// reports it in the requested format.
 ///
-/// Scenarios are independent, so they fan out across worker threads exactly like the
-/// figure sweep; collection order is registry order, making both the text table and
+/// Offline scenarios are independent, so they fan out across worker threads exactly
+/// like the figure sweep.  Throughput scenarios are *themselves* multi-threaded
+/// (each spins up its shard pool), so they run sequentially: overlapping two engine
+/// runs would corrupt each other's wall-clock and events/sec measurements.
+/// Collection order is registry order either way, making both the text table and
 /// the JSON document deterministic.
-fn registry_sweep(format: Format, out: Option<&std::path::Path>) {
+fn registry_target(throughput: bool, cli: &Cli) {
     let registry = ScenarioRegistry::standard();
-    let scenarios: Vec<&Scenario> = registry.iter().collect();
-    let results: Vec<(Scenario, ExperimentResult)> =
+    let scenarios: Vec<&Scenario> = registry
+        .iter()
+        .filter(|s| (s.family == ScenarioFamily::Throughput) == throughput)
+        .filter(|s| cli.scenarios.is_empty() || cli.scenarios.contains(&s.name))
+        .collect();
+    if scenarios.is_empty() {
+        // Only reachable via --scenario: every requested name filtered to the other
+        // registry target (parse_cli already rejected unknown names).
+        let target = if throughput { "throughput" } else { "sweep" };
+        eprintln!("error: --scenario selected nothing for target `{target}`");
+        exit(2);
+    }
+    let results: Vec<(Scenario, ExperimentResult)> = if throughput {
+        scenarios.iter().map(|s| ((*s).clone(), s.run())).collect()
+    } else {
         parallel_map_indexed(scenarios.len(), dlrv_core::effective_jobs(), |i| {
             (scenarios[i].clone(), scenarios[i].run())
-        });
+        })
+    };
 
-    match format {
+    match cli.format {
         Format::Json => {
             let text = sweep_to_json(&results).to_string_pretty();
-            match out {
+            match cli.out.as_deref() {
                 Some(path) => {
                     if let Err(e) = std::fs::write(path, text) {
                         eprintln!("error: cannot write `{}`: {e}", path.display());
@@ -290,42 +450,90 @@ fn registry_sweep(format: Format, out: Option<&std::path::Path>) {
                 None => println!("{text}"),
             }
         }
-        Format::Text => {
-            println!("== Scenario sweep ({} scenarios) ==", results.len());
-            println!(
-                "{:<18} {:<16} {:>6} {:>8} {:>10} {:>11} {:>13} {:>11} {:>10}",
-                "scenario",
-                "family",
-                "procs",
-                "events",
-                "mon.msgs",
-                "glob.views",
-                "delayed.evts",
-                "delay%/GV",
-                "verdicts"
-            );
-            for (scenario, result) in &results {
-                let verdicts: Vec<&str> = result
-                    .detected_verdicts
-                    .iter()
-                    .map(|v| v.symbol())
-                    .collect();
-                println!(
-                    "{:<18} {:<16} {:>6} {:>8} {:>10} {:>11} {:>13.2} {:>11.4} {:>10}",
-                    scenario.name,
-                    scenario.family.name(),
-                    scenario.config.n_processes,
-                    result.avg.total_events,
-                    result.avg.monitor_messages,
-                    result.avg.total_global_views,
-                    result.avg.avg_delayed_events,
-                    result.avg.delay_time_pct_per_gv,
-                    verdicts.join(",")
-                );
-            }
-            println!();
-        }
+        Format::Text if throughput => throughput_table(&results),
+        Format::Text => sweep_table(&results),
     }
+}
+
+fn sweep_table(results: &[(Scenario, ExperimentResult)]) {
+    println!("== Scenario sweep ({} scenarios) ==", results.len());
+    println!(
+        "{:<18} {:<16} {:>6} {:>8} {:>10} {:>11} {:>13} {:>11} {:>8} {:>10}",
+        "scenario",
+        "family",
+        "procs",
+        "events",
+        "mon.msgs",
+        "glob.views",
+        "delayed.evts",
+        "delay%/GV",
+        "wall s",
+        "verdicts"
+    );
+    for (scenario, result) in results {
+        let verdicts: Vec<&str> = result
+            .detected_verdicts
+            .iter()
+            .map(|v| v.symbol())
+            .collect();
+        println!(
+            "{:<18} {:<16} {:>6} {:>8} {:>10} {:>11} {:>13.2} {:>11.4} {:>8.3} {:>10}",
+            scenario.name,
+            scenario.family.name(),
+            scenario.config.n_processes,
+            result.avg.total_events,
+            result.avg.monitor_messages,
+            result.avg.total_global_views,
+            result.avg.avg_delayed_events,
+            result.avg.delay_time_pct_per_gv,
+            result.avg.wall_clock_secs,
+            verdicts.join(",")
+        );
+    }
+    println!();
+}
+
+fn throughput_table(results: &[(Scenario, ExperimentResult)]) {
+    println!(
+        "== Streaming throughput ({} scenarios) ==",
+        results.len()
+    );
+    println!(
+        "{:<26} {:>8} {:>7} {:>9} {:>12} {:>8} {:>10} {:>9} {:>7}",
+        "scenario",
+        "sessions",
+        "shards",
+        "events",
+        "events/sec",
+        "wall s",
+        "mon.msgs",
+        "lat ms",
+        "stalls"
+    );
+    for (scenario, result) in results {
+        let params = scenario.stream.expect("throughput scenarios carry stream params");
+        let m = &result.avg;
+        let max_lat_ms = m
+            .per_shard
+            .iter()
+            .map(|s| s.max_queue_latency_secs)
+            .fold(0.0f64, f64::max)
+            * 1e3;
+        let stalls: usize = m.per_shard.iter().map(|s| s.backpressure_stalls).sum();
+        println!(
+            "{:<26} {:>8} {:>7} {:>9} {:>12.0} {:>8.3} {:>10} {:>9.2} {:>7}",
+            scenario.name,
+            params.n_sessions,
+            params.n_shards,
+            m.total_events,
+            m.events_per_sec,
+            m.wall_clock_secs,
+            m.monitor_messages,
+            max_lat_ms,
+            stalls
+        );
+    }
+    println!();
 }
 
 fn table5_1() {

@@ -22,13 +22,17 @@ fn small(name: &str) -> Scenario {
 
 #[test]
 fn sweep_json_round_trips_run_metrics_field_for_field() {
-    // One scenario per family, including an extended shape, so every serialization
-    // path (property letters, comm_mu = None, arrival/topology tags) is exercised.
+    // One scenario per family, including an extended shape and a streamed throughput
+    // run, so every serialization path (property letters, comm_mu = None,
+    // arrival/topology tags, stream params, per-shard metrics) is exercised.
+    let mut streamed = small("throughput-B-s200-sh4");
+    streamed.stream = Some(dlrv::StreamParams::sized(8, 2));
     let scenarios = [
         small("paper-D-n3"),
         small("commfreq-nocomm"),
         small("bursty-C-n4"),
         small("hotspot-D-n4"),
+        streamed,
     ];
     let runs: Vec<(Scenario, ExperimentResult)> =
         scenarios.iter().map(|s| (s.clone(), s.run())).collect();
@@ -99,6 +103,30 @@ fn assert_metrics_eq(parsed: &RunMetrics, original: &RunMetrics, scenario: &str)
         parsed.possible_verdicts, original.possible_verdicts,
         "{scenario}: possible_verdicts"
     );
+    // The streaming additions: wall-clock duration, ingestion rate, shard metrics.
+    assert_eq!(
+        parsed.wall_clock_secs.to_bits(),
+        original.wall_clock_secs.to_bits(),
+        "{scenario}: wall_clock_secs"
+    );
+    assert_eq!(
+        parsed.events_per_sec.to_bits(),
+        original.events_per_sec.to_bits(),
+        "{scenario}: events_per_sec"
+    );
+    assert_eq!(parsed.per_shard, original.per_shard, "{scenario}: per_shard");
+}
+
+#[test]
+fn scenario_wall_clock_duration_is_reported() {
+    // The per-scenario duration is an additive schema field: present in emitted
+    // documents, non-zero for any scenario that actually ran.
+    let scenario = small("paper-B-n2");
+    let result = scenario.run();
+    assert!(result.avg.wall_clock_secs > 0.0);
+    let doc = sweep_to_json(&[(scenario, result)]);
+    let record = &doc.get("scenarios").unwrap().as_array().unwrap()[0];
+    assert!(record.get("avg").unwrap().get("wall_clock_secs").unwrap().as_f64().unwrap() > 0.0);
 }
 
 #[test]

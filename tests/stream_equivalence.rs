@@ -1,0 +1,132 @@
+//! Online/offline equivalence: streaming a seeded workload through the sharded
+//! runtime — over the wire, bytes and all — must produce **identical verdicts** to
+//! the offline replay of the same trace, for every paper property and several shard
+//! counts.
+//!
+//! This is the soundness anchor of the streaming subsystem: `ShardedRuntime` may
+//! batch, interleave sessions and apply backpressure however it likes, but a
+//! session's monitors must see exactly the event sequence the replay driver delivers,
+//! so detected and possible verdicts (and even the token-message count) match
+//! one-for-one.
+
+use dlrv::dlrv_distsim::{initial_global_state, run_simulation, NullMonitor, SimConfig};
+use dlrv::dlrv_monitor::{replay_decentralized, timestamp_order, MonitorOptions};
+use dlrv::dlrv_stream::{
+    encode_stream, interleave_sessions, ReaderSource, SessionSpec, SessionStream,
+    ShardedRuntime, StreamConfig,
+};
+use dlrv::dlrv_trace::generate_workload;
+use dlrv::dlrv_vclock::Event;
+use dlrv::{ExperimentConfig, PaperProperty};
+use dlrv_automaton::MonitorAutomaton;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One prepared session: its wire input plus the offline baseline.
+struct Baseline {
+    input: SessionStream,
+    detected: BTreeSet<dlrv::dlrv_ltl::Verdict>,
+    possible: BTreeSet<dlrv::dlrv_ltl::Verdict>,
+    monitor_messages: usize,
+}
+
+#[test]
+fn streamed_verdicts_equal_offline_replay_for_every_property() {
+    for property in PaperProperty::ALL {
+        let config = ExperimentConfig {
+            events_per_process: 8,
+            ..ExperimentConfig::paper_default(property, 3)
+        };
+        let (formula, registry) = property.build(config.n_processes);
+        let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
+        let registry = Arc::new(registry);
+
+        // Per session: generate a seeded trace, record the computation, replay it
+        // offline for the baseline verdicts.
+        let mut baselines = Vec::new();
+        for (s, seed) in [11u64, 22, 33, 44, 55].into_iter().enumerate() {
+            let workload = generate_workload(&config.workload_config(seed));
+            let report = run_simulation(&workload, &registry, &SimConfig::default(), |_| {
+                NullMonitor::default()
+            });
+            let replay = replay_decentralized(
+                &report.computation,
+                &registry,
+                &automaton,
+                MonitorOptions::default(),
+            );
+            let events: Vec<Event> = timestamp_order(&report.computation)
+                .into_iter()
+                .map(|(_, p, sn)| report.computation.events[p][(sn - 1) as usize].clone())
+                .collect();
+            baselines.push(Baseline {
+                input: SessionStream {
+                    session: s as u64,
+                    property: property.name().to_string(),
+                    n_processes: config.n_processes,
+                    initial_state: initial_global_state(&workload, &registry).0,
+                    events,
+                },
+                detected: replay.detected_final_verdicts(),
+                possible: replay.possible_verdicts(),
+                monitor_messages: replay.monitor_messages,
+            });
+        }
+
+        // Encode all sessions into one interleaved wire stream — the same
+        // construction the throughput runner uses.
+        let inputs: Vec<SessionStream> = baselines.iter().map(|b| b.input.clone()).collect();
+        let bytes = encode_stream(&interleave_sessions(&inputs));
+
+        // Pump the same bytes through 1, 2 and 4 shards: sharding must not change
+        // any session's outcome.
+        for n_shards in [1usize, 2, 4] {
+            let runtime = ShardedRuntime::start(StreamConfig {
+                n_shards,
+                mailbox_capacity: 8, // small mailbox: force the backpressure path
+                batch_size: 4,
+            });
+            let mut source = ReaderSource::new(&bytes[..]);
+            runtime
+                .pump(&mut source, &mut |open| {
+                    assert_eq!(open.property, property.name());
+                    Ok(Arc::new(SessionSpec {
+                        n_processes: open.n_processes,
+                        automaton: automaton.clone(),
+                        registry: registry.clone(),
+                        initial_state: open.initial_state,
+                        options: MonitorOptions::default(),
+                    }))
+                })
+                .expect("freshly encoded stream must decode");
+            let report = runtime.shutdown();
+
+            assert_eq!(report.sessions.len(), baselines.len(), "{property}");
+            for (s, baseline) in baselines.iter().enumerate() {
+                let outcome = &report.sessions[&(s as u64)];
+                assert_eq!(
+                    outcome.detected_verdicts, baseline.detected,
+                    "{property}, session {s}, {n_shards} shards: detected verdicts diverge"
+                );
+                assert_eq!(
+                    outcome.possible_verdicts, baseline.possible,
+                    "{property}, session {s}, {n_shards} shards: possible verdicts diverge"
+                );
+                assert_eq!(
+                    outcome.monitor_messages, baseline.monitor_messages,
+                    "{property}, session {s}, {n_shards} shards: token counts diverge"
+                );
+                assert_eq!(
+                    outcome.events,
+                    baseline.input.events.len(),
+                    "{property}, session {s}"
+                );
+                assert!(!outcome.drained, "every session was explicitly closed");
+            }
+            assert!(
+                report.per_shard.iter().all(|m| m.routing_errors == 0),
+                "{property}: no record may misroute"
+            );
+        }
+    }
+}
