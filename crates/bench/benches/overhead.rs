@@ -1,0 +1,42 @@
+//! The §4.3 overhead A/B bench: every registry `overhead-*` pair timed with the
+//! optimization suite on vs. off.
+//!
+//! The `ablations` bench toggles each switch *individually* on one property; this
+//! bench measures the *whole suite* across every property, mirroring what
+//! `experiments --target overhead` reports as counters — so a wall-clock regression
+//! in the optimized hot path (hash-keyed view merging, token batching, subsumption
+//! pruning) shows up here even when the message/memory counters stay flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlrv_core::PaperProperty;
+use std::time::Duration;
+
+/// Scaled-down copy of a registry overhead scenario (fewer events and one seed keep
+/// each iteration inside the bench time budget without changing the config shape).
+fn scaled(name: &str) -> dlrv_core::Scenario {
+    let mut scenario = dlrv_bench::registry_scenario(name);
+    scenario.config.events_per_process = 8;
+    scenario.config.seeds = vec![1];
+    scenario
+}
+
+fn bench_overhead_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead_suite");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for property in PaperProperty::ALL {
+        for suffix in ["opts", "noopt"] {
+            let scenario = scaled(&format!("overhead-{}-{}", property.name(), suffix));
+            group.bench_with_input(
+                BenchmarkId::new(property.name(), suffix),
+                &scenario,
+                |b, scenario| b.iter(|| scenario.run()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead_pairs);
+criterion_main!(benches);

@@ -275,6 +275,8 @@ pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
         avg.monitor_messages += r.monitor_messages;
         avg.program_messages += r.program_messages;
         avg.total_global_views += r.total_global_views;
+        avg.monitor_tokens += r.monitor_tokens;
+        avg.peak_global_views += r.peak_global_views;
         avg.avg_delayed_events += r.avg_delayed_events;
         avg.delay_time_pct_per_gv += r.delay_time_pct_per_gv;
         avg.program_time += r.program_time;
@@ -289,6 +291,8 @@ pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
     avg.monitor_messages = (avg.monitor_messages as f64 / k).round() as usize;
     avg.program_messages = (avg.program_messages as f64 / k).round() as usize;
     avg.total_global_views = (avg.total_global_views as f64 / k).round() as usize;
+    avg.monitor_tokens = (avg.monitor_tokens as f64 / k).round() as usize;
+    avg.peak_global_views = (avg.peak_global_views as f64 / k).round() as usize;
     avg.avg_delayed_events /= k;
     avg.delay_time_pct_per_gv /= k;
     avg.program_time /= k;

@@ -13,10 +13,13 @@
 //! properties × 2–5 processes under normally-distributed workloads, plus the
 //! communication-frequency sweep of Fig. 5.9) and extends it with shapes the paper
 //! does not measure: bursty event arrivals, hotspot / ring / pipeline communication
-//! topologies, large-N runs up to 8 processes — and the **throughput family**
+//! topologies, large-N runs up to 8 processes — the **throughput family**
 //! ([`ScenarioFamily::Throughput`]): hundreds to a thousand concurrent sessions
 //! streamed through the online sharded `dlrv-stream` runtime, sized by
-//! [`StreamParams`] and run by `experiments --target throughput`.
+//! [`StreamParams`] and run by `experiments --target throughput` — and the
+//! **overhead family** ([`ScenarioFamily::Overhead`]): every property as an A/B pair
+//! with the §4.3 optimization suite on vs. off, run by `experiments --target
+//! overhead` to reproduce the paper's message/queueing/memory overhead trends.
 
 use crate::experiment::{run_experiment_with_options, ExperimentConfig, ExperimentResult};
 use crate::properties::PaperProperty;
@@ -40,6 +43,10 @@ pub enum ScenarioFamily {
     /// Online ingestion benchmarks: many concurrent sessions streamed through the
     /// sharded `dlrv-stream` runtime (`--target throughput`).
     Throughput,
+    /// §4.3 overhead A/B pairs: every property with the optimization suite on and
+    /// off, so `--target overhead` reproduces the paper's message/queueing/memory
+    /// trends (`--target overhead`).
+    Overhead,
 }
 
 impl ScenarioFamily {
@@ -50,6 +57,7 @@ impl ScenarioFamily {
             ScenarioFamily::CommFrequency => "comm-frequency",
             ScenarioFamily::Extended => "extended",
             ScenarioFamily::Throughput => "throughput",
+            ScenarioFamily::Overhead => "overhead",
         }
     }
 
@@ -60,6 +68,7 @@ impl ScenarioFamily {
             ScenarioFamily::CommFrequency,
             ScenarioFamily::Extended,
             ScenarioFamily::Throughput,
+            ScenarioFamily::Overhead,
         ]
         .into_iter()
         .find(|f| f.name() == name)
@@ -369,6 +378,36 @@ impl ScenarioRegistry {
             stream: Some(StreamParams::sized(1000, 8)),
         });
 
+        // The §4.3 overhead family: every property at the paper's 4-process point,
+        // once with the full optimization suite (the defaults) and once with every
+        // switch off (the `--no-opt` baseline).  `--target overhead` prints the pairs
+        // side by side; the JSON document carries one record per member, each
+        // self-describing via its `options` object.  The workload is the paper
+        // default scaled to an A/B-measurable size — both members of a pair always
+        // use the *same* traces (same seeds), so any difference is the optimizations.
+        for property in PaperProperty::ALL {
+            for (suffix, options, label) in [
+                ("opts", MonitorOptions::default(), "on"),
+                ("noopt", MonitorOptions::ALL_OFF, "off"),
+            ] {
+                registry.push(Scenario {
+                    name: format!("overhead-{}-{}", property.name(), suffix),
+                    description: format!(
+                        "§4.3 overhead A/B: property {}, 4 processes, N(3,1) arrivals, \
+                         broadcast communication, optimizations {label}",
+                        property.name()
+                    ),
+                    family: ScenarioFamily::Overhead,
+                    config: ExperimentConfig {
+                        events_per_process: 12,
+                        ..ExperimentConfig::paper_default(property, 4)
+                    },
+                    options,
+                    stream: None,
+                });
+            }
+        }
+
         registry
     }
 
@@ -541,9 +580,34 @@ mod tests {
             ScenarioFamily::CommFrequency,
             ScenarioFamily::Extended,
             ScenarioFamily::Throughput,
+            ScenarioFamily::Overhead,
         ] {
             assert_eq!(ScenarioFamily::from_name(family.name()), Some(family));
         }
         assert_eq!(ScenarioFamily::from_name("nope"), None);
+    }
+
+    #[test]
+    fn overhead_family_pairs_every_property() {
+        // Each property has an opts-on and an opts-off member with identical
+        // workloads (same config, same seeds) — the A/B contract of `--target
+        // overhead`: any metric difference within a pair is due to the §4.3 switches.
+        let registry = ScenarioRegistry::standard();
+        for property in PaperProperty::ALL {
+            let on = registry
+                .get(&format!("overhead-{}-opts", property.name()))
+                .expect("opts-on member");
+            let off = registry
+                .get(&format!("overhead-{}-noopt", property.name()))
+                .expect("opts-off member");
+            assert_eq!(on.family, ScenarioFamily::Overhead);
+            assert_eq!(off.family, ScenarioFamily::Overhead);
+            assert_eq!(on.config, off.config, "{property}: pair must share traces");
+            assert_eq!(on.config.n_processes, 4);
+            assert_eq!(on.options, MonitorOptions::default());
+            assert_eq!(off.options, MonitorOptions::ALL_OFF);
+            assert!(on.stream.is_none() && off.stream.is_none());
+        }
+        assert_eq!(registry.family(ScenarioFamily::Overhead).count(), 12);
     }
 }

@@ -163,7 +163,9 @@ fn run_once(
     };
     for outcome in report.sessions.values() {
         metrics.monitor_messages += outcome.monitor_messages;
+        metrics.monitor_tokens += outcome.monitor_tokens;
         metrics.total_global_views += outcome.global_views;
+        metrics.peak_global_views += outcome.peak_global_views;
         metrics
             .detected_final_verdicts
             .extend(outcome.detected_verdicts.iter().copied());

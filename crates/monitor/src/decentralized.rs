@@ -13,31 +13,81 @@
 //! (`RECEIVETOKEN`), and views that have converged to the same exploration point are
 //! merged (`MERGESIMILARGLOBALVIEWS`).
 //!
-//! The three optimizations of §4.3 (token aggregation, duplicate-global-view avoidance,
-//! disjunctive-transition pruning) are individually switchable through
-//! [`MonitorOptions`] so the benchmark harness can ablate them.
+//! # The §4.3 optimization suite
+//!
+//! The three overhead optimizations of §4.3 are individually switchable through
+//! [`MonitorOptions`] so the benchmark harness (`experiments --target overhead`, the
+//! `ablations`/`overhead` criterion benches) can ablate them:
+//!
+//! * **Token aggregation** (§4.3.1, `aggregate_tokens`) — two levels.  Per event: all
+//!   candidate transitions of one event travel in a single token instead of one token
+//!   per transition.  Per destination: every token this monitor wants to send to the
+//!   same peer during one activation (one local event, one received message, one
+//!   termination) is staged and flushed as a single [`MonitorMsg::Batch`], so the
+//!   number of *monitoring messages* is bounded by the number of destination
+//!   processes per activation, not by the number of explorations.
+//! * **Duplicate-global-view avoidance** (§4.3.2, `dedup_global_views`) — a returned
+//!   token never forks a view whose exploration point ([`ViewKey`]: automaton state +
+//!   frontier + believed global state) already exists, and a view does not launch a
+//!   token for an automaton state that already has an exploration in flight.
+//!   View-set maintenance is hash-keyed: merging converged views is one map lookup
+//!   per view instead of pairwise comparison.
+//! * **Disjunctive-transition pruning** (§4.3.3, `prune_disjunctive`) — once some
+//!   transition into a target state is enabled, sibling candidates into the same
+//!   target are dropped; and candidates whose target is a ⊤/⊥ verdict state this
+//!   monitor has *already detected* (via a sibling view) are never explored at all —
+//!   the exploration could only re-derive a known verdict.
+//!
+//! Verdicts are invariant under every flag combination (pinned by the repository's
+//! `stream_equivalence` and soundness/completeness suites); the flags only change the
+//! message, queueing and memory cost — the quantities `--target overhead` reports.
 
-use crate::global_view::{GlobalView, GvState};
-use crate::messages::{ConjunctEval, EvalState, MonitorMsg, Token, TokenTransition};
+use crate::global_view::{GlobalView, GvState, ViewKey};
+use crate::messages::{ConjunctEval, EvalState, MonitorMsg, Token, TokenTransition, WaitingTokens};
 use crate::metrics::MonitorMetrics;
 use dlrv_automaton::{MonitorAutomaton, SymbolicTransition};
 use dlrv_distsim::{MonitorBehavior, MonitorContext};
 use dlrv_ltl::{Assignment, AtomRegistry, Cube, ProcessId, Verdict};
-use dlrv_vclock::{Event, VectorClock};
-use std::collections::BTreeSet;
+use dlrv_vclock::{ClockIntern, Event, VectorClock};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Switches for the optimizations of §4.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MonitorOptions {
     /// §4.3.1 — carry all candidate transitions of an event in a single token instead
-    /// of one token per transition.
+    /// of one token per transition, and aggregate all tokens bound for the same
+    /// destination process into one [`MonitorMsg::Batch`] per send opportunity.
     pub aggregate_tokens: bool,
     /// §4.3.2 — avoid forking a new global view when an equivalent one already exists.
     pub dedup_global_views: bool,
     /// §4.3.3 — once a transition into a target state is enabled, drop sibling
-    /// candidate transitions into the same target.
+    /// candidate transitions into the same target; never explore candidates whose
+    /// target verdict a sibling view already detected.
     pub prune_disjunctive: bool,
+}
+
+impl MonitorOptions {
+    /// Every optimization disabled — the `--no-opt` baseline of the overhead
+    /// benchmarks.
+    pub const ALL_OFF: MonitorOptions = MonitorOptions {
+        aggregate_tokens: false,
+        dedup_global_views: false,
+        prune_disjunctive: false,
+    };
+
+    /// All 8 flag combinations, for exhaustive equivalence testing.
+    pub fn all_combinations() -> [MonitorOptions; 8] {
+        let mut out = [MonitorOptions::ALL_OFF; 8];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = MonitorOptions {
+                aggregate_tokens: i & 1 != 0,
+                dedup_global_views: i & 2 != 0,
+                prune_disjunctive: i & 4 != 0,
+            };
+        }
+        out
+    }
 }
 
 impl Default for MonitorOptions {
@@ -63,10 +113,13 @@ pub struct DecentralizedMonitor {
     registry: Arc<AtomRegistry>,
     /// Optimization switches.
     opts: MonitorOptions,
-    /// Local event history (`history` in Algorithm 2), indexed by `sn - 1`.
-    history: Vec<Event>,
-    /// Tokens waiting for a future local event (`w_tokens`).
-    waiting_tokens: Vec<Token>,
+    /// Local event history (`history` in Algorithm 2), indexed by `sn - 1`.  Events
+    /// are `Arc`-shared with every view's pending queue, so buffering an event at
+    /// `k` views costs `k` pointer bumps, not `k` deep clones of its vector clock.
+    history: Vec<Arc<Event>>,
+    /// Tokens waiting for a future local event (`w_tokens`), indexed by the cut
+    /// entry (sequence number) each token awaits.
+    waiting_tokens: WaitingTokens,
     /// The set of global views (`GV`).
     views: Vec<GlobalView>,
     /// Next fresh global-view identifier.
@@ -77,7 +130,12 @@ pub struct DecentralizedMonitor {
     peer_last_sn: Vec<Option<u64>>,
     /// Number of tokens currently in flight per originating automaton state (used by
     /// the §4.3.2 optimization to avoid launching duplicate explorations).
-    in_flight: std::collections::BTreeMap<dlrv_automaton::StateId, usize>,
+    in_flight: BTreeMap<dlrv_automaton::StateId, usize>,
+    /// §4.3.1 staging area: tokens awaiting the end-of-activation flush, grouped by
+    /// destination (only used when `opts.aggregate_tokens` is set).
+    outbound: BTreeMap<ProcessId, Vec<Token>>,
+    /// Hash-consing pool for the immutable clocks tokens carry.
+    intern: ClockIntern,
     /// Collected metrics.
     metrics: MonitorMetrics,
 }
@@ -97,6 +155,7 @@ impl DecentralizedMonitor {
         let gv0 = GlobalView::initial(0, n_processes, initial_gstate, q0);
         let mut metrics = MonitorMetrics {
             global_views_created: 1,
+            max_live_views: 1,
             ..MonitorMetrics::default()
         };
         if automaton.is_final(q0) {
@@ -111,12 +170,14 @@ impl DecentralizedMonitor {
             registry,
             opts,
             history: Vec::new(),
-            waiting_tokens: Vec::new(),
+            waiting_tokens: WaitingTokens::new(),
             views: vec![gv0],
             next_gv_id: 1,
             local_terminated: false,
             peer_last_sn: vec![None; n_processes],
             in_flight: Default::default(),
+            outbound: BTreeMap::new(),
+            intern: ClockIntern::new(),
             metrics,
         }
     }
@@ -152,6 +213,7 @@ impl DecentralizedMonitor {
     pub fn metrics(&self) -> MonitorMetrics {
         let mut m = self.metrics.clone();
         m.global_views_final = self.views.len();
+        m.max_live_views = m.max_live_views.max(self.views.len());
         m.possible_verdicts = self.possible_verdicts();
         m
     }
@@ -195,20 +257,71 @@ impl DecentralizedMonitor {
         }
     }
 
-    /// MERGESIMILARGLOBALVIEWS: collapse views with identical automaton state, cut and
-    /// global state.
-    fn merge_similar_views(&mut self) {
-        let mut kept: Vec<GlobalView> = Vec::with_capacity(self.views.len());
-        for gv in std::mem::take(&mut self.views) {
-            if let Some(existing) = kept.iter_mut().find(|k| k.same_slice(&gv)) {
-                // Prefer the unblocked copy; merge pending queues conservatively.
-                if existing.state == GvState::Waiting && gv.state == GvState::Unblocked {
-                    let pending = std::mem::take(&mut existing.pending);
-                    *existing = gv;
-                    existing.pending = pending;
-                }
+    /// §4.3.3 extension: true when exploring a transition into `target` could only
+    /// re-derive a verdict a sibling view already detected.
+    fn target_verdict_subsumed(&self, target: dlrv_automaton::StateId) -> bool {
+        self.opts.prune_disjunctive
+            && self.automaton.is_final(target)
+            && self
+                .metrics
+                .detected_final_verdicts
+                .contains(&self.automaton.verdict(target))
+    }
+
+    /// Updates the peak-live-view count (the §4.3 memory-overhead measurement).
+    fn note_view_peak(&mut self) {
+        self.metrics.max_live_views = self.metrics.max_live_views.max(self.views.len());
+    }
+
+    /// Sends `token` toward `dest` — immediately as a single-token message, or staged
+    /// for the end-of-activation batch flush when token aggregation is on (§4.3.1).
+    fn send_token(&mut self, dest: ProcessId, token: Token, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        self.metrics.tokens_sent += 1;
+        if self.opts.aggregate_tokens {
+            self.outbound.entry(dest).or_default().push(token);
+        } else {
+            ctx.send(dest, MonitorMsg::Token(token));
+        }
+    }
+
+    /// Flushes the per-destination staging area: one monitoring message per
+    /// destination, a [`MonitorMsg::Batch`] whenever ≥ 2 tokens aggregated.  Called
+    /// at the end of every activation (local event, received message, termination).
+    fn flush_outbound(&mut self, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        for (dest, mut tokens) in std::mem::take(&mut self.outbound) {
+            debug_assert!(!tokens.is_empty());
+            if tokens.len() == 1 {
+                ctx.send(dest, MonitorMsg::Token(tokens.pop().expect("one token")));
             } else {
-                kept.push(gv);
+                self.metrics.token_batches_sent += 1;
+                ctx.send(dest, MonitorMsg::Batch(tokens));
+            }
+        }
+    }
+
+    /// MERGESIMILARGLOBALVIEWS: collapse views with identical automaton state, cut and
+    /// global state.  Hash-keyed: one map lookup per view instead of a pairwise scan.
+    fn merge_similar_views(&mut self) {
+        if self.views.len() <= 1 {
+            return;
+        }
+        let mut kept: Vec<GlobalView> = Vec::with_capacity(self.views.len());
+        let mut index: HashMap<ViewKey, usize> = HashMap::with_capacity(self.views.len());
+        for gv in std::mem::take(&mut self.views) {
+            match index.entry(gv.slice_key()) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    // Prefer the unblocked copy; merge pending queues conservatively.
+                    let existing = &mut kept[*slot.get()];
+                    if existing.state == GvState::Waiting && gv.state == GvState::Unblocked {
+                        let pending = std::mem::take(&mut existing.pending);
+                        *existing = gv;
+                        existing.pending = pending;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(kept.len());
+                    kept.push(gv);
+                }
             }
         }
         self.views = kept;
@@ -221,6 +334,11 @@ impl DecentralizedMonitor {
         for t in self.automaton.outgoing_transitions(gv.q) {
             // The local conjunct must be satisfied by the process's own (fresh) state.
             if !self.conjunct_of(t, self.pid).eval(gv.gstate) {
+                continue;
+            }
+            // §4.3.3: exploring a transition whose target verdict a sibling view
+            // already detected cannot change what is reported — skip it outright.
+            if self.target_verdict_subsumed(t.to) {
                 continue;
             }
             // Determine which processes "forbid" the transition: their believed state
@@ -320,16 +438,14 @@ impl DecentralizedMonitor {
                 self.advance_local_token(token, ctx);
             }
             RouteTarget::Remote(p) => {
-                self.metrics.tokens_sent += 1;
-                ctx.send(p, MonitorMsg::Token(token));
+                self.send_token(p, token, ctx);
             }
             RouteTarget::Parent => {
                 if token.parent == self.pid {
                     self.handle_returned_token(token, ctx);
                 } else {
                     let parent = token.parent;
-                    self.metrics.tokens_sent += 1;
-                    ctx.send(parent, MonitorMsg::Token(token));
+                    self.send_token(parent, token, ctx);
                 }
             }
         }
@@ -352,11 +468,11 @@ impl DecentralizedMonitor {
                     self.fail_local_targets(&mut token);
                     self.dispatch_after_local_processing(token, ctx);
                 } else {
-                    self.waiting_tokens.push(token);
+                    self.waiting_tokens.park(token);
                 }
                 return;
             }
-            let event = self.history[(sn - 1) as usize].clone();
+            let event = Arc::clone(&self.history[(sn - 1) as usize]);
             let keep_going = self.process_token_with_event(&mut token, &event);
             if !keep_going {
                 self.dispatch_after_local_processing(token, ctx);
@@ -489,6 +605,12 @@ impl DecentralizedMonitor {
     fn handle_returned_token(&mut self, mut token: Token, ctx: &mut MonitorContext<'_, MonitorMsg>) {
         let owner_idx = self.views.iter().position(|gv| gv.id == token.parent_gv);
 
+        // §4.3.2: the exploration points already represented, so an enabled
+        // transition never forks a duplicate view (one hash probe per spawn).  Built
+        // lazily — most returned tokens (all-disabled, still-pending) spawn nothing
+        // and must not pay for snapshotting the live view set.
+        let mut existing: Option<HashSet<ViewKey>> = None;
+
         let mut enabled_targets: BTreeSet<dlrv_automaton::StateId> = BTreeSet::new();
         let mut remaining: Vec<TokenTransition> = Vec::new();
         for tran in token.transitions.drain(..) {
@@ -496,11 +618,29 @@ impl DecentralizedMonitor {
                 EvalState::Enabled => {
                     let target = self.automaton.transition(tran.transition_id).to;
                     // §4.3.3: once some transition into `target` is enabled, siblings
-                    // into the same target are redundant.
+                    // into the same target are redundant; likewise explorations whose
+                    // target verdict a sibling view already detected.
                     if self.opts.prune_disjunctive && enabled_targets.contains(&target) {
                         continue;
                     }
+                    if self.target_verdict_subsumed(target) {
+                        enabled_targets.insert(target);
+                        continue;
+                    }
                     enabled_targets.insert(target);
+                    if self.opts.dedup_global_views {
+                        let keys = existing.get_or_insert_with(|| {
+                            self.views.iter().map(GlobalView::slice_key).collect()
+                        });
+                        let key = ViewKey {
+                            q: target,
+                            gcut: tran.gcut.clone(),
+                            gstate: tran.gstate,
+                        };
+                        if !keys.insert(key) {
+                            continue;
+                        }
+                    }
                     self.spawn_view(target, tran.gcut.clone(), tran.gstate);
                 }
                 EvalState::Disabled => {}
@@ -513,6 +653,9 @@ impl DecentralizedMonitor {
                     // §4.3.3 also applies to still-pending siblings.
                     let target = self.automaton.transition(tran.transition_id).to;
                     if self.opts.prune_disjunctive && enabled_targets.contains(&target) {
+                        continue;
+                    }
+                    if self.target_verdict_subsumed(target) {
                         continue;
                     }
                     remaining.push(tran);
@@ -537,16 +680,9 @@ impl DecentralizedMonitor {
         }
     }
 
-    /// Forks a new global view at `q` with the constructed cut and state.
+    /// Forks a new global view at `q` with the constructed cut and state (the caller
+    /// has already applied the §4.3.2 duplicate check).
     fn spawn_view(&mut self, q: dlrv_automaton::StateId, gcut: VectorClock, gstate: Assignment) {
-        if self.opts.dedup_global_views
-            && self
-                .views
-                .iter()
-                .any(|gv| gv.q == q && gv.gcut == gcut && gv.gstate == gstate)
-        {
-            return;
-        }
         let gv = GlobalView {
             id: self.next_gv_id,
             gcut,
@@ -560,6 +696,7 @@ impl DecentralizedMonitor {
         self.metrics.global_views_created += 1;
         self.record_state_verdict(q);
         self.views.push(gv);
+        self.note_view_peak();
     }
 
     /// PROCESSEVENT (Algorithm 2) for one view; may fork a copy and/or emit a token.
@@ -614,11 +751,8 @@ impl DecentralizedMonitor {
         // for the token (Algorithm 2, lines 33–37).
         if gv.keep_after_fork {
             let duplicate_exists = self.opts.dedup_global_views
-                && self
-                    .views
-                    .iter()
-                    .any(|other| other.same_slice(&gv))
-                || produced.iter().any(|other: &GlobalView| other.same_slice(&gv));
+                && (self.views.iter().any(|other| other.same_slice(&gv))
+                    || produced.iter().any(|other: &GlobalView| other.same_slice(&gv)));
             if !duplicate_exists {
                 let mut copy = gv.clone();
                 copy.id = self.next_gv_id;
@@ -631,16 +765,18 @@ impl DecentralizedMonitor {
             }
         }
 
-        // Emit the token(s).
+        // Emit the token(s); the parent-event clock is interned so every token of the
+        // fan-out shares one allocation.
         let origin_state = gv.q;
         gv.state = GvState::Waiting;
         let parent_gv = gv.id;
+        let shared_vc = self.intern.intern(&e.vc);
         if self.opts.aggregate_tokens {
             let token = Token {
                 parent: self.pid,
                 origin_state,
                 parent_gv,
-                parent_event_vc: e.vc.clone(),
+                parent_event_vc: shared_vc,
                 transitions: candidates,
                 next_target_process: self.pid,
                 next_target_event: 0,
@@ -654,7 +790,7 @@ impl DecentralizedMonitor {
                     parent: self.pid,
                     origin_state,
                     parent_gv,
-                    parent_event_vc: e.vc.clone(),
+                    parent_event_vc: shared_vc.clone(),
                     transitions: vec![tran],
                     next_target_process: self.pid,
                     next_target_event: 0,
@@ -683,6 +819,7 @@ impl DecentralizedMonitor {
             for (offset, v) in produced.into_iter().enumerate() {
                 self.views.insert(idx + offset, v);
             }
+            self.note_view_peak();
         }
     }
 }
@@ -701,17 +838,14 @@ impl MonitorBehavior for DecentralizedMonitor {
         self.metrics.events_observed += 1;
         self.metrics.last_event_time = ctx.now;
         self.metrics.last_activity_time = ctx.now;
-        self.history.push(event.clone());
+        // One shared allocation serves the history and every view's pending queue.
+        let event = Arc::new(event.clone());
+        self.history.push(Arc::clone(&event));
         self.merge_similar_views();
 
-        // Wake up tokens waiting for exactly this event.
-        let waiting = std::mem::take(&mut self.waiting_tokens);
-        for token in waiting {
-            if token.next_target_process == self.pid && token.next_target_event == event.sn {
-                self.advance_local_token(token, ctx);
-            } else {
-                self.waiting_tokens.push(token);
-            }
+        // Wake up exactly the tokens waiting for this event (per-cut index lookup).
+        for token in self.waiting_tokens.take(event.sn) {
+            self.advance_local_token(token, ctx);
         }
 
         // Deliver the event to every view (waiting views just buffer it).
@@ -719,7 +853,7 @@ impl MonitorBehavior for DecentralizedMonitor {
         let views = std::mem::take(&mut self.views);
         let mut rebuilt: Vec<GlobalView> = Vec::with_capacity(views.len());
         for mut gv in views {
-            gv.pending.push_back(event.clone());
+            gv.pending.push_back(Arc::clone(&event));
             if gv.is_unblocked() {
                 // Process the whole queue while the view stays unblocked.
                 loop {
@@ -743,6 +877,8 @@ impl MonitorBehavior for DecentralizedMonitor {
         self.metrics.queued_events_samples += 1;
         self.metrics.max_queued_events = self.metrics.max_queued_events.max(delayed);
         self.merge_similar_views();
+        self.note_view_peak();
+        self.flush_outbound(ctx);
     }
 
     fn on_monitor_message(
@@ -762,10 +898,24 @@ impl MonitorBehavior for DecentralizedMonitor {
                     self.advance_local_token(token, ctx);
                 }
             }
+            MonitorMsg::Batch(tokens) => {
+                // §4.3.1: an aggregated message — process the carried tokens in order,
+                // exactly as if they had arrived as consecutive messages.
+                self.metrics.tokens_received += tokens.len();
+                for token in tokens {
+                    if token.parent == self.pid {
+                        self.handle_returned_token(token, ctx);
+                    } else {
+                        self.advance_local_token(token, ctx);
+                    }
+                }
+            }
             MonitorMsg::Terminated { process, last_sn } => {
                 self.peer_last_sn[process] = Some(last_sn);
             }
         }
+        self.note_view_peak();
+        self.flush_outbound(ctx);
     }
 
     /// TERMINATE (§4.2.0.10).
@@ -786,11 +936,11 @@ impl MonitorBehavior for DecentralizedMonitor {
             }
         }
         // Fail every token parked here waiting for events that will never happen.
-        let waiting = std::mem::take(&mut self.waiting_tokens);
-        for mut token in waiting {
+        for mut token in self.waiting_tokens.drain_all() {
             self.fail_local_targets(&mut token);
             self.route_token(token, ctx);
         }
+        self.flush_outbound(ctx);
         self.metrics.global_views_final = self.views.len();
         self.metrics.possible_verdicts = self.possible_verdicts();
     }
@@ -836,6 +986,26 @@ mod tests {
     fn monitor_options_default_enables_all_optimizations() {
         let opts = MonitorOptions::default();
         assert!(opts.aggregate_tokens && opts.dedup_global_views && opts.prune_disjunctive);
+        assert_eq!(
+            MonitorOptions::ALL_OFF,
+            MonitorOptions {
+                aggregate_tokens: false,
+                dedup_global_views: false,
+                prune_disjunctive: false,
+            }
+        );
+    }
+
+    #[test]
+    fn all_combinations_enumerates_every_flag_setting() {
+        let combos = MonitorOptions::all_combinations();
+        let unique: std::collections::BTreeSet<(bool, bool, bool)> = combos
+            .iter()
+            .map(|o| (o.aggregate_tokens, o.dedup_global_views, o.prune_disjunctive))
+            .collect();
+        assert_eq!(unique.len(), 8);
+        assert!(combos.contains(&MonitorOptions::ALL_OFF));
+        assert!(combos.contains(&MonitorOptions::default()));
     }
 
     #[test]
@@ -869,5 +1039,14 @@ mod tests {
         m0.on_local_event(&event, &mut ctx);
         assert!(m0.detected_final_verdicts().contains(&Verdict::False));
         assert!(outbox.is_empty(), "a purely local violation needs no tokens");
+    }
+
+    #[test]
+    fn peak_view_metric_tracks_the_initial_view() {
+        let mut reg = AtomRegistry::new();
+        let a0 = reg.intern("P0.p", 0);
+        let _a1 = reg.intern("P1.p", 1);
+        let monitors = setup(2, Formula::eventually(Formula::Atom(a0)), reg);
+        assert_eq!(monitors[0].metrics().max_live_views, 1);
     }
 }

@@ -4,11 +4,17 @@
 //! constructed so far (as per-process event counts), the believed global state, the
 //! current monitor-automaton state and a queue of local events that arrived while the
 //! view was waiting for a token to return.
+//!
+//! Views at the same exploration point are interchangeable; [`ViewKey`] is their
+//! canonical hashable identity (automaton state + frontier cut + believed global
+//! state), the key of the §4.3.2 dedup/merge machinery in
+//! [`DecentralizedMonitor`](crate::decentralized::DecentralizedMonitor).
 
 use dlrv_automaton::StateId;
 use dlrv_ltl::Assignment;
 use dlrv_vclock::{Event, VectorClock};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// The processing state of a global view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +23,22 @@ pub enum GvState {
     Unblocked,
     /// A token is in flight; local events are buffered until it returns.
     Waiting,
+}
+
+/// The canonical identity of a global view's exploration point: two views with equal
+/// keys have converged to the same hypothesis and can be merged
+/// (`MERGESIMILARGLOBALVIEWS`, strengthened with equal global states).
+///
+/// Hashable, so view sets can be deduplicated with one map lookup per view instead of
+/// pairwise comparisons.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewKey {
+    /// Current monitor-automaton state.
+    pub q: StateId,
+    /// The constructed cut (frontier).
+    pub gcut: VectorClock,
+    /// The believed global state.
+    pub gstate: Assignment,
 }
 
 /// One global view maintained by a monitor process.
@@ -31,7 +53,11 @@ pub struct GlobalView {
     /// Current monitor-automaton state.
     pub q: StateId,
     /// Local events buffered while the view is waiting for a token.
-    pub pending: VecDeque<Event>,
+    ///
+    /// Shared (`Arc`) rather than owned: every view of a monitor buffers the same
+    /// local event, so the queues share one allocation per event — including its
+    /// vector clock — instead of cloning it per view.
+    pub pending: VecDeque<Arc<Event>>,
     /// Whether the view survives forking (set when it took a real transition).
     pub keep_after_fork: bool,
     /// Processing state.
@@ -50,6 +76,15 @@ impl GlobalView {
             pending: VecDeque::new(),
             keep_after_fork: false,
             state: GvState::Unblocked,
+        }
+    }
+
+    /// The canonical [`ViewKey`] of this view's exploration point.
+    pub fn slice_key(&self) -> ViewKey {
+        ViewKey {
+            q: self.q,
+            gcut: self.gcut.clone(),
+            gstate: self.gstate,
         }
     }
 
@@ -90,5 +125,19 @@ mod tests {
         b.q = 0;
         b.gcut.increment(0);
         assert!(!a.same_slice(&b));
+    }
+
+    #[test]
+    fn view_keys_agree_with_same_slice() {
+        let a = GlobalView::initial(0, 2, Assignment::ALL_FALSE, 0);
+        let mut b = GlobalView::initial(7, 2, Assignment::ALL_FALSE, 0);
+        assert_eq!(a.slice_key(), b.slice_key());
+        b.gstate = Assignment(1);
+        assert!(a.slice_key() != b.slice_key());
+        assert_eq!(a.same_slice(&b), a.slice_key() == b.slice_key());
+        // Keys are hashable: a set of keys deduplicates converged views.
+        let set: std::collections::HashSet<ViewKey> =
+            [a.slice_key(), a.slice_key(), b.slice_key()].into_iter().collect();
+        assert_eq!(set.len(), 2);
     }
 }

@@ -16,6 +16,44 @@
 //! * [`feed`] — the incremental feed API: a [`FeedSession`] delivers events one at a
 //!   time (`feed_event(&mut self, ev) -> Verdict`) so monitors no longer require a
 //!   complete trace up front; the substrate of the online `dlrv-stream` runtime.
+//!
+//! The §4.3 optimizations (token aggregation, global-view dedup/merge, disjunctive
+//! pruning) are switchable per monitor through [`MonitorOptions`]; see
+//! `docs/MONITORING.md` at the repository root for the worked walkthrough.
+//!
+//! # Example
+//!
+//! Monitor `F (P0.p ∧ P1.p)` — "eventually both processes raise `p`" — over two
+//! processes whose goal states are *concurrent* (neither heard from the other), so
+//! only the token exploration can witness the conjunction:
+//!
+//! ```
+//! use dlrv_automaton::MonitorAutomaton;
+//! use dlrv_ltl::{Assignment, AtomRegistry, Formula, Verdict};
+//! use dlrv_monitor::{decentralized_session, MonitorOptions};
+//! use dlrv_vclock::{Event, EventKind, VectorClock};
+//! use std::sync::Arc;
+//!
+//! let mut reg = AtomRegistry::new();
+//! let a = reg.intern("P0.p", 0);
+//! let b = reg.intern("P1.p", 1);
+//! let phi = Formula::eventually(Formula::and(Formula::Atom(a), Formula::Atom(b)));
+//! let automaton = Arc::new(MonitorAutomaton::synthesize(&phi, &reg));
+//! let registry = Arc::new(reg);
+//!
+//! let mut session =
+//!     decentralized_session(2, &automaton, &registry, Assignment::ALL_FALSE,
+//!                           MonitorOptions::default());
+//! let event = |process, vc: Vec<u64>, state, time| Event {
+//!     process, kind: EventKind::Internal, sn: 1,
+//!     vc: VectorClock::from_entries(vc), state, time,
+//! };
+//! // P0 raises its p, then P1 raises its own — concurrently ([1,0] vs [0,1]).
+//! session.feed_event(&event(0, vec![1, 0], Assignment::from_true_atoms([a]), 1.0));
+//! session.feed_event(&event(1, vec![0, 1], Assignment::from_true_atoms([b]), 2.0));
+//! assert_eq!(session.finish(), Verdict::True);
+//! assert!(session.monitor_messages() > 0, "the witness needed token traffic");
+//! ```
 
 pub mod centralized;
 pub mod decentralized;

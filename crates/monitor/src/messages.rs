@@ -1,4 +1,5 @@
-//! Monitor-to-monitor messages: tokens and termination notifications (§4.2).
+//! Monitor-to-monitor messages: tokens and termination notifications (§4.2), plus the
+//! §4.3.1 aggregation machinery.
 //!
 //! A *token* is created by a global view when it needs information from other
 //! processes to decide whether some outgoing monitor-automaton transitions are enabled.
@@ -6,9 +7,20 @@
 //! cut and global state constructed so far, the per-process conjunct evaluations and
 //! the routing target.  Tokens are routed between monitors until every carried
 //! transition is decided (enabled / disabled), then return to their parent.
+//!
+//! Two §4.3 supports live here:
+//!
+//! * [`MonitorMsg::Batch`] — token aggregation (§4.3.1): every token a monitor wants
+//!   to send to the same destination during one activation (one local event, one
+//!   received message, one termination) travels as a *single* monitoring message.
+//! * [`WaitingTokens`] — per-cut indexing of parked tokens: a token waiting for a
+//!   future local event is filed under the exact sequence number (cut entry) it
+//!   needs, so arrival of event `sn` wakes precisely the tokens keyed `sn` instead of
+//!   rescanning every parked token.
 
 use dlrv_ltl::{Assignment, ProcessId};
-use dlrv_vclock::VectorClock;
+use dlrv_vclock::{SharedClock, VectorClock};
+use std::collections::BTreeMap;
 
 /// Evaluation status of one process's conjunct of a transition guard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,8 +101,9 @@ pub struct Token {
     pub origin_state: usize,
     /// Identifier of the owning global view at the parent.
     pub parent_gv: u64,
-    /// Vector clock of the parent event that triggered the token.
-    pub parent_event_vc: VectorClock,
+    /// Vector clock of the parent event that triggered the token (interned: the
+    /// per-transition fan-out of one event shares a single clock allocation).
+    pub parent_event_vc: SharedClock,
     /// Candidate transitions still being evaluated.
     pub transitions: Vec<TokenTransition>,
     /// The process the token should visit next.
@@ -104,6 +117,10 @@ pub struct Token {
 pub enum MonitorMsg {
     /// A routed token.
     Token(Token),
+    /// §4.3.1 — several tokens bound for the same destination, aggregated into one
+    /// monitoring message (the receiver processes them in order).  Invariant: emitted
+    /// only with ≥ 2 tokens; a singleton travels as [`MonitorMsg::Token`].
+    Batch(Vec<Token>),
     /// Notification that `process`'s program terminated after `last_sn` local events.
     Terminated {
         /// The terminated process.
@@ -111,6 +128,71 @@ pub enum MonitorMsg {
         /// Sequence number of its last event.
         last_sn: u64,
     },
+}
+
+impl MonitorMsg {
+    /// Number of tokens this message carries (0 for non-token messages).
+    pub fn token_count(&self) -> usize {
+        match self {
+            MonitorMsg::Token(_) => 1,
+            MonitorMsg::Batch(tokens) => tokens.len(),
+            MonitorMsg::Terminated { .. } => 0,
+        }
+    }
+}
+
+/// Tokens parked at a monitor until a future local event arrives, indexed by the cut
+/// entry (local sequence number) each token is waiting for.
+///
+/// The unoptimized bookkeeping kept parked tokens in a flat `Vec` and rescanned all
+/// of them on every local event; this index makes the wake-up a single map lookup.
+/// Tokens keyed `0` wait for an event that can never occur (sequence numbers are
+/// 1-based); they stay parked until [`drain_all`](WaitingTokens::drain_all) at
+/// termination, exactly like the flat-scan behavior they replace.
+#[derive(Debug, Clone, Default)]
+pub struct WaitingTokens {
+    by_sn: BTreeMap<u64, Vec<Token>>,
+    len: usize,
+}
+
+impl WaitingTokens {
+    /// An empty index.
+    pub fn new() -> Self {
+        WaitingTokens::default()
+    }
+
+    /// Parks `token` under the local sequence number it is waiting for
+    /// (`token.next_target_event`).
+    pub fn park(&mut self, token: Token) {
+        self.by_sn.entry(token.next_target_event).or_default().push(token);
+        self.len += 1;
+    }
+
+    /// Removes and returns every token waiting for exactly event `sn`, in parking
+    /// order.
+    pub fn take(&mut self, sn: u64) -> Vec<Token> {
+        let tokens = self.by_sn.remove(&sn).unwrap_or_default();
+        self.len -= tokens.len();
+        tokens
+    }
+
+    /// Removes and returns all parked tokens (ordered by awaited sequence number,
+    /// then parking order) — used at local termination, when no further event will
+    /// ever satisfy them.
+    pub fn drain_all(&mut self) -> Vec<Token> {
+        self.len = 0;
+        std::mem::take(&mut self.by_sn).into_values().flatten().collect()
+    }
+
+    /// Number of parked tokens.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no tokens are parked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +236,43 @@ mod tests {
         );
         assert!(done.all_conjuncts_true());
         assert_eq!(done.first_unset_process(), None);
+    }
+
+    fn parked(next_target_event: u64) -> Token {
+        Token {
+            parent: 0,
+            origin_state: 0,
+            parent_gv: 0,
+            parent_event_vc: std::sync::Arc::new(VectorClock::zero(2)),
+            transitions: Vec::new(),
+            next_target_process: 1,
+            next_target_event,
+        }
+    }
+
+    #[test]
+    fn waiting_tokens_wake_by_exact_sequence_number() {
+        let mut waiting = WaitingTokens::new();
+        waiting.park(parked(3));
+        waiting.park(parked(5));
+        waiting.park(parked(3));
+        assert_eq!(waiting.len(), 3);
+        assert!(waiting.take(4).is_empty());
+        let woken = waiting.take(3);
+        assert_eq!(woken.len(), 2);
+        assert!(woken.iter().all(|t| t.next_target_event == 3));
+        assert_eq!(waiting.len(), 1);
+        assert_eq!(waiting.drain_all().len(), 1);
+        assert!(waiting.is_empty());
+    }
+
+    #[test]
+    fn batch_messages_report_their_token_count() {
+        assert_eq!(MonitorMsg::Token(parked(1)).token_count(), 1);
+        assert_eq!(MonitorMsg::Batch(vec![parked(1), parked(2)]).token_count(), 2);
+        assert_eq!(
+            MonitorMsg::Terminated { process: 0, last_sn: 4 }.token_count(),
+            0
+        );
     }
 }

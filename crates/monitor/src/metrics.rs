@@ -41,14 +41,20 @@ fn verdicts_from_json(v: &Json) -> Result<BTreeSet<Verdict>, JsonError> {
 /// Metrics collected by a single monitor process.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MonitorMetrics {
-    /// Number of tokens (monitoring messages) this monitor sent.
+    /// Number of tokens this monitor sent.  With token aggregation (§4.3.1) several
+    /// tokens can share one monitoring *message*, so this counts payloads, not sends.
     pub tokens_sent: usize,
-    /// Number of tokens this monitor received.
+    /// Number of tokens this monitor received (batch members counted individually).
     pub tokens_received: usize,
+    /// Number of aggregated `MonitorMsg::Batch` messages this monitor sent (each
+    /// carried ≥ 2 tokens; singleton sends travel as plain token messages).
+    pub token_batches_sent: usize,
     /// Total number of global views ever created (including the initial one).
     pub global_views_created: usize,
     /// Number of global views alive at the end of monitoring.
     pub global_views_final: usize,
+    /// Largest number of global views alive at the same time (the §4.3 memory peak).
+    pub max_live_views: usize,
     /// Number of local program events observed.
     pub events_observed: usize,
     /// Sum of pending-queue lengths sampled at every local event (delay numerator).
@@ -179,6 +185,14 @@ pub struct RunMetrics {
     pub events_per_sec: f64,
     /// Per-shard measurements of a streaming run (empty for offline runs).
     pub per_shard: Vec<ShardMetrics>,
+    /// Total tokens carried by monitoring messages (§4.3 overhead accounting).  With
+    /// token aggregation on, `monitor_messages < monitor_tokens`; with it off the two
+    /// coincide for token traffic.  `0` for runs that predate the field.
+    pub monitor_tokens: usize,
+    /// Sum over monitors of the largest number of global views each held alive at
+    /// once — the run's peak lattice-exploration memory (§4.3 overhead accounting).
+    /// `0` for runs that predate the field.
+    pub peak_global_views: usize,
 }
 
 impl RunMetrics {
@@ -209,6 +223,8 @@ impl RunMetrics {
                 "per_shard",
                 Json::Array(self.per_shard.iter().map(ShardMetrics::to_json).collect()),
             ),
+            ("monitor_tokens", Json::from(self.monitor_tokens)),
+            ("peak_global_views", Json::from(self.peak_global_views)),
         ])
     }
 
@@ -238,6 +254,12 @@ impl RunMetrics {
                     .map(ShardMetrics::from_json)
                     .collect::<Result<_, _>>()?,
             },
+            // The §4.3 overhead fields postdate the streaming fields; records written
+            // before them default to zero (meaning "not measured").
+            monitor_tokens: v.get_opt("monitor_tokens")?.map_or(Ok(0), Json::as_usize)?,
+            peak_global_views: v
+                .get_opt("peak_global_views")?
+                .map_or(Ok(0), Json::as_usize)?,
         })
     }
 
@@ -281,6 +303,8 @@ impl RunMetrics {
             monitor_extra_time,
             detected_final_verdicts: detected,
             possible_verdicts: possible,
+            monitor_tokens: per_monitor.iter().map(|m| m.tokens_sent).sum(),
+            peak_global_views: per_monitor.iter().map(|m| m.max_live_views).sum(),
             ..RunMetrics::default()
         }
     }
@@ -309,6 +333,8 @@ mod tests {
                 global_views_created: 3,
                 queued_events_sum: 4,
                 queued_events_samples: 2,
+                tokens_sent: 7,
+                max_live_views: 3,
                 detected_final_verdicts: BTreeSet::from([Verdict::False]),
                 ..Default::default()
             },
@@ -316,6 +342,8 @@ mod tests {
                 global_views_created: 2,
                 queued_events_sum: 0,
                 queued_events_samples: 2,
+                tokens_sent: 5,
+                max_live_views: 2,
                 possible_verdicts: BTreeSet::from([Verdict::Unknown]),
                 ..Default::default()
             },
@@ -323,6 +351,8 @@ mod tests {
         let run = RunMetrics::aggregate(&per, 40, 10, 25, 60.0, 66.0);
         assert_eq!(run.total_global_views, 5);
         assert_eq!(run.monitor_messages, 25);
+        assert_eq!(run.monitor_tokens, 12);
+        assert_eq!(run.peak_global_views, 5);
         assert_eq!(run.avg_delayed_events, 1.0);
         // extra = 6s over 60s = 10%, divided by 5 global views = 2.0
         assert!((run.delay_time_pct_per_gv - 2.0).abs() < 1e-9);
@@ -344,6 +374,8 @@ mod tests {
             monitor_extra_time: 2.5e-3,
             detected_final_verdicts: BTreeSet::from([Verdict::True]),
             possible_verdicts: BTreeSet::from([Verdict::True, Verdict::Unknown]),
+            monitor_tokens: 512,
+            peak_global_views: 33,
             ..RunMetrics::default()
         };
         let text = m.to_json().to_string_pretty();
@@ -396,16 +428,27 @@ mod tests {
             ..RunMetrics::default()
         };
         m.wall_clock_secs = 9.0; // will be stripped below
+        m.monitor_tokens = 44; // likewise
+        m.peak_global_views = 9;
         let Json::Object(mut fields) = m.to_json() else {
             panic!("metrics must serialize to an object")
         };
         fields.retain(|(k, _)| {
-            !matches!(k.as_str(), "wall_clock_secs" | "events_per_sec" | "per_shard")
+            !matches!(
+                k.as_str(),
+                "wall_clock_secs"
+                    | "events_per_sec"
+                    | "per_shard"
+                    | "monitor_tokens"
+                    | "peak_global_views"
+            )
         });
         let back = RunMetrics::from_json(&Json::Object(fields)).unwrap();
         assert_eq!(back.wall_clock_secs, 0.0);
         assert_eq!(back.events_per_sec, 0.0);
         assert!(back.per_shard.is_empty());
+        assert_eq!(back.monitor_tokens, 0, "overhead fields default to unmeasured");
+        assert_eq!(back.peak_global_views, 0);
         assert_eq!(back.total_events, 12);
     }
 

@@ -20,6 +20,37 @@
 //! decentralized token-algorithm monitors, so a streamed session produces exactly
 //! the verdicts of the offline replay of the same events — the repository's
 //! `stream_equivalence` integration test pins this for every paper property.
+//!
+//! # Example
+//!
+//! The wire format survives arbitrary chunking: frames encoded with
+//! [`encode_stream`] decode record-for-record through a [`FrameDecoder`] even when
+//! the bytes arrive one at a time:
+//!
+//! ```
+//! use dlrv_stream::{encode_stream, FrameDecoder, StreamRecord};
+//!
+//! let records = vec![
+//!     StreamRecord::Open {
+//!         session: 7,
+//!         property: "B".to_string(),
+//!         n_processes: 2,
+//!         initial_state: 0,
+//!     },
+//!     StreamRecord::Close { session: 7 },
+//! ];
+//! let bytes = encode_stream(&records);
+//!
+//! let mut decoder = FrameDecoder::new();
+//! let mut decoded = Vec::new();
+//! for chunk in bytes.chunks(1) {
+//!     decoder.push(chunk);
+//!     while let Some(record) = decoder.next_record().unwrap() {
+//!         decoded.push(record);
+//!     }
+//! }
+//! assert_eq!(decoded, records);
+//! ```
 
 pub mod codec;
 pub mod runtime;

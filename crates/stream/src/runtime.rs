@@ -93,10 +93,15 @@ pub struct SessionOutcome {
     pub possible_verdicts: BTreeSet<Verdict>,
     /// Monitor-to-monitor (token) messages exchanged inside the session.
     pub monitor_messages: usize,
+    /// Tokens carried by those messages (≥ `monitor_messages`' token share when
+    /// aggregation batches several tokens into one message).
+    pub monitor_tokens: usize,
     /// Program events the session's monitors observed.
     pub events: usize,
     /// Global views created across the session's monitors.
     pub global_views: usize,
+    /// Sum over the session's monitors of their peak concurrently-live view counts.
+    pub peak_global_views: usize,
     /// True when the session was finished by shutdown drain rather than an explicit
     /// [`StreamRecord::Close`].
     pub drained: bool,
@@ -458,18 +463,24 @@ fn shard_worker(shard: usize, rx: Receiver<ShardMsg>, batch_size: usize) -> Shar
 fn outcome_of(session: DecentralizedSession, drained: bool) -> SessionOutcome {
     let mut events = 0usize;
     let mut global_views = 0usize;
+    let mut monitor_tokens = 0usize;
+    let mut peak_global_views = 0usize;
     for m in session.monitors() {
         let mm = m.metrics();
         events += mm.events_observed;
         global_views += mm.global_views_created;
+        monitor_tokens += mm.tokens_sent;
+        peak_global_views += mm.max_live_views;
     }
     SessionOutcome {
         verdict: session.verdict(),
         detected_verdicts: session.detected_verdicts(),
         possible_verdicts: session.possible_verdicts(),
         monitor_messages: session.monitor_messages(),
+        monitor_tokens,
         events,
         global_views,
+        peak_global_views,
         drained,
     }
 }

@@ -1,0 +1,118 @@
+//! Hash-consing of vector clocks (§4.3 support).
+//!
+//! The decentralized monitors copy vector clocks constantly: every token carries the
+//! clock of the event that spawned it, and tokens themselves are cloned whenever they
+//! fan out per candidate transition or per destination.  Most of those copies are
+//! *equal* — a single program event fans out into many tokens that all reference the
+//! same clock.  A [`ClockIntern`] pool deduplicates equal clocks behind a
+//! [`SharedClock`] (`Arc<VectorClock>`), so the fan-out shares one allocation instead
+//! of cloning the entry vector each time.
+//!
+//! Interned clocks are immutable; code that needs to *mutate* a clock (cut
+//! construction inside tokens) keeps using plain [`VectorClock`] values.
+//!
+//! ```
+//! use dlrv_vclock::{ClockIntern, VectorClock};
+//!
+//! let mut pool = ClockIntern::new();
+//! let a = pool.intern(&VectorClock::from_entries(vec![1, 0, 2]));
+//! let b = pool.intern(&VectorClock::from_entries(vec![1, 0, 2]));
+//! // Equal clocks share one allocation …
+//! assert!(std::sync::Arc::ptr_eq(&a, &b));
+//! assert_eq!(pool.len(), 1);
+//! // … distinct clocks do not.
+//! let c = pool.intern(&VectorClock::from_entries(vec![3, 0, 2]));
+//! assert!(!std::sync::Arc::ptr_eq(&a, &c));
+//! assert_eq!(pool.hits(), 1);
+//! ```
+
+use crate::vc::VectorClock;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// An immutable, shareable vector clock (one allocation, many holders).
+pub type SharedClock = Arc<VectorClock>;
+
+/// A hash-consing pool of vector clocks.
+///
+/// [`intern`](ClockIntern::intern) returns the pool's canonical [`SharedClock`] for a
+/// clock value, cloning the clock only the first time a value is seen (the canonical
+/// `Arc` doubles as the pool key via `Borrow<VectorClock>`, so a hit costs one hash
+/// probe and one refcount bump).  The pool is an ordinary owned value — each monitor
+/// keeps its own, so no cross-thread synchronization is involved (the `Arc` only
+/// shares the *payload*).
+#[derive(Debug, Clone, Default)]
+pub struct ClockIntern {
+    pool: HashSet<SharedClock>,
+    hits: usize,
+}
+
+impl ClockIntern {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ClockIntern::default()
+    }
+
+    /// Returns the canonical shared clock equal to `vc`, cloning it on first use.
+    pub fn intern(&mut self, vc: &VectorClock) -> SharedClock {
+        if let Some(shared) = self.pool.get(vc) {
+            self.hits += 1;
+            return shared.clone();
+        }
+        let shared: SharedClock = Arc::new(vc.clone());
+        self.pool.insert(shared.clone());
+        shared
+    }
+
+    /// Number of distinct clocks interned so far.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// Number of intern calls served from the pool (clone-traffic saved).
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Drops every pooled clock (outstanding `SharedClock`s stay valid — only the
+    /// canonical table is cleared).  Long-running monitors call this between
+    /// sessions so the pool does not grow unboundedly.
+    pub fn clear(&mut self) {
+        self.pool.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates_equal_clocks() {
+        let mut pool = ClockIntern::new();
+        let a = pool.intern(&VectorClock::from_entries(vec![1, 2]));
+        let b = pool.intern(&VectorClock::from_entries(vec![1, 2]));
+        let c = pool.intern(&VectorClock::from_entries(vec![2, 1]));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_outstanding_clocks_valid() {
+        let mut pool = ClockIntern::new();
+        let a = pool.intern(&VectorClock::zero(3));
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(a.entries(), &[0, 0, 0]);
+        // Re-interning after clear allocates a fresh canonical copy.
+        let b = pool.intern(&VectorClock::zero(3));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, *b);
+    }
+}

@@ -15,14 +15,37 @@
 //!   conceptual baseline the decentralized algorithm is compared against.
 //! * [`mod@slice`] — conjunctive-predicate detection via least consistent cuts
 //!   (computation slicing, Definitions 13–15).
+//! * [`mod@intern`] — hash-consing of vector clocks ([`ClockIntern`] /
+//!   [`SharedClock`]), used by the monitors to share one allocation across the many
+//!   equal clocks a token fan-out produces (§4.3 support).
+//!
+//! # Example
+//!
+//! Vector clocks implement the happened-before partial order: comparing the clocks of
+//! two events tells whether one causally precedes the other or they are concurrent.
+//!
+//! ```
+//! use dlrv_vclock::VectorClock;
+//!
+//! // P0 produced two events; P1 produced one event after hearing about P0's first.
+//! let send = VectorClock::from_entries(vec![1, 0]);
+//! let recv = VectorClock::from_entries(vec![1, 1]);
+//! let other = VectorClock::from_entries(vec![2, 0]);
+//!
+//! assert!(send.happened_before(&recv));
+//! assert!(recv.concurrent(&other));
+//! assert_eq!(send.join(&other).entries(), &[2, 0]);
+//! ```
 
 pub mod event;
 pub mod fixtures;
+pub mod intern;
 pub mod lattice;
 pub mod slice;
 pub mod vc;
 
 pub use event::{Computation, Event, EventKind};
+pub use intern::{ClockIntern, SharedClock};
 pub use lattice::{evaluate_path, oracle_evaluate, CutId, Lattice, OracleResult};
 pub use slice::{is_join_irreducible, least_consistent_cut_satisfying, slice_frontiers};
 pub use vc::VectorClock;

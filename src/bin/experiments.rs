@@ -59,14 +59,14 @@ use std::process::exit;
 const EVENTS: usize = 20;
 
 /// Everything a target argument may select.
-const KNOWN_TARGETS: [&str; 11] = [
+const KNOWN_TARGETS: [&str; 12] = [
     "all", "table5_1", "automata_dot", "fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8",
-    "fig5_9", "sweep", "throughput",
+    "fig5_9", "sweep", "throughput", "overhead",
 ];
 
-/// The targets backed by the scenario registry (the ones `--scenario` can filter and
-/// `--format json` can serialize).
-const REGISTRY_TARGETS: [&str; 2] = ["sweep", "throughput"];
+/// The targets backed by the scenario registry (the ones `--scenario` can filter,
+/// `--no-opt` can override and `--format json` can serialize).
+const REGISTRY_TARGETS: [&str; 3] = ["sweep", "throughput", "overhead"];
 
 /// Output format of metric-producing targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,13 +85,16 @@ struct Cli {
     scenarios: Vec<String>,
     /// Results document to re-parse and check (`--validate-results PATH`).
     validate: Option<PathBuf>,
+    /// `--no-opt`: run every selected registry scenario with the §4.3 optimization
+    /// suite switched off (the escape hatch for A/B-ing a whole target).
+    no_opt: bool,
 }
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: experiments [TARGET...] [--target NAME] [--jobs N] \
-         [--format text|json] [--out PATH] [--scenario NAME[,NAME...]] \
+         [--format text|json] [--out PATH] [--scenario NAME[,NAME...]] [--no-opt] \
          [--list-scenarios] [--validate-results PATH]"
     );
     exit(2);
@@ -108,6 +111,7 @@ fn parse_cli(args: Vec<String>) -> Cli {
         list_scenarios: false,
         scenarios: Vec::new(),
         validate: None,
+        no_opt: false,
     };
     let mut iter = args.into_iter();
     // `--flag value` and `--flag=value` are both accepted.
@@ -164,6 +168,12 @@ fn parse_cli(args: Vec<String>) -> Cli {
                 let value = flag_value(&mut iter, "--validate-results", inline.as_deref());
                 cli.validate = Some(PathBuf::from(value));
             }
+            "--no-opt" => {
+                if inline.is_some() {
+                    usage_error("--no-opt takes no value");
+                }
+                cli.no_opt = true;
+            }
             "--list-scenarios" => {
                 if inline.is_some() {
                     usage_error("--list-scenarios takes no value");
@@ -191,12 +201,21 @@ fn parse_cli(args: Vec<String>) -> Cli {
             || cli.list_scenarios
             || cli.format != Format::Text
             || cli.out.is_some()
+            || cli.no_opt
             || !cli.scenarios.is_empty())
     {
         usage_error("--validate-results is a standalone action; drop the other flags");
     }
     if cli.out.is_some() && cli.format != Format::Json {
         usage_error("--out requires --format json (text output goes to stdout)");
+    }
+    if cli.no_opt
+        && !cli
+            .targets
+            .iter()
+            .any(|t| REGISTRY_TARGETS.contains(&t.as_str()))
+    {
+        usage_error("--no-opt only applies to registry targets (sweep, throughput, overhead)");
     }
     if !cli.scenarios.is_empty() {
         let registry_targets: Vec<&String> = cli
@@ -218,6 +237,7 @@ fn parse_cli(args: Vec<String>) -> Cli {
             };
             let wanted_target = match scenario.family {
                 ScenarioFamily::Throughput => "throughput",
+                ScenarioFamily::Overhead => "overhead",
                 _ => "sweep",
             };
             if !cli.targets.iter().any(|t| t == wanted_target) {
@@ -324,11 +344,20 @@ fn main() {
     if wants("fig5_9") {
         comm_frequency_figure();
     }
-    if wants("sweep") {
-        registry_target(false, &cli);
+    for target in REGISTRY_TARGETS {
+        if wants(target) {
+            registry_target(target, &cli);
+        }
     }
-    if wants("throughput") {
-        registry_target(true, &cli);
+}
+
+/// The registry families one registry target runs: `throughput` and `overhead` own
+/// their families; `sweep` runs everything else.
+fn target_selects(target: &str, family: ScenarioFamily) -> bool {
+    match target {
+        "throughput" => family == ScenarioFamily::Throughput,
+        "overhead" => family == ScenarioFamily::Overhead,
+        _ => !matches!(family, ScenarioFamily::Throughput | ScenarioFamily::Overhead),
     }
 }
 
@@ -400,9 +429,9 @@ fn list_scenarios() {
     }
 }
 
-/// Runs one registry target — the offline sweep (`throughput = false`) or the
-/// streaming family (`throughput = true`) — honoring the `--scenario` filter, and
-/// reports it in the requested format.
+/// Runs one registry target — the offline `sweep`, the streaming `throughput`
+/// family or the §4.3 `overhead` A/B family — honoring the `--scenario` filter and
+/// the `--no-opt` override, and reports it in the requested format.
 ///
 /// Offline scenarios are independent, so they fan out across worker threads exactly
 /// like the figure sweep.  Throughput scenarios are *themselves* multi-threaded
@@ -410,22 +439,32 @@ fn list_scenarios() {
 /// runs would corrupt each other's wall-clock and events/sec measurements.
 /// Collection order is registry order either way, making both the text table and
 /// the JSON document deterministic.
-fn registry_target(throughput: bool, cli: &Cli) {
+fn registry_target(target: &str, cli: &Cli) {
+    let throughput = target == "throughput";
     let registry = ScenarioRegistry::standard();
-    let scenarios: Vec<&Scenario> = registry
+    let scenarios: Vec<Scenario> = registry
         .iter()
-        .filter(|s| (s.family == ScenarioFamily::Throughput) == throughput)
+        .filter(|s| target_selects(target, s.family))
         .filter(|s| cli.scenarios.is_empty() || cli.scenarios.contains(&s.name))
+        .map(|s| {
+            let mut s = s.clone();
+            if cli.no_opt {
+                // The escape hatch: the §4.3 suite off for every selected scenario.
+                // The emitted record stays self-describing — its `options` object
+                // carries the overridden (all-false) switches.
+                s.options = dlrv_monitor::MonitorOptions::ALL_OFF;
+            }
+            s
+        })
         .collect();
     if scenarios.is_empty() {
-        // Only reachable via --scenario: every requested name filtered to the other
+        // Only reachable via --scenario: every requested name filtered to another
         // registry target (parse_cli already rejected unknown names).
-        let target = if throughput { "throughput" } else { "sweep" };
         eprintln!("error: --scenario selected nothing for target `{target}`");
         exit(2);
     }
     let results: Vec<(Scenario, ExperimentResult)> = if throughput {
-        scenarios.iter().map(|s| ((*s).clone(), s.run())).collect()
+        scenarios.iter().map(|s| (s.clone(), s.run())).collect()
     } else {
         parallel_map_indexed(scenarios.len(), dlrv_core::effective_jobs(), |i| {
             (scenarios[i].clone(), scenarios[i].run())
@@ -451,8 +490,91 @@ fn registry_target(throughput: bool, cli: &Cli) {
             }
         }
         Format::Text if throughput => throughput_table(&results),
+        Format::Text if target == "overhead" => overhead_table(&results),
         Format::Text => sweep_table(&results),
     }
+}
+
+/// The §4.3 A/B table: one row per overhead pair, optimizations on vs. off, with
+/// the reduction each optimization suite achieves on the paper's three overhead
+/// quantities (monitoring messages, queued events, peak global-view memory).
+///
+/// Unpaired scenarios (a `--scenario` filter naming only one member) are printed as
+/// single rows so nothing is silently dropped.
+fn overhead_table(results: &[(Scenario, ExperimentResult)]) {
+    println!("== §4.3 optimization overhead A/B ({} scenarios) ==", results.len());
+    println!(
+        "{:<10} {:>6} {:>8} | {:>9} {:>9} {:>7} | {:>9} {:>9} | {:>9} {:>9} {:>7} | {:>10} {:>10}",
+        "property",
+        "procs",
+        "events",
+        "msgs:on",
+        "msgs:off",
+        "Δmsg%",
+        "tok:on",
+        "tok:off",
+        "peakGV:on",
+        "peakGV:off",
+        "ΔGV%",
+        "queued:on",
+        "queued:off"
+    );
+    let find = |name: &str| results.iter().find(|(s, _)| s.name == name);
+    let mut printed: Vec<&str> = Vec::new();
+    for (scenario, _) in results {
+        // Derive the pair root (`overhead-<P>`) and print each pair once.
+        let root = scenario
+            .name
+            .rsplit_once('-')
+            .map(|(root, _)| root)
+            .unwrap_or(scenario.name.as_str());
+        if printed.contains(&root) {
+            continue;
+        }
+        printed.push(root);
+        let on = find(&format!("{root}-opts"));
+        let off = find(&format!("{root}-noopt"));
+        let reduction = |on: usize, off: usize| -> String {
+            if off == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", (off as f64 - on as f64) / off as f64 * 100.0)
+            }
+        };
+        match (on, off) {
+            (Some((s_on, r_on)), Some((_, r_off))) => {
+                println!(
+                    "{:<10} {:>6} {:>8} | {:>9} {:>9} {:>7} | {:>9} {:>9} | {:>9} {:>9} {:>7} | {:>10.2} {:>10.2}",
+                    s_on.config.property.name(),
+                    s_on.config.n_processes,
+                    r_on.avg.total_events,
+                    r_on.avg.monitor_messages,
+                    r_off.avg.monitor_messages,
+                    reduction(r_on.avg.monitor_messages, r_off.avg.monitor_messages),
+                    r_on.avg.monitor_tokens,
+                    r_off.avg.monitor_tokens,
+                    r_on.avg.peak_global_views,
+                    r_off.avg.peak_global_views,
+                    reduction(r_on.avg.peak_global_views, r_off.avg.peak_global_views),
+                    r_on.avg.avg_delayed_events,
+                    r_off.avg.avg_delayed_events,
+                );
+            }
+            _ => {
+                let (s, r) = on.or(off).expect("root derived from a present scenario");
+                println!(
+                    "{:<10} {:>6} {:>8} | (unpaired `{}`: msgs={}, peakGV={})",
+                    s.config.property.name(),
+                    s.config.n_processes,
+                    r.avg.total_events,
+                    s.name,
+                    r.avg.monitor_messages,
+                    r.avg.peak_global_views,
+                );
+            }
+        }
+    }
+    println!();
 }
 
 fn sweep_table(results: &[(Scenario, ExperimentResult)]) {

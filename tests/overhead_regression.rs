@@ -1,0 +1,130 @@
+//! Regression pins for the §4.3 optimization suite (`--target overhead`).
+//!
+//! The paper's scalability claim is that token aggregation, global-view
+//! deduplication/merging and disjunctive-candidate pruning *bound* the message and
+//! memory overhead of decentralized monitoring.  These tests pin the claim as
+//! inequalities on the registry's overhead A/B pairs, so a future change that
+//! silently disables an optimization (or regresses its effect) fails loudly:
+//!
+//! * token aggregation alone strictly reduces monitoring messages on property C at
+//!   4 processes — the paper's message-overhead worst case;
+//! * the full suite never loses to the unoptimized baseline on messages, tokens or
+//!   peak global-view memory, for any property A–F;
+//! * every flag combination reports the same verdicts (the switches trade cost, not
+//!   soundness).
+
+use dlrv::dlrv_monitor::MonitorOptions;
+use dlrv::{
+    run_experiment_with_options, ExperimentConfig, PaperProperty, ScenarioFamily,
+    ScenarioRegistry,
+};
+
+/// The shared A/B workload of the registry's overhead pair for `property`, scaled to
+/// test budget (fewer events, one seed; the trend is robust across sizes).
+fn overhead_config(property: PaperProperty) -> ExperimentConfig {
+    let scenario = ScenarioRegistry::standard()
+        .get(&format!("overhead-{}-opts", property.name()))
+        .expect("overhead pair registered")
+        .clone();
+    ExperimentConfig {
+        events_per_process: 8,
+        seeds: vec![1],
+        ..scenario.config
+    }
+}
+
+#[test]
+fn token_aggregation_strictly_reduces_messages_on_property_c_at_4_processes() {
+    let config = overhead_config(PaperProperty::C);
+    let aggregation_only = MonitorOptions {
+        aggregate_tokens: true,
+        ..MonitorOptions::ALL_OFF
+    };
+    let aggregated = run_experiment_with_options(&config, aggregation_only);
+    let baseline = run_experiment_with_options(&config, MonitorOptions::ALL_OFF);
+    assert!(
+        aggregated.avg.monitor_messages < baseline.avg.monitor_messages,
+        "aggregation must strictly reduce messages on C/n4: {} vs {}",
+        aggregated.avg.monitor_messages,
+        baseline.avg.monitor_messages
+    );
+    // Aggregation repackages the same exploration into fewer envelopes; it must not
+    // change what is detected.
+    assert_eq!(aggregated.detected_verdicts, baseline.detected_verdicts);
+}
+
+#[test]
+fn full_suite_never_loses_to_the_baseline_on_any_property() {
+    for property in PaperProperty::ALL {
+        let config = overhead_config(property);
+        let on = run_experiment_with_options(&config, MonitorOptions::default());
+        let off = run_experiment_with_options(&config, MonitorOptions::ALL_OFF);
+        assert!(
+            on.avg.monitor_messages <= off.avg.monitor_messages,
+            "{property}: messages {} (on) vs {} (off)",
+            on.avg.monitor_messages,
+            off.avg.monitor_messages
+        );
+        assert!(
+            on.avg.monitor_tokens <= off.avg.monitor_tokens,
+            "{property}: tokens {} (on) vs {} (off)",
+            on.avg.monitor_tokens,
+            off.avg.monitor_tokens
+        );
+        assert!(
+            on.avg.peak_global_views <= off.avg.peak_global_views,
+            "{property}: peak views {} (on) vs {} (off)",
+            on.avg.peak_global_views,
+            off.avg.peak_global_views
+        );
+        assert_eq!(
+            on.detected_verdicts, off.detected_verdicts,
+            "{property}: optimizations must not change verdicts"
+        );
+    }
+}
+
+#[test]
+fn every_flag_combination_reports_identical_verdicts() {
+    // All 8 settings of the three switches, on the paper's worst case: same detected
+    // verdicts and same possible-verdict union as the all-off baseline.
+    let config = overhead_config(PaperProperty::C);
+    let baseline = run_experiment_with_options(&config, MonitorOptions::ALL_OFF);
+    for opts in MonitorOptions::all_combinations() {
+        let result = run_experiment_with_options(&config, opts);
+        assert_eq!(
+            result.detected_verdicts, baseline.detected_verdicts,
+            "{opts:?}: detected verdicts diverged"
+        );
+        assert_eq!(
+            result.avg.possible_verdicts, baseline.avg.possible_verdicts,
+            "{opts:?}: possible verdicts diverged"
+        );
+    }
+}
+
+#[test]
+fn overhead_metrics_are_emitted_by_the_registry_pairs() {
+    // The registry members themselves (scaled down) fill the additive schema fields:
+    // a run always measures tokens and a non-zero view peak (the initial view).
+    let registry = ScenarioRegistry::standard();
+    let mut scenario = registry
+        .get("overhead-B-opts")
+        .expect("registered")
+        .clone();
+    scenario.config.events_per_process = 6;
+    scenario.config.seeds = vec![1];
+    let result = scenario.run();
+    assert_eq!(scenario.family, ScenarioFamily::Overhead);
+    assert!(result.avg.peak_global_views >= scenario.config.n_processes);
+    assert!(result.avg.monitor_tokens > 0, "B explores concurrent cuts via tokens");
+    // Every monitoring message either carries ≥ 1 token or is one of the
+    // n·(n−1) termination notifications.
+    let n = scenario.config.n_processes;
+    assert!(
+        result.avg.monitor_messages <= result.avg.monitor_tokens + n * (n - 1),
+        "messages ({}) must be bounded by tokens ({}) plus termination notices",
+        result.avg.monitor_messages,
+        result.avg.monitor_tokens
+    );
+}

@@ -22,9 +22,10 @@ fn small(name: &str) -> Scenario {
 
 #[test]
 fn sweep_json_round_trips_run_metrics_field_for_field() {
-    // One scenario per family, including an extended shape and a streamed throughput
-    // run, so every serialization path (property letters, comm_mu = None,
-    // arrival/topology tags, stream params, per-shard metrics) is exercised.
+    // One scenario per family, including an extended shape, a streamed throughput
+    // run and a §4.3 overhead pair member, so every serialization path (property
+    // letters, comm_mu = None, arrival/topology tags, stream params, per-shard
+    // metrics, all-off options, overhead counters) is exercised.
     let mut streamed = small("throughput-B-s200-sh4");
     streamed.stream = Some(dlrv::StreamParams::sized(8, 2));
     let scenarios = [
@@ -32,6 +33,7 @@ fn sweep_json_round_trips_run_metrics_field_for_field() {
         small("commfreq-nocomm"),
         small("bursty-C-n4"),
         small("hotspot-D-n4"),
+        small("overhead-C-noopt"),
         streamed,
     ];
     let runs: Vec<(Scenario, ExperimentResult)> =
@@ -115,6 +117,30 @@ fn assert_metrics_eq(parsed: &RunMetrics, original: &RunMetrics, scenario: &str)
         "{scenario}: events_per_sec"
     );
     assert_eq!(parsed.per_shard, original.per_shard, "{scenario}: per_shard");
+    // The §4.3 overhead additions: token traffic and peak view memory.
+    assert_eq!(
+        parsed.monitor_tokens, original.monitor_tokens,
+        "{scenario}: monitor_tokens"
+    );
+    assert_eq!(
+        parsed.peak_global_views, original.peak_global_views,
+        "{scenario}: peak_global_views"
+    );
+}
+
+#[test]
+fn overhead_fields_are_populated_and_survive_the_roundtrip() {
+    // The overhead counters are not merely serialized — an offline run measures
+    // them: the C/no-opt member explores concurrent cuts, so tokens flow and more
+    // than the initial views are live at the peak.
+    let scenario = small("overhead-C-noopt");
+    let result = scenario.run();
+    assert!(result.avg.monitor_tokens > 0, "C explores via tokens");
+    assert!(result.avg.peak_global_views >= scenario.config.n_processes);
+    let doc = sweep_to_json(&[(scenario, result.clone())]);
+    let record = &sweep_from_json(&doc).expect("schema")[0];
+    assert_eq!(record.avg.monitor_tokens, result.avg.monitor_tokens);
+    assert_eq!(record.avg.peak_global_views, result.avg.peak_global_views);
 }
 
 #[test]

@@ -171,35 +171,47 @@ fn no_false_alarm_when_property_cannot_be_decided() {
 
 #[test]
 fn optimizations_do_not_change_detected_verdicts() {
-    // Ablation consistency: switching the §4.3 optimizations off must not change the
-    // set of detected final verdicts (they only affect cost).
-    let (formula, registry) = PaperProperty::C.build(3);
-    let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
-    let registry = Arc::new(registry);
-    let workload = generate_workload(&WorkloadConfig {
-        n_processes: 3,
-        events_per_process: 6,
-        seed: 9,
-        ..WorkloadConfig::default()
-    });
-    let report = run_simulation(&workload, &registry, &SimConfig::default(), |_| {
-        NullMonitor::default()
-    });
-    let comp = report.computation;
+    // Ablation consistency: every combination of the three §4.3 switches must report
+    // exactly the verdicts of the all-off baseline (they only affect cost), and each
+    // must stay sound against the lattice oracle.
+    for property in [PaperProperty::B, PaperProperty::C, PaperProperty::D] {
+        let (formula, registry) = property.build(3);
+        let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
+        let registry = Arc::new(registry);
+        let workload = generate_workload(&WorkloadConfig {
+            n_processes: 3,
+            events_per_process: 6,
+            seed: 9,
+            ..WorkloadConfig::default()
+        });
+        let report = run_simulation(&workload, &registry, &SimConfig::default(), |_| {
+            NullMonitor::default()
+        });
+        let comp = report.computation;
+        let lattice = Lattice::build(&comp);
+        let oracle = oracle_evaluate(&comp, &lattice, &automaton, &registry);
 
-    let with_opts = replay_decentralized(&comp, &registry, &automaton, MonitorOptions::default());
-    let without_opts = replay_decentralized(
-        &comp,
-        &registry,
-        &automaton,
-        dlrv_core::dlrv_monitor::MonitorOptions {
-            aggregate_tokens: false,
-            dedup_global_views: false,
-            prune_disjunctive: false,
-        },
-    );
-    assert_eq!(
-        with_opts.detected_final_verdicts(),
-        without_opts.detected_final_verdicts()
-    );
+        let baseline =
+            replay_decentralized(&comp, &registry, &automaton, MonitorOptions::ALL_OFF);
+        for opts in MonitorOptions::all_combinations() {
+            let result = replay_decentralized(&comp, &registry, &automaton, opts);
+            assert_eq!(
+                result.detected_final_verdicts(),
+                baseline.detected_final_verdicts(),
+                "{property} with {opts:?}: detected verdicts diverged from baseline"
+            );
+            assert_eq!(
+                result.possible_verdicts(),
+                baseline.possible_verdicts(),
+                "{property} with {opts:?}: possible verdicts diverged from baseline"
+            );
+            let detected = result.detected_final_verdicts();
+            if detected.contains(&Verdict::False) {
+                assert!(oracle.violation_reachable, "{property} with {opts:?}: unsound ⊥");
+            }
+            if detected.contains(&Verdict::True) {
+                assert!(oracle.satisfaction_reachable, "{property} with {opts:?}: unsound ⊤");
+            }
+        }
+    }
 }

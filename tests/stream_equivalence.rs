@@ -31,6 +31,77 @@ struct Baseline {
 }
 
 #[test]
+fn streamed_verdicts_equal_offline_replay_for_every_flag_combination() {
+    // §4.3 ablation over the wire: for every setting of the optimization switches,
+    // streaming must still match the offline replay *run with the same switches* —
+    // verdict-for-verdict and token-for-token.  Property C at 3 processes is the
+    // paper's message-overhead worst case, so it exercises every optimization.
+    let property = PaperProperty::C;
+    let config = ExperimentConfig {
+        events_per_process: 6,
+        ..ExperimentConfig::paper_default(property, 3)
+    };
+    let (formula, registry) = property.build(config.n_processes);
+    let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
+    let registry = Arc::new(registry);
+
+    let workload = generate_workload(&config.workload_config(77));
+    let report = run_simulation(&workload, &registry, &SimConfig::default(), |_| {
+        NullMonitor::default()
+    });
+    let events: Vec<Event> = timestamp_order(&report.computation)
+        .into_iter()
+        .map(|(_, p, sn)| report.computation.events[p][(sn - 1) as usize].clone())
+        .collect();
+    let input = SessionStream {
+        session: 0,
+        property: property.name().to_string(),
+        n_processes: config.n_processes,
+        initial_state: initial_global_state(&workload, &registry).0,
+        events,
+    };
+    let bytes = encode_stream(&interleave_sessions(std::slice::from_ref(&input)));
+
+    for opts in MonitorOptions::all_combinations() {
+        let replay = replay_decentralized(&report.computation, &registry, &automaton, opts);
+
+        let runtime = ShardedRuntime::start(StreamConfig {
+            n_shards: 2,
+            mailbox_capacity: 8,
+            batch_size: 4,
+        });
+        let mut source = ReaderSource::new(&bytes[..]);
+        runtime
+            .pump(&mut source, &mut |open| {
+                Ok(Arc::new(SessionSpec {
+                    n_processes: open.n_processes,
+                    automaton: automaton.clone(),
+                    registry: registry.clone(),
+                    initial_state: open.initial_state,
+                    options: opts,
+                }))
+            })
+            .expect("freshly encoded stream must decode");
+        let outcome = &runtime.shutdown().sessions[&0];
+
+        assert_eq!(
+            outcome.detected_verdicts,
+            replay.detected_final_verdicts(),
+            "{opts:?}: detected verdicts diverge"
+        );
+        assert_eq!(
+            outcome.possible_verdicts,
+            replay.possible_verdicts(),
+            "{opts:?}: possible verdicts diverge"
+        );
+        assert_eq!(
+            outcome.monitor_messages, replay.monitor_messages,
+            "{opts:?}: message counts diverge"
+        );
+    }
+}
+
+#[test]
 fn streamed_verdicts_equal_offline_replay_for_every_property() {
     for property in PaperProperty::ALL {
         let config = ExperimentConfig {
