@@ -1,0 +1,130 @@
+//! Property-based pinning of the synthesis pipeline: for random small formulas, the
+//! synthesized LTL₃ Moore monitor's verdict on random finite prefixes must agree
+//! with the [`evaluate_lasso`] reference semantics.
+//!
+//! LTL₃ soundness is the contract the `PropertySpec` layer newly exposes to users
+//! (any `--property` formula goes through exactly this synthesis): a ⊤ verdict after
+//! a finite prefix means *every* infinite extension satisfies the formula, a ⊥
+//! verdict means every extension violates it.  Ultimately periodic extensions
+//! (lassos) are decidable via `evaluate_lasso`, so each test case checks the
+//! monitor's prefix verdict against a batch of random lasso extensions.
+//!
+//! Formulas are drawn by a seeded recursive generator (the vendored `proptest`
+//! drives seeds, keeping cases reproducible and shrinkable by seed).
+
+use dlrv_automaton::MonitorAutomaton;
+use dlrv_ltl::{evaluate_lasso, Assignment, AtomId, AtomRegistry, Formula, Verdict};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a random formula over `n_atoms` atoms with at most `budget` AST nodes.
+fn random_formula(rng: &mut StdRng, n_atoms: u32, budget: usize) -> Formula {
+    if budget <= 1 {
+        return match rng.gen_range(0u32..6) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::Atom(AtomId(rng.gen_range(0..n_atoms))),
+        };
+    }
+    let half = budget / 2;
+    match rng.gen_range(0u32..8) {
+        0 => Formula::Atom(AtomId(rng.gen_range(0..n_atoms))),
+        1 => Formula::not(random_formula(rng, n_atoms, budget - 1)),
+        2 => Formula::and(
+            random_formula(rng, n_atoms, half),
+            random_formula(rng, n_atoms, half),
+        ),
+        3 => Formula::or(
+            random_formula(rng, n_atoms, half),
+            random_formula(rng, n_atoms, half),
+        ),
+        4 => Formula::next(random_formula(rng, n_atoms, budget - 1)),
+        5 => Formula::until(
+            random_formula(rng, n_atoms, half),
+            random_formula(rng, n_atoms, half),
+        ),
+        6 => Formula::release(
+            random_formula(rng, n_atoms, half),
+            random_formula(rng, n_atoms, half),
+        ),
+        _ => Formula::eventually(random_formula(rng, n_atoms, budget - 1)),
+    }
+}
+
+/// A registry with one `P<i>.p`-style atom per process, as the monitors expect.
+fn registry(n_atoms: u32) -> AtomRegistry {
+    let mut reg = AtomRegistry::new();
+    for i in 0..n_atoms {
+        reg.intern(&format!("P{i}.p"), i as usize);
+    }
+    reg
+}
+
+fn random_word(rng: &mut StdRng, n_atoms: u32, len: usize) -> Vec<Assignment> {
+    (0..len)
+        .map(|_| Assignment(rng.gen_range(0u64..(1u64 << n_atoms))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Monitor verdicts on finite prefixes are sound with respect to the lasso
+    /// semantics: ⊤ implies every sampled lasso extension satisfies the formula,
+    /// ⊥ implies every sampled lasso extension violates it.
+    #[test]
+    fn monitor_prefix_verdicts_agree_with_lasso_semantics(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_atoms = rng.gen_range(1u32..=3);
+        let formula = random_formula(&mut rng, n_atoms, 7);
+        let reg = registry(n_atoms);
+        let monitor = MonitorAutomaton::synthesize(&formula, &reg);
+
+        for _ in 0..8 {
+            let prefix_len = rng.gen_range(0usize..=3);
+            let prefix = random_word(&mut rng, n_atoms, prefix_len);
+            let verdict = monitor.evaluate(&prefix);
+            for _ in 0..6 {
+                let cycle_len = rng.gen_range(1usize..=2);
+                let cycle = random_word(&mut rng, n_atoms, cycle_len);
+                let holds = evaluate_lasso(&formula, &prefix, &cycle);
+                match verdict {
+                    Verdict::True => prop_assert!(
+                        holds,
+                        "⊤ contradicted: {formula} on prefix {prefix:?} cycle {cycle:?}"
+                    ),
+                    Verdict::False => prop_assert!(
+                        !holds,
+                        "⊥ contradicted: {formula} on prefix {prefix:?} cycle {cycle:?}"
+                    ),
+                    Verdict::Unknown => {}
+                }
+            }
+        }
+    }
+
+    /// Verdicts are stable under extension: once a prefix reaches ⊤ or ⊥, every
+    /// longer prefix reaches the same verdict (final states are traps).
+    #[test]
+    fn final_verdicts_are_monotone_under_extension(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_atoms = rng.gen_range(1u32..=3);
+        let formula = random_formula(&mut rng, n_atoms, 7);
+        let monitor = MonitorAutomaton::synthesize(&formula, &registry(n_atoms));
+
+        let word_len = rng.gen_range(0usize..=3);
+        let mut word = random_word(&mut rng, n_atoms, word_len);
+        let verdict = monitor.evaluate(&word);
+        if verdict != Verdict::Unknown {
+            for _ in 0..4 {
+                word.push(Assignment(rng.gen_range(0u64..(1u64 << n_atoms))));
+                prop_assert!(
+                    monitor.evaluate(&word) == verdict,
+                    "final verdict changed on extension of {:?}",
+                    word
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Bench over the custom LTL property family: the scenarios `--target custom` runs,
+//! plus the property-compilation path itself (parse → synthesis) that `--property`
+//! exposes to users.
+//!
+//! The paper's six properties are covered by the `fig5_*` benches; this harness
+//! tracks the free-form `PropertySpec` pipeline so a regression in the parser, the
+//! registry-derived atom layout or the monitor synthesis of user-style formulas is
+//! caught by the same tooling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlrv_bench::registry_scenario;
+use dlrv_core::{CompiledProperty, PropertySpec};
+use std::time::Duration;
+
+const EVENTS: usize = 8;
+
+/// A representative slice of the custom family, scaled to the bench time budget.
+const SCENARIOS: [&str; 4] = [
+    "custom-reqack-n2",
+    "custom-mutex-n2",
+    "custom-nested-until-n3",
+    "custom-mixed-n4",
+];
+
+fn bench_custom_scenarios(c: &mut Criterion) {
+    println!("\nCustom property scenarios (regenerated, {EVENTS} events/process):");
+    for name in SCENARIOS {
+        let mut scenario = registry_scenario(name);
+        scenario.config.events_per_process = EVENTS;
+        scenario.config.seeds = vec![1];
+        let m = scenario.run().avg;
+        println!(
+            "  {name}: events={} monitor_messages={} global_views={} delayed={:.2}",
+            m.total_events, m.monitor_messages, m.total_global_views, m.avg_delayed_events
+        );
+    }
+
+    let mut group = c.benchmark_group("custom_scenarios");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for name in SCENARIOS {
+        let mut scenario = registry_scenario(name);
+        scenario.config.events_per_process = EVENTS;
+        scenario.config.seeds = vec![1];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scenario, |b, s| {
+            b.iter(|| s.run())
+        });
+    }
+    group.finish();
+}
+
+fn bench_property_compilation(c: &mut Criterion) {
+    // Parse + monitor synthesis for a user formula: the cold-start cost every
+    // `--property` invocation (and every new property in a long-running service)
+    // pays once before monitoring begins.
+    let mut group = c.benchmark_group("property_compile");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (label, ltl, procs) in [
+        ("reqack", "G(P0.req -> F P1.ack)", 2),
+        ("nested_until", "G(P0.p U (P1.p U P2.p))", 3),
+        ("stress8", "G((P0.p || P1.p) U (P6.p && P7.p))", 8),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let spec = PropertySpec::parse(ltl).expect("valid LTL");
+                CompiledProperty::compile(&spec, procs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_custom_scenarios, bench_property_compilation);
+criterion_main!(benches);

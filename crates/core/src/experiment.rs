@@ -7,7 +7,7 @@
 //! figures ("we have replicated the experiments three times with different randomly
 //! generated traces and averaged the results").
 
-use crate::properties::PaperProperty;
+use crate::spec::{CompiledProperty, PropertySpec};
 use dlrv_automaton::MonitorAutomaton;
 use dlrv_distsim::{initial_global_state, run_simulation, SimConfig};
 use dlrv_ltl::{AtomRegistry, Verdict};
@@ -103,8 +103,8 @@ where
 /// Configuration of one experiment data point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
-    /// The monitored property.
-    pub property: PaperProperty,
+    /// The monitored property (a paper property A–F or a custom LTL spec).
+    pub property: PropertySpec,
     /// Number of processes (devices).
     pub n_processes: usize,
     /// Number of internal events per process.
@@ -129,9 +129,9 @@ pub struct ExperimentConfig {
 
 impl ExperimentConfig {
     /// The paper's default setting (`Evtµ = Commµ = 3 s`, `σ = 1 s`, three seeds).
-    pub fn paper_default(property: PaperProperty, n_processes: usize) -> Self {
+    pub fn paper_default(property: impl Into<PropertySpec>, n_processes: usize) -> Self {
         ExperimentConfig {
-            property,
+            property: property.into(),
             n_processes,
             events_per_process: 20,
             evt_mu: 3.0,
@@ -145,7 +145,7 @@ impl ExperimentConfig {
     }
 
     /// A scaled-down configuration for fast test/bench runs.
-    pub fn small(property: PaperProperty, n_processes: usize) -> Self {
+    pub fn small(property: impl Into<PropertySpec>, n_processes: usize) -> Self {
         ExperimentConfig {
             events_per_process: 8,
             seeds: vec![1],
@@ -157,15 +157,12 @@ impl ExperimentConfig {
     /// runner and the stream-equivalence test, which generate one workload per
     /// streamed session).
     pub fn workload_config(&self, seed: u64) -> WorkloadConfig {
-        // Initial proposition values are chosen per property so that the property is
+        // Initial channel values are chosen per property so that the property is
         // neither trivially violated nor trivially satisfied at the initial global
         // state (the paper's traces encode this in the trace files): until-style
-        // properties need their left-hand side to hold initially.
-        let (initial_p, initial_q) = match self.property {
-            PaperProperty::A | PaperProperty::C | PaperProperty::D => (true, false),
-            PaperProperty::F => (true, true),
-            PaperProperty::B | PaperProperty::E => (false, false),
-        };
+        // properties need their left-hand side to hold initially.  The rule lives in
+        // [`PropertySpec::initial_channels`], which covers custom LTL specs too.
+        let (initial_p, initial_q) = self.property.initial_channels();
         WorkloadConfig {
             n_processes: self.n_processes,
             events_per_process: self.events_per_process,
@@ -206,13 +203,12 @@ pub fn run_experiment_with_options(
     config: &ExperimentConfig,
     opts: MonitorOptions,
 ) -> ExperimentResult {
-    let (formula, registry) = config.property.build(config.n_processes);
-    let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
-    let registry = Arc::new(registry);
+    let compiled = CompiledProperty::compile(&config.property, config.n_processes);
+    let (automaton, registry) = (&compiled.automaton, &compiled.registry);
 
     let per_seed = parallel_map_indexed(config.seeds.len(), effective_jobs(), |i| {
         let workload = generate_workload(&config.workload_config(config.seeds[i]));
-        run_single(&workload, &registry, &automaton, opts)
+        run_single(&workload, registry, automaton, opts)
     });
     let mut detected = BTreeSet::new();
     for metrics in &per_seed {
@@ -345,6 +341,7 @@ fn average_shards(runs: &[RunMetrics]) -> Vec<dlrv_monitor::ShardMetrics> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::properties::PaperProperty;
 
     #[test]
     fn small_experiment_produces_sane_metrics() {

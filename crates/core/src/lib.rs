@@ -5,8 +5,11 @@
 //! * [`MonitoredSystem`] — builder API: declare a distributed system, attach an LTL
 //!   property (text or AST), pick or generate a workload, run it with decentralized
 //!   monitors and read verdicts/metrics.
+//! * [`PropertySpec`] / [`CompiledProperty`] — first-class properties: the paper's
+//!   six letters or arbitrary user LTL text, compiled once (formula + registry +
+//!   synthesized monitor) and threaded through every layer below.
 //! * [`PaperProperty`] — the six evaluation properties A–F of the thesis,
-//!   parameterized by process count.
+//!   parameterized by process count; thin constructors of [`PropertySpec`]s.
 //! * [`ExperimentConfig`] / [`run_experiment`] — the experiment runner used by the
 //!   benchmark harness to regenerate every table and figure of Chapter 5.
 //! * [`Scenario`] / [`ScenarioRegistry`] — every experiment the repository knows how
@@ -28,6 +31,7 @@ pub mod experiment;
 pub mod properties;
 pub mod results;
 pub mod scenario;
+pub mod spec;
 pub mod system;
 pub mod throughput;
 
@@ -37,6 +41,9 @@ pub use experiment::{
 };
 pub use properties::PaperProperty;
 pub use results::{sweep_from_json, sweep_to_json, ScenarioRecord, RESULTS_SCHEMA_VERSION};
+pub use spec::{
+    CompiledProperty, PropertySpec, PropertySpecError, MAX_SPEC_ATOMS,
+};
 pub use scenario::{Scenario, ScenarioFamily, ScenarioRegistry, StreamParams};
 pub use system::{MonitoredSystem, MonitoringOutcome};
 pub use throughput::run_throughput;

@@ -28,6 +28,7 @@
 use crate::experiment::{ExperimentConfig, ExperimentResult};
 use crate::properties::PaperProperty;
 use crate::scenario::{Scenario, ScenarioFamily, StreamParams};
+use crate::spec::PropertySpec;
 use dlrv_json::{object, Json, JsonError};
 use dlrv_ltl::Verdict;
 use dlrv_monitor::{verdict_from_name, verdict_name, MonitorOptions, RunMetrics};
@@ -50,11 +51,39 @@ pub struct ScenarioRecord {
     pub detected_verdicts: BTreeSet<Verdict>,
 }
 
-/// Serializes an experiment configuration (property by letter, shapes as tagged
-/// objects).
+/// Serializes a property spec: paper properties as their bare letter (the schema's
+/// historical form, byte-identical for every pre-existing scenario), custom LTL
+/// specs as a `{"name", "ltl"}` object.
+pub fn property_to_json(spec: &PropertySpec) -> Json {
+    match spec.ltl_source() {
+        None => Json::from(spec.name()),
+        Some(ltl) => object([
+            ("name", Json::from(spec.name())),
+            ("ltl", Json::from(ltl)),
+        ]),
+    }
+}
+
+/// Parses a property spec back from its [`property_to_json`] form.
+pub fn property_from_json(v: &Json) -> Result<PropertySpec, JsonError> {
+    match v {
+        Json::Str(name) => PaperProperty::from_name(name)
+            .map(PropertySpec::from)
+            .ok_or_else(|| JsonError::msg(format!("unknown property `{name}`"))),
+        _ => {
+            let name = v.get("name")?.as_str()?;
+            let ltl = v.get("ltl")?.as_str()?;
+            PropertySpec::parse_named(name, ltl)
+                .map_err(|e| JsonError::msg(format!("invalid property `{name}`: {e}")))
+        }
+    }
+}
+
+/// Serializes an experiment configuration (property by letter or LTL object, shapes
+/// as tagged objects).
 pub fn config_to_json(config: &ExperimentConfig) -> Json {
     object([
-        ("property", Json::from(config.property.name())),
+        ("property", property_to_json(&config.property)),
         ("n_processes", Json::from(config.n_processes)),
         ("events_per_process", Json::from(config.events_per_process)),
         ("evt_mu", Json::from(config.evt_mu)),
@@ -69,9 +98,7 @@ pub fn config_to_json(config: &ExperimentConfig) -> Json {
 
 /// Parses an experiment configuration back from its [`config_to_json`] form.
 pub fn config_from_json(v: &Json) -> Result<ExperimentConfig, JsonError> {
-    let property_name = v.get("property")?.as_str()?;
-    let property = PaperProperty::from_name(property_name)
-        .ok_or_else(|| JsonError::msg(format!("unknown property `{property_name}`")))?;
+    let property = property_from_json(v.get("property")?)?;
     Ok(ExperimentConfig {
         property,
         n_processes: v.get("n_processes")?.as_usize()?,

@@ -23,6 +23,7 @@
 
 use crate::experiment::{run_experiment_with_options, ExperimentConfig, ExperimentResult};
 use crate::properties::PaperProperty;
+use crate::spec::PropertySpec;
 use crate::throughput::run_throughput;
 use dlrv_monitor::MonitorOptions;
 use dlrv_trace::{ArrivalModel, CommTopology};
@@ -47,6 +48,10 @@ pub enum ScenarioFamily {
     /// off, so `--target overhead` reproduces the paper's message/queueing/memory
     /// trends (`--target overhead`).
     Overhead,
+    /// User-style LTL properties beyond the paper's six: request–response, mutual
+    /// exclusion, precedence, nested until, and multi-process stress formulas, all
+    /// specified as [`PropertySpec`] LTL text (`--target custom`).
+    Custom,
 }
 
 impl ScenarioFamily {
@@ -58,6 +63,7 @@ impl ScenarioFamily {
             ScenarioFamily::Extended => "extended",
             ScenarioFamily::Throughput => "throughput",
             ScenarioFamily::Overhead => "overhead",
+            ScenarioFamily::Custom => "custom",
         }
     }
 
@@ -69,6 +75,7 @@ impl ScenarioFamily {
             ScenarioFamily::Extended,
             ScenarioFamily::Throughput,
             ScenarioFamily::Overhead,
+            ScenarioFamily::Custom,
         ]
         .into_iter()
         .find(|f| f.name() == name)
@@ -408,6 +415,83 @@ impl ScenarioRegistry {
             }
         }
 
+        // The custom family: user-style LTL specs routed through the same pipeline
+        // as everything else (`--target custom`).  Each entry is a classic pattern
+        // from the runtime-verification literature over free-form atom names, plus
+        // a multi-process stress formula; the `PropertySpec` layer binds the atoms
+        // to the two-channel workloads via the registry-derived `AtomLayout`.
+        let custom = |suffix: &str, ltl: &str, n: usize, events: usize, desc: &str| Scenario {
+            name: format!("custom-{suffix}"),
+            description: format!("Custom LTL property: {desc} — `{ltl}`"),
+            family: ScenarioFamily::Custom,
+            config: ExperimentConfig {
+                events_per_process: events,
+                ..ExperimentConfig::paper_default(
+                    PropertySpec::parse_named(suffix, ltl)
+                        .expect("registry formulas are valid LTL"),
+                    n,
+                )
+            },
+            options: MonitorOptions::default(),
+            stream: None,
+        };
+        registry.push(custom(
+            "reqack-n2",
+            "G(P0.req -> F P1.ack)",
+            2,
+            12,
+            "request-response: every request of P0 is eventually acknowledged by P1",
+        ));
+        registry.push(custom(
+            "reqack-all-n3",
+            "G(P0.req -> F (P1.ack && P2.ack))",
+            3,
+            12,
+            "fan-out request-response: both replicas must acknowledge",
+        ));
+        registry.push(custom(
+            "mutex-n2",
+            "G(!(P0.cs && P1.cs))",
+            2,
+            12,
+            "mutual exclusion: the two critical sections are never concurrent",
+        ));
+        registry.push(custom(
+            "precedence-n2",
+            "(!P1.done) W P0.init",
+            2,
+            12,
+            "precedence: P1 does not finish before P0 initialized",
+        ));
+        registry.push(custom(
+            "nested-until-n3",
+            "G(P0.p U (P1.p U P2.p))",
+            3,
+            10,
+            "nested until obligations across three processes",
+        ));
+        registry.push(custom(
+            "release-n2",
+            "P1.ok R (!P0.stop)",
+            2,
+            12,
+            "release: P0 may not stop until P1 signals ok",
+        ));
+        registry.push(custom(
+            "mixed-n4",
+            "F(P0.p && P1.p && P2.p && P3.p) && G(P0.q U P1.q)",
+            4,
+            10,
+            "reachability goal combined with an until obligation",
+        ));
+        registry.push(custom(
+            "stress-n8",
+            "G((P0.p || P1.p) U (P6.p && P7.p))",
+            8,
+            8,
+            "eight-process stress: disjunctive until at the repository's largest scale",
+        ));
+
         registry
     }
 
@@ -581,10 +665,60 @@ mod tests {
             ScenarioFamily::Extended,
             ScenarioFamily::Throughput,
             ScenarioFamily::Overhead,
+            ScenarioFamily::Custom,
         ] {
             assert_eq!(ScenarioFamily::from_name(family.name()), Some(family));
         }
         assert_eq!(ScenarioFamily::from_name("nope"), None);
+    }
+
+    #[test]
+    fn custom_family_covers_the_advertised_patterns() {
+        let registry = ScenarioRegistry::standard();
+        assert!(
+            registry.family(ScenarioFamily::Custom).count() >= 8,
+            "the custom family must ship at least eight scenarios"
+        );
+        for scenario in registry.family(ScenarioFamily::Custom) {
+            assert!(scenario.name.starts_with("custom-"), "{}", scenario.name);
+            assert!(scenario.stream.is_none());
+            let spec = &scenario.config.property;
+            assert!(spec.paper_property().is_none(), "{}: must be an LTL spec", scenario.name);
+            assert!(
+                spec.min_processes() <= scenario.config.n_processes,
+                "{}: process count too small for its atoms",
+                scenario.name
+            );
+        }
+        // The stress entry reaches the repository's largest process count.
+        let stress = registry.get("custom-stress-n8").expect("stress scenario");
+        assert_eq!(stress.config.n_processes, 8);
+    }
+
+    #[test]
+    fn custom_scenarios_run_end_to_end() {
+        // Scaled-down copies: every custom formula must drive workload generation,
+        // simulation and decentralized monitoring to a deterministic conclusion.
+        let registry = ScenarioRegistry::standard();
+        for name in ["custom-reqack-n2", "custom-mutex-n2", "custom-nested-until-n3"] {
+            let mut scenario = registry.get(name).expect(name).clone();
+            scenario.config.events_per_process = 5;
+            scenario.config.seeds = vec![1];
+            let result = scenario.run();
+            assert!(result.avg.total_events > 0, "{name} must simulate events");
+            assert!(result.avg.program_time > 0.0, "{name}");
+        }
+        // The goal tail drives both critical sections true concurrently, so the
+        // mutual-exclusion property must be detected as violated.
+        let mut mutex = registry.get("custom-mutex-n2").expect("mutex").clone();
+        mutex.config.events_per_process = 6;
+        mutex.config.seeds = vec![1];
+        let result = mutex.run();
+        assert!(
+            result.detected_verdicts.contains(&dlrv_ltl::Verdict::False),
+            "goal tail must force a mutual-exclusion violation, got {:?}",
+            result.detected_verdicts
+        );
     }
 
     #[test]

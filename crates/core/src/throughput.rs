@@ -23,6 +23,7 @@
 
 use crate::experiment::{average_metrics, ExperimentConfig, ExperimentResult};
 use crate::scenario::StreamParams;
+use crate::spec::CompiledProperty;
 use dlrv_automaton::MonitorAutomaton;
 use dlrv_distsim::{initial_global_state, run_simulation, NullMonitor, SimConfig};
 use dlrv_ltl::{AtomRegistry, Verdict};
@@ -51,14 +52,12 @@ pub fn run_throughput(
     params: &StreamParams,
     opts: MonitorOptions,
 ) -> ExperimentResult {
-    let (formula, registry) = config.property.build(config.n_processes);
-    let automaton = Arc::new(MonitorAutomaton::synthesize(&formula, &registry));
-    let registry = Arc::new(registry);
+    let compiled = CompiledProperty::compile(&config.property, config.n_processes);
 
     let per_seed: Vec<RunMetrics> = config
         .seeds
         .iter()
-        .map(|&seed| run_once(config, params, opts, seed, &automaton, &registry))
+        .map(|&seed| run_once(config, params, opts, seed, &compiled.automaton, &compiled.registry))
         .collect();
 
     let mut detected = BTreeSet::new();

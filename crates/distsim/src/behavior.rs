@@ -8,6 +8,7 @@
 
 use dlrv_ltl::ProcessId;
 use dlrv_vclock::Event;
+use std::sync::Arc;
 
 /// Callback interface implemented by monitors (and baselines) running on top of the
 /// execution substrate.
@@ -17,7 +18,11 @@ pub trait MonitorBehavior {
 
     /// Called when the co-located program process produces an event (internal, send or
     /// receive).  The event carries the process's vector clock and new local state.
-    fn on_local_event(&mut self, event: &Event, ctx: &mut MonitorContext<'_, Self::Message>);
+    ///
+    /// The event arrives shared (`&Arc<Event>`) so monitors that keep long-lived
+    /// histories ([`Arc<Event>`]-based, as the decentralized monitor's) can retain it
+    /// without a per-event deep clone.
+    fn on_local_event(&mut self, event: &Arc<Event>, ctx: &mut MonitorContext<'_, Self::Message>);
 
     /// Called when a message from monitor `from` is delivered.
     fn on_monitor_message(
@@ -99,7 +104,7 @@ pub struct NullMonitor {
 impl MonitorBehavior for NullMonitor {
     type Message = ();
 
-    fn on_local_event(&mut self, _event: &Event, _ctx: &mut MonitorContext<'_, ()>) {
+    fn on_local_event(&mut self, _event: &Arc<Event>, _ctx: &mut MonitorContext<'_, ()>) {
         self.events_seen += 1;
     }
 

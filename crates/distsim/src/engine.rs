@@ -10,11 +10,12 @@
 //! the oracle can be evaluated on the very same execution.
 
 use crate::behavior::{MonitorBehavior, MonitorContext};
-use dlrv_ltl::{Assignment, AtomRegistry, ProcessId};
+use dlrv_ltl::{Assignment, AtomLayout, AtomRegistry, ProcessId};
 use dlrv_trace::{TraceAction, Workload};
 use dlrv_vclock::{Computation, Event, EventKind, VectorClock};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Latency and bookkeeping parameters of the simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,16 +56,16 @@ pub struct SimReport<B> {
 }
 
 /// The initial global state (proposition valuation) of a workload under `registry`:
-/// every process's `P<i>.p` / `P<i>.q` atoms take the trace's initial values.
+/// every process's channel-bound atoms take the trace's initial channel values.
+///
+/// For the evaluation chapter's `P<i>.p` / `P<i>.q` naming this is exactly the
+/// historical behavior; free-form atom names are bound to the two workload channels
+/// by [`AtomLayout::from_registry`].
 pub fn initial_global_state(workload: &Workload, registry: &AtomRegistry) -> Assignment {
+    let layout = AtomLayout::from_registry(registry, workload.traces.len());
     let mut global = Assignment::ALL_FALSE;
     for (i, trace) in workload.traces.iter().enumerate() {
-        if let Some(atom) = registry.lookup(&format!("P{i}.p")) {
-            global.set(atom, trace.initial.0);
-        }
-        if let Some(atom) = registry.lookup(&format!("P{i}.q")) {
-            global.set(atom, trace.initial.1);
-        }
+        layout.apply_channels(i, trace.initial.0, trace.initial.1, &mut global);
     }
     global
 }
@@ -80,19 +81,14 @@ pub fn run_simulation<B: MonitorBehavior>(
     let n = workload.config.n_processes;
     assert_eq!(workload.traces.len(), n);
 
-    // Resolve each process's `p`/`q` atoms once (absent atoms are simply not tracked).
-    let p_atoms: Vec<_> = (0..n).map(|i| registry.lookup(&format!("P{i}.p"))).collect();
-    let q_atoms: Vec<_> = (0..n).map(|i| registry.lookup(&format!("P{i}.q"))).collect();
+    // Resolve each process's channel-bound atoms once: the registry's layout maps
+    // every atom to one of the two workload channels of its owning process.
+    let layout = AtomLayout::from_registry(registry, n);
 
     let initial_state = |i: usize| -> Assignment {
         let mut a = Assignment::ALL_FALSE;
         let (p0, q0) = workload.traces[i].initial;
-        if let Some(atom) = p_atoms[i] {
-            a.set(atom, p0);
-        }
-        if let Some(atom) = q_atoms[i] {
-            a.set(atom, q0);
-        }
+        layout.apply_channels(i, p0, q0, &mut a);
         a
     };
 
@@ -139,12 +135,7 @@ pub fn run_simulation<B: MonitorBehavior>(
                 clocks[process].increment(process);
                 let event = match action {
                     TraceAction::SetProps { p, q } => {
-                        if let Some(atom) = p_atoms[process] {
-                            states[process].set(atom, p);
-                        }
-                        if let Some(atom) = q_atoms[process] {
-                            states[process].set(atom, q);
-                        }
+                        layout.apply_channels(process, p, q, &mut states[process]);
                         Event {
                             process,
                             kind: EventKind::Internal,
@@ -207,7 +198,10 @@ pub fn run_simulation<B: MonitorBehavior>(
                     }
                 };
                 program_events += 1;
-                computation.push(event.clone());
+                // One shared allocation serves the recorded computation's copy and
+                // every monitor-side retention (history, pending queues).
+                let event = Arc::new(event);
+                computation.push((*event).clone());
                 deliver_event(
                     &mut monitors[process],
                     &event,
@@ -254,7 +248,8 @@ pub fn run_simulation<B: MonitorBehavior>(
                     time: now,
                 };
                 program_events += 1;
-                computation.push(event.clone());
+                let event = Arc::new(event);
+                computation.push((*event).clone());
                 deliver_event(&mut monitors[to], &event, to, n, now, &mut outbox);
                 flush_outbox(
                     &mut outbox,
@@ -347,7 +342,7 @@ fn next_seq(seq: &mut u64) -> u64 {
 
 fn deliver_event<B: MonitorBehavior>(
     monitor: &mut B,
-    event: &Event,
+    event: &Arc<Event>,
     process: ProcessId,
     n: usize,
     now: f64,

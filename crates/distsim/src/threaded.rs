@@ -8,10 +8,11 @@
 //! [`ThreadedConfig::time_scale`] so experiments finish quickly.
 
 use crate::behavior::{MonitorBehavior, MonitorContext};
-use dlrv_ltl::{Assignment, AtomRegistry, ProcessId};
+use dlrv_ltl::{Assignment, AtomLayout, AtomRegistry, ProcessId};
 use dlrv_trace::{TraceAction, Workload};
 use dlrv_vclock::{Computation, Event, EventKind, VectorClock};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of the threaded runtime.
@@ -75,8 +76,7 @@ where
         .map(|_| mpsc::channel::<ThreadMsg<B::Message>>())
         .unzip();
 
-    let p_atoms: Vec<_> = (0..n).map(|i| registry.lookup(&format!("P{i}.p"))).collect();
-    let q_atoms: Vec<_> = (0..n).map(|i| registry.lookup(&format!("P{i}.q"))).collect();
+    let layout = AtomLayout::from_registry(registry, n);
 
     let start = Instant::now();
     let results: Vec<(B, Vec<Event>, Assignment, usize)> = std::thread::scope(|scope| {
@@ -85,18 +85,12 @@ where
             let senders = senders.clone();
             let trace = &workload.traces[i];
             let make_monitor = &make_monitor;
-            let p_atom = p_atoms[i];
-            let q_atom = q_atoms[i];
+            let layout = &layout;
             handles.push(scope.spawn(move || {
                 let mut monitor = make_monitor(i);
                 let mut vc = VectorClock::zero(n);
                 let mut state = Assignment::ALL_FALSE;
-                if let Some(a) = p_atom {
-                    state.set(a, trace.initial.0);
-                }
-                if let Some(a) = q_atom {
-                    state.set(a, trace.initial.1);
-                }
+                layout.apply_channels(i, trace.initial.0, trace.initial.1, &mut state);
                 let initial_state = state;
                 let mut events: Vec<Event> = Vec::new();
                 let mut outbox: Vec<(ProcessId, B::Message)> = Vec::new();
@@ -132,7 +126,8 @@ where
                                 state: *state,
                                 time: now,
                             };
-                            events.push(event.clone());
+                            let event = Arc::new(event);
+                            events.push((*event).clone());
                             let mut ctx = MonitorContext {
                                 self_id: i,
                                 n_processes: n,
@@ -179,12 +174,7 @@ where
                     vc.increment(i);
                     let event = match entry.action {
                         TraceAction::SetProps { p, q } => {
-                            if let Some(a) = p_atom {
-                                state.set(a, p);
-                            }
-                            if let Some(a) = q_atom {
-                                state.set(a, q);
-                            }
+                            layout.apply_channels(i, p, q, &mut state);
                             Event {
                                 process: i,
                                 kind: EventKind::Internal,
@@ -238,7 +228,8 @@ where
                             }
                         }
                     };
-                    events.push(event.clone());
+                    let event = Arc::new(event);
+                    events.push((*event).clone());
                     let mut ctx = MonitorContext {
                         self_id: i,
                         n_processes: n,

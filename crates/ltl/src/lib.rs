@@ -28,7 +28,7 @@ pub mod predicate;
 pub mod semantics;
 pub mod syntax;
 
-pub use atoms::{AtomId, AtomRegistry, ProcessId};
+pub use atoms::{AtomId, AtomLayout, AtomRegistry, Channel, ProcessId};
 pub use parser::{parse, ParseError};
 pub use predicate::{Assignment, Cube, Literal, Predicate};
 pub use semantics::{evaluate_lasso, Verdict};

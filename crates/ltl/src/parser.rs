@@ -295,7 +295,8 @@ impl<'a> Parser<'a> {
                     _ => Err(self.err("expected ')'")),
                 }
             }
-            other => Err(self.err(format!("unexpected token {other:?}"))),
+            Some(other) => Err(self.err(format!("unexpected token {other:?}"))),
+            None => Err(self.err("unexpected end of input")),
         }
     }
 }

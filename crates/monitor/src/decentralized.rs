@@ -834,12 +834,13 @@ impl MonitorBehavior for DecentralizedMonitor {
     type Message = MonitorMsg;
 
     /// RECEIVEEVENT (Algorithm 2).
-    fn on_local_event(&mut self, event: &Event, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+    fn on_local_event(&mut self, event: &Arc<Event>, ctx: &mut MonitorContext<'_, MonitorMsg>) {
         self.metrics.events_observed += 1;
         self.metrics.last_event_time = ctx.now;
         self.metrics.last_activity_time = ctx.now;
-        // One shared allocation serves the history and every view's pending queue.
-        let event = Arc::new(event.clone());
+        // The caller's allocation is shared as-is by the history and every view's
+        // pending queue — no per-event deep clone on the hot path.
+        let event = Arc::clone(event);
         self.history.push(Arc::clone(&event));
         self.merge_similar_views();
 
@@ -1036,7 +1037,7 @@ mod tests {
             state: Assignment::ALL_FALSE, // P0.p becomes false
             time: 1.0,
         };
-        m0.on_local_event(&event, &mut ctx);
+        m0.on_local_event(&Arc::new(event), &mut ctx);
         assert!(m0.detected_final_verdicts().contains(&Verdict::False));
         assert!(outbox.is_empty(), "a purely local violation needs no tokens");
     }

@@ -130,7 +130,12 @@ impl<B: MonitorBehavior + SessionVerdicts> FeedSession<B> {
     /// Events of one process must arrive in local (sequence-number) order; events of
     /// different processes should arrive in timestamp order for equivalence with the
     /// offline replay.  Feeding a finished session panics.
-    pub fn feed_event(&mut self, event: &Event) -> Verdict {
+    ///
+    /// The event is taken shared: monitors retain the same `Arc` in their histories
+    /// and pending queues, so an online caller that owns its decoded event pays no
+    /// per-event deep clone (wrap with [`Arc::new`]; see also
+    /// [`feed_owned`](Self::feed_owned)).
+    pub fn feed_event(&mut self, event: &Arc<Event>) -> Verdict {
         assert!(!self.finished, "cannot feed a finished session");
         let p = event.process;
         assert!(p < self.monitors.len(), "event process {p} out of range");
@@ -147,6 +152,12 @@ impl<B: MonitorBehavior + SessionVerdicts> FeedSession<B> {
         }
         self.drain(now);
         self.verdict()
+    }
+
+    /// [`feed_event`](Self::feed_event) for an owned event: wraps it in the shared
+    /// allocation the monitors retain.
+    pub fn feed_owned(&mut self, event: Event) -> Verdict {
+        self.feed_event(&Arc::new(event))
     }
 
     /// Signals end-of-stream: every monitor's local termination runs at the latest
@@ -299,9 +310,9 @@ mod tests {
             MonitorOptions::default(),
         );
         assert_eq!(session.verdict(), Verdict::Unknown);
-        let v1 = session.feed_event(&internal(0, 1, vec![1, 0], Assignment::from_true_atoms([a]), 1.0));
+        let v1 = session.feed_owned(internal(0, 1, vec![1, 0], Assignment::from_true_atoms([a]), 1.0));
         assert_eq!(v1, Verdict::Unknown);
-        session.feed_event(&internal(1, 1, vec![0, 1], Assignment::from_true_atoms([b]), 2.0));
+        session.feed_owned(internal(1, 1, vec![0, 1], Assignment::from_true_atoms([b]), 2.0));
         let final_verdict = session.finish();
         // F(a && b) is satisfied on the concurrent cut where both propositions hold.
         assert_eq!(final_verdict, Verdict::True);
@@ -320,8 +331,8 @@ mod tests {
             &registry,
             vec![Assignment::ALL_FALSE; 2],
         );
-        session.feed_event(&internal(0, 1, vec![1, 0], Assignment::from_true_atoms([a]), 1.0));
-        session.feed_event(&internal(1, 1, vec![0, 1], Assignment::from_true_atoms([b]), 2.0));
+        session.feed_owned(internal(0, 1, vec![1, 0], Assignment::from_true_atoms([a]), 1.0));
+        session.feed_owned(internal(1, 1, vec![0, 1], Assignment::from_true_atoms([b]), 2.0));
         assert_eq!(session.finish(), Verdict::True);
         // The non-central monitor forwarded two events and one Done message.
         assert_eq!(session.monitor_messages(), 2);
@@ -353,6 +364,6 @@ mod tests {
             MonitorOptions::default(),
         );
         session.finish();
-        session.feed_event(&internal(0, 1, vec![1, 0], Assignment::from_true_atoms([a]), 1.0));
+        session.feed_owned(internal(0, 1, vec![1, 0], Assignment::from_true_atoms([a]), 1.0));
     }
 }

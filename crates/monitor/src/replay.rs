@@ -74,7 +74,7 @@ pub fn replay_decentralized(
     let initial_gstate = comp.global_state(&vec![0; n], registry);
     let mut session = decentralized_session(n, automaton, registry, initial_gstate, opts);
     for (_, p, sn) in timestamp_order(comp) {
-        session.feed_event(&comp.events[p][(sn - 1) as usize]);
+        session.feed_owned(comp.events[p][(sn - 1) as usize].clone());
     }
     session.finish();
     let monitor_messages = session.monitor_messages();

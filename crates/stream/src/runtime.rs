@@ -424,7 +424,7 @@ fn shard_worker(shard: usize, rx: Receiver<ShardMsg>, batch_size: usize) -> Shar
                             if event.process < feed.n_processes()
                                 && event.vc.len() == feed.n_processes() =>
                         {
-                            feed.feed_event(&event);
+                            feed.feed_owned(event);
                             metrics.events_processed += 1;
                         }
                         _ => metrics.routing_errors += 1,

@@ -12,15 +12,32 @@
 //! cargo run --release --bin experiments -- --target sweep --format json --out BENCH_results.json
 //! cargo run --release --bin experiments -- --target sweep --scenario ring-B-n4
 //! cargo run --release --bin experiments -- --target throughput --format json
+//! cargo run --release --bin experiments -- --target custom
+//! cargo run --release --bin experiments -- --property 'G(P0.p U (P1.p && P2.p))' --procs 3
+//! cargo run --release --bin experiments -- --property-file my_property.ltl --format json
+//! cargo run --release --bin experiments -- --emit-dot paper-A-n2
+//! cargo run --release --bin experiments -- --property 'F(P0.p && P1.p)' --emit-dot property
 //! cargo run --release --bin experiments -- --validate-results BENCH_results.json
 //! ```
 //!
 //! Targets select what to run: the classic figure/table targets print the paper's
 //! text tables, `sweep` runs the offline scenarios of the standard registry
 //! ([`ScenarioRegistry`]) — the paper's sweeps plus the extended workload shapes —
-//! and `throughput` runs the streaming family (hundreds–thousands of concurrent
-//! sessions through the sharded `dlrv-stream` runtime).  Targets are positional
-//! arguments; `--target NAME` is an equivalent spelling.
+//! `throughput` runs the streaming family (hundreds–thousands of concurrent
+//! sessions through the sharded `dlrv-stream` runtime) and `custom` runs the
+//! registry's user-style LTL properties.  Targets are positional arguments;
+//! `--target NAME` is an equivalent spelling.
+//!
+//! `--property 'LTL'` (or `--property-file PATH`, whose format allows `#` comments
+//! plus optional `name:` / `procs:` headers before the formula) runs an arbitrary
+//! user-supplied property end-to-end — workload generation, simulation,
+//! decentralized monitoring, verdicts and metrics — on `--procs N` processes
+//! (default: the smallest count the formula's `P<i>.<name>` atoms allow).  LTL
+//! parse errors are reported with the offending byte offset under the echoed
+//! formula, and unknown `--target`/`--scenario` names suggest the closest valid
+//! name.  `--emit-dot NAME` prints the synthesized LTL₃ monitor automaton of a
+//! registry scenario (or of the `--property` formula via `--emit-dot property`) as
+//! Graphviz DOT instead of running anything; `--out` redirects it to a file.
 //!
 //! `--scenario NAME[,NAME…]` restricts a registry target (`sweep` / `throughput`)
 //! to the named scenarios, so a single data point can be (re)run without the whole
@@ -48,10 +65,11 @@
 use dlrv_automaton::{dot, MonitorAutomaton};
 use dlrv_bench::{comm_frequency_run, paper_run, transition_counts, PROCESS_COUNTS};
 use dlrv_core::{
-    parallel_map_indexed, set_jobs, sweep_to_json, ExperimentResult, PaperProperty, Scenario,
-    ScenarioFamily, ScenarioRegistry,
+    parallel_map_indexed, set_jobs, sweep_to_json, CompiledProperty, ExperimentConfig,
+    ExperimentResult, PaperProperty, PropertySpec, PropertySpecError, Scenario, ScenarioFamily,
+    ScenarioRegistry,
 };
-use dlrv_monitor::RunMetrics;
+use dlrv_monitor::{MonitorOptions, RunMetrics};
 use std::path::PathBuf;
 use std::process::exit;
 
@@ -59,14 +77,14 @@ use std::process::exit;
 const EVENTS: usize = 20;
 
 /// Everything a target argument may select.
-const KNOWN_TARGETS: [&str; 12] = [
+const KNOWN_TARGETS: [&str; 13] = [
     "all", "table5_1", "automata_dot", "fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8",
-    "fig5_9", "sweep", "throughput", "overhead",
+    "fig5_9", "sweep", "throughput", "overhead", "custom",
 ];
 
 /// The targets backed by the scenario registry (the ones `--scenario` can filter,
 /// `--no-opt` can override and `--format json` can serialize).
-const REGISTRY_TARGETS: [&str; 3] = ["sweep", "throughput", "overhead"];
+const REGISTRY_TARGETS: [&str; 4] = ["sweep", "throughput", "overhead", "custom"];
 
 /// Output format of metric-producing targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +106,18 @@ struct Cli {
     /// `--no-opt`: run every selected registry scenario with the §4.3 optimization
     /// suite switched off (the escape hatch for A/B-ing a whole target).
     no_opt: bool,
+    /// `--property LTL`: run a user-supplied LTL formula end-to-end.
+    property: Option<String>,
+    /// `--property-file PATH`: like `--property`, reading the formula (plus optional
+    /// `name:` / `procs:` headers) from a file.
+    property_file: Option<PathBuf>,
+    /// `--procs N`: process count for `--property` runs (default: the smallest count
+    /// the formula's atoms allow, at least two).
+    procs: Option<usize>,
+    /// `--emit-dot NAME`: print the synthesized monitor automaton of a registry
+    /// scenario (by name) or of the `--property` formula (`NAME` = `property`) as
+    /// Graphviz DOT instead of running anything.
+    emit_dot: Option<String>,
 }
 
 fn usage_error(message: &str) -> ! {
@@ -95,9 +125,69 @@ fn usage_error(message: &str) -> ! {
     eprintln!(
         "usage: experiments [TARGET...] [--target NAME] [--jobs N] \
          [--format text|json] [--out PATH] [--scenario NAME[,NAME...]] [--no-opt] \
+         [--property LTL | --property-file PATH] [--procs N] [--emit-dot NAME] \
          [--list-scenarios] [--validate-results PATH]"
     );
     exit(2);
+}
+
+/// Levenshtein edit distance, used to suggest the closest valid name on typos.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `name`, when it is close enough to look like a typo.
+fn closest_name<'a>(name: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(name, c), c))
+        .min()
+        .filter(|&(d, _)| d <= 2.max(name.chars().count() / 3))
+        .map(|(_, c)| c)
+}
+
+/// Formats an "unknown name" error, appending a "did you mean" suggestion when a
+/// registered name is within typo distance.
+fn unknown_name_error<'a>(
+    what: &str,
+    name: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+    hint: &str,
+) -> ! {
+    let suggestion = closest_name(name, candidates)
+        .map(|c| format!("; did you mean `{c}`?"))
+        .unwrap_or_default();
+    usage_error(&format!("unknown {what} `{name}`{suggestion} ({hint})"));
+}
+
+/// Parses LTL text into a named spec, exiting with a caret-annotated diagnostic on
+/// parse errors (the offending byte offset points into the echoed formula).
+fn parse_property_or_exit(name: &str, text: &str) -> PropertySpec {
+    match PropertySpec::parse_named(name, text) {
+        Ok(spec) => spec,
+        Err(PropertySpecError::Parse(e)) => {
+            eprintln!("error: cannot parse LTL property: {}", e.message);
+            eprintln!("  | {text}");
+            eprintln!("  | {}^ at byte offset {}", " ".repeat(e.position.min(text.len())), e.position);
+            exit(2);
+        }
+        Err(other) => {
+            eprintln!("error: invalid property: {other}");
+            exit(2);
+        }
+    }
 }
 
 /// Parses the command line, applying `--jobs` via [`set_jobs`] and validating every
@@ -112,6 +202,10 @@ fn parse_cli(args: Vec<String>) -> Cli {
         scenarios: Vec::new(),
         validate: None,
         no_opt: false,
+        property: None,
+        property_file: None,
+        procs: None,
+        emit_dot: None,
     };
     let mut iter = args.into_iter();
     // `--flag value` and `--flag=value` are both accepted.
@@ -168,6 +262,28 @@ fn parse_cli(args: Vec<String>) -> Cli {
                 let value = flag_value(&mut iter, "--validate-results", inline.as_deref());
                 cli.validate = Some(PathBuf::from(value));
             }
+            "--property" => {
+                let value = flag_value(&mut iter, "--property", inline.as_deref());
+                if value.trim().is_empty() {
+                    usage_error("--property expects an LTL formula");
+                }
+                cli.property = Some(value);
+            }
+            "--property-file" => {
+                let value = flag_value(&mut iter, "--property-file", inline.as_deref());
+                cli.property_file = Some(PathBuf::from(value));
+            }
+            "--procs" => {
+                let value = flag_value(&mut iter, "--procs", inline.as_deref());
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => cli.procs = Some(n),
+                    _ => usage_error("--procs expects a positive integer"),
+                }
+            }
+            "--emit-dot" => {
+                let value = flag_value(&mut iter, "--emit-dot", inline.as_deref());
+                cli.emit_dot = Some(value);
+            }
             "--no-opt" => {
                 if inline.is_some() {
                     usage_error("--no-opt takes no value");
@@ -188,13 +304,56 @@ fn parse_cli(args: Vec<String>) -> Cli {
     }
 
     if let Some(unknown) = cli.targets.iter().find(|t| !KNOWN_TARGETS.contains(&t.as_str())) {
-        usage_error(&format!(
-            "unknown target `{unknown}`; expected one of: {}",
-            KNOWN_TARGETS.join(", ")
-        ));
+        unknown_name_error(
+            "target",
+            unknown,
+            KNOWN_TARGETS,
+            &format!("expected one of: {}", KNOWN_TARGETS.join(", ")),
+        );
     }
     if cli.list_scenarios && !cli.targets.is_empty() {
         usage_error("--list-scenarios cannot be combined with targets");
+    }
+    if cli.property.is_some() && cli.property_file.is_some() {
+        usage_error("--property and --property-file are mutually exclusive");
+    }
+    let property_mode = cli.property.is_some() || cli.property_file.is_some();
+    if property_mode
+        && (!cli.targets.is_empty()
+            || cli.list_scenarios
+            || cli.validate.is_some()
+            || !cli.scenarios.is_empty())
+    {
+        usage_error(
+            "--property/--property-file runs a single custom property; \
+             drop the targets, --scenario, --list-scenarios and --validate-results",
+        );
+    }
+    if cli.procs.is_some() && !property_mode {
+        usage_error("--procs only applies to --property / --property-file runs");
+    }
+    if let Some(dot_target) = &cli.emit_dot {
+        if cli.format != Format::Text {
+            usage_error("--emit-dot prints Graphviz DOT; drop --format json");
+        }
+        if cli.no_opt
+            || !cli.scenarios.is_empty()
+            || !cli.targets.is_empty()
+            || cli.list_scenarios
+            || cli.validate.is_some()
+        {
+            usage_error("--emit-dot is a standalone action; drop the other flags");
+        }
+        if property_mode {
+            if dot_target != "property" {
+                usage_error(
+                    "with --property, the automaton source is the formula itself; \
+                     use `--emit-dot property`",
+                );
+            }
+        } else if dot_target == "property" {
+            usage_error("`--emit-dot property` requires --property or --property-file");
+        }
     }
     if cli.validate.is_some()
         && (!cli.targets.is_empty()
@@ -206,16 +365,22 @@ fn parse_cli(args: Vec<String>) -> Cli {
     {
         usage_error("--validate-results is a standalone action; drop the other flags");
     }
-    if cli.out.is_some() && cli.format != Format::Json {
-        usage_error("--out requires --format json (text output goes to stdout)");
+    if cli.out.is_some() && cli.format != Format::Json && cli.emit_dot.is_none() {
+        usage_error(
+            "--out requires --format json or --emit-dot (text output goes to stdout)",
+        );
     }
     if cli.no_opt
+        && !property_mode
         && !cli
             .targets
             .iter()
             .any(|t| REGISTRY_TARGETS.contains(&t.as_str()))
     {
-        usage_error("--no-opt only applies to registry targets (sweep, throughput, overhead)");
+        usage_error(&format!(
+            "--no-opt only applies to registry targets ({}) and --property runs",
+            REGISTRY_TARGETS.join(", ")
+        ));
     }
     if !cli.scenarios.is_empty() {
         let registry_targets: Vec<&String> = cli
@@ -224,29 +389,45 @@ fn parse_cli(args: Vec<String>) -> Cli {
             .filter(|t| REGISTRY_TARGETS.contains(&t.as_str()))
             .collect();
         if registry_targets.is_empty() {
-            usage_error("--scenario only filters registry targets (sweep, throughput)");
+            usage_error(&format!(
+                "--scenario only filters registry targets ({})",
+                REGISTRY_TARGETS.join(", ")
+            ));
         }
         // Unknown names fail here rather than silently selecting nothing.
         let registry = ScenarioRegistry::standard();
         let mut covered_targets: Vec<&str> = Vec::new();
         for name in &cli.scenarios {
             let Some(scenario) = registry.get(name) else {
-                usage_error(&format!(
-                    "unknown scenario `{name}`; run --list-scenarios for the registry"
-                ));
+                unknown_name_error(
+                    "scenario",
+                    name,
+                    registry.iter().map(|s| s.name.as_str()),
+                    "run --list-scenarios for the registry",
+                );
             };
-            let wanted_target = match scenario.family {
-                ScenarioFamily::Throughput => "throughput",
-                ScenarioFamily::Overhead => "overhead",
-                _ => "sweep",
+            // Custom scenarios are offline registry scenarios, so both the focused
+            // `custom` target and the full `sweep` accept them.
+            let wanted_targets: &[&str] = match scenario.family {
+                ScenarioFamily::Throughput => &["throughput"],
+                ScenarioFamily::Overhead => &["overhead"],
+                ScenarioFamily::Custom => &["custom", "sweep"],
+                _ => &["sweep"],
             };
-            if !cli.targets.iter().any(|t| t == wanted_target) {
+            let matched: Vec<&str> = wanted_targets
+                .iter()
+                .copied()
+                .filter(|t| cli.targets.iter().any(|x| x == t))
+                .collect();
+            if matched.is_empty() {
                 usage_error(&format!(
-                    "scenario `{name}` belongs to target `{wanted_target}`, \
-                     which was not requested"
+                    "scenario `{name}` belongs to target `{}`, which was not requested",
+                    wanted_targets[0]
                 ));
             }
-            covered_targets.push(wanted_target);
+            // A custom scenario satisfies every requested target that accepts it
+            // (`custom` and `sweep` may both be on the command line).
+            covered_targets.extend(matched);
         }
         // Every requested registry target must keep at least one scenario, or the
         // run would do hours of work and then fail on the empty one.
@@ -259,13 +440,14 @@ fn parse_cli(args: Vec<String>) -> Cli {
             }
         }
     }
-    if cli.format == Format::Json {
+    if cli.format == Format::Json && !property_mode {
         if cli.list_scenarios {
             usage_error("--list-scenarios has no JSON form; drop --format json");
         }
         if cli.targets.is_empty() {
             usage_error(
-                "--format json requires an explicit target (sweep and throughput emit JSON)",
+                "--format json requires an explicit target (the registry targets \
+                 and --property runs emit JSON)",
             );
         }
         if let Some(unsupported) = cli
@@ -295,6 +477,14 @@ fn main() {
     }
     if let Some(path) = &cli.validate {
         validate_results(path);
+        return;
+    }
+    if cli.property.is_some() || cli.property_file.is_some() {
+        run_user_property(&cli);
+        return;
+    }
+    if let Some(name) = &cli.emit_dot {
+        emit_dot_for_scenario(name, &cli);
         return;
     }
 
@@ -352,11 +542,14 @@ fn main() {
 }
 
 /// The registry families one registry target runs: `throughput` and `overhead` own
-/// their families; `sweep` runs everything else.
+/// their families, `custom` focuses on the custom LTL family, and `sweep` runs every
+/// offline family (paper, comm-frequency, extended and custom — the composition of
+/// `BENCH_results.json`).
 fn target_selects(target: &str, family: ScenarioFamily) -> bool {
     match target {
         "throughput" => family == ScenarioFamily::Throughput,
         "overhead" => family == ScenarioFamily::Overhead,
+        "custom" => family == ScenarioFamily::Custom,
         _ => !matches!(family, ScenarioFamily::Throughput | ScenarioFamily::Overhead),
     }
 }
@@ -396,6 +589,164 @@ fn validate_results(path: &std::path::Path) {
             exit(1);
         }
     }
+}
+
+/// Writes `text` to `--out` or stdout.
+fn write_output(cli: &Cli, text: &str, what: &str) {
+    match cli.out.as_deref() {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: cannot write `{}`: {e}", path.display());
+                exit(1);
+            }
+            println!("wrote {} ({what})", path.display());
+        }
+        None => print!("{text}"),
+    }
+}
+
+/// Parses a `--property-file`: `#` comment lines are skipped, optional `name:` and
+/// `procs:` headers may precede the formula, and all remaining non-empty lines are
+/// joined into one LTL formula (so long formulas can be wrapped).
+fn read_property_file(path: &std::path::Path) -> (Option<String>, Option<usize>, String) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read `{}`: {e}", path.display());
+            exit(1);
+        }
+    };
+    let mut name = None;
+    let mut procs = None;
+    let mut formula_lines: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if formula_lines.is_empty() {
+            if let Some(value) = line.strip_prefix("name:") {
+                name = Some(value.trim().to_string());
+                continue;
+            }
+            if let Some(value) = line.strip_prefix("procs:") {
+                match value.trim().parse::<usize>() {
+                    Ok(n) if n > 0 => procs = Some(n),
+                    _ => usage_error("property-file `procs:` expects a positive integer"),
+                }
+                continue;
+            }
+        }
+        formula_lines.push(line);
+    }
+    if formula_lines.is_empty() {
+        usage_error(&format!(
+            "property file `{}` contains no formula",
+            path.display()
+        ));
+    }
+    (name, procs, formula_lines.join(" "))
+}
+
+/// Runs (or, with `--emit-dot property`, renders) a user-supplied LTL property
+/// end-to-end: parse → workload generation → simulation under decentralized
+/// monitors → verdicts and metrics, reported exactly like a registry scenario.
+fn run_user_property(cli: &Cli) {
+    let (name, file_procs, text) = match (&cli.property, &cli.property_file) {
+        (Some(text), _) => (None, None, text.clone()),
+        (None, Some(path)) => read_property_file(path),
+        (None, None) => unreachable!("property mode requires a formula"),
+    };
+    let spec = parse_property_or_exit(name.as_deref().unwrap_or("custom"), &text);
+    let procs = cli
+        .procs
+        .or(file_procs)
+        .unwrap_or_else(|| spec.min_processes().max(2));
+    if procs < spec.min_processes() {
+        usage_error(&format!(
+            "property `{}` names process P{}, so it needs --procs >= {}",
+            spec.name(),
+            spec.min_processes() - 1,
+            spec.min_processes()
+        ));
+    }
+
+    // Diagnostics over the compiled registry: silent harness-wiring surprises are
+    // worth a warning before any verdict is reported.
+    let compiled = CompiledProperty::compile(&spec, procs);
+    {
+        use dlrv_core::dlrv_ltl::{AtomLayout, AtomRegistry};
+        let registry = &compiled.registry;
+        // Atoms outside the `P<i>.<name>` convention default to process 0 — almost
+        // always a typo (`P1ack` for `P1.ack`) in a CLI formula.
+        for id in registry.ids() {
+            let name = registry.name(id);
+            if AtomRegistry::owner_from_name(name).is_none() {
+                eprintln!(
+                    "warning: atom `{name}` does not follow the `P<i>.<name>` \
+                     convention; it is owned by process P0"
+                );
+            }
+        }
+        // Two workload channels exist per process, so a process owning 3+ atoms has
+        // perfectly correlated atoms in every generated workload.
+        let layout = AtomLayout::from_registry(registry, procs);
+        for (process, _, atoms) in layout.aliased_atoms() {
+            let names: Vec<&str> = atoms.iter().map(|&a| registry.name(a)).collect();
+            eprintln!(
+                "warning: atoms {} of process P{process} share one workload channel; \
+                 the generated workloads will always set them to equal values",
+                names.join(", ")
+            );
+        }
+    }
+
+    if cli.emit_dot.is_some() {
+        write_output(cli, &compiled.to_dot(), "monitor automaton DOT");
+        return;
+    }
+
+    let scenario = Scenario {
+        name: format!("property-{procs}p"),
+        description: format!(
+            "User property `{}` on {procs} processes, paper-default workload",
+            spec.ltl_source().unwrap_or(spec.name())
+        ),
+        family: ScenarioFamily::Custom,
+        config: ExperimentConfig::paper_default(spec, procs),
+        options: if cli.no_opt {
+            MonitorOptions::ALL_OFF
+        } else {
+            MonitorOptions::default()
+        },
+        stream: None,
+    };
+    let results = vec![(scenario.clone(), scenario.run())];
+    match cli.format {
+        Format::Json => {
+            let mut text = sweep_to_json(&results).to_string_pretty();
+            text.push('\n');
+            write_output(cli, &text, "1 scenario");
+        }
+        Format::Text => sweep_table("Custom property run", &results),
+    }
+}
+
+/// `--emit-dot NAME` for a registry scenario: synthesizes the scenario's monitor
+/// automaton and prints it as Graphviz DOT.
+fn emit_dot_for_scenario(name: &str, cli: &Cli) {
+    let registry = ScenarioRegistry::standard();
+    let Some(scenario) = registry.get(name) else {
+        unknown_name_error(
+            "scenario",
+            name,
+            registry.iter().map(|s| s.name.as_str()),
+            "run --list-scenarios for the registry",
+        );
+    };
+    let compiled =
+        CompiledProperty::compile(&scenario.config.property, scenario.config.n_processes);
+    write_output(cli, &compiled.to_dot(), "monitor automaton DOT");
 }
 
 /// One simulated data point per (property, process count) under the paper-default
@@ -491,7 +842,8 @@ fn registry_target(target: &str, cli: &Cli) {
         }
         Format::Text if throughput => throughput_table(&results),
         Format::Text if target == "overhead" => overhead_table(&results),
-        Format::Text => sweep_table(&results),
+        Format::Text if target == "custom" => sweep_table("Custom property scenarios", &results),
+        Format::Text => sweep_table("Scenario sweep", &results),
     }
 }
 
@@ -577,8 +929,8 @@ fn overhead_table(results: &[(Scenario, ExperimentResult)]) {
     println!();
 }
 
-fn sweep_table(results: &[(Scenario, ExperimentResult)]) {
-    println!("== Scenario sweep ({} scenarios) ==", results.len());
+fn sweep_table(title: &str, results: &[(Scenario, ExperimentResult)]) {
+    println!("== {title} ({} scenarios) ==", results.len());
     println!(
         "{:<18} {:<16} {:>6} {:>8} {:>10} {:>11} {:>13} {:>11} {:>8} {:>10}",
         "scenario",

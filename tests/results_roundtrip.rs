@@ -34,6 +34,9 @@ fn sweep_json_round_trips_run_metrics_field_for_field() {
         small("bursty-C-n4"),
         small("hotspot-D-n4"),
         small("overhead-C-noopt"),
+        // A custom LTL spec: the property serializes as a {name, ltl} object
+        // instead of a paper letter, and must parse back to an equal spec.
+        small("custom-reqack-n2"),
         streamed,
     ];
     let runs: Vec<(Scenario, ExperimentResult)> =

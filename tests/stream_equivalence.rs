@@ -17,7 +17,7 @@ use dlrv::dlrv_stream::{
 };
 use dlrv::dlrv_trace::generate_workload;
 use dlrv::dlrv_vclock::Event;
-use dlrv::{ExperimentConfig, PaperProperty};
+use dlrv::{CompiledProperty, ExperimentConfig, PaperProperty, PropertySpec};
 use dlrv_automaton::MonitorAutomaton;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -98,6 +98,105 @@ fn streamed_verdicts_equal_offline_replay_for_every_flag_combination() {
             outcome.monitor_messages, replay.monitor_messages,
             "{opts:?}: message counts diverge"
         );
+    }
+}
+
+#[test]
+fn streamed_verdicts_equal_offline_replay_for_custom_properties() {
+    // The same online/offline anchor for user-supplied LTL specs: the `PropertySpec`
+    // pipeline (parse → layout-bound workloads → synthesis) must stream exactly like
+    // it replays, across several shard counts — custom formulas get the same
+    // soundness guarantee as the paper's six.
+    let specs = [
+        PropertySpec::parse_named("reqack", "G(P0.req -> F P1.ack)").expect("valid LTL"),
+        PropertySpec::parse_named("nested-until", "G(P0.p U (P1.p U P2.p))").expect("valid LTL"),
+    ];
+    for spec in &specs {
+        let n_processes = spec.min_processes();
+        let config = ExperimentConfig {
+            events_per_process: 8,
+            ..ExperimentConfig::paper_default(spec.clone(), n_processes)
+        };
+        let compiled = CompiledProperty::compile(spec, n_processes);
+        let (automaton, registry) = (&compiled.automaton, &compiled.registry);
+
+        let mut baselines = Vec::new();
+        for (s, seed) in [7u64, 19, 31].into_iter().enumerate() {
+            let workload = generate_workload(&config.workload_config(seed));
+            let report = run_simulation(&workload, registry, &SimConfig::default(), |_| {
+                NullMonitor::default()
+            });
+            let replay = replay_decentralized(
+                &report.computation,
+                registry,
+                automaton,
+                MonitorOptions::default(),
+            );
+            let events: Vec<Event> = timestamp_order(&report.computation)
+                .into_iter()
+                .map(|(_, p, sn)| report.computation.events[p][(sn - 1) as usize].clone())
+                .collect();
+            baselines.push(Baseline {
+                input: SessionStream {
+                    session: s as u64,
+                    property: spec.name().to_string(),
+                    n_processes,
+                    initial_state: initial_global_state(&workload, registry).0,
+                    events,
+                },
+                detected: replay.detected_final_verdicts(),
+                possible: replay.possible_verdicts(),
+                monitor_messages: replay.monitor_messages,
+            });
+        }
+
+        let inputs: Vec<SessionStream> = baselines.iter().map(|b| b.input.clone()).collect();
+        let bytes = encode_stream(&interleave_sessions(&inputs));
+
+        for n_shards in [1usize, 2, 4] {
+            let runtime = ShardedRuntime::start(StreamConfig {
+                n_shards,
+                mailbox_capacity: 8,
+                batch_size: 4,
+            });
+            let mut source = ReaderSource::new(&bytes[..]);
+            runtime
+                .pump(&mut source, &mut |open| {
+                    assert_eq!(open.property, spec.name());
+                    Ok(Arc::new(SessionSpec {
+                        n_processes: open.n_processes,
+                        automaton: automaton.clone(),
+                        registry: registry.clone(),
+                        initial_state: open.initial_state,
+                        options: MonitorOptions::default(),
+                    }))
+                })
+                .expect("freshly encoded stream must decode");
+            let report = runtime.shutdown();
+
+            assert_eq!(report.sessions.len(), baselines.len(), "{}", spec.name());
+            for (s, baseline) in baselines.iter().enumerate() {
+                let outcome = &report.sessions[&(s as u64)];
+                assert_eq!(
+                    outcome.detected_verdicts,
+                    baseline.detected,
+                    "{}, session {s}, {n_shards} shards: detected verdicts diverge",
+                    spec.name()
+                );
+                assert_eq!(
+                    outcome.possible_verdicts,
+                    baseline.possible,
+                    "{}, session {s}, {n_shards} shards: possible verdicts diverge",
+                    spec.name()
+                );
+                assert_eq!(
+                    outcome.monitor_messages,
+                    baseline.monitor_messages,
+                    "{}, session {s}, {n_shards} shards: token counts diverge",
+                    spec.name()
+                );
+            }
+        }
     }
 }
 
