@@ -1,0 +1,143 @@
+//! Static decentralization cost prediction.
+//!
+//! The decentralized algorithm (§4.3) evaluates every guard cube conjunct-by-
+//! conjunct; conjuncts owned by another process cost a token round trip.  All of
+//! that is visible statically: the guard cubes, the atom ownership and the
+//! monitor's state space are fixed at synthesis time, so the analyzer can bound
+//! the per-event communication before a single event is generated — the numbers
+//! the `overhead` benchmark family then measures.
+
+use dlrv_automaton::MonitorAutomaton;
+use dlrv_ltl::AtomRegistry;
+use std::collections::BTreeSet;
+
+/// Statically predicted decentralization cost of one compiled property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostPrediction {
+    /// Per process `i`: how many distinct peers own atoms that occur in reachable
+    /// guards — the processes a monitor on `i` may need tokens from.
+    pub token_fanout: Vec<usize>,
+    /// Max over (process, reachable state) of remote guard literals one event may
+    /// force that process's monitor to resolve.
+    pub max_remote_literals_per_event: usize,
+    /// Upper bound on monitoring messages one event can trigger at one monitor:
+    /// a token request and a token reply per remote process per candidate guard.
+    pub max_messages_per_event: usize,
+    /// Reachable transitions whose guard reads at most one process's atoms.
+    pub local_transitions: usize,
+    /// Reachable transitions whose guard spans two or more processes.
+    pub cross_process_transitions: usize,
+}
+
+impl CostPrediction {
+    /// Predicts the cost of monitoring `automaton` decentralized over
+    /// `n_processes` processes with `registry`'s atom ownership.
+    pub fn predict(
+        automaton: &MonitorAutomaton,
+        registry: &AtomRegistry,
+        n_processes: usize,
+    ) -> CostPrediction {
+        let reachable = automaton.reachable_states();
+        // Owners of atoms occurring in any reachable guard.
+        let mut guard_owners: BTreeSet<usize> = BTreeSet::new();
+        let mut local_transitions = 0usize;
+        let mut cross_process_transitions = 0usize;
+        for t in &automaton.transitions {
+            if !reachable[t.from] {
+                continue;
+            }
+            let owners: BTreeSet<usize> = t
+                .guard
+                .literals()
+                .iter()
+                .map(|lit| registry.owner(lit.atom))
+                .collect();
+            if owners.len() <= 1 {
+                local_transitions += 1;
+            } else {
+                cross_process_transitions += 1;
+            }
+            guard_owners.extend(owners);
+        }
+        let token_fanout = (0..n_processes)
+            .map(|i| guard_owners.iter().filter(|&&o| o != i).count())
+            .collect();
+
+        // Worst case for a monitor on process `i` in state `s`: one event makes it
+        // evaluate every guard out of `s`; each remote literal must be resolved,
+        // each remote process contacted once per guard (request + reply).
+        let mut max_remote_literals = 0usize;
+        let mut max_messages = 0usize;
+        for i in 0..n_processes {
+            for (s, _) in reachable.iter().enumerate().filter(|&(_, &r)| r) {
+                let mut literals = 0usize;
+                let mut round_trips = 0usize;
+                for t in automaton.transitions_from(s) {
+                    let mut remote: BTreeSet<usize> = BTreeSet::new();
+                    for lit in t.guard.literals() {
+                        let owner = registry.owner(lit.atom);
+                        if owner != i {
+                            literals += 1;
+                            remote.insert(owner);
+                        }
+                    }
+                    round_trips += remote.len();
+                }
+                max_remote_literals = max_remote_literals.max(literals);
+                max_messages = max_messages.max(2 * round_trips);
+            }
+        }
+        CostPrediction {
+            token_fanout,
+            max_remote_literals_per_event: max_remote_literals,
+            max_messages_per_event: max_messages,
+            local_transitions,
+            cross_process_transitions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrv_ltl::parse;
+
+    fn predict(text: &str, n: usize) -> CostPrediction {
+        let mut registry = AtomRegistry::new();
+        let formula = parse(text, &mut registry).expect("parses");
+        let automaton = MonitorAutomaton::synthesize(&formula, &registry);
+        CostPrediction::predict(&automaton, &registry, n)
+    }
+
+    #[test]
+    fn single_process_spec_is_free() {
+        let cost = predict("G P0.p", 1);
+        assert_eq!(cost.token_fanout, vec![0]);
+        assert_eq!(cost.max_remote_literals_per_event, 0);
+        assert_eq!(cost.max_messages_per_event, 0);
+        assert_eq!(cost.cross_process_transitions, 0);
+        assert!(cost.local_transitions > 0);
+    }
+
+    #[test]
+    fn cross_process_guards_cost_round_trips() {
+        let cost = predict("F (P0.p && P1.p)", 2);
+        // Both processes appear in some guard, so each monitor has one peer.
+        assert_eq!(cost.token_fanout, vec![1, 1]);
+        assert!(cost.cross_process_transitions > 0);
+        assert!(cost.max_remote_literals_per_event > 0);
+        // Messages are round trips: always even, and at least one per remote literal
+        // batch.
+        assert_eq!(cost.max_messages_per_event % 2, 0);
+        assert!(cost.max_messages_per_event >= 2);
+    }
+
+    #[test]
+    fn extra_processes_still_get_fanout_numbers() {
+        // Monitors run on every configured process even when the spec ignores
+        // some: a 2-atom spec on 4 processes gives the idle monitors fanout 2.
+        let cost = predict("F (P0.p && P1.p)", 4);
+        assert_eq!(cost.token_fanout.len(), 4);
+        assert_eq!(cost.token_fanout[3], 2);
+    }
+}

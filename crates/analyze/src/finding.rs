@@ -1,0 +1,271 @@
+//! Findings: the analyzer's diagnostics, each carrying a stable lint ID, a
+//! severity, a human message and (when the spec came from LTL text) a byte span
+//! back into the formula source.
+//!
+//! The lint catalog is the contract CI scripts and tests key on: IDs are stable
+//! across releases (`DLRV-<group><number>`), severities may only be *lowered*
+//! within a major version.  Groups: `M` monitorability, `V` vacuity, `A`
+//! automaton hygiene, `C` deployment configuration.
+
+use std::fmt;
+
+/// How bad a finding is.  Ordered: `Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Worth knowing; never actionable on its own.
+    Info,
+    /// Probably a mistake; the monitor still runs.
+    Warn,
+    /// The deployment is broken or meaningless as specified.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in JSON and `--deny` arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a [`Severity::name`] form.
+    pub fn from_name(name: &str) -> Option<Severity> {
+        match name {
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The stable lint catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lint {
+    /// `DLRV-M001`: the formula is unsatisfiable — the monitor's initial verdict
+    /// is already ⊥.
+    Unsatisfiable,
+    /// `DLRV-M002`: the formula is a tautology — the initial verdict is already ⊤.
+    Tautology,
+    /// `DLRV-M003`: the spec is non-monitorable — some reachable monitor state can
+    /// reach neither ⊤ nor ⊥, so from there every verdict is `?` forever.
+    NonMonitorable,
+    /// `DLRV-V001`: an atom occurs in the formula but constrains no transition
+    /// guard — the property's value never depends on it (vacuous use).
+    VacuousAtom,
+    /// `DLRV-A001`: a monitor state is unreachable from the initial state.
+    UnreachableState,
+    /// `DLRV-A002`: a reachable `?` state can reach no final verdict (a `?`-trap);
+    /// per-state companion of [`Lint::NonMonitorable`].
+    UnknownTrapState,
+    /// `DLRV-A003`: two guard cubes out of the same state overlap while agreeing on
+    /// the target — redundant cover, larger than necessary.
+    OverlappingGuards,
+    /// `DLRV-A004`: the guards out of a state do not cover the full alphabet.
+    NonExhaustiveGuards,
+    /// `DLRV-A005`: two overlapping guards out of the same state disagree on the
+    /// target state — the symbolic transition relation is nondeterministic.
+    ConflictingGuards,
+    /// `DLRV-A006`: the synthesized automaton exceeds the construction budget
+    /// (alphabet, states or transitions).
+    ConstructionBudget,
+    /// `DLRV-C001`: an atom is owned by a process outside the configured count.
+    AtomOutOfRange,
+    /// `DLRV-C002`: a configured process owns no atom — it generates events the
+    /// monitors never read.
+    IdleProcess,
+    /// `DLRV-C003`: the derived initial channel values drive the monitor to a
+    /// final verdict at the very first cut, before any event.
+    InitialCutDecides,
+    /// `DLRV-C004`: three or more atoms of one process share a workload channel —
+    /// they alias and can never change value independently.
+    AliasedAtoms,
+    /// `DLRV-C005`: an atom does not follow the `P<i>.<name>` ownership
+    /// convention and defaults to process 0.
+    UnconventionalAtom,
+}
+
+impl Lint {
+    /// Every lint, in catalog order.
+    pub const ALL: [Lint; 15] = [
+        Lint::Unsatisfiable,
+        Lint::Tautology,
+        Lint::NonMonitorable,
+        Lint::VacuousAtom,
+        Lint::UnreachableState,
+        Lint::UnknownTrapState,
+        Lint::OverlappingGuards,
+        Lint::NonExhaustiveGuards,
+        Lint::ConflictingGuards,
+        Lint::ConstructionBudget,
+        Lint::AtomOutOfRange,
+        Lint::IdleProcess,
+        Lint::InitialCutDecides,
+        Lint::AliasedAtoms,
+        Lint::UnconventionalAtom,
+    ];
+
+    /// The stable ID (`DLRV-M001`, …) used in output, JSON and `--deny`/`--allow`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::Unsatisfiable => "DLRV-M001",
+            Lint::Tautology => "DLRV-M002",
+            Lint::NonMonitorable => "DLRV-M003",
+            Lint::VacuousAtom => "DLRV-V001",
+            Lint::UnreachableState => "DLRV-A001",
+            Lint::UnknownTrapState => "DLRV-A002",
+            Lint::OverlappingGuards => "DLRV-A003",
+            Lint::NonExhaustiveGuards => "DLRV-A004",
+            Lint::ConflictingGuards => "DLRV-A005",
+            Lint::ConstructionBudget => "DLRV-A006",
+            Lint::AtomOutOfRange => "DLRV-C001",
+            Lint::IdleProcess => "DLRV-C002",
+            Lint::InitialCutDecides => "DLRV-C003",
+            Lint::AliasedAtoms => "DLRV-C004",
+            Lint::UnconventionalAtom => "DLRV-C005",
+        }
+    }
+
+    /// Resolves a stable ID back to the lint.
+    pub fn from_id(id: &str) -> Option<Lint> {
+        Lint::ALL.iter().copied().find(|l| l.id() == id)
+    }
+
+    /// The catalog severity of this lint.
+    pub fn severity(self) -> Severity {
+        match self {
+            Lint::Unsatisfiable
+            | Lint::Tautology
+            | Lint::NonExhaustiveGuards
+            | Lint::ConflictingGuards
+            | Lint::AtomOutOfRange => Severity::Error,
+            Lint::NonMonitorable
+            | Lint::VacuousAtom
+            | Lint::UnreachableState
+            | Lint::ConstructionBudget
+            | Lint::IdleProcess
+            | Lint::InitialCutDecides
+            | Lint::AliasedAtoms
+            | Lint::UnconventionalAtom => Severity::Warn,
+            Lint::UnknownTrapState | Lint::OverlappingGuards => Severity::Info,
+        }
+    }
+
+    /// One-line catalog description (docs and `--explain`-style output).
+    pub fn description(self) -> &'static str {
+        match self {
+            Lint::Unsatisfiable => "formula is unsatisfiable; initial verdict is ⊥",
+            Lint::Tautology => "formula is a tautology; initial verdict is ⊤",
+            Lint::NonMonitorable => {
+                "non-monitorable: some reachable state can reach neither ⊤ nor ⊥"
+            }
+            Lint::VacuousAtom => "atom occurs in the formula but constrains no guard",
+            Lint::UnreachableState => "monitor state unreachable from the initial state",
+            Lint::UnknownTrapState => "reachable ? state from which no verdict is reachable",
+            Lint::OverlappingGuards => "redundant overlapping guard cubes (same target)",
+            Lint::NonExhaustiveGuards => "guards out of a state do not cover the alphabet",
+            Lint::ConflictingGuards => "overlapping guards disagree on the target state",
+            Lint::ConstructionBudget => "synthesized automaton exceeds the size budget",
+            Lint::AtomOutOfRange => "atom owned by a process outside the configured count",
+            Lint::IdleProcess => "process owns no atoms; its events are never read",
+            Lint::InitialCutDecides => {
+                "derived initial channel values decide the property at the first cut"
+            }
+            Lint::AliasedAtoms => "3+ atoms of one process share a workload channel",
+            Lint::UnconventionalAtom => "atom name ignores the P<i>.<name> convention",
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A half-open byte range into the spec's LTL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the spanned text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+/// One diagnostic produced by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which catalog entry fired.
+    pub lint: Lint,
+    /// Effective severity (the catalog default unless the caller re-leveled it).
+    pub severity: Severity,
+    /// Human-readable message with the specifics.
+    pub message: String,
+    /// Span into the LTL source text, when the spec has one and the finding
+    /// concerns a syntactic element (an atom, usually).
+    pub span: Option<Span>,
+}
+
+impl Finding {
+    /// A finding at catalog severity with no source span.
+    pub fn new(lint: Lint, message: impl Into<String>) -> Finding {
+        Finding {
+            lint,
+            severity: lint.severity(),
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Finding {
+        self.span = Some(span);
+        self
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.severity, self.lint.id(), self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_ids_are_unique_and_round_trip() {
+        let mut seen = std::collections::BTreeSet::new();
+        for lint in Lint::ALL {
+            assert!(seen.insert(lint.id()), "duplicate id {}", lint.id());
+            assert_eq!(Lint::from_id(lint.id()), Some(lint));
+            assert!(lint.id().starts_with("DLRV-"));
+        }
+        assert_eq!(Lint::from_id("DLRV-Z999"), None);
+    }
+
+    #[test]
+    fn severity_ordering_and_names() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        for s in [Severity::Info, Severity::Warn, Severity::Error] {
+            assert_eq!(Severity::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Severity::from_name("fatal"), None);
+    }
+
+    #[test]
+    fn finding_display_leads_with_severity_and_id() {
+        let f = Finding::new(Lint::IdleProcess, "process P3 owns no atoms");
+        assert_eq!(format!("{f}"), "warn [DLRV-C002] process P3 owns no atoms");
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based pinning of the analyzer's classifications against ground truth.
+//!
+//! The classifier only reads the synthesized Moore machine, so each claim it makes
+//! is checked here against an independent oracle on random formulas:
+//!
+//! * trivially-⊥ / trivially-⊤ classifications against the [`evaluate_lasso`]
+//!   reference semantics (no lasso may satisfy an unsatisfiable formula, none may
+//!   violate a tautology);
+//! * safety / co-safety against the verdicts actually produced by running the
+//!   monitor over random finite words (safety ⇒ ⊤ is never announced, co-safety ⇒
+//!   ⊥ is never announced);
+//! * analyzer-unreachable states against explicit [`MonitorAutomaton::step`] runs
+//!   (a state the analyzer calls unreachable must never be visited).
+//!
+//! Formulas are drawn by the same seeded recursive generator as the synthesis
+//! pinning tests in `dlrv-automaton`.
+
+use dlrv_analyze::{MonitorabilityClass, VerdictReachability};
+use dlrv_automaton::MonitorAutomaton;
+use dlrv_ltl::{evaluate_lasso, Assignment, AtomId, AtomRegistry, Formula, Verdict};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a random formula over `n_atoms` atoms with at most `budget` AST nodes.
+fn random_formula(rng: &mut StdRng, n_atoms: u32, budget: usize) -> Formula {
+    if budget <= 1 {
+        return match rng.gen_range(0u32..6) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::Atom(AtomId(rng.gen_range(0..n_atoms))),
+        };
+    }
+    let half = budget / 2;
+    match rng.gen_range(0u32..8) {
+        0 => Formula::Atom(AtomId(rng.gen_range(0..n_atoms))),
+        1 => Formula::not(random_formula(rng, n_atoms, budget - 1)),
+        2 => Formula::and(
+            random_formula(rng, n_atoms, half),
+            random_formula(rng, n_atoms, half),
+        ),
+        3 => Formula::or(
+            random_formula(rng, n_atoms, half),
+            random_formula(rng, n_atoms, half),
+        ),
+        4 => Formula::next(random_formula(rng, n_atoms, budget - 1)),
+        5 => Formula::until(
+            random_formula(rng, n_atoms, half),
+            random_formula(rng, n_atoms, half),
+        ),
+        6 => Formula::release(
+            random_formula(rng, n_atoms, half),
+            random_formula(rng, n_atoms, half),
+        ),
+        _ => Formula::eventually(random_formula(rng, n_atoms, budget - 1)),
+    }
+}
+
+/// A registry with one `P<i>.p`-style atom per process, as the monitors expect.
+fn registry(n_atoms: u32) -> AtomRegistry {
+    let mut reg = AtomRegistry::new();
+    for i in 0..n_atoms {
+        reg.intern(&format!("P{i}.p"), i as usize);
+    }
+    reg
+}
+
+fn random_word(rng: &mut StdRng, n_atoms: u32, len: usize) -> Vec<Assignment> {
+    (0..len)
+        .map(|_| Assignment(rng.gen_range(0u64..(1u64 << n_atoms))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Trivial classifications match the lasso semantics: a trivially-⊥ formula is
+    /// violated by every sampled lasso, a trivially-⊤ one satisfied by every one —
+    /// and both pin the monitor's initial verdict.
+    #[test]
+    fn trivial_classifications_agree_with_lasso_semantics(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_atoms = rng.gen_range(1u32..=3);
+        let formula = random_formula(&mut rng, n_atoms, 7);
+        let monitor = MonitorAutomaton::synthesize(&formula, &registry(n_atoms));
+        let class = VerdictReachability::of(&monitor).classification(&monitor);
+
+        match class {
+            MonitorabilityClass::TriviallyFalse => {
+                prop_assert!(monitor.verdict(monitor.initial) == Verdict::False);
+                for _ in 0..8 {
+                    let prefix_len = rng.gen_range(0..=2);
+                    let cycle_len = rng.gen_range(1..=2);
+                    let prefix = random_word(&mut rng, n_atoms, prefix_len);
+                    let cycle = random_word(&mut rng, n_atoms, cycle_len);
+                    prop_assert!(
+                        !evaluate_lasso(&formula, &prefix, &cycle),
+                        "trivially-⊥ {formula} satisfied by {prefix:?}({cycle:?})^ω"
+                    );
+                }
+            }
+            MonitorabilityClass::TriviallyTrue => {
+                prop_assert!(monitor.verdict(monitor.initial) == Verdict::True);
+                for _ in 0..8 {
+                    let prefix_len = rng.gen_range(0..=2);
+                    let cycle_len = rng.gen_range(1..=2);
+                    let prefix = random_word(&mut rng, n_atoms, prefix_len);
+                    let cycle = random_word(&mut rng, n_atoms, cycle_len);
+                    prop_assert!(
+                        evaluate_lasso(&formula, &prefix, &cycle),
+                        "trivially-⊤ {formula} violated by {prefix:?}({cycle:?})^ω"
+                    );
+                }
+            }
+            _ => prop_assert!(monitor.verdict(monitor.initial) == Verdict::Unknown),
+        }
+    }
+
+    /// The safety/co-safety split bounds what the running monitor may announce: a
+    /// safety monitor never reaches ⊤ on any finite word, a co-safety monitor
+    /// never reaches ⊥.
+    #[test]
+    fn safety_split_bounds_reachable_verdicts(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_atoms = rng.gen_range(1u32..=3);
+        let formula = random_formula(&mut rng, n_atoms, 7);
+        let monitor = MonitorAutomaton::synthesize(&formula, &registry(n_atoms));
+        let class = VerdictReachability::of(&monitor).classification(&monitor);
+
+        for _ in 0..12 {
+            let len = rng.gen_range(0..=5);
+            let word = random_word(&mut rng, n_atoms, len);
+            let verdict = monitor.evaluate(&word);
+            match class {
+                MonitorabilityClass::Safety => prop_assert!(
+                    verdict != Verdict::True,
+                    "safety {formula} announced ⊤ on {word:?}"
+                ),
+                MonitorabilityClass::CoSafety => prop_assert!(
+                    verdict != Verdict::False,
+                    "co-safety {formula} announced ⊥ on {word:?}"
+                ),
+                _ => {}
+            }
+        }
+    }
+
+    /// A state the analyzer calls unreachable is never visited by explicit `step`
+    /// runs from the initial state.
+    #[test]
+    fn unreachable_states_are_never_visited(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_atoms = rng.gen_range(1u32..=3);
+        let formula = random_formula(&mut rng, n_atoms, 7);
+        let monitor = MonitorAutomaton::synthesize(&formula, &registry(n_atoms));
+        let reach = VerdictReachability::of(&monitor);
+
+        for _ in 0..8 {
+            let mut state = monitor.initial;
+            prop_assert!(reach.reachable[state]);
+            for sigma in random_word(&mut rng, n_atoms, 6) {
+                state = monitor.step(state, sigma);
+                prop_assert!(
+                    reach.reachable[state],
+                    "{formula}: step reached q{state}, which the analyzer calls \
+                     unreachable"
+                );
+            }
+        }
+    }
+}

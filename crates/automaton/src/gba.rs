@@ -117,6 +117,10 @@ impl GeneralizedBuchi {
 
     /// One acceptance set per until-subformula `a U b`:
     /// `F = { q | (a U b) ∉ old(q)  ∨  b ∈ old(q) }`.
+    ///
+    /// `b = true` needs care: expansion discharges `true` without recording it in
+    /// `old`, so the membership test would never hold even though the promise is
+    /// fulfilled at every node — the set is all nodes in that case.
     fn acceptance_sets(formula: &Formula, nodes: &[Node]) -> Vec<BTreeSet<NodeId>> {
         let mut untils = Vec::new();
         collect_untils(formula, &mut untils);
@@ -124,7 +128,11 @@ impl GeneralizedBuchi {
             .into_iter()
             .map(|(u, b)| {
                 (1..nodes.len())
-                    .filter(|&q| !nodes[q].old.contains(&u) || nodes[q].old.contains(&b))
+                    .filter(|&q| {
+                        b == Formula::True
+                            || !nodes[q].old.contains(&u)
+                            || nodes[q].old.contains(&b)
+                    })
                     .collect()
             })
             .collect()
@@ -472,6 +480,19 @@ mod tests {
         // G a == false R a has none.
         let h = Formula::globally(a(0));
         assert_eq!(GeneralizedBuchi::build(&h).acceptance_sets.len(), 0);
+    }
+
+    #[test]
+    fn recurring_until_with_true_rhs_stays_live() {
+        // G (a U true) ≡ G true: the until obligation recurs forever and its RHS
+        // `true` is discharged without ever entering `old`, so the acceptance set
+        // must not come out empty (regression: this synthesized as unsatisfiable).
+        let f = Formula::globally(Formula::until(a(0), Formula::True));
+        let gba = GeneralizedBuchi::build(&f);
+        assert!(
+            gba.successors(INIT_NODE).iter().any(|&q| gba.is_live(q)),
+            "G (a U true) is a tautology, its language must be non-empty"
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //!    (disjunctive guards become several conjunctive transitions, §4.3.3).
 //! 4. [`dot`] — Graphviz export used to regenerate Figures 5.2 and 5.3.
 
+#![forbid(unsafe_code)]
+
 pub mod dfa;
 pub mod dot;
 pub mod gba;
@@ -26,4 +28,6 @@ pub mod monitor;
 
 pub use dfa::Dfa;
 pub use gba::GeneralizedBuchi;
-pub use monitor::{MonitorAutomaton, StateId, SymbolicTransition, TransitionCounts};
+pub use monitor::{
+    MonitorAutomaton, StateId, SymbolicTransition, SynthesisReport, TransitionCounts,
+};

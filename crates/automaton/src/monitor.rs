@@ -49,6 +49,34 @@ pub struct TransitionCounts {
     pub self_loops: usize,
 }
 
+/// Construction-size statistics of one synthesis run: how large every intermediate
+/// artifact of the `formula → GBA → DFA → product → minimized Moore machine`
+/// pipeline got.  This is the raw material of the static size/budget analysis
+/// (`dlrv-analyze`) and of Table-5.1-style construction reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisReport {
+    /// Atoms in the registry (the alphabet is `2^n_atoms`).
+    pub n_atoms: usize,
+    /// Size of the explicit alphabet enumerated by the subset construction.
+    pub alphabet_size: usize,
+    /// Tableau (GBA) nodes for the formula φ.
+    pub gba_nodes_pos: usize,
+    /// Tableau (GBA) nodes for the negation ¬φ.
+    pub gba_nodes_neg: usize,
+    /// Subset-construction DFA states for φ.
+    pub dfa_states_pos: usize,
+    /// Subset-construction DFA states for ¬φ.
+    pub dfa_states_neg: usize,
+    /// Reachable product states before Moore minimization.
+    pub product_states: usize,
+    /// States of the minimized monitor.
+    pub states: usize,
+    /// Symbolic conjunctive-cube transitions of the minimized monitor.
+    pub transitions: TransitionCounts,
+    /// The largest number of cubes labelling transitions out of a single state.
+    pub max_cubes_per_state: usize,
+}
+
 /// The LTL₃ monitor automaton (deterministic Moore machine).
 #[derive(Debug, Clone)]
 pub struct MonitorAutomaton {
@@ -73,9 +101,22 @@ impl MonitorAutomaton {
     /// occurring in the formula) so that monitors of different properties over the same
     /// program agree on symbol encoding.
     pub fn synthesize(formula: &Formula, registry: &AtomRegistry) -> MonitorAutomaton {
+        Self::synthesize_with_report(formula, registry).0
+    }
+
+    /// Like [`synthesize`](Self::synthesize), but also reports how large every
+    /// intermediate construction got (see [`SynthesisReport`]).
+    pub fn synthesize_with_report(
+        formula: &Formula,
+        registry: &AtomRegistry,
+    ) -> (MonitorAutomaton, SynthesisReport) {
         let n_atoms = registry.len();
-        let dfa_pos = Dfa::from_gba(&GeneralizedBuchi::build(formula), n_atoms);
-        let dfa_neg = Dfa::from_gba(&GeneralizedBuchi::build(&formula.negated_nnf()), n_atoms);
+        let gba_pos = GeneralizedBuchi::build(formula);
+        let gba_neg = GeneralizedBuchi::build(&formula.negated_nnf());
+        let gba_nodes_pos = gba_pos.nodes.len();
+        let gba_nodes_neg = gba_neg.nodes.len();
+        let dfa_pos = Dfa::from_gba(&gba_pos, n_atoms);
+        let dfa_neg = Dfa::from_gba(&gba_neg, n_atoms);
 
         // Product construction over reachable pairs.
         let n_symbols = 1usize << n_atoms;
@@ -114,20 +155,38 @@ impl MonitorAutomaton {
             table[s] = row;
         }
 
+        let product_states = pairs.len();
         let (min_table, min_verdicts, min_initial) =
             minimize_moore(&table, &verdicts, 0, n_symbols);
 
         let transitions =
             symbolic_transitions(&min_table, &min_verdicts, n_atoms, n_symbols);
 
-        MonitorAutomaton {
+        let automaton = MonitorAutomaton {
             formula: formula.clone(),
             n_atoms,
             verdicts: min_verdicts,
             initial: min_initial,
             table: min_table,
             transitions,
+        };
+        let mut cubes_per_state = vec![0usize; automaton.n_states()];
+        for t in &automaton.transitions {
+            cubes_per_state[t.from] += 1;
         }
+        let report = SynthesisReport {
+            n_atoms,
+            alphabet_size: n_symbols,
+            gba_nodes_pos,
+            gba_nodes_neg,
+            dfa_states_pos: dfa_pos.n_states,
+            dfa_states_neg: dfa_neg.n_states,
+            product_states,
+            states: automaton.n_states(),
+            transitions: automaton.transition_counts(),
+            max_cubes_per_state: cubes_per_state.iter().copied().max().unwrap_or(0),
+        };
+        (automaton, report)
     }
 
     fn verdict_of(dfa_pos: &Dfa, dfa_neg: &Dfa, (p, q): (usize, usize)) -> Verdict {
@@ -196,6 +255,66 @@ impl MonitorAutomaton {
     /// The transition with identifier `id`.
     pub fn transition(&self, id: usize) -> &SymbolicTransition {
         &self.transitions[id]
+    }
+
+    /// Size of the explicit alphabet (`2^n_atoms`).
+    pub fn n_symbols(&self) -> usize {
+        1usize << self.n_atoms
+    }
+
+    /// The explicit successor row of `state`: one target per alphabet symbol, in
+    /// symbol order.  Exposed for static analysis (reachability, exhaustiveness).
+    pub fn successor_row(&self, state: StateId) -> &[StateId] {
+        &self.table[state]
+    }
+
+    /// States reachable from `from` by any word (including `from` itself).
+    pub fn reachable_from(&self, from: StateId) -> Vec<bool> {
+        let mut seen = vec![false; self.n_states()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(s) = stack.pop() {
+            for &t in &self.table[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// States reachable from the initial state.
+    pub fn reachable_states(&self) -> Vec<bool> {
+        self.reachable_from(self.initial)
+    }
+
+    /// Backward reachability: for every state, whether some state outputting
+    /// `verdict` is reachable from it (trivially true for states already outputting
+    /// it).  This is the core of the monitorability analysis — a state from which
+    /// neither ⊤ nor ⊥ is reachable can never conclude.
+    pub fn states_reaching(&self, verdict: Verdict) -> Vec<bool> {
+        let n = self.n_states();
+        let mut predecessors: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for (s, row) in self.table.iter().enumerate() {
+            for &t in row {
+                predecessors[t].push(s);
+            }
+        }
+        let mut can = vec![false; n];
+        let mut stack: Vec<StateId> = (0..n).filter(|&s| self.verdicts[s] == verdict).collect();
+        for &s in &stack {
+            can[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &predecessors[s] {
+                if !can[p] {
+                    can[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        can
     }
 
     /// Transition statistics (Table 5.1).

@@ -4,6 +4,8 @@
 //! by a function in this crate; the `experiments` binary prints them as text tables
 //! and the Criterion benches time the underlying runs.
 
+#![forbid(unsafe_code)]
+
 use dlrv_automaton::MonitorAutomaton;
 use dlrv_core::{run_experiment, ExperimentConfig, PaperProperty, Scenario, ScenarioRegistry};
 use dlrv_monitor::RunMetrics;

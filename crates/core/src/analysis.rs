@@ -1,0 +1,242 @@
+//! Spec-level entry points into the static analyzer (`dlrv-analyze`).
+//!
+//! The analyzer itself sits below this crate (it knows formulas, automata and atom
+//! ownership, not [`PropertySpec`]s), so this module does the elaboration it cannot:
+//! building the spec at a *safe* process count even when the configured count is too
+//! small (that misconfiguration must become lint `DLRV-C001`, not a panic), deriving
+//! the initial global state from the spec's initial channel values, and joining the
+//! predicted decentralization cost against measured benchmark records.
+
+use crate::results::ScenarioRecord;
+use crate::spec::{CompiledProperty, PropertySpec};
+use dlrv_analyze::{
+    analyze, to_dot_annotated, AnalysisInput, Budget, MeasuredOverhead, PropertyAnalysis,
+};
+use dlrv_automaton::MonitorAutomaton;
+use dlrv_ltl::{Assignment, AtomLayout, AtomRegistry};
+
+/// Derives the initial global state a run of `spec` would start from: the spec's
+/// initial channel values applied to every process's channel-bound atoms.
+pub fn initial_global_state_for(
+    spec: &PropertySpec,
+    registry: &AtomRegistry,
+    n_processes: usize,
+) -> Assignment {
+    let layout = AtomLayout::from_registry(registry, n_processes);
+    let (p0, q0) = spec.initial_channels();
+    let mut state = Assignment::ALL_FALSE;
+    for process in 0..n_processes {
+        layout.apply_channels(process, p0, q0, &mut state);
+    }
+    state
+}
+
+/// Statically analyzes `spec` as configured for `n_processes` processes.
+///
+/// Unlike [`PropertySpec::build`], this never panics on a too-small process count:
+/// the spec is elaborated at `max(n_processes, min_processes)` and the analyzer
+/// reports the mismatch as `DLRV-C001`.
+pub fn analyze_spec(
+    spec: &PropertySpec,
+    n_processes: usize,
+    budget: Budget,
+) -> PropertyAnalysis {
+    let effective = n_processes.max(spec.min_processes());
+    let (formula, registry) = spec.build(effective);
+    let (automaton, synthesis) = MonitorAutomaton::synthesize_with_report(&formula, &registry);
+    let initial_gstate = initial_global_state_for(spec, &registry, effective);
+    analyze(&AnalysisInput {
+        name: spec.name(),
+        ltl_source: spec.ltl_source(),
+        formula: &formula,
+        registry: &registry,
+        automaton: &automaton,
+        synthesis,
+        n_processes,
+        initial_gstate,
+        budget,
+    })
+}
+
+/// Analyzes `spec` and renders the annotated DOT export in one go.
+///
+/// This is the `--emit-dot` path: same digraph as [`CompiledProperty::to_dot`], plus
+/// verdict-reachability colors, dashed unreachable states and `(trap)` markers.
+pub fn analyze_to_dot(spec: &PropertySpec, n_processes: usize) -> String {
+    let effective = n_processes.max(spec.min_processes());
+    let (formula, registry) = spec.build(effective);
+    let (automaton, synthesis) = MonitorAutomaton::synthesize_with_report(&formula, &registry);
+    let initial_gstate = initial_global_state_for(spec, &registry, effective);
+    let analysis = analyze(&AnalysisInput {
+        name: spec.name(),
+        ltl_source: spec.ltl_source(),
+        formula: &formula,
+        registry: &registry,
+        automaton: &automaton,
+        synthesis,
+        n_processes,
+        initial_gstate,
+        budget: Budget::default(),
+    });
+    to_dot_annotated(
+        &automaton,
+        &registry,
+        &analysis,
+        &format!("{} ({} procs)", spec.name(), effective),
+    )
+}
+
+impl CompiledProperty {
+    /// Statically analyzes this compiled property (default [`Budget`]).
+    pub fn analyze(&self) -> PropertyAnalysis {
+        analyze_spec(&self.spec, self.n_processes, Budget::default())
+    }
+}
+
+/// Finds the measured decentralization cost matching `analysis` in benchmark
+/// records: the first record with the same property name and process count that
+/// actually moved events.  Offline families measure real monitor messages, so
+/// throughput records (which do not exchange tokens) are skipped.
+pub fn measured_overhead_for(
+    analysis: &PropertyAnalysis,
+    records: &[ScenarioRecord],
+) -> Option<MeasuredOverhead> {
+    records
+        .iter()
+        .filter(|r| r.scenario.stream.is_none())
+        .filter(|r| {
+            r.scenario.config.property.name() == analysis.name
+                && r.scenario.config.n_processes == analysis.n_processes.max(1)
+                && r.avg.total_events > 0
+        })
+        .map(|r| MeasuredOverhead {
+            scenario: r.scenario.name.clone(),
+            msgs_per_event: r.avg.monitor_messages as f64 / r.avg.total_events as f64,
+        })
+        .next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::PaperProperty;
+    use crate::scenario::ScenarioRegistry;
+    use dlrv_analyze::{MonitorabilityClass, Severity};
+
+    #[test]
+    fn every_registry_scenario_analyzes_without_errors() {
+        // The acceptance gate of `--target analyze --deny error`: the shipped
+        // registry must be clean at error severity (warn/info findings are fine —
+        // e.g. the request-response custom property is legitimately
+        // non-monitorable and the analyzer must say so).
+        //
+        // Scenario families reuse (property, process-count) pairs, so analyze each
+        // pair once; debug builds additionally skip the 10-atom five-process
+        // giants (1024-symbol synthesis is minutes unoptimized) — CI's release
+        // `--target analyze` run covers the full registry.
+        let mut seen = std::collections::BTreeSet::new();
+        for scenario in ScenarioRegistry::standard().iter() {
+            let key = (
+                scenario.config.property.name().to_string(),
+                scenario.config.n_processes,
+            );
+            if !seen.insert(key) {
+                continue;
+            }
+            if cfg!(debug_assertions) && scenario.config.n_processes >= 5 {
+                continue;
+            }
+            let analysis = analyze_spec(
+                &scenario.config.property,
+                scenario.config.n_processes,
+                Budget::default(),
+            );
+            let errors: Vec<_> = analysis
+                .findings
+                .iter()
+                .filter(|f| f.severity >= Severity::Error)
+                .collect();
+            assert!(
+                errors.is_empty(),
+                "scenario {} has error findings: {errors:?}",
+                scenario.name
+            );
+            assert!(
+                !analysis.classification.is_trivial(),
+                "scenario {} property is trivial: {:?}",
+                scenario.name,
+                analysis.classification
+            );
+        }
+    }
+
+    #[test]
+    fn paper_properties_classify_sensibly() {
+        // Property B is the rendezvous reachability property F(p0 && ... && pn):
+        // co-safety.  Property A is an until-invariant: its violation is
+        // detectable, ⊤ never is (safety).
+        let b = analyze_spec(&PropertySpec::paper(PaperProperty::B), 2, Budget::default());
+        assert_eq!(b.classification, MonitorabilityClass::CoSafety);
+        let a = analyze_spec(&PropertySpec::paper(PaperProperty::A), 2, Budget::default());
+        assert!(
+            matches!(
+                a.classification,
+                MonitorabilityClass::Safety | MonitorabilityClass::Monitorable
+            ),
+            "{:?}",
+            a.classification
+        );
+    }
+
+    #[test]
+    fn compiled_property_analyze_matches_free_function() {
+        let spec = PropertySpec::parse("F (P0.p && P1.p)").expect("valid LTL");
+        let compiled = CompiledProperty::compile(&spec, 2);
+        assert_eq!(compiled.analyze(), analyze_spec(&spec, 2, Budget::default()));
+    }
+
+    #[test]
+    fn too_few_processes_lints_instead_of_panicking() {
+        let spec = PropertySpec::parse("F (P2.p)").expect("valid LTL");
+        let analysis = analyze_spec(&spec, 2, Budget::default());
+        assert_eq!(analysis.n_processes, 2);
+        assert!(analysis
+            .findings
+            .iter()
+            .any(|f| f.lint.id() == "DLRV-C001"));
+    }
+
+    #[test]
+    fn annotated_dot_is_a_digraph_with_named_guards() {
+        let spec = PropertySpec::paper(PaperProperty::B);
+        let dot = analyze_to_dot(&spec, 2);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("P0.p"));
+        assert!(dot.contains("q_top"));
+        assert!(dot.contains("classification: co_safety"), "{dot}");
+    }
+
+    #[test]
+    fn measured_overhead_joins_on_property_and_process_count() {
+        let registry = ScenarioRegistry::standard();
+        let scenario = registry.get("paper-B-n2").expect("registered").clone();
+        let mut record = ScenarioRecord {
+            scenario,
+            avg: Default::default(),
+            per_seed: Vec::new(),
+            detected_verdicts: Default::default(),
+        };
+        record.avg.total_events = 100;
+        record.avg.monitor_messages = 250;
+        let analysis =
+            analyze_spec(&PropertySpec::paper(PaperProperty::B), 2, Budget::default());
+        let measured =
+            measured_overhead_for(&analysis, std::slice::from_ref(&record)).expect("joined");
+        assert_eq!(measured.scenario, "paper-B-n2");
+        assert!((measured.msgs_per_event - 2.5).abs() < 1e-12);
+        // A different process count must not join.
+        let analysis5 =
+            analyze_spec(&PropertySpec::paper(PaperProperty::B), 5, Budget::default());
+        assert!(measured_overhead_for(&analysis5, std::slice::from_ref(&record)).is_none());
+    }
+}

@@ -21,12 +21,19 @@
 //!   [`dlrv_stream`] runtime.
 //! * [`results`] — the machine-readable `BENCH_results.json` pipeline: sweep
 //!   results serialized over [`dlrv_json`] and parsed back field-for-field.
+//! * [`analysis`] — spec-level entry points into the static analyzer
+//!   ([`dlrv_analyze`]): monitorability classification, automaton hygiene and
+//!   decentralization cost prediction without running a workload
+//!   (`--target analyze`).
 //!
 //! The lower-level building blocks are re-exported from their crates: LTL syntax
 //! ([`dlrv_ltl`]), monitor-automaton synthesis ([`dlrv_automaton`]), vector clocks and
 //! lattices ([`dlrv_vclock`]), workload generation ([`dlrv_trace`]), the execution
 //! substrates ([`dlrv_distsim`]) and the monitoring algorithms ([`dlrv_monitor`]).
 
+#![forbid(unsafe_code)]
+
+pub mod analysis;
 pub mod experiment;
 pub mod properties;
 pub mod results;
@@ -35,6 +42,9 @@ pub mod spec;
 pub mod system;
 pub mod throughput;
 
+pub use analysis::{
+    analyze_spec, analyze_to_dot, initial_global_state_for, measured_overhead_for,
+};
 pub use experiment::{
     average_metrics, effective_jobs, parallel_map_indexed, run_experiment,
     run_experiment_with_options, run_single, set_jobs, ExperimentConfig, ExperimentResult,
@@ -48,6 +58,7 @@ pub use scenario::{Scenario, ScenarioFamily, ScenarioRegistry, StreamParams};
 pub use system::{MonitoredSystem, MonitoringOutcome};
 pub use throughput::run_throughput;
 
+pub use dlrv_analyze;
 pub use dlrv_automaton;
 pub use dlrv_distsim;
 pub use dlrv_json;

@@ -15,6 +15,8 @@
 //!
 //! Monitors plug in through the [`MonitorBehavior`] trait.
 
+#![forbid(unsafe_code)]
+
 pub mod behavior;
 pub mod engine;
 pub mod threaded;

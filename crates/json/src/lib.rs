@@ -9,6 +9,8 @@
 //! seeds round-trip exactly, and floats are printed with Rust's shortest
 //! round-trip formatting, making `parse(print(v)) == v` hold for every finite value.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// A JSON value.
@@ -523,7 +525,10 @@ impl Parser<'_> {
                     // Consume one UTF-8 character (input is a &str, so it is valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| JsonError::at("invalid UTF-8", self.pos))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .expect("the Some(_) arm guarantees at least one byte");
                     if (c as u32) < 0x20 {
                         return Err(JsonError::at("raw control character in string", self.pos));
                     }

@@ -22,6 +22,8 @@
 //! The crate is deliberately free of any distributed-systems machinery; it only deals
 //! with formulas, propositions and assignments.
 
+#![forbid(unsafe_code)]
+
 pub mod atoms;
 pub mod parser;
 pub mod predicate;

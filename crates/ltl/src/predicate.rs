@@ -325,11 +325,13 @@ impl Predicate {
             Formula::True => Predicate::top(),
             Formula::False => Predicate::bottom(),
             Formula::Atom(a) => Predicate {
-                cubes: vec![Cube::new([Literal::pos(*a)]).unwrap()],
+                cubes: vec![Cube::new([Literal::pos(*a)])
+                    .expect("a single literal is never contradictory")],
             },
             Formula::Not(inner) => match &**inner {
                 Formula::Atom(a) => Predicate {
-                    cubes: vec![Cube::new([Literal::neg(*a)]).unwrap()],
+                    cubes: vec![Cube::new([Literal::neg(*a)])
+                        .expect("a single literal is never contradictory")],
                 },
                 other => panic!("formula not in NNF: negation of {other}"),
             },

@@ -58,6 +58,8 @@
 //! assert!(session.monitor_messages() > 0, "the witness needed token traffic");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod centralized;
 pub mod decentralized;
 pub mod feed;

@@ -52,6 +52,8 @@
 //! assert_eq!(decoded, records);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod runtime;
 

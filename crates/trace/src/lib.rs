@@ -17,6 +17,8 @@
 //!   communication), which is what the scenario registry in `dlrv-core` builds on.
 //! * [`mod@format`] — JSON (de)serialization of trace files.
 
+#![forbid(unsafe_code)]
+
 pub mod distribution;
 pub mod format;
 pub mod workload;

@@ -37,6 +37,8 @@
 //! assert_eq!(send.join(&other).entries(), &[2, 0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod fixtures;
 pub mod intern;

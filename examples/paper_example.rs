@@ -20,8 +20,8 @@ use std::sync::Arc;
 
 fn main() {
     let (comp, mut reg) = running_example();
-    let x1ge5 = reg.lookup("x1>=5").unwrap();
-    let x2ge15 = reg.lookup("x2>=15").unwrap();
+    let x1ge5 = reg.lookup("x1>=5").expect("registered by running_example");
+    let x2ge15 = reg.lookup("x2>=15").expect("registered by running_example");
     let x1eq10 = reg.intern("x1==10", 0);
 
     // ψ = G((x1>=5) -> ((x2>=15) U (x1==10)))  — the property of Fig. 2.3.

@@ -45,10 +45,10 @@ fn main() {
         let reg = sys.registry_mut();
         use dlrv_core::dlrv_ltl::Formula;
         let p = |reg: &mut dlrv_core::dlrv_ltl::AtomRegistry, i: usize| {
-            Formula::Atom(reg.lookup(&format!("P{i}.p")).unwrap())
+            Formula::Atom(reg.lookup(&format!("P{i}.p")).expect("interned by the workload"))
         };
         let q = |reg: &mut dlrv_core::dlrv_ltl::AtomRegistry, i: usize| {
-            Formula::Atom(reg.lookup(&format!("P{i}.q")).unwrap())
+            Formula::Atom(reg.lookup(&format!("P{i}.q")).expect("interned by the workload"))
         };
         Formula::globally(Formula::until(
             Formula::conj((0..n).map(|i| p(reg, i))),
@@ -69,7 +69,7 @@ fn main() {
     // Reachability: eventually every drone has confirmed its waypoint.
     let outcome2 = MonitoredSystem::new(n)
         .property("F (P0.q && P1.q && P2.q && P3.q)")
-        .unwrap()
+        .expect("valid LTL")
         .workload(workload)
         .run();
     println!("\n-- all-waypoints-confirmed (reachability) --");

@@ -18,6 +18,9 @@
 //! cargo run --release --bin experiments -- --emit-dot paper-A-n2
 //! cargo run --release --bin experiments -- --property 'F(P0.p && P1.p)' --emit-dot property
 //! cargo run --release --bin experiments -- --validate-results BENCH_results.json
+//! cargo run --release --bin experiments -- --target analyze --deny error
+//! cargo run --release --bin experiments -- --target analyze --results BENCH_results.json
+//! cargo run --release --bin experiments -- --analyze-property 'G(P0.req -> F P1.ack)'
 //! ```
 //!
 //! Targets select what to run: the classic figure/table targets print the paper's
@@ -43,14 +46,31 @@
 //! to the named scenarios, so a single data point can be (re)run without the whole
 //! sweep; unknown names and names outside the requested target are rejected.
 //!
-//! `--format json` (valid for `sweep` and `throughput`, one registry target at a
-//! time) emits the `BENCH_results.json` document (see `dlrv_core::results` for the
-//! schema) instead of a text table, and `--out PATH` redirects it to a file.
+//! `--target analyze` statically analyzes the registry's properties — no workload
+//! runs — through the `dlrv-analyze` crate: monitorability classification, automaton
+//! hygiene, predicted decentralization cost (joined against measured numbers when
+//! `--results PATH` points at a benchmark document) and configuration lints.
+//! `--analyze-property VALUE` does the same for one ad-hoc property, where `VALUE`
+//! is LTL text or the path of a `--property-file`-style file.  `--deny
+//! warn|error|LINT-ID[,…]` makes matching findings exit non-zero (the CI gate),
+//! `--allow LINT-ID[,…]` suppresses specific lints, and `--budget
+//! alphabet=N,states=N,transitions=N` re-sizes the construction budget behind
+//! `DLRV-A006`; unknown lint IDs suggest the closest catalog name.  See
+//! `docs/ANALYSIS.md` for the lint catalog.
+//!
+//! `--format json` (valid for the registry targets) emits the `BENCH_results.json`
+//! document (see `dlrv_core::results` for the schema) instead of a text table, and
+//! `--out PATH` redirects it to a file.  Several run targets may be combined into
+//! one document (`--target sweep --target throughput --format json`); the `analyze`
+//! target emits its own document (`dlrv_analyze::report`) and must stand alone.
 //! `--validate-results PATH` re-parses a results document with the in-tree parser
-//! (`sweep_from_json`) and fails loudly on schema drift — CI uses it instead of an
-//! external JSON tool.  Unknown formats, `--out` without `--format json`, and
-//! `--format json` with a text-only target are rejected with an error — nothing
-//! is silently ignored.
+//! (`sweep_from_json`, or `analyses_from_json` when the document's `generator` is
+//! `dlrv-analyze`) and fails loudly on schema drift — CI uses it instead of an
+//! external JSON tool; `--require-family NAME[,…]` additionally fails unless the
+//! document contains scenarios of each named family with real measurements
+//! (non-zero `events_per_sec` for `throughput`).  Unknown formats, `--out` without
+//! `--format json`, and `--format json` with a text-only target are rejected with
+//! an error — nothing is silently ignored.
 //!
 //! `--jobs N` (or the `DLRV_JOBS` environment variable) caps the worker threads used
 //! to fan out independent seeds and configurations; the default uses every core.
@@ -64,9 +84,14 @@
 
 use dlrv_automaton::{dot, MonitorAutomaton};
 use dlrv_bench::{comm_frequency_run, paper_run, transition_counts, PROCESS_COUNTS};
+use dlrv_core::dlrv_analyze::{
+    analyses_from_json, analyses_to_json, AnalysisRecord, Budget, Finding, Lint, Severity,
+    ANALYSIS_GENERATOR,
+};
 use dlrv_core::{
-    parallel_map_indexed, set_jobs, sweep_to_json, CompiledProperty, ExperimentConfig,
-    ExperimentResult, PaperProperty, PropertySpec, PropertySpecError, Scenario, ScenarioFamily,
+    analyze_spec, analyze_to_dot, measured_overhead_for, parallel_map_indexed, set_jobs,
+    sweep_from_json, sweep_to_json, CompiledProperty, ExperimentConfig, ExperimentResult,
+    PaperProperty, PropertySpec, PropertySpecError, Scenario, ScenarioFamily, ScenarioRecord,
     ScenarioRegistry,
 };
 use dlrv_monitor::{MonitorOptions, RunMetrics};
@@ -77,9 +102,9 @@ use std::process::exit;
 const EVENTS: usize = 20;
 
 /// Everything a target argument may select.
-const KNOWN_TARGETS: [&str; 13] = [
+const KNOWN_TARGETS: [&str; 14] = [
     "all", "table5_1", "automata_dot", "fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8",
-    "fig5_9", "sweep", "throughput", "overhead", "custom",
+    "fig5_9", "sweep", "throughput", "overhead", "custom", "analyze",
 ];
 
 /// The targets backed by the scenario registry (the ones `--scenario` can filter,
@@ -118,6 +143,24 @@ struct Cli {
     /// scenario (by name) or of the `--property` formula (`NAME` = `property`) as
     /// Graphviz DOT instead of running anything.
     emit_dot: Option<String>,
+    /// `--analyze-property VALUE`: statically analyze one ad-hoc property (LTL text,
+    /// or the path of a `--property-file`-style file) without running anything.
+    analyze_property: Option<String>,
+    /// `--deny warn|error`: findings at or above this severity exit non-zero.
+    deny_level: Option<Severity>,
+    /// `--deny LINT-ID[,...]`: these specific lints exit non-zero when they fire.
+    deny_lints: Vec<Lint>,
+    /// `--allow LINT-ID[,...]`: suppress these lints from analysis reports.
+    allow_lints: Vec<Lint>,
+    /// `--results PATH`: benchmark document to join measured overhead numbers from
+    /// in analysis reports.
+    results: Option<PathBuf>,
+    /// `--budget alphabet=N,states=N,transitions=N`: construction-size budget
+    /// behind `DLRV-A006` (analysis modes only).
+    budget: Budget,
+    /// `--require-family NAME[,...]`: with `--validate-results`, additionally fail
+    /// unless the document contains measured scenarios of each named family.
+    require_family: Vec<String>,
 }
 
 fn usage_error(message: &str) -> ! {
@@ -126,7 +169,10 @@ fn usage_error(message: &str) -> ! {
         "usage: experiments [TARGET...] [--target NAME] [--jobs N] \
          [--format text|json] [--out PATH] [--scenario NAME[,NAME...]] [--no-opt] \
          [--property LTL | --property-file PATH] [--procs N] [--emit-dot NAME] \
-         [--list-scenarios] [--validate-results PATH]"
+         [--analyze-property LTL|PATH] [--deny warn|error|LINT-ID[,...]] \
+         [--allow LINT-ID[,...]] [--results PATH] \
+         [--budget alphabet=N,states=N,transitions=N] [--list-scenarios] \
+         [--validate-results PATH [--require-family NAME[,...]]]"
     );
     exit(2);
 }
@@ -172,6 +218,22 @@ fn unknown_name_error<'a>(
     usage_error(&format!("unknown {what} `{name}`{suggestion} ({hint})"));
 }
 
+/// "unknown lint" error for `--deny`/`--allow` tokens: suggests the closest
+/// catalog ID (and, for `--deny`, the severity names) via the same edit-distance
+/// helper as `--scenario` typos.
+fn unknown_lint_error(flag: &str, token: &str) -> ! {
+    let mut candidates: Vec<&str> = Lint::ALL.iter().map(|l| l.id()).collect();
+    if flag == "--deny" {
+        candidates.extend(["warn", "error"]);
+    }
+    unknown_name_error(
+        "lint",
+        token,
+        candidates,
+        "see docs/ANALYSIS.md for the lint catalog",
+    );
+}
+
 /// Parses LTL text into a named spec, exiting with a caret-annotated diagnostic on
 /// parse errors (the offending byte offset points into the echoed formula).
 fn parse_property_or_exit(name: &str, text: &str) -> PropertySpec {
@@ -206,6 +268,13 @@ fn parse_cli(args: Vec<String>) -> Cli {
         property_file: None,
         procs: None,
         emit_dot: None,
+        analyze_property: None,
+        deny_level: None,
+        deny_lints: Vec::new(),
+        allow_lints: Vec::new(),
+        results: None,
+        budget: Budget::default(),
+        require_family: Vec::new(),
     };
     let mut iter = args.into_iter();
     // `--flag value` and `--flag=value` are both accepted.
@@ -284,6 +353,75 @@ fn parse_cli(args: Vec<String>) -> Cli {
                 let value = flag_value(&mut iter, "--emit-dot", inline.as_deref());
                 cli.emit_dot = Some(value);
             }
+            "--analyze-property" => {
+                let value = flag_value(&mut iter, "--analyze-property", inline.as_deref());
+                if value.trim().is_empty() {
+                    usage_error("--analyze-property expects an LTL formula or a file path");
+                }
+                cli.analyze_property = Some(value);
+            }
+            "--deny" => {
+                let value = flag_value(&mut iter, "--deny", inline.as_deref());
+                for token in value.split(',').map(str::trim) {
+                    if let Some(level) = Severity::from_name(token) {
+                        // The strictest requested level wins (`--deny error,warn`
+                        // means warn).
+                        cli.deny_level = Some(match cli.deny_level {
+                            Some(existing) => existing.min(level),
+                            None => level,
+                        });
+                    } else if let Some(lint) = Lint::from_id(token) {
+                        cli.deny_lints.push(lint);
+                    } else {
+                        unknown_lint_error("--deny", token);
+                    }
+                }
+            }
+            "--allow" => {
+                let value = flag_value(&mut iter, "--allow", inline.as_deref());
+                for token in value.split(',').map(str::trim) {
+                    match Lint::from_id(token) {
+                        Some(lint) => cli.allow_lints.push(lint),
+                        None => unknown_lint_error("--allow", token),
+                    }
+                }
+            }
+            "--results" => {
+                let value = flag_value(&mut iter, "--results", inline.as_deref());
+                cli.results = Some(PathBuf::from(value));
+            }
+            "--budget" => {
+                let value = flag_value(&mut iter, "--budget", inline.as_deref());
+                for part in value.split(',').map(str::trim) {
+                    let Some((key, bound)) = part.split_once('=') else {
+                        usage_error(
+                            "--budget expects key=N pairs (alphabet, states, transitions)",
+                        );
+                    };
+                    let bound = match bound.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => usage_error("--budget bounds must be positive integers"),
+                    };
+                    match key.trim() {
+                        "alphabet" => cli.budget.max_alphabet = bound,
+                        "states" => cli.budget.max_states = bound,
+                        "transitions" => cli.budget.max_transitions = bound,
+                        other => usage_error(&format!(
+                            "unknown --budget key `{other}`; expected alphabet, states \
+                             or transitions"
+                        )),
+                    }
+                }
+            }
+            "--require-family" => {
+                let value = flag_value(&mut iter, "--require-family", inline.as_deref());
+                for name in value.split(',').map(str::trim) {
+                    if name.is_empty() {
+                        usage_error("--require-family expects non-empty family names");
+                    }
+                    cli.require_family.push(name.to_string());
+                }
+            }
             "--no-opt" => {
                 if inline.is_some() {
                     usage_error("--no-opt takes no value");
@@ -322,15 +460,53 @@ fn parse_cli(args: Vec<String>) -> Cli {
         && (!cli.targets.is_empty()
             || cli.list_scenarios
             || cli.validate.is_some()
+            || cli.analyze_property.is_some()
             || !cli.scenarios.is_empty())
     {
         usage_error(
-            "--property/--property-file runs a single custom property; \
-             drop the targets, --scenario, --list-scenarios and --validate-results",
+            "--property/--property-file runs a single custom property; drop the \
+             targets, --scenario, --analyze-property, --list-scenarios and \
+             --validate-results",
         );
     }
-    if cli.procs.is_some() && !property_mode {
-        usage_error("--procs only applies to --property / --property-file runs");
+    if cli.analyze_property.is_some()
+        && (!cli.targets.is_empty()
+            || cli.list_scenarios
+            || cli.validate.is_some()
+            || cli.emit_dot.is_some()
+            || cli.no_opt
+            || !cli.scenarios.is_empty())
+    {
+        usage_error(
+            "--analyze-property analyzes a single ad-hoc property; drop the \
+             targets, --scenario, --emit-dot, --no-opt, --list-scenarios and \
+             --validate-results",
+        );
+    }
+    if cli.procs.is_some() && !property_mode && cli.analyze_property.is_none() {
+        usage_error(
+            "--procs only applies to --property / --property-file / \
+             --analyze-property runs",
+        );
+    }
+    let analyze_mode =
+        cli.analyze_property.is_some() || cli.targets.iter().any(|t| t == "analyze");
+    if !analyze_mode {
+        if cli.deny_level.is_some() || !cli.deny_lints.is_empty() {
+            usage_error("--deny only applies to `--target analyze` / --analyze-property");
+        }
+        if !cli.allow_lints.is_empty() {
+            usage_error("--allow only applies to `--target analyze` / --analyze-property");
+        }
+        if cli.results.is_some() {
+            usage_error("--results only applies to `--target analyze` / --analyze-property");
+        }
+        if cli.budget != Budget::default() {
+            usage_error("--budget only applies to `--target analyze` / --analyze-property");
+        }
+    }
+    if !cli.require_family.is_empty() && cli.validate.is_none() {
+        usage_error("--require-family only applies to --validate-results");
     }
     if let Some(dot_target) = &cli.emit_dot {
         if cli.format != Format::Text {
@@ -386,11 +562,11 @@ fn parse_cli(args: Vec<String>) -> Cli {
         let registry_targets: Vec<&String> = cli
             .targets
             .iter()
-            .filter(|t| REGISTRY_TARGETS.contains(&t.as_str()))
+            .filter(|t| REGISTRY_TARGETS.contains(&t.as_str()) || t.as_str() == "analyze")
             .collect();
         if registry_targets.is_empty() {
             usage_error(&format!(
-                "--scenario only filters registry targets ({})",
+                "--scenario only filters registry targets ({}, analyze)",
                 REGISTRY_TARGETS.join(", ")
             ));
         }
@@ -407,13 +583,15 @@ fn parse_cli(args: Vec<String>) -> Cli {
                 );
             };
             // Custom scenarios are offline registry scenarios, so both the focused
-            // `custom` target and the full `sweep` accept them.
-            let wanted_targets: &[&str] = match scenario.family {
-                ScenarioFamily::Throughput => &["throughput"],
-                ScenarioFamily::Overhead => &["overhead"],
-                ScenarioFamily::Custom => &["custom", "sweep"],
-                _ => &["sweep"],
+            // `custom` target and the full `sweep` accept them.  The static
+            // analyzer accepts any scenario's property.
+            let mut wanted_targets: Vec<&str> = match scenario.family {
+                ScenarioFamily::Throughput => vec!["throughput"],
+                ScenarioFamily::Overhead => vec!["overhead"],
+                ScenarioFamily::Custom => vec!["custom", "sweep"],
+                _ => vec!["sweep"],
             };
+            wanted_targets.push("analyze");
             let matched: Vec<&str> = wanted_targets
                 .iter()
                 .copied()
@@ -440,7 +618,7 @@ fn parse_cli(args: Vec<String>) -> Cli {
             }
         }
     }
-    if cli.format == Format::Json && !property_mode {
+    if cli.format == Format::Json && !property_mode && cli.analyze_property.is_none() {
         if cli.list_scenarios {
             usage_error("--list-scenarios has no JSON form; drop --format json");
         }
@@ -453,16 +631,21 @@ fn parse_cli(args: Vec<String>) -> Cli {
         if let Some(unsupported) = cli
             .targets
             .iter()
-            .find(|t| !REGISTRY_TARGETS.contains(&t.as_str()))
+            .find(|t| !REGISTRY_TARGETS.contains(&t.as_str()) && t.as_str() != "analyze")
         {
             usage_error(&format!(
                 "target `{unsupported}` only produces text output; \
-                 `--format json` supports: {}",
+                 `--format json` supports: {}, analyze",
                 REGISTRY_TARGETS.join(", ")
             ));
         }
-        if cli.targets.len() > 1 {
-            usage_error("--format json emits one document; pick a single registry target");
+        // Run targets may be combined into one results document; the analyze
+        // report is a different document and must stand alone.
+        if cli.targets.iter().any(|t| t == "analyze") && cli.targets.len() > 1 {
+            usage_error(
+                "the analyze report is its own JSON document; \
+                 run `--target analyze` separately from the run targets",
+            );
         }
     }
     cli
@@ -476,11 +659,15 @@ fn main() {
         return;
     }
     if let Some(path) = &cli.validate {
-        validate_results(path);
+        validate_results(path, &cli.require_family);
         return;
     }
     if cli.property.is_some() || cli.property_file.is_some() {
         run_user_property(&cli);
+        return;
+    }
+    if let Some(value) = &cli.analyze_property {
+        run_analyze_property(value, &cli);
         return;
     }
     if let Some(name) = &cli.emit_dot {
@@ -534,8 +721,19 @@ fn main() {
     if wants("fig5_9") {
         comm_frequency_figure();
     }
-    for target in REGISTRY_TARGETS {
-        if wants(target) {
+    // `analyze` is explicit-only (never part of `all`): it reports on specs, not on
+    // the paper's evaluation chapter.
+    if cli.targets.iter().any(|t| t == "analyze") {
+        run_analyze_target(&cli);
+    }
+    let run_targets: Vec<&str> = REGISTRY_TARGETS.iter().copied().filter(|t| wants(t)).collect();
+    if cli.format == Format::Json && run_targets.len() > 1 {
+        // One combined document across every selected run target (how
+        // `BENCH_results.json` gets both the offline sweep and the throughput
+        // family in a single file).
+        registry_targets_json(&run_targets, &cli);
+    } else {
+        for target in run_targets {
             registry_target(target, &cli);
         }
     }
@@ -555,8 +753,13 @@ fn target_selects(target: &str, family: ScenarioFamily) -> bool {
 }
 
 /// Re-parses a results document with the in-tree parser; exits non-zero on any
-/// syntax or schema error, so CI needs no external JSON tooling.
-fn validate_results(path: &std::path::Path) {
+/// syntax or schema error, so CI needs no external JSON tooling.  The document's
+/// `generator` tag picks the parser: benchmark sweeps (`dlrv-experiments`) go
+/// through `sweep_from_json`, analysis reports (`dlrv-analyze`) through
+/// `analyses_from_json`.  `require_family` names scenario families that must be
+/// present with real measurements (CI's guard against committing a sweep that
+/// silently dropped the throughput family).
+fn validate_results(path: &std::path::Path, require_family: &[String]) {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
@@ -571,8 +774,68 @@ fn validate_results(path: &std::path::Path) {
             exit(1);
         }
     };
-    match dlrv_core::sweep_from_json(&parsed) {
+    let generator = parsed
+        .get_opt("generator")
+        .ok()
+        .flatten()
+        .and_then(|g| g.as_str().ok().map(str::to_string));
+    if generator.as_deref() == Some(ANALYSIS_GENERATOR) {
+        if !require_family.is_empty() {
+            eprintln!(
+                "error: --require-family applies to benchmark documents; `{}` is an \
+                 analysis report",
+                path.display()
+            );
+            exit(1);
+        }
+        match analyses_from_json(&parsed) {
+            Ok(records) => {
+                let findings: usize =
+                    records.iter().map(|r| r.analysis.findings.len()).sum();
+                println!(
+                    "{}: valid analysis document ({} analyses, {} findings)",
+                    path.display(),
+                    records.len(),
+                    findings
+                );
+            }
+            Err(e) => {
+                eprintln!(
+                    "error: `{}` does not match the analysis schema: {e}",
+                    path.display()
+                );
+                exit(1);
+            }
+        }
+        return;
+    }
+    match sweep_from_json(&parsed) {
         Ok(records) => {
+            for family in require_family {
+                let members: Vec<&ScenarioRecord> = records
+                    .iter()
+                    .filter(|r| r.scenario.family.name() == family.as_str())
+                    .collect();
+                if members.is_empty() {
+                    eprintln!(
+                        "error: `{}` contains no `{family}` scenarios",
+                        path.display()
+                    );
+                    exit(1);
+                }
+                // A throughput family whose rates are all zero was never actually
+                // measured — fail exactly like an absent family.
+                if family == "throughput"
+                    && members.iter().any(|r| r.avg.events_per_sec <= 0.0)
+                {
+                    eprintln!(
+                        "error: `{}` has throughput scenarios with zero \
+                         events_per_sec; regenerate with `--target throughput`",
+                        path.display()
+                    );
+                    exit(1);
+                }
+            }
             let streamed = records.iter().filter(|r| r.scenario.stream.is_some()).count();
             println!(
                 "{}: valid results document ({} scenarios, {} streamed)",
@@ -702,7 +965,9 @@ fn run_user_property(cli: &Cli) {
     }
 
     if cli.emit_dot.is_some() {
-        write_output(cli, &compiled.to_dot(), "monitor automaton DOT");
+        // The analyzer's annotated rendering: same digraph, plus verdict-
+        // reachability colors, dashed unreachable states and `(trap)` markers.
+        write_output(cli, &analyze_to_dot(&compiled.spec, procs), "monitor automaton DOT");
         return;
     }
 
@@ -744,9 +1009,233 @@ fn emit_dot_for_scenario(name: &str, cli: &Cli) {
             "run --list-scenarios for the registry",
         );
     };
-    let compiled =
-        CompiledProperty::compile(&scenario.config.property, scenario.config.n_processes);
-    write_output(cli, &compiled.to_dot(), "monitor automaton DOT");
+    write_output(
+        cli,
+        &analyze_to_dot(&scenario.config.property, scenario.config.n_processes),
+        "monitor automaton DOT",
+    );
+}
+
+/// Loads a benchmark results document for the measured-overhead join, exiting on
+/// read/parse/schema errors exactly like `--validate-results`.
+fn load_results_or_exit(path: &std::path::Path) -> Vec<ScenarioRecord> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read `{}`: {e}", path.display());
+            exit(1);
+        }
+    };
+    let parsed = match dlrv_core::dlrv_json::Json::parse(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: `{}` is not valid JSON: {e}", path.display());
+            exit(1);
+        }
+    };
+    match sweep_from_json(&parsed) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!(
+                "error: `{}` does not match the results schema: {e}",
+                path.display()
+            );
+            exit(1);
+        }
+    }
+}
+
+/// `--target analyze`: statically analyze the registry's scenarios — by default
+/// the offline composition `sweep` runs; `--scenario` can select any member,
+/// including throughput/overhead ones.
+fn run_analyze_target(cli: &Cli) {
+    let registry = ScenarioRegistry::standard();
+    let scenarios: Vec<&Scenario> = registry
+        .iter()
+        .filter(|s| {
+            if cli.scenarios.is_empty() {
+                target_selects("sweep", s.family)
+            } else {
+                cli.scenarios.contains(&s.name)
+            }
+        })
+        .collect();
+    if scenarios.is_empty() {
+        eprintln!("error: --scenario selected nothing for target `analyze`");
+        exit(2);
+    }
+    // Scenario families reuse (property, process count) pairs; synthesize and
+    // analyze each pair once, in parallel, then fan the results back out over the
+    // scenario list.
+    let mut unique: Vec<(&str, usize, &Scenario)> = Vec::new();
+    for s in &scenarios {
+        let key = (s.config.property.name(), s.config.n_processes);
+        if !unique.iter().any(|&(name, n, _)| (name, n) == key) {
+            unique.push((key.0, key.1, s));
+        }
+    }
+    let analyses = parallel_map_indexed(unique.len(), dlrv_core::effective_jobs(), |i| {
+        let (_, n, s) = unique[i];
+        let mut analysis = analyze_spec(&s.config.property, n, cli.budget);
+        analysis.findings.retain(|f| !cli.allow_lints.contains(&f.lint));
+        analysis
+    });
+    let measured_records = cli.results.as_deref().map(load_results_or_exit);
+    let records: Vec<AnalysisRecord> = scenarios
+        .iter()
+        .map(|s| {
+            let key = (s.config.property.name(), s.config.n_processes);
+            let idx = unique
+                .iter()
+                .position(|&(name, n, _)| (name, n) == key)
+                .expect("every scenario maps to a unique-pair analysis");
+            let analysis = analyses[idx].clone();
+            let measured = measured_records
+                .as_deref()
+                .and_then(|r| measured_overhead_for(&analysis, r));
+            AnalysisRecord { scenario: Some(s.name.clone()), analysis, measured }
+        })
+        .collect();
+    report_analyses(&records, cli);
+}
+
+/// `--analyze-property VALUE`: statically analyze one ad-hoc property.  `VALUE`
+/// is LTL text, or the path of a `--property-file`-style file (detected by
+/// existence on disk).
+fn run_analyze_property(value: &str, cli: &Cli) {
+    let path = std::path::Path::new(value);
+    let (name, file_procs, text) = if path.exists() {
+        read_property_file(path)
+    } else {
+        (None, None, value.to_string())
+    };
+    let spec = parse_property_or_exit(name.as_deref().unwrap_or("custom"), &text);
+    // No minimum-process check here (unlike `--property` runs): analyzing a spec
+    // at a too-small count is exactly what `DLRV-C001` reports.
+    let procs = cli
+        .procs
+        .or(file_procs)
+        .unwrap_or_else(|| spec.min_processes().max(2));
+    let mut analysis = analyze_spec(&spec, procs, cli.budget);
+    analysis.findings.retain(|f| !cli.allow_lints.contains(&f.lint));
+    let measured = cli
+        .results
+        .as_deref()
+        .map(load_results_or_exit)
+        .as_deref()
+        .and_then(|r| measured_overhead_for(&analysis, r));
+    let records = vec![AnalysisRecord { scenario: None, analysis, measured }];
+    report_analyses(&records, cli);
+}
+
+/// Reports analyses in the requested format, then applies the `--deny` gate.
+fn report_analyses(records: &[AnalysisRecord], cli: &Cli) {
+    match cli.format {
+        Format::Json => {
+            let mut text = analyses_to_json(records).to_string_pretty();
+            text.push('\n');
+            write_output(cli, &text, &format!("{} analyses", records.len()));
+        }
+        Format::Text => analyze_table(records),
+    }
+    enforce_deny(records, cli);
+}
+
+/// Exits non-zero when any reported finding matches the `--deny` gate (a severity
+/// floor, specific lint IDs, or both).
+fn enforce_deny(records: &[AnalysisRecord], cli: &Cli) {
+    if cli.deny_level.is_none() && cli.deny_lints.is_empty() {
+        return;
+    }
+    let denied = records
+        .iter()
+        .flat_map(|r| &r.analysis.findings)
+        .filter(|f| {
+            cli.deny_level.is_some_and(|level| f.severity >= level)
+                || cli.deny_lints.contains(&f.lint)
+        })
+        .count();
+    if denied > 0 {
+        eprintln!("error: {denied} finding(s) rejected by --deny");
+        exit(1);
+    }
+}
+
+/// The human analysis table: one row per analyzed entry, predicted decentralization
+/// cost next to the measured numbers (when `--results` joined any), findings
+/// detailed below with source carets.
+fn analyze_table(records: &[AnalysisRecord]) {
+    println!("== Static property analysis ({} entries) ==", records.len());
+    println!(
+        "{:<18} {:<10} {:>5} {:<16} {:>6} {:>6} {:>7} {:>6} {:>11} {:>11} {:<8}",
+        "scenario",
+        "property",
+        "procs",
+        "class",
+        "states",
+        "reach",
+        "alpha",
+        "fanout",
+        "pred.msg/ev",
+        "meas.msg/ev",
+        "findings"
+    );
+    for r in records {
+        let a = &r.analysis;
+        let reach = a.reachable.iter().filter(|&&x| x).count();
+        let fanout = a.cost.token_fanout.iter().copied().max().unwrap_or(0);
+        let meas = r
+            .measured
+            .as_ref()
+            .map(|m| format!("{:.2}", m.msgs_per_event))
+            .unwrap_or_else(|| "-".to_string());
+        let errors = a.count_at_least(Severity::Error);
+        let warns = a.count_at_least(Severity::Warn) - errors;
+        let infos = a.findings.len() - errors - warns;
+        println!(
+            "{:<18} {:<10} {:>5} {:<16} {:>6} {:>6} {:>7} {:>6} {:>11} {:>11} {}E/{}W/{}I",
+            r.scenario.as_deref().unwrap_or("-"),
+            a.name,
+            a.n_processes,
+            a.classification.name(),
+            a.synthesis.states,
+            reach,
+            a.synthesis.alphabet_size,
+            fanout,
+            a.cost.max_messages_per_event,
+            meas,
+            errors,
+            warns,
+            infos,
+        );
+    }
+    println!();
+    for r in records {
+        let a = &r.analysis;
+        if a.findings.is_empty() {
+            continue;
+        }
+        println!(
+            "-- {} ({} procs):",
+            r.scenario.as_deref().unwrap_or(&a.name),
+            a.n_processes
+        );
+        for f in &a.findings {
+            print_finding(f, a.ltl.as_deref());
+        }
+    }
+}
+
+/// One finding line; findings with a span get the parser-style caret under the
+/// echoed LTL source.
+fn print_finding(finding: &Finding, ltl: Option<&str>) {
+    println!("  {finding}");
+    if let (Some(span), Some(text)) = (finding.span, ltl) {
+        let start = span.start.min(text.len());
+        let width = span.end.saturating_sub(span.start).max(1);
+        println!("    | {text}");
+        println!("    | {}{}", " ".repeat(start), "^".repeat(width));
+    }
 }
 
 /// One simulated data point per (property, process count) under the paper-default
@@ -791,7 +1280,24 @@ fn list_scenarios() {
 /// Collection order is registry order either way, making both the text table and
 /// the JSON document deterministic.
 fn registry_target(target: &str, cli: &Cli) {
-    let throughput = target == "throughput";
+    let scenarios = select_scenarios(target, cli);
+    let results = run_scenarios(&scenarios);
+    match cli.format {
+        Format::Json => {
+            let mut text = sweep_to_json(&results).to_string_pretty();
+            text.push('\n');
+            write_output(cli, &text, &format!("{} scenarios", results.len()));
+        }
+        Format::Text if target == "throughput" => throughput_table(&results),
+        Format::Text if target == "overhead" => overhead_table(&results),
+        Format::Text if target == "custom" => sweep_table("Custom property scenarios", &results),
+        Format::Text => sweep_table("Scenario sweep", &results),
+    }
+}
+
+/// The scenarios one registry target runs, after the `--scenario` filter and the
+/// `--no-opt` override.
+fn select_scenarios(target: &str, cli: &Cli) -> Vec<Scenario> {
     let registry = ScenarioRegistry::standard();
     let scenarios: Vec<Scenario> = registry
         .iter()
@@ -814,37 +1320,57 @@ fn registry_target(target: &str, cli: &Cli) {
         eprintln!("error: --scenario selected nothing for target `{target}`");
         exit(2);
     }
-    let results: Vec<(Scenario, ExperimentResult)> = if throughput {
-        scenarios.iter().map(|s| (s.clone(), s.run())).collect()
-    } else {
-        parallel_map_indexed(scenarios.len(), dlrv_core::effective_jobs(), |i| {
-            (scenarios[i].clone(), scenarios[i].run())
-        })
-    };
+    scenarios
+}
 
-    match cli.format {
-        Format::Json => {
-            let text = sweep_to_json(&results).to_string_pretty();
-            match cli.out.as_deref() {
-                Some(path) => {
-                    if let Err(e) = std::fs::write(path, text) {
-                        eprintln!("error: cannot write `{}`: {e}", path.display());
-                        exit(1);
-                    }
-                    println!(
-                        "wrote {} ({} scenarios)",
-                        path.display(),
-                        results.len()
-                    );
-                }
-                None => println!("{text}"),
+/// Runs a scenario list, preserving its order in the output.
+///
+/// Offline scenarios are independent simulations and fan out across worker
+/// threads.  Throughput scenarios are *themselves* multi-threaded (each spins up
+/// its shard pool), so they run sequentially: overlapping two engine runs would
+/// corrupt each other's wall-clock and events/sec measurements.
+fn run_scenarios(scenarios: &[Scenario]) -> Vec<(Scenario, ExperimentResult)> {
+    let offline: Vec<usize> = (0..scenarios.len())
+        .filter(|&i| scenarios[i].stream.is_none())
+        .collect();
+    let offline_results =
+        parallel_map_indexed(offline.len(), dlrv_core::effective_jobs(), |k| {
+            let i = offline[k];
+            (i, (scenarios[i].clone(), scenarios[i].run()))
+        });
+    let mut results: Vec<Option<(Scenario, ExperimentResult)>> =
+        (0..scenarios.len()).map(|_| None).collect();
+    for (i, r) in offline_results {
+        results[i] = Some(r);
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        if s.stream.is_some() {
+            results[i] = Some((s.clone(), s.run()));
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every scenario ran exactly once"))
+        .collect()
+}
+
+/// `--format json` over several run targets at once: every selected scenario in
+/// one combined results document — target order, registry order within each
+/// target, each scenario at most once (`sweep` and `custom` overlap on the
+/// custom family).
+fn registry_targets_json(targets: &[&str], cli: &Cli) {
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for target in targets {
+        for s in select_scenarios(target, cli) {
+            if !scenarios.iter().any(|existing| existing.name == s.name) {
+                scenarios.push(s);
             }
         }
-        Format::Text if throughput => throughput_table(&results),
-        Format::Text if target == "overhead" => overhead_table(&results),
-        Format::Text if target == "custom" => sweep_table("Custom property scenarios", &results),
-        Format::Text => sweep_table("Scenario sweep", &results),
     }
+    let results = run_scenarios(&scenarios);
+    let mut text = sweep_to_json(&results).to_string_pretty();
+    text.push('\n');
+    write_output(cli, &text, &format!("{} scenarios", results.len()));
 }
 
 /// The §4.3 A/B table: one row per overhead pair, optimizations on vs. off, with

@@ -46,4 +46,6 @@
 //! assert!(result.avg.monitor_messages > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dlrv_core::*;

@@ -14,8 +14,8 @@ fn build_psi() -> (
     Arc<MonitorAutomaton>,
 ) {
     let (comp, mut reg) = running_example();
-    let x1ge5 = reg.lookup("x1>=5").unwrap();
-    let x2ge15 = reg.lookup("x2>=15").unwrap();
+    let x1ge5 = reg.lookup("x1>=5").expect("registered by running_example");
+    let x2ge15 = reg.lookup("x2>=15").expect("registered by running_example");
     let x1eq10 = reg.intern("x1==10", 0);
     let psi = Formula::globally(Formula::implies(
         Formula::Atom(x1ge5),
