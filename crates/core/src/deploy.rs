@@ -1,0 +1,459 @@
+//! The deploy orchestrator: run one scenario as real OS processes over sockets.
+//!
+//! `run_deploy` reproduces the [`FeedSession`](dlrv_monitor::FeedSession)
+//! discipline — feed one event, drain every monitor-to-monitor message to
+//! quiescence, then feed the next — across process boundaries:
+//!
+//! 1. One `monitord` daemon is spawned per monitored process; each binds a TCP or
+//!    Unix listener and prints `LISTEN <endpoint>` on stdout.
+//! 2. The orchestrator connects a control channel to every daemon, sends the
+//!    `hello` (property, options, initial state, fault spec, full endpoint list)
+//!    and waits for every `hello_ok` — daemons establish their peer mesh in
+//!    between (each dials its lower-numbered peers).
+//! 3. Events are fed in timestamp order, one at a time, to the daemon of the
+//!    event's process.  After each event the orchestrator runs the **quiescence
+//!    barrier**: it polls every daemon's transport counters until the send/receive
+//!    matrix balances (`sent[i][j] == received[j][i]`), nothing is pending inside
+//!    any daemon (write queues, reorder holds, delay queues), and two consecutive
+//!    polls agree — the classic counter-balance termination test adapted to lossy
+//!    channels (deliberately dropped frames are excluded from `sent`).
+//! 4. End-of-trace termination runs sequentially per process at the global last
+//!    event timestamp, with a barrier after each, exactly like
+//!    `FeedSession::finish`.
+//! 5. Reports are collected and folded into the same [`RunMetrics`] as the
+//!    in-process runners, so deploy results flow into the schema-v1 pipeline.
+//!
+//! Because the barrier delivers everything between consecutive events, verdicts
+//! under delay/duplication/reordering faults are identical to the in-process
+//! runtime (duplicates are absorbed by global-view merging, reordering happens
+//! only within one event's message burst); frame *loss* genuinely removes
+//! exploration and is pinned as an expected divergence by `tests/deploy_faults.rs`.
+
+use crate::experiment::{average_metrics, ExperimentConfig, ExperimentResult};
+use crate::results::{options_to_json, property_to_json};
+use crate::spec::CompiledProperty;
+use dlrv_distsim::{initial_global_state, run_simulation, NullMonitor, SimConfig};
+use dlrv_monitor::{timestamp_order, MonitorOptions, RunMetrics};
+use dlrv_net::{
+    connect_with_retry, DaemonReport, DaemonStatus, Endpoint, FaultSpec, FaultStats, FramedConn,
+    WireMsg,
+};
+use dlrv_trace::generate_workload;
+use dlrv_vclock::Event;
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which socket family carries the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployTransport {
+    /// TCP over the loopback interface (`tcp:127.0.0.1:0`, ports auto-assigned).
+    Tcp,
+    /// Unix domain sockets in the system temp directory.
+    Unix,
+}
+
+impl DeployTransport {
+    /// Stable lowercase name used in listings and the JSON schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeployTransport::Tcp => "tcp",
+            DeployTransport::Unix => "unix",
+        }
+    }
+
+    /// The transport with the given [`name`](Self::name), if any.
+    pub fn from_name(name: &str) -> Option<DeployTransport> {
+        match name {
+            "tcp" => Some(DeployTransport::Tcp),
+            "unix" => Some(DeployTransport::Unix),
+            _ => None,
+        }
+    }
+}
+
+/// How a deploy scenario is carried over the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeployParams {
+    /// Socket family of the control and peer channels.
+    pub transport: DeployTransport,
+    /// Fault spec applied to every daemon's outgoing peer channels (`None` = a
+    /// perfect network).
+    pub fault: Option<FaultSpec>,
+}
+
+impl DeployParams {
+    /// A fault-free deployment over the given transport.
+    pub fn clean(transport: DeployTransport) -> Self {
+        DeployParams {
+            transport,
+            fault: None,
+        }
+    }
+}
+
+/// The outcome of a deploy run: the usual experiment result plus what the fault
+/// shims did across all daemons and seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployOutcome {
+    /// Metrics and verdicts, aggregated exactly like the in-process runners.
+    pub result: ExperimentResult,
+    /// Merged fault-shim counters over every channel, daemon and seed.
+    pub fault_stats: FaultStats,
+}
+
+/// Timeout for a single control-plane reply; generous because a daemon may be
+/// compiling-cold, swapping, or sitting behind a delay-fault queue.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Timeout for one quiescence barrier (covers delay faults and slow CI machines).
+const BARRIER_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Distinguishes concurrent deploy runs sharing a temp directory.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Locates the `monitord` binary: the `DLRV_MONITORD_BIN` environment variable,
+/// then a sibling of the current executable (covers `target/<profile>/` for the
+/// `experiments` binary and `target/<profile>/deps/..` for integration tests).
+pub fn monitord_binary() -> Result<PathBuf, String> {
+    if let Ok(path) = std::env::var("DLRV_MONITORD_BIN") {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Ok(path);
+        }
+        return Err(format!("DLRV_MONITORD_BIN={} does not exist", path.display()));
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut dir = exe.parent();
+    while let Some(d) = dir {
+        let candidate = d.join("monitord");
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        if d.file_name().is_some_and(|n| n == "target") {
+            break;
+        }
+        dir = d.parent();
+    }
+    Err("monitord binary not found next to the current executable; build it with \
+         `cargo build --bin monitord` or set DLRV_MONITORD_BIN"
+        .to_string())
+}
+
+/// Runs `config` as one OS process per monitor, once per seed (sequentially —
+/// each seed spawns its own process fleet), and averages the metrics exactly
+/// like [`run_experiment_with_options`](crate::experiment::run_experiment_with_options).
+pub fn run_deploy(
+    config: &ExperimentConfig,
+    opts: MonitorOptions,
+    params: &DeployParams,
+) -> Result<DeployOutcome, String> {
+    let binary = monitord_binary()?;
+    let mut per_seed = Vec::with_capacity(config.seeds.len());
+    let mut fault_stats = FaultStats::default();
+    for &seed in &config.seeds {
+        let metrics = run_seed(config, opts, params, &binary, seed, &mut fault_stats)?;
+        per_seed.push(metrics);
+    }
+    let mut detected = BTreeSet::new();
+    for metrics in &per_seed {
+        detected.extend(metrics.detected_final_verdicts.iter().copied());
+    }
+    Ok(DeployOutcome {
+        result: ExperimentResult {
+            config: config.clone(),
+            avg: average_metrics(&per_seed),
+            per_seed,
+            detected_verdicts: detected,
+        },
+        fault_stats,
+    })
+}
+
+/// One daemon of the fleet: the OS process plus its control channel.
+struct Daemon {
+    child: Child,
+    endpoint: String,
+    conn: FramedConn,
+    inbox: VecDeque<WireMsg>,
+}
+
+impl Daemon {
+    /// Sends one control frame, blocking until it is fully on the wire.
+    fn send(&mut self, msg: &WireMsg) -> Result<(), String> {
+        self.conn
+            .send(&msg.to_json())
+            .map_err(|e| format!("send to {}: {e}", self.endpoint))?;
+        let deadline = Instant::now() + REPLY_TIMEOUT;
+        while self.conn.wants_write() {
+            if Instant::now() >= deadline {
+                return Err(format!("send to {}: flush timed out", self.endpoint));
+            }
+            self.conn
+                .flush()
+                .map_err(|e| format!("send to {}: {e}", self.endpoint))?;
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        Ok(())
+    }
+
+    /// Receives the next control frame, blocking up to [`REPLY_TIMEOUT`].
+    fn recv(&mut self) -> Result<WireMsg, String> {
+        let deadline = Instant::now() + REPLY_TIMEOUT;
+        loop {
+            if let Some(msg) = self.inbox.pop_front() {
+                if let WireMsg::Error { message } = msg {
+                    return Err(format!("daemon {}: {message}", self.endpoint));
+                }
+                return Ok(msg);
+            }
+            let frames = self
+                .conn
+                .on_readable()
+                .map_err(|e| format!("recv from {}: {e}", self.endpoint))?;
+            for frame in frames {
+                let msg = WireMsg::from_json(&frame)
+                    .map_err(|e| format!("recv from {}: {e}", self.endpoint))?;
+                self.inbox.push_back(msg);
+            }
+            if self.inbox.is_empty() {
+                if self.conn.is_eof() {
+                    return Err(format!("daemon {} closed the control channel", self.endpoint));
+                }
+                if Instant::now() >= deadline {
+                    return Err(format!("daemon {}: reply timed out", self.endpoint));
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+    }
+}
+
+/// Kills every remaining daemon process when a run unwinds early.
+struct Fleet {
+    daemons: Vec<Daemon>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for daemon in &mut self.daemons {
+            let _ = daemon.child.kill();
+            let _ = daemon.child.wait();
+        }
+    }
+}
+
+/// Spawns one daemon and reads its `LISTEN` line.
+fn spawn_daemon(binary: &PathBuf, listen: &str) -> Result<(Child, String), String> {
+    let mut child = Command::new(binary)
+        .args(["--listen", listen, "--idle-timeout-secs", "60"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", binary.display()))?;
+    let stdout = child.stdout.take().ok_or("daemon stdout not captured")?;
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("read LISTEN line: {e}"))?;
+    let endpoint = line
+        .strip_prefix("LISTEN ")
+        .map(|rest| rest.trim().to_string())
+        .filter(|ep| !ep.is_empty());
+    match endpoint {
+        Some(ep) => Ok((child, ep)),
+        None => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(format!("daemon did not report LISTEN (got `{}`)", line.trim()))
+        }
+    }
+}
+
+/// One seed end-to-end: spawn the fleet, handshake, feed, finish, report, shut down.
+fn run_seed(
+    config: &ExperimentConfig,
+    opts: MonitorOptions,
+    params: &DeployParams,
+    binary: &PathBuf,
+    seed: u64,
+    fault_stats: &mut FaultStats,
+) -> Result<RunMetrics, String> {
+    let n = config.n_processes;
+    let compiled = CompiledProperty::compile(&config.property, n);
+
+    // The simulated distributed program: generate the workload and execute it with
+    // no-op monitors to obtain the vector-clocked event sequence (the deploy run
+    // monitors the *same* computation as the in-process runners).
+    let workload = generate_workload(&config.workload_config(seed));
+    let report = run_simulation(&workload, &compiled.registry, &SimConfig::default(), |_| {
+        NullMonitor::default()
+    });
+    let events: Vec<Event> = timestamp_order(&report.computation)
+        .into_iter()
+        .map(|(_, p, sn)| report.computation.events[p][(sn - 1) as usize].clone())
+        .collect();
+    let initial_state = initial_global_state(&workload, &compiled.registry).0;
+
+    // Spawn the fleet.
+    let run_id = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut fleet = Fleet {
+        daemons: Vec::with_capacity(n),
+    };
+    for i in 0..n {
+        let listen = match params.transport {
+            DeployTransport::Tcp => "tcp:127.0.0.1:0".to_string(),
+            DeployTransport::Unix => {
+                let path = std::env::temp_dir().join(format!(
+                    "dlrv-deploy-{}-{run_id}-{i}.sock",
+                    std::process::id()
+                ));
+                format!("unix:{}", path.display())
+            }
+        };
+        let (child, endpoint) = spawn_daemon(binary, &listen)?;
+        let ep = Endpoint::parse(&endpoint).map_err(|e| format!("daemon endpoint: {e}"))?;
+        let sock = connect_with_retry(&ep, Duration::from_secs(10))
+            .map_err(|e| format!("connect control channel to {endpoint}: {e}"))?;
+        fleet.daemons.push(Daemon {
+            child,
+            endpoint,
+            conn: FramedConn::new(sock),
+            inbox: VecDeque::new(),
+        });
+    }
+
+    // Handshake: every hello goes out before any hello_ok is awaited, because
+    // daemon i only answers once its whole peer mesh (which includes daemons > i)
+    // is up.
+    let peers: Vec<String> = fleet.daemons.iter().map(|d| d.endpoint.clone()).collect();
+    for (i, daemon) in fleet.daemons.iter_mut().enumerate() {
+        daemon.send(&WireMsg::Hello {
+            process: i,
+            n_processes: n,
+            property: property_to_json(&config.property),
+            options: options_to_json(&opts),
+            initial_state,
+            fault: params.fault,
+            peers: peers.clone(),
+        })?;
+    }
+    for (i, daemon) in fleet.daemons.iter_mut().enumerate() {
+        match daemon.recv()? {
+            WireMsg::HelloOk { process } if process == i => {}
+            other => return Err(format!("daemon {i}: expected hello_ok, got {other:?}")),
+        }
+    }
+
+    // Feed the trace in lockstep: one event, then drain the whole system.
+    let started = Instant::now();
+    let mut last_time = 0.0f64;
+    for event in &events {
+        last_time = last_time.max(event.time);
+        let target = event.process;
+        fleet.daemons[target].send(&WireMsg::Event {
+            event: event.clone(),
+        })?;
+        barrier(&mut fleet)?;
+    }
+
+    // Sequential per-process termination at the global last timestamp, exactly
+    // like `FeedSession::finish`.
+    for i in 0..n {
+        fleet.daemons[i].send(&WireMsg::Finish { time: last_time })?;
+        match fleet.daemons[i].recv()? {
+            WireMsg::FinishOk => {}
+            other => return Err(format!("daemon {i}: expected finish_ok, got {other:?}")),
+        }
+        barrier(&mut fleet)?;
+    }
+    let wall_clock_secs = started.elapsed().as_secs_f64();
+
+    // Collect reports, then shut the fleet down gracefully.
+    let mut reports: Vec<DaemonReport> = Vec::with_capacity(n);
+    for (i, daemon) in fleet.daemons.iter_mut().enumerate() {
+        daemon.send(&WireMsg::Report)?;
+        match daemon.recv()? {
+            WireMsg::ReportOk(report) if report.process == i => reports.push(report),
+            other => return Err(format!("daemon {i}: expected report_ok, got {other:?}")),
+        }
+    }
+    for (i, daemon) in fleet.daemons.iter_mut().enumerate() {
+        daemon.send(&WireMsg::Shutdown)?;
+        match daemon.recv()? {
+            WireMsg::ShutdownOk => {}
+            other => return Err(format!("daemon {i}: expected shutdown_ok, got {other:?}")),
+        }
+        let status = daemon
+            .child
+            .wait()
+            .map_err(|e| format!("wait for daemon {i}: {e}"))?;
+        if !status.success() {
+            return Err(format!("daemon {i} exited with {status}"));
+        }
+    }
+    fleet.daemons.clear();
+
+    // Fold into RunMetrics, the same shape every other runner produces.
+    let per_monitor: Vec<_> = reports.iter().map(|r| r.metrics.clone()).collect();
+    let monitor_messages: u64 = reports.iter().map(|r| r.logical_monitor_msgs).sum();
+    for report in &reports {
+        fault_stats.merge(&report.fault_stats);
+    }
+    let monitoring_end_time = per_monitor
+        .iter()
+        .map(|m| m.last_activity_time)
+        .fold(report.program_end_time, f64::max);
+    let mut metrics = RunMetrics::aggregate(
+        &per_monitor,
+        events.len(),
+        report.program_messages,
+        monitor_messages as usize,
+        report.program_end_time,
+        monitoring_end_time,
+    );
+    metrics.wall_clock_secs = wall_clock_secs;
+    metrics.events_per_sec = if wall_clock_secs > 0.0 {
+        events.len() as f64 / wall_clock_secs
+    } else {
+        0.0
+    };
+    Ok(metrics)
+}
+
+/// Polls every daemon's transport counters until the system is quiescent: the
+/// send/receive matrix balances, nothing is pending, and two consecutive polls
+/// agree (so counters sampled mid-flight cannot terminate the barrier early).
+fn barrier(fleet: &mut Fleet) -> Result<(), String> {
+    let deadline = Instant::now() + BARRIER_TIMEOUT;
+    let mut previous: Option<Vec<DaemonStatus>> = None;
+    loop {
+        let mut statuses = Vec::with_capacity(fleet.daemons.len());
+        for daemon in &mut fleet.daemons {
+            daemon.send(&WireMsg::Status)?;
+            match daemon.recv()? {
+                WireMsg::StatusOk(status) => statuses.push(status),
+                other => return Err(format!("expected status_ok, got {other:?}")),
+            }
+        }
+        let n = statuses.len();
+        let balanced = statuses.iter().all(|s| s.pending == 0)
+            && (0..n).all(|i| {
+                (0..n).all(|j| i == j || statuses[i].sent[j] == statuses[j].received[i])
+            });
+        if balanced && previous.as_ref() == Some(&statuses) {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "quiescence barrier timed out after {BARRIER_TIMEOUT:?}: {statuses:?}"
+            ));
+        }
+        previous = Some(statuses);
+        std::thread::sleep(Duration::from_micros(500));
+    }
+}

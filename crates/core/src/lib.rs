@@ -19,6 +19,9 @@
 //! * [`throughput`] — the streaming benchmark runner: hundreds–thousands of
 //!   concurrent sessions encoded to wire bytes and pumped through the sharded
 //!   [`dlrv_stream`] runtime.
+//! * [`deploy`] — the real-socket deployment runner: one `monitord` OS process
+//!   per monitor over TCP/Unix sockets ([`DeployParams`], `--target deploy`),
+//!   with deterministic fault injection on every channel ([`dlrv_net`]).
 //! * [`results`] — the machine-readable `BENCH_results.json` pipeline: sweep
 //!   results serialized over [`dlrv_json`] and parsed back field-for-field.
 //! * [`analysis`] — spec-level entry points into the static analyzer
@@ -34,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod deploy;
 pub mod experiment;
 pub mod properties;
 pub mod results;
@@ -45,6 +49,7 @@ pub mod throughput;
 pub use analysis::{
     analyze_spec, analyze_to_dot, initial_global_state_for, measured_overhead_for,
 };
+pub use deploy::{run_deploy, DeployOutcome, DeployParams, DeployTransport};
 pub use experiment::{
     average_metrics, effective_jobs, parallel_map_indexed, run_experiment,
     run_experiment_with_options, run_single, set_jobs, ExperimentConfig, ExperimentResult,
@@ -64,6 +69,7 @@ pub use dlrv_distsim;
 pub use dlrv_json;
 pub use dlrv_ltl;
 pub use dlrv_monitor;
+pub use dlrv_net;
 pub use dlrv_stream;
 pub use dlrv_trace;
 pub use dlrv_vclock;

@@ -25,11 +25,13 @@
 //! }
 //! ```
 
+use crate::deploy::{DeployParams, DeployTransport};
 use crate::experiment::{ExperimentConfig, ExperimentResult};
 use crate::properties::PaperProperty;
 use crate::scenario::{Scenario, ScenarioFamily, StreamParams};
 use crate::spec::PropertySpec;
 use dlrv_json::{object, Json, JsonError};
+use dlrv_net::FaultSpec;
 use dlrv_ltl::Verdict;
 use dlrv_monitor::{verdict_from_name, verdict_name, MonitorOptions, RunMetrics};
 use dlrv_trace::format::{arrival_from_json, arrival_to_json, topology_from_json, topology_to_json};
@@ -159,6 +161,32 @@ pub fn stream_params_from_json(v: &Json) -> Result<StreamParams, JsonError> {
     })
 }
 
+/// Serializes the deployment parameters of a deploy scenario (the fault spec in
+/// its [`FaultSpec::to_json`] object form).
+pub fn deploy_params_to_json(params: &DeployParams) -> Json {
+    object([
+        ("transport", Json::from(params.transport.name())),
+        (
+            "fault",
+            params.fault.as_ref().map_or(Json::Null, FaultSpec::to_json),
+        ),
+    ])
+}
+
+/// Parses the deployment parameters back.
+pub fn deploy_params_from_json(v: &Json) -> Result<DeployParams, JsonError> {
+    let name = v.get("transport")?.as_str()?;
+    let transport = DeployTransport::from_name(name)
+        .ok_or_else(|| JsonError::msg(format!("unknown deploy transport `{name}`")))?;
+    Ok(DeployParams {
+        transport,
+        fault: match v.get("fault")? {
+            Json::Null => None,
+            spec => Some(FaultSpec::from_json(spec)?),
+        },
+    })
+}
+
 fn verdicts_to_json(set: &BTreeSet<Verdict>) -> Json {
     Json::Array(set.iter().map(|&v| Json::from(verdict_name(v))).collect())
 }
@@ -176,6 +204,13 @@ fn record_to_json(scenario: &Scenario, result: &ExperimentResult) -> Json {
                 .stream
                 .as_ref()
                 .map_or(Json::Null, stream_params_to_json),
+        ),
+        (
+            "deploy",
+            scenario
+                .deploy
+                .as_ref()
+                .map_or(Json::Null, deploy_params_to_json),
         ),
         ("avg", result.avg.to_json()),
         (
@@ -201,6 +236,11 @@ fn record_from_json(v: &Json) -> Result<ScenarioRecord, JsonError> {
             stream: match v.get_opt("stream")? {
                 None | Some(Json::Null) => None,
                 Some(params) => Some(stream_params_from_json(params)?),
+            },
+            // Absent or null in documents written before the deploy family.
+            deploy: match v.get_opt("deploy")? {
+                None | Some(Json::Null) => None,
+                Some(params) => Some(deploy_params_from_json(params)?),
             },
         },
         avg: RunMetrics::from_json(v.get("avg")?)?,

@@ -21,11 +21,13 @@
 //! with the §4.3 optimization suite on vs. off, run by `experiments --target
 //! overhead` to reproduce the paper's message/queueing/memory overhead trends.
 
+use crate::deploy::{run_deploy, DeployParams, DeployTransport};
 use crate::experiment::{run_experiment_with_options, ExperimentConfig, ExperimentResult};
 use crate::properties::PaperProperty;
 use crate::spec::PropertySpec;
 use crate::throughput::run_throughput;
 use dlrv_monitor::MonitorOptions;
+use dlrv_net::FaultSpec;
 use dlrv_trace::{ArrivalModel, CommTopology};
 use std::fmt;
 use std::time::Instant;
@@ -52,6 +54,10 @@ pub enum ScenarioFamily {
     /// exclusion, precedence, nested until, and multi-process stress formulas, all
     /// specified as [`PropertySpec`] LTL text (`--target custom`).
     Custom,
+    /// Real-socket multi-process deployments: one `monitord` OS process per
+    /// monitor, tokens over TCP/Unix sockets, optionally through the
+    /// deterministic fault-injection shim (`--target deploy`).
+    Deploy,
 }
 
 impl ScenarioFamily {
@@ -64,6 +70,7 @@ impl ScenarioFamily {
             ScenarioFamily::Throughput => "throughput",
             ScenarioFamily::Overhead => "overhead",
             ScenarioFamily::Custom => "custom",
+            ScenarioFamily::Deploy => "deploy",
         }
     }
 
@@ -76,6 +83,7 @@ impl ScenarioFamily {
             ScenarioFamily::Throughput,
             ScenarioFamily::Overhead,
             ScenarioFamily::Custom,
+            ScenarioFamily::Deploy,
         ]
         .into_iter()
         .find(|f| f.name() == name)
@@ -131,6 +139,9 @@ pub struct Scenario {
     /// through the sharded runtime and how the engine is sized.  `None` runs the
     /// classic offline experiment.
     pub stream: Option<StreamParams>,
+    /// `Some` for deploy scenarios: which socket transport carries the monitors
+    /// and the (optional) fault spec on every channel.  `None` runs in-process.
+    pub deploy: Option<DeployParams>,
 }
 
 impl Scenario {
@@ -143,13 +154,18 @@ impl Scenario {
     /// for throughput scenarios the engine-measured ingestion time averaged over
     /// seeds is kept as-is, so `events_per_sec` and `wall_clock_secs` stay
     /// consistent with each other (workload generation is excluded from both).
+    /// Panics when a deploy scenario's process fleet fails (daemon spawn,
+    /// handshake or barrier errors); use [`run_deploy`] directly for a `Result`.
     pub fn run(&self) -> ExperimentResult {
         let started = Instant::now();
-        let mut result = match &self.stream {
-            None => run_experiment_with_options(&self.config, self.options),
-            Some(params) => run_throughput(&self.config, params, self.options),
+        let mut result = match (&self.stream, &self.deploy) {
+            (Some(params), _) => run_throughput(&self.config, params, self.options),
+            (None, Some(params)) => run_deploy(&self.config, self.options, params)
+                .unwrap_or_else(|e| panic!("deploy scenario `{}` failed: {e}", self.name))
+                .result,
+            (None, None) => run_experiment_with_options(&self.config, self.options),
         };
-        if self.stream.is_none() {
+        if self.stream.is_none() && self.deploy.is_none() {
             result.avg.wall_clock_secs = started.elapsed().as_secs_f64();
         }
         result
@@ -191,6 +207,7 @@ impl ScenarioRegistry {
                     config: ExperimentConfig::paper_default(property, n),
                     options: MonitorOptions::default(),
                     stream: None,
+                    deploy: None,
                 });
             }
         }
@@ -213,6 +230,7 @@ impl ScenarioRegistry {
                 },
                 options: MonitorOptions::default(),
                 stream: None,
+                deploy: None,
             });
         }
 
@@ -233,6 +251,7 @@ impl ScenarioRegistry {
             },
             options: MonitorOptions::default(),
             stream: None,
+            deploy: None,
         });
         registry.push(Scenario {
             name: "hotspot-D-n4".to_string(),
@@ -246,6 +265,7 @@ impl ScenarioRegistry {
             },
             options: MonitorOptions::default(),
             stream: None,
+            deploy: None,
         });
         registry.push(Scenario {
             name: "ring-B-n4".to_string(),
@@ -259,6 +279,7 @@ impl ScenarioRegistry {
             },
             options: MonitorOptions::default(),
             stream: None,
+            deploy: None,
         });
         registry.push(Scenario {
             name: "pipeline-A-n4".to_string(),
@@ -272,6 +293,7 @@ impl ScenarioRegistry {
             },
             options: MonitorOptions::default(),
             stream: None,
+            deploy: None,
         });
         for n in [6usize, 8] {
             registry.push(Scenario {
@@ -284,6 +306,7 @@ impl ScenarioRegistry {
                 config: ExperimentConfig::paper_default(PaperProperty::B, n),
                 options: MonitorOptions::default(),
                 stream: None,
+                deploy: None,
             });
         }
         registry.push(Scenario {
@@ -298,6 +321,7 @@ impl ScenarioRegistry {
             },
             options: MonitorOptions::default(),
             stream: None,
+            deploy: None,
         });
 
         // The throughput family: online ingestion through the sharded streaming
@@ -323,6 +347,7 @@ impl ScenarioRegistry {
                 config: stream_config(property, 3, 6),
                 options: MonitorOptions::default(),
                 stream: Some(StreamParams::sized(200, 4)),
+                deploy: None,
             });
         }
 
@@ -338,6 +363,7 @@ impl ScenarioRegistry {
                 config: stream_config(PaperProperty::C, 2, 8),
                 options: MonitorOptions::default(),
                 stream: Some(StreamParams::sized(400, n_shards)),
+                deploy: None,
             });
         }
 
@@ -358,6 +384,7 @@ impl ScenarioRegistry {
             },
             options: MonitorOptions::default(),
             stream: Some(StreamParams::sized(200, 4)),
+            deploy: None,
         });
         registry.push(Scenario {
             name: "throughput-B-s200-sh4-ring".to_string(),
@@ -371,6 +398,7 @@ impl ScenarioRegistry {
             },
             options: MonitorOptions::default(),
             stream: Some(StreamParams::sized(200, 4)),
+            deploy: None,
         });
 
         // The load test: a thousand concurrent sessions on eight shards.
@@ -383,6 +411,7 @@ impl ScenarioRegistry {
             config: stream_config(PaperProperty::B, 2, 6),
             options: MonitorOptions::default(),
             stream: Some(StreamParams::sized(1000, 8)),
+            deploy: None,
         });
 
         // The §4.3 overhead family: every property at the paper's 4-process point,
@@ -411,6 +440,7 @@ impl ScenarioRegistry {
                     },
                     options,
                     stream: None,
+                    deploy: None,
                 });
             }
         }
@@ -434,6 +464,7 @@ impl ScenarioRegistry {
             },
             options: MonitorOptions::default(),
             stream: None,
+            deploy: None,
         };
         registry.push(custom(
             "reqack-n2",
@@ -491,6 +522,73 @@ impl ScenarioRegistry {
             8,
             "eight-process stress: disjunctive until at the repository's largest scale",
         ));
+
+        // The deploy family: the same monitors as everywhere else, but one
+        // `monitord` OS process each, exchanging tokens over real sockets
+        // (`--target deploy`).  Traces are deliberately short — every fed event
+        // pays a full quiescence barrier (status round-trips to every daemon), so
+        // the family measures deployment mechanics, not lattice exploration.
+        // Unix sockets by default; `deploy-B-n3` runs over TCP loopback so both
+        // transports stay exercised.
+        let deploy_config = |property: PropertySpec, n: usize| ExperimentConfig {
+            events_per_process: 10,
+            seeds: vec![1],
+            ..ExperimentConfig::paper_default(property, n)
+        };
+        for property in PaperProperty::ALL {
+            let transport = if property == PaperProperty::B {
+                DeployTransport::Tcp
+            } else {
+                DeployTransport::Unix
+            };
+            registry.push(Scenario {
+                name: format!("deploy-{}-n3", property.name()),
+                description: format!(
+                    "Real-socket deployment: property {}, 3 monitor processes over \
+                     {} sockets, fault-free",
+                    property.name(),
+                    transport.name()
+                ),
+                family: ScenarioFamily::Deploy,
+                config: deploy_config(property.into(), 3),
+                options: MonitorOptions::default(),
+                stream: None,
+                deploy: Some(DeployParams::clean(transport)),
+            });
+        }
+        registry.push(Scenario {
+            name: "deploy-reqack-n2".to_string(),
+            description: "Real-socket deployment of a custom LTL spec: \
+                          request-response over 2 monitor processes, Unix sockets"
+                .to_string(),
+            family: ScenarioFamily::Deploy,
+            config: deploy_config(
+                PropertySpec::parse_named("reqack-n2", "G(P0.req -> F P1.ack)")
+                    .expect("registry formulas are valid LTL"),
+                2,
+            ),
+            options: MonitorOptions::default(),
+            stream: None,
+            deploy: Some(DeployParams::clean(DeployTransport::Unix)),
+        });
+        registry.push(Scenario {
+            name: "deploy-C-n3-faulty".to_string(),
+            description: "Real-socket deployment under sound faults: property C, \
+                          3 monitor processes, every channel delayed 1 ms with 20% \
+                          duplication and 20% reordering"
+                .to_string(),
+            family: ScenarioFamily::Deploy,
+            config: deploy_config(PaperProperty::C.into(), 3),
+            options: MonitorOptions::default(),
+            stream: None,
+            deploy: Some(DeployParams {
+                transport: DeployTransport::Unix,
+                fault: Some(
+                    FaultSpec::parse("delay=1,dup=0.2,reorder=0.2,seed=7")
+                        .expect("registry fault specs are valid"),
+                ),
+            }),
+        });
 
         registry
     }

@@ -82,6 +82,50 @@ impl MonitorMetrics {
             self.queued_events_sum as f64 / self.queued_events_samples as f64
         }
     }
+
+    /// Serializes the per-monitor metrics (the `monitord` daemon reports them over
+    /// its control connection); field names are part of the deploy protocol.
+    pub fn to_json(&self) -> Json {
+        object([
+            ("tokens_sent", Json::from(self.tokens_sent)),
+            ("tokens_received", Json::from(self.tokens_received)),
+            ("token_batches_sent", Json::from(self.token_batches_sent)),
+            ("global_views_created", Json::from(self.global_views_created)),
+            ("global_views_final", Json::from(self.global_views_final)),
+            ("max_live_views", Json::from(self.max_live_views)),
+            ("events_observed", Json::from(self.events_observed)),
+            ("queued_events_sum", Json::from(self.queued_events_sum)),
+            ("queued_events_samples", Json::from(self.queued_events_samples)),
+            ("max_queued_events", Json::from(self.max_queued_events)),
+            ("last_event_time", Json::from(self.last_event_time)),
+            ("last_activity_time", Json::from(self.last_activity_time)),
+            (
+                "detected_final_verdicts",
+                verdicts_to_json(&self.detected_final_verdicts),
+            ),
+            ("possible_verdicts", verdicts_to_json(&self.possible_verdicts)),
+        ])
+    }
+
+    /// Parses the metrics back from their [`MonitorMetrics::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<MonitorMetrics, JsonError> {
+        Ok(MonitorMetrics {
+            tokens_sent: v.get("tokens_sent")?.as_usize()?,
+            tokens_received: v.get("tokens_received")?.as_usize()?,
+            token_batches_sent: v.get("token_batches_sent")?.as_usize()?,
+            global_views_created: v.get("global_views_created")?.as_usize()?,
+            global_views_final: v.get("global_views_final")?.as_usize()?,
+            max_live_views: v.get("max_live_views")?.as_usize()?,
+            events_observed: v.get("events_observed")?.as_usize()?,
+            queued_events_sum: v.get("queued_events_sum")?.as_usize()?,
+            queued_events_samples: v.get("queued_events_samples")?.as_usize()?,
+            max_queued_events: v.get("max_queued_events")?.as_usize()?,
+            last_event_time: v.get("last_event_time")?.as_f64()?,
+            last_activity_time: v.get("last_activity_time")?.as_f64()?,
+            detected_final_verdicts: verdicts_from_json(v.get("detected_final_verdicts")?)?,
+            possible_verdicts: verdicts_from_json(v.get("possible_verdicts")?)?,
+        })
+    }
 }
 
 /// Metrics of one worker shard of the streaming runtime (`dlrv-stream`).

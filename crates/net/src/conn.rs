@@ -1,0 +1,319 @@
+//! Framed, non-blocking JSON connections.
+//!
+//! The deploy protocol reuses the `dlrv-stream` framing — a 4-byte big-endian
+//! length prefix followed by compact JSON — but with arbitrary [`Json`] payloads
+//! instead of [`dlrv_stream::StreamRecord`]s: control, peer and fault-shim frames
+//! all travel through the same [`FramedConn`].
+//!
+//! A [`FramedConn`] wraps a non-blocking [`Socket`] with an incremental
+//! [`JsonFrameDecoder`] on the read side and a frame-boundary-aware write queue on
+//! the write side: [`flush`](FramedConn::flush) writes as much as the kernel
+//! accepts and remembers the offset inside a partially-written frame, so the
+//! reactor can resume exactly where `EWOULDBLOCK` interrupted.  The
+//! [`frames_flushed`](FramedConn::frames_flushed) counter — frames fully handed to
+//! the kernel — is the `sent` side of the deploy quiescence barrier.
+
+use crate::endpoint::Socket;
+use dlrv_json::Json;
+use dlrv_stream::MAX_FRAME_LEN;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Error of the transport layer: framing, JSON or socket I/O.
+#[derive(Debug)]
+pub struct NetError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl NetError {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        NetError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::msg(format!("socket I/O: {e}"))
+    }
+}
+
+impl From<dlrv_json::JsonError> for NetError {
+    fn from(e: dlrv_json::JsonError) -> Self {
+        NetError::msg(format!("wire JSON: {e}"))
+    }
+}
+
+/// Encodes one JSON value as a frame: 4-byte big-endian length + compact payload.
+pub fn encode_json_frame(value: &Json) -> Vec<u8> {
+    let payload = value.to_string_compact().into_bytes();
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// An incremental frame decoder yielding [`Json`] payloads (the generic sibling of
+/// `dlrv_stream::FrameDecoder`, which is specialized to stream records).
+#[derive(Debug, Default)]
+pub struct JsonFrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl JsonFrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        JsonFrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-decoded bytes.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decodes the next complete frame, or `None` when more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Json>, NetError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::msg(format!(
+                "frame length {len} exceeds maximum {MAX_FRAME_LEN}"
+            )));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = &avail[4..4 + len];
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| NetError::msg("frame payload is not UTF-8"))?;
+        let value = Json::parse(text)?;
+        self.pos += 4 + len;
+        Ok(Some(value))
+    }
+}
+
+/// A non-blocking socket carrying framed JSON in both directions.
+#[derive(Debug)]
+pub struct FramedConn {
+    sock: Socket,
+    decoder: JsonFrameDecoder,
+    /// Outgoing frames not yet fully written; `out_pos` bytes of the front frame
+    /// are already on the wire.
+    outq: VecDeque<Vec<u8>>,
+    out_pos: usize,
+    frames_flushed: u64,
+    eof: bool,
+    read_chunk: Vec<u8>,
+}
+
+impl FramedConn {
+    /// Wraps an established non-blocking socket.
+    pub fn new(sock: Socket) -> Self {
+        FramedConn {
+            sock,
+            decoder: JsonFrameDecoder::new(),
+            outq: VecDeque::new(),
+            out_pos: 0,
+            frames_flushed: 0,
+            eof: false,
+            read_chunk: vec![0u8; 64 * 1024],
+        }
+    }
+
+    /// The raw descriptor, for reactor registration.
+    pub fn raw_fd(&self) -> RawFd {
+        self.sock.raw_fd()
+    }
+
+    /// True once the peer closed its write side.
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Reads everything currently available and returns the complete frames
+    /// decoded from it (possibly empty).  Sets [`is_eof`](Self::is_eof) on a clean
+    /// peer close; trailing bytes of a truncated frame at EOF are an error.
+    pub fn on_readable(&mut self) -> Result<Vec<Json>, NetError> {
+        let mut frames = Vec::new();
+        loop {
+            match self.sock.read(&mut self.read_chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    let chunk = self.read_chunk[..n].to_vec();
+                    self.decoder.push(&chunk);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        while let Some(frame) = self.decoder.next_frame()? {
+            frames.push(frame);
+        }
+        if self.eof && self.decoder.pending_bytes() > 0 {
+            return Err(NetError::msg(format!(
+                "peer closed mid-frame ({} trailing bytes)",
+                self.decoder.pending_bytes()
+            )));
+        }
+        Ok(frames)
+    }
+
+    /// Queues one JSON value for sending (framed) and attempts an immediate flush.
+    pub fn send(&mut self, value: &Json) -> Result<(), NetError> {
+        self.queue_bytes(encode_json_frame(value));
+        self.flush()?;
+        Ok(())
+    }
+
+    /// Queues an already-encoded frame without flushing (the fault shim re-emits
+    /// byte-identical frames, possibly delayed).
+    pub fn queue_bytes(&mut self, frame: Vec<u8>) {
+        debug_assert!(frame.len() >= 4, "frames carry a 4-byte length prefix");
+        self.outq.push_back(frame);
+    }
+
+    /// Writes queued frames until the kernel pushes back.  Returns `true` when the
+    /// queue drained completely.
+    pub fn flush(&mut self) -> Result<bool, NetError> {
+        while let Some(front) = self.outq.front() {
+            match self.sock.write(&front[self.out_pos..]) {
+                Ok(n) => {
+                    self.out_pos += n;
+                    if self.out_pos == front.len() {
+                        self.outq.pop_front();
+                        self.out_pos = 0;
+                        self.frames_flushed += 1;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(true)
+    }
+
+    /// True while queued frames are waiting for the socket to become writable.
+    pub fn wants_write(&self) -> bool {
+        !self.outq.is_empty()
+    }
+
+    /// Number of queued (not fully written) frames.
+    pub fn queued_frames(&self) -> usize {
+        self.outq.len()
+    }
+
+    /// Frames fully handed to the kernel since the connection opened.
+    pub fn frames_flushed(&self) -> u64 {
+        self.frames_flushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{connect_with_retry, Endpoint, Listener};
+    use dlrv_json::object;
+    use std::time::{Duration, Instant};
+
+    fn loopback_pair() -> (FramedConn, FramedConn) {
+        let listener =
+            Listener::bind(&Endpoint::parse("tcp:127.0.0.1:0").expect("parse")).expect("bind");
+        let local = listener.local_endpoint().expect("local");
+        let client = connect_with_retry(&local, Duration::from_secs(2)).expect("connect");
+        let server = loop {
+            if let Some(sock) = listener.accept().expect("accept") {
+                break sock;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        (FramedConn::new(client), FramedConn::new(server))
+    }
+
+    fn pump_until(
+        rx: &mut FramedConn,
+        want: usize,
+        timeout: Duration,
+    ) -> Vec<Json> {
+        let deadline = Instant::now() + timeout;
+        let mut got = Vec::new();
+        while got.len() < want {
+            assert!(Instant::now() < deadline, "timed out with {} frames", got.len());
+            got.extend(rx.on_readable().expect("read"));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        got
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_real_socket() {
+        let (mut tx, mut rx) = loopback_pair();
+        let frames: Vec<Json> = (0..10u64)
+            .map(|i| object([("k", Json::from(i)), ("tag", Json::from("x"))]))
+            .collect();
+        for f in &frames {
+            tx.send(f).expect("send");
+        }
+        // Finish any partial flush.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while tx.wants_write() && Instant::now() < deadline {
+            tx.flush().expect("flush");
+        }
+        assert_eq!(tx.frames_flushed(), frames.len() as u64);
+        let got = pump_until(&mut rx, frames.len(), Duration::from_secs(2));
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn json_frame_decoder_handles_split_prefixes() {
+        let value = object([("answer", Json::from(42u64))]);
+        let bytes = encode_json_frame(&value);
+        let mut decoder = JsonFrameDecoder::new();
+        // Push the length prefix one byte at a time: no frame must appear early.
+        for b in &bytes[..3] {
+            decoder.push(&[*b]);
+            assert!(decoder.next_frame().expect("decode").is_none());
+        }
+        decoder.push(&bytes[3..]);
+        assert_eq!(decoder.next_frame().expect("decode"), Some(value));
+        assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut decoder = JsonFrameDecoder::new();
+        decoder.push(&u32::MAX.to_be_bytes());
+        assert!(decoder.next_frame().is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Network endpoints: parsing, listening and connecting over TCP or Unix sockets.
+//!
+//! An [`Endpoint`] is written `tcp:HOST:PORT` or `unix:PATH` everywhere the
+//! repository names a socket (the `monitord --listen` flag, the deploy
+//! orchestrator's peer lists, test fixtures).  `tcp:127.0.0.1:0` asks the kernel
+//! for an ephemeral port; the bound [`Listener`] reports the actual endpoint via
+//! [`Listener::local_endpoint`], which the daemon prints as its `LISTEN` line.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A parseable socket address: TCP or Unix-domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `tcp:HOST:PORT`.
+    Tcp(String),
+    /// `unix:PATH`.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `tcp:HOST:PORT` or `unix:PATH`.
+    pub fn parse(text: &str) -> Result<Endpoint, String> {
+        if let Some(addr) = text.strip_prefix("tcp:") {
+            if addr.rsplit_once(':').is_none() {
+                return Err(format!("tcp endpoint `{text}` must be tcp:HOST:PORT"));
+            }
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else if let Some(path) = text.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(format!("unix endpoint `{text}` must name a path"));
+            }
+            Ok(Endpoint::Unix(PathBuf::from(path)))
+        } else {
+            Err(format!(
+                "endpoint `{text}` must start with `tcp:` or `unix:`"
+            ))
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A connected stream socket (always non-blocking once established).
+#[derive(Debug)]
+pub enum Socket {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    Unix(UnixStream),
+}
+
+impl Socket {
+    /// Connects to `endpoint` (blocking connect, then switches the socket to
+    /// non-blocking mode).  TCP connections disable Nagle: token frames are small
+    /// and latency-bound.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Socket> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                stream.set_nonblocking(true)?;
+                Ok(Socket::Tcp(stream))
+            }
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                stream.set_nonblocking(true)?;
+                Ok(Socket::Unix(stream))
+            }
+        }
+    }
+
+    /// The raw descriptor, for reactor registration.
+    pub fn raw_fd(&self) -> RawFd {
+        match self {
+            Socket::Tcp(s) => s.as_raw_fd(),
+            Socket::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    /// Non-blocking read; `Ok(0)` is end-of-stream.
+    pub fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Socket::Tcp(s) => io::Read::read(s, buf),
+            Socket::Unix(s) => io::Read::read(s, buf),
+        }
+    }
+
+    /// Non-blocking write.
+    pub fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Socket::Tcp(s) => io::Write::write(s, buf),
+            Socket::Unix(s) => io::Write::write(s, buf),
+        }
+    }
+}
+
+/// A non-blocking listening socket over either transport.
+#[derive(Debug)]
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain listener (owns its socket file; removed on drop).
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Binds `endpoint` and switches the listener to non-blocking mode.
+    ///
+    /// For Unix endpoints a leftover socket file from a crashed daemon is cleaned
+    /// up automatically: if the path exists but nothing accepts connections on it,
+    /// the stale file is removed and the bind retried.  A path with a *live*
+    /// listener fails with [`io::ErrorKind::AddrInUse`].
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Listener> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Tcp(listener))
+            }
+            Endpoint::Unix(path) => {
+                let listener = match UnixListener::bind(path) {
+                    Ok(l) => l,
+                    Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                        // Distinguish a live daemon from a stale socket file: only
+                        // a connect refusal proves nobody is accepting.
+                        match UnixStream::connect(path) {
+                            Ok(_) => return Err(e),
+                            Err(probe) if probe.kind() == io::ErrorKind::ConnectionRefused => {
+                                std::fs::remove_file(path)?;
+                                UnixListener::bind(path)?
+                            }
+                            Err(_) => return Err(e),
+                        }
+                    }
+                    Err(e) => return Err(e),
+                };
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Unix(listener, path.clone()))
+            }
+        }
+    }
+
+    /// The endpoint actually bound (resolves `tcp:…:0` to the kernel-chosen port).
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            Listener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+            Listener::Unix(_, path) => Ok(Endpoint::Unix(path.clone())),
+        }
+    }
+
+    /// Accepts one pending connection, or `None` when no connection is pending.
+    pub fn accept(&self) -> io::Result<Option<Socket>> {
+        match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_nonblocking(true)?;
+                    Ok(Some(Socket::Tcp(stream)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            Listener::Unix(l, _) => match l.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(true)?;
+                    Ok(Some(Socket::Unix(stream)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    /// The raw descriptor, for reactor registration.
+    pub fn raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l, _) => l.as_raw_fd(),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Blocking connect with retry until `deadline`, for racing a just-spawned
+/// listener: `ConnectionRefused`/`NotFound` are retried, anything else fails
+/// immediately.
+pub fn connect_with_retry(endpoint: &Endpoint, timeout: Duration) -> io::Result<Socket> {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        match Socket::connect(endpoint) {
+            Ok(sock) => return Ok(sock),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionRefused | io::ErrorKind::NotFound
+                ) && std::time::Instant::now() < deadline =>
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_parse_and_display() {
+        let tcp = Endpoint::parse("tcp:127.0.0.1:9000").expect("tcp");
+        assert_eq!(tcp, Endpoint::Tcp("127.0.0.1:9000".to_string()));
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:9000");
+        let unix = Endpoint::parse("unix:/tmp/x.sock").expect("unix");
+        assert_eq!(unix.to_string(), "unix:/tmp/x.sock");
+        assert!(Endpoint::parse("udp:1.2.3.4:1").is_err());
+        assert!(Endpoint::parse("tcp:no-port").is_err());
+        assert!(Endpoint::parse("unix:").is_err());
+    }
+
+    #[test]
+    fn tcp_port_zero_resolves_to_a_real_port() {
+        let listener =
+            Listener::bind(&Endpoint::parse("tcp:127.0.0.1:0").expect("parse")).expect("bind");
+        let local = listener.local_endpoint().expect("local");
+        match &local {
+            Endpoint::Tcp(addr) => assert!(!addr.ends_with(":0"), "got {addr}"),
+            other => panic!("expected tcp endpoint, got {other}"),
+        }
+        // A client can actually connect to the resolved endpoint.
+        let sock = connect_with_retry(&local, Duration::from_secs(2)).expect("connect");
+        assert!(sock.raw_fd() >= 0);
+        assert!(listener.accept().expect("accept").is_some());
+    }
+
+    #[test]
+    fn stale_unix_sockets_are_cleaned_up_and_live_ones_rejected() {
+        let dir = std::env::temp_dir().join(format!("dlrv-net-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("stale.sock");
+        let ep = Endpoint::Unix(path.clone());
+
+        // A stale socket file (no listener behind it) must be swept aside.
+        {
+            let l = UnixListener::bind(&path).expect("first bind");
+            drop(l); // file remains, nobody accepts
+        }
+        assert!(path.exists(), "socket file must be left behind");
+        let reborn = Listener::bind(&ep).expect("rebind over stale socket");
+
+        // While `reborn` is alive the endpoint is genuinely busy.
+        let err = Listener::bind(&ep).expect_err("double bind");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+
+        drop(reborn);
+        assert!(!path.exists(), "listener drop must remove its socket file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

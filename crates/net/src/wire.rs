@@ -1,0 +1,625 @@
+//! The deploy wire protocol: every frame exchanged between the orchestrator, the
+//! `monitord` daemons and their peer mesh.
+//!
+//! All frames are length-prefixed compact JSON (see [`crate::conn`]) with a
+//! `type` tag.  Three planes share one message enum:
+//!
+//! * **control** (orchestrator ↔ daemon): `hello`/`hello_ok` handshake, `event`
+//!   delivery, `status` quiescence polls, `finish` (end-of-trace), `report`
+//!   (metrics collection) and `shutdown`;
+//! * **peer** (daemon ↔ daemon): `peer_hello` identification and `monitor`
+//!   frames carrying a [`MonitorMsg`] — a token, a §4.3.1 batch or a
+//!   termination notice — plus the simulated timestamp it was sent at, so the
+//!   receiving monitor processes it at exactly the time a co-located
+//!   [`FeedSession`](dlrv_monitor::FeedSession) would have;
+//! * **property payloads** stay opaque here: `hello` carries the property and the
+//!   monitor options as raw [`Json`] interpreted by `dlrv-core`'s results codec,
+//!   keeping this crate independent of the spec pipeline (and free of the
+//!   dependency cycle `net → core → net`).
+
+use crate::fault::{FaultSpec, FaultStats};
+use dlrv_json::{object, Json, JsonError};
+use dlrv_ltl::Assignment;
+use dlrv_monitor::{ConjunctEval, EvalState, MonitorMetrics, MonitorMsg, Token, TokenTransition};
+use dlrv_stream::{event_from_json, event_to_json};
+use dlrv_vclock::{Event, VectorClock};
+use std::sync::Arc;
+
+fn vc_to_json(vc: &VectorClock) -> Json {
+    Json::Array(vc.entries().iter().map(|&e| Json::from(e)).collect())
+}
+
+fn vc_from_json(v: &Json) -> Result<VectorClock, JsonError> {
+    Ok(VectorClock::from_entries(
+        v.as_array()?
+            .iter()
+            .map(Json::as_u64)
+            .collect::<Result<Vec<_>, _>>()?,
+    ))
+}
+
+/// Serializes one token transition.  Conjunct evaluations travel as a compact
+/// string (one char per process: `-` not involved, `?` unset, `t`, `f`), the
+/// overall evaluation as `?`/`e`/`d`.
+fn transition_to_json(t: &TokenTransition) -> Json {
+    let conjuncts: String = t
+        .conjuncts
+        .iter()
+        .map(|c| match c {
+            ConjunctEval::NotInvolved => '-',
+            ConjunctEval::Unset => '?',
+            ConjunctEval::True => 't',
+            ConjunctEval::False => 'f',
+        })
+        .collect();
+    let eval = match t.eval {
+        EvalState::Unset => "?",
+        EvalState::Enabled => "e",
+        EvalState::Disabled => "d",
+    };
+    object([
+        ("id", Json::from(t.transition_id)),
+        ("gcut", vc_to_json(&t.gcut)),
+        ("depend", vc_to_json(&t.depend)),
+        ("gstate", Json::from(t.gstate.0)),
+        ("conjuncts", Json::from(conjuncts)),
+        ("next_p", Json::from(t.next_target_process)),
+        ("next_e", Json::from(t.next_target_event)),
+        ("eval", Json::from(eval)),
+    ])
+}
+
+fn transition_from_json(v: &Json) -> Result<TokenTransition, JsonError> {
+    let conjuncts = v
+        .get("conjuncts")?
+        .as_str()?
+        .chars()
+        .map(|c| match c {
+            '-' => Ok(ConjunctEval::NotInvolved),
+            '?' => Ok(ConjunctEval::Unset),
+            't' => Ok(ConjunctEval::True),
+            'f' => Ok(ConjunctEval::False),
+            other => Err(JsonError::msg(format!("unknown conjunct eval `{other}`"))),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let eval = match v.get("eval")?.as_str()? {
+        "?" => EvalState::Unset,
+        "e" => EvalState::Enabled,
+        "d" => EvalState::Disabled,
+        other => return Err(JsonError::msg(format!("unknown eval state `{other}`"))),
+    };
+    Ok(TokenTransition {
+        transition_id: v.get("id")?.as_usize()?,
+        gcut: vc_from_json(v.get("gcut")?)?,
+        depend: vc_from_json(v.get("depend")?)?,
+        gstate: Assignment(v.get("gstate")?.as_u64()?),
+        conjuncts,
+        next_target_process: v.get("next_p")?.as_usize()?,
+        next_target_event: v.get("next_e")?.as_u64()?,
+        eval,
+    })
+}
+
+/// Serializes a token.
+pub fn token_to_json(t: &Token) -> Json {
+    object([
+        ("parent", Json::from(t.parent)),
+        ("origin_state", Json::from(t.origin_state)),
+        ("parent_gv", Json::from(t.parent_gv)),
+        ("parent_vc", vc_to_json(&t.parent_event_vc)),
+        (
+            "transitions",
+            Json::Array(t.transitions.iter().map(transition_to_json).collect()),
+        ),
+        ("next_p", Json::from(t.next_target_process)),
+        ("next_e", Json::from(t.next_target_event)),
+    ])
+}
+
+/// Parses a token back from its [`token_to_json`] form.
+pub fn token_from_json(v: &Json) -> Result<Token, JsonError> {
+    Ok(Token {
+        parent: v.get("parent")?.as_usize()?,
+        origin_state: v.get("origin_state")?.as_usize()?,
+        parent_gv: v.get("parent_gv")?.as_u64()?,
+        parent_event_vc: Arc::new(vc_from_json(v.get("parent_vc")?)?),
+        transitions: v
+            .get("transitions")?
+            .as_array()?
+            .iter()
+            .map(transition_from_json)
+            .collect::<Result<_, _>>()?,
+        next_target_process: v.get("next_p")?.as_usize()?,
+        next_target_event: v.get("next_e")?.as_u64()?,
+    })
+}
+
+/// Serializes a monitor-to-monitor message.
+pub fn monitor_msg_to_json(msg: &MonitorMsg) -> Json {
+    match msg {
+        MonitorMsg::Token(t) => object([
+            ("type", Json::from("token")),
+            ("token", token_to_json(t)),
+        ]),
+        MonitorMsg::Batch(tokens) => object([
+            ("type", Json::from("batch")),
+            (
+                "tokens",
+                Json::Array(tokens.iter().map(token_to_json).collect()),
+            ),
+        ]),
+        MonitorMsg::Terminated { process, last_sn } => object([
+            ("type", Json::from("terminated")),
+            ("process", Json::from(*process)),
+            ("last_sn", Json::from(*last_sn)),
+        ]),
+    }
+}
+
+/// Parses a monitor-to-monitor message back.
+pub fn monitor_msg_from_json(v: &Json) -> Result<MonitorMsg, JsonError> {
+    match v.get("type")?.as_str()? {
+        "token" => Ok(MonitorMsg::Token(token_from_json(v.get("token")?)?)),
+        "batch" => Ok(MonitorMsg::Batch(
+            v.get("tokens")?
+                .as_array()?
+                .iter()
+                .map(token_from_json)
+                .collect::<Result<_, _>>()?,
+        )),
+        "terminated" => Ok(MonitorMsg::Terminated {
+            process: v.get("process")?.as_usize()?,
+            last_sn: v.get("last_sn")?.as_u64()?,
+        }),
+        other => Err(JsonError::msg(format!("unknown monitor msg `{other}`"))),
+    }
+}
+
+/// One daemon's transport counters, polled by the orchestrator's quiescence
+/// barrier after every fed event.
+///
+/// The system is quiescent when, across all daemons, `sent[i][j] == received[j][i]`
+/// for every pair, every `pending` is zero, and two consecutive polls agree — the
+/// classic counter-balance termination test, with `dropped` excluded from `sent`
+/// so deliberately lossy channels still drain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonStatus {
+    /// The reporting daemon's process index.
+    pub process: usize,
+    /// Program events delivered to this daemon so far.
+    pub events_seen: u64,
+    /// Monitor frames fully handed to the kernel, per destination process
+    /// (duplicates counted individually, drops excluded).
+    pub sent: Vec<u64>,
+    /// Monitor frames decoded from each source process.
+    pub received: Vec<u64>,
+    /// Frames still inside this daemon: queued on sockets, held by the reorder
+    /// shim, or waiting in the delay queue.
+    pub pending: u64,
+    /// Frames the fault shim discarded.
+    pub dropped: u64,
+}
+
+impl DaemonStatus {
+    /// Serializes the status.
+    pub fn to_json(&self) -> Json {
+        object([
+            ("process", Json::from(self.process)),
+            ("events_seen", Json::from(self.events_seen)),
+            (
+                "sent",
+                Json::Array(self.sent.iter().map(|&c| Json::from(c)).collect()),
+            ),
+            (
+                "received",
+                Json::Array(self.received.iter().map(|&c| Json::from(c)).collect()),
+            ),
+            ("pending", Json::from(self.pending)),
+            ("dropped", Json::from(self.dropped)),
+        ])
+    }
+
+    /// Parses the status back.
+    pub fn from_json(v: &Json) -> Result<DaemonStatus, JsonError> {
+        let counts = |key: &str| -> Result<Vec<u64>, JsonError> {
+            v.get(key)?.as_array()?.iter().map(Json::as_u64).collect()
+        };
+        Ok(DaemonStatus {
+            process: v.get("process")?.as_usize()?,
+            events_seen: v.get("events_seen")?.as_u64()?,
+            sent: counts("sent")?,
+            received: counts("received")?,
+            pending: v.get("pending")?.as_u64()?,
+            dropped: v.get("dropped")?.as_u64()?,
+        })
+    }
+}
+
+/// One daemon's end-of-run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonReport {
+    /// The reporting daemon's process index.
+    pub process: usize,
+    /// Its monitor's metrics, exactly as a co-located monitor would report them.
+    pub metrics: MonitorMetrics,
+    /// Logical monitor messages this daemon's monitor emitted (pre-shim: the
+    /// number a [`FeedSession`](dlrv_monitor::FeedSession) would count).
+    pub logical_monitor_msgs: u64,
+    /// What the fault shim did across all of this daemon's outgoing channels.
+    pub fault_stats: FaultStats,
+}
+
+impl DaemonReport {
+    /// Serializes the report.
+    pub fn to_json(&self) -> Json {
+        object([
+            ("process", Json::from(self.process)),
+            ("metrics", self.metrics.to_json()),
+            ("logical_monitor_msgs", Json::from(self.logical_monitor_msgs)),
+            ("fault_stats", self.fault_stats.to_json()),
+        ])
+    }
+
+    /// Parses the report back.
+    pub fn from_json(v: &Json) -> Result<DaemonReport, JsonError> {
+        Ok(DaemonReport {
+            process: v.get("process")?.as_usize()?,
+            metrics: MonitorMetrics::from_json(v.get("metrics")?)?,
+            logical_monitor_msgs: v.get("logical_monitor_msgs")?.as_u64()?,
+            fault_stats: FaultStats::from_json(v.get("fault_stats")?)?,
+        })
+    }
+}
+
+/// Every frame of the deploy protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Orchestrator → daemon: configuration + mesh topology.  `property` and
+    /// `options` are opaque payloads decoded by the daemon via `dlrv-core`.
+    Hello {
+        /// The daemon's process index.
+        process: usize,
+        /// Total number of monitor processes.
+        n_processes: usize,
+        /// Property payload (a `dlrv_core::results::property_to_json` document).
+        property: Json,
+        /// Monitor options payload (`dlrv_core::results::options_to_json`).
+        options: Json,
+        /// Initial global state, as raw [`Assignment`] bits.
+        initial_state: u64,
+        /// Fault spec applied to this daemon's *outgoing* peer channels.
+        fault: Option<FaultSpec>,
+        /// Listen endpoints of all daemons, indexed by process.
+        peers: Vec<String>,
+    },
+    /// Daemon → orchestrator: mesh established, ready for events.
+    HelloOk {
+        /// The daemon's process index.
+        process: usize,
+    },
+    /// Orchestrator → daemon: one program event of the daemon's process.
+    Event {
+        /// The event, exactly as a co-located monitor would observe it.
+        event: Event,
+    },
+    /// Orchestrator → daemon: report transport counters.
+    Status,
+    /// Daemon → orchestrator: the counters.
+    StatusOk(DaemonStatus),
+    /// Orchestrator → daemon: end-of-trace at simulated time `time` — run local
+    /// termination and emit the resulting messages.
+    Finish {
+        /// The global last event timestamp (every daemon terminates at the same
+        /// simulated time, mirroring `FeedSession::finish`).
+        time: f64,
+    },
+    /// Daemon → orchestrator: termination processed.
+    FinishOk,
+    /// Orchestrator → daemon: report metrics.
+    Report,
+    /// Daemon → orchestrator: the end-of-run report.
+    ReportOk(DaemonReport),
+    /// Orchestrator → daemon: drain and exit 0.
+    Shutdown,
+    /// Daemon → orchestrator: about to exit.
+    ShutdownOk,
+    /// Daemon → orchestrator: fatal protocol error (the daemon exits non-zero).
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Daemon → daemon: identifies the dialing peer.
+    PeerHello {
+        /// The dialing daemon's process index.
+        from: usize,
+    },
+    /// Daemon → daemon: one monitor message at simulated time `time`.
+    Monitor {
+        /// The sending process.
+        from: usize,
+        /// Per-channel sequence number, assigned by the sender *before* the fault
+        /// shim.  Receivers use it to suppress duplicated frames: without the
+        /// suppression, every duplicate provokes monitor responses that are
+        /// themselves duplicated, and at `dup=1` the traffic amplifies
+        /// geometrically per token hop instead of quiescing.
+        seq: u64,
+        /// The simulated timestamp of the activation that produced the message.
+        time: f64,
+        /// The payload.
+        msg: MonitorMsg,
+    },
+}
+
+impl WireMsg {
+    /// Serializes the message as a tagged object (the frame payload).
+    pub fn to_json(&self) -> Json {
+        match self {
+            WireMsg::Hello {
+                process,
+                n_processes,
+                property,
+                options,
+                initial_state,
+                fault,
+                peers,
+            } => object([
+                ("type", Json::from("hello")),
+                ("process", Json::from(*process)),
+                ("n_processes", Json::from(*n_processes)),
+                ("property", property.clone()),
+                ("options", options.clone()),
+                ("initial_state", Json::from(*initial_state)),
+                (
+                    "fault",
+                    fault.as_ref().map_or(Json::Null, FaultSpec::to_json),
+                ),
+                (
+                    "peers",
+                    Json::Array(peers.iter().map(|p| Json::from(p.as_str())).collect()),
+                ),
+            ]),
+            WireMsg::HelloOk { process } => object([
+                ("type", Json::from("hello_ok")),
+                ("process", Json::from(*process)),
+            ]),
+            WireMsg::Event { event } => object([
+                ("type", Json::from("event")),
+                ("event", event_to_json(event)),
+            ]),
+            WireMsg::Status => object([("type", Json::from("status"))]),
+            WireMsg::StatusOk(status) => object([
+                ("type", Json::from("status_ok")),
+                ("status", status.to_json()),
+            ]),
+            WireMsg::Finish { time } => object([
+                ("type", Json::from("finish")),
+                ("time", Json::from(*time)),
+            ]),
+            WireMsg::FinishOk => object([("type", Json::from("finish_ok"))]),
+            WireMsg::Report => object([("type", Json::from("report"))]),
+            WireMsg::ReportOk(report) => object([
+                ("type", Json::from("report_ok")),
+                ("report", report.to_json()),
+            ]),
+            WireMsg::Shutdown => object([("type", Json::from("shutdown"))]),
+            WireMsg::ShutdownOk => object([("type", Json::from("shutdown_ok"))]),
+            WireMsg::Error { message } => object([
+                ("type", Json::from("error")),
+                ("message", Json::from(message.as_str())),
+            ]),
+            WireMsg::PeerHello { from } => object([
+                ("type", Json::from("peer_hello")),
+                ("from", Json::from(*from)),
+            ]),
+            WireMsg::Monitor {
+                from,
+                seq,
+                time,
+                msg,
+            } => object([
+                ("type", Json::from("monitor")),
+                ("from", Json::from(*from)),
+                ("seq", Json::from(*seq)),
+                ("time", Json::from(*time)),
+                ("msg", monitor_msg_to_json(msg)),
+            ]),
+        }
+    }
+
+    /// Parses a message back from its [`to_json`](Self::to_json) form.
+    pub fn from_json(v: &Json) -> Result<WireMsg, JsonError> {
+        match v.get("type")?.as_str()? {
+            "hello" => Ok(WireMsg::Hello {
+                process: v.get("process")?.as_usize()?,
+                n_processes: v.get("n_processes")?.as_usize()?,
+                property: v.get("property")?.clone(),
+                options: v.get("options")?.clone(),
+                initial_state: v.get("initial_state")?.as_u64()?,
+                fault: match v.get("fault")? {
+                    Json::Null => None,
+                    spec => Some(FaultSpec::from_json(spec)?),
+                },
+                peers: v
+                    .get("peers")?
+                    .as_array()?
+                    .iter()
+                    .map(|p| Ok(p.as_str()?.to_string()))
+                    .collect::<Result<_, JsonError>>()?,
+            }),
+            "hello_ok" => Ok(WireMsg::HelloOk {
+                process: v.get("process")?.as_usize()?,
+            }),
+            "event" => Ok(WireMsg::Event {
+                event: event_from_json(v.get("event")?)?,
+            }),
+            "status" => Ok(WireMsg::Status),
+            "status_ok" => Ok(WireMsg::StatusOk(DaemonStatus::from_json(v.get("status")?)?)),
+            "finish" => Ok(WireMsg::Finish {
+                time: v.get("time")?.as_f64()?,
+            }),
+            "finish_ok" => Ok(WireMsg::FinishOk),
+            "report" => Ok(WireMsg::Report),
+            "report_ok" => Ok(WireMsg::ReportOk(DaemonReport::from_json(v.get("report")?)?)),
+            "shutdown" => Ok(WireMsg::Shutdown),
+            "shutdown_ok" => Ok(WireMsg::ShutdownOk),
+            "error" => Ok(WireMsg::Error {
+                message: v.get("message")?.as_str()?.to_string(),
+            }),
+            "peer_hello" => Ok(WireMsg::PeerHello {
+                from: v.get("from")?.as_usize()?,
+            }),
+            "monitor" => Ok(WireMsg::Monitor {
+                from: v.get("from")?.as_usize()?,
+                seq: v.get("seq")?.as_u64()?,
+                time: v.get("time")?.as_f64()?,
+                msg: monitor_msg_from_json(v.get("msg")?)?,
+            }),
+            other => Err(JsonError::msg(format!("unknown wire message `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrv_vclock::EventKind;
+    use std::collections::BTreeSet;
+
+    fn sample_token(seq: u64) -> Token {
+        Token {
+            parent: 1,
+            origin_state: 3,
+            parent_gv: 40 + seq,
+            parent_event_vc: Arc::new(VectorClock::from_entries(vec![2, 5, 0])),
+            transitions: vec![
+                TokenTransition {
+                    transition_id: 7,
+                    gcut: VectorClock::from_entries(vec![1, 2, 0]),
+                    depend: VectorClock::from_entries(vec![1, 2, 3]),
+                    gstate: Assignment(0b110),
+                    conjuncts: vec![ConjunctEval::True, ConjunctEval::NotInvolved, ConjunctEval::Unset],
+                    next_target_process: 2,
+                    next_target_event: 4,
+                    eval: EvalState::Unset,
+                },
+                TokenTransition {
+                    transition_id: 9,
+                    gcut: VectorClock::from_entries(vec![0, 0, 0]),
+                    depend: VectorClock::from_entries(vec![0, 0, 0]),
+                    gstate: Assignment::ALL_FALSE,
+                    conjuncts: vec![ConjunctEval::False, ConjunctEval::Unset, ConjunctEval::True],
+                    next_target_process: 0,
+                    next_target_event: 1,
+                    eval: EvalState::Disabled,
+                },
+            ],
+            next_target_process: 2,
+            next_target_event: 4,
+        }
+    }
+
+    #[test]
+    fn monitor_messages_round_trip() {
+        for msg in [
+            MonitorMsg::Token(sample_token(0)),
+            MonitorMsg::Batch(vec![sample_token(1), sample_token(2)]),
+            MonitorMsg::Terminated {
+                process: 2,
+                last_sn: 17,
+            },
+        ] {
+            let text = monitor_msg_to_json(&msg).to_string_compact();
+            let back =
+                monitor_msg_from_json(&Json::parse(&text).expect("parse")).expect("decode");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn every_wire_message_round_trips() {
+        let event = Event {
+            process: 0,
+            kind: EventKind::Broadcast { msg_id: 5 },
+            sn: 2,
+            vc: VectorClock::from_entries(vec![2, 0, 1]),
+            state: Assignment(0b01),
+            time: 6.5,
+        };
+        let mut detected = BTreeSet::new();
+        detected.insert(dlrv_ltl::Verdict::True);
+        let metrics = MonitorMetrics {
+            tokens_sent: 4,
+            tokens_received: 3,
+            global_views_created: 7,
+            last_activity_time: 9.25,
+            detected_final_verdicts: detected,
+            ..MonitorMetrics::default()
+        };
+        let messages = vec![
+            WireMsg::Hello {
+                process: 1,
+                n_processes: 3,
+                property: Json::from("B"),
+                options: object([("aggregate_tokens", Json::from(true))]),
+                initial_state: 0b101,
+                fault: Some(FaultSpec::parse("drop=0.5,seed=3").expect("spec")),
+                peers: vec![
+                    "tcp:127.0.0.1:4000".to_string(),
+                    "tcp:127.0.0.1:4001".to_string(),
+                    "tcp:127.0.0.1:4002".to_string(),
+                ],
+            },
+            WireMsg::Hello {
+                process: 0,
+                n_processes: 2,
+                property: Json::from("A"),
+                options: Json::Null,
+                initial_state: 0,
+                fault: None,
+                peers: vec![],
+            },
+            WireMsg::HelloOk { process: 1 },
+            WireMsg::Event { event },
+            WireMsg::Status,
+            WireMsg::StatusOk(DaemonStatus {
+                process: 1,
+                events_seen: 12,
+                sent: vec![3, 0, 9],
+                received: vec![2, 0, 4],
+                pending: 1,
+                dropped: 2,
+            }),
+            WireMsg::Finish { time: 61.75 },
+            WireMsg::FinishOk,
+            WireMsg::Report,
+            WireMsg::ReportOk(DaemonReport {
+                process: 1,
+                metrics,
+                logical_monitor_msgs: 15,
+                fault_stats: FaultStats {
+                    passed: 13,
+                    dropped: 2,
+                    duplicated: 0,
+                    reordered: 1,
+                },
+            }),
+            WireMsg::Shutdown,
+            WireMsg::ShutdownOk,
+            WireMsg::Error {
+                message: "boom".to_string(),
+            },
+            WireMsg::PeerHello { from: 2 },
+            WireMsg::Monitor {
+                from: 0,
+                seq: 11,
+                time: 3.5,
+                msg: MonitorMsg::Token(sample_token(3)),
+            },
+        ];
+        for msg in messages {
+            let text = msg.to_json().to_string_compact();
+            let back = WireMsg::from_json(&Json::parse(&text).expect("parse")).expect("decode");
+            assert_eq!(back, msg);
+        }
+    }
+}

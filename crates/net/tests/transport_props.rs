@@ -1,0 +1,174 @@
+//! Property-based tests of the socket transport: the framed-JSON layer must
+//! reassemble any chunking, coalescing or partial-write pattern the kernel (or a
+//! hostile sender) produces.  The wire never guarantees frame-aligned reads — a
+//! length prefix may arrive one byte at a time, ten frames may coalesce into one
+//! `read`, and a non-blocking `write` may stop inside a payload — so both
+//! directions are driven through the epoll [`Reactor`], exactly like the
+//! `monitord` event loop.
+
+use dlrv_json::{object, Json};
+use dlrv_net::{
+    connect_with_retry, encode_json_frame, Endpoint, FramedConn, Interest, Listener, Reactor,
+    Socket,
+};
+use proptest::prelude::*;
+use std::io;
+use std::time::{Duration, Instant};
+
+/// SplitMix64 step: expands one seed into a reproducible pseudo-random sequence.
+fn mix(seed: &mut u64) -> u64 {
+    *seed = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    *seed >> 17
+}
+
+/// An arbitrary JSON frame payload: sizes range from a few bytes to well past the
+/// 64 KiB read-chunk size, so reassembly crosses every internal buffer boundary.
+fn frame_from_seed(seed: &mut u64, index: usize) -> Json {
+    let fill = (b'a' + (mix(seed) % 26) as u8) as char;
+    let len = match mix(seed) % 4 {
+        0 => mix(seed) % 8,               // tiny: several coalesce into one read
+        1 => 64 + mix(seed) % 1024,       // medium: typical token frame
+        2 => 4096 + mix(seed) % 4096,     // large: spans several TCP segments
+        _ => 60_000 + mix(seed) % 20_000, // huge: larger than the 64 KiB read chunk
+    } as usize;
+    object([
+        ("i", Json::from(index as u64)),
+        ("pad", Json::from(fill.to_string().repeat(len))),
+    ])
+}
+
+/// A connected non-blocking loopback pair (client, server).
+fn loopback_sockets() -> (Socket, Socket) {
+    let listener =
+        Listener::bind(&Endpoint::parse("tcp:127.0.0.1:0").expect("parse")).expect("bind");
+    let local = listener.local_endpoint().expect("local endpoint");
+    let client = connect_with_retry(&local, Duration::from_secs(5)).expect("connect");
+    let server = loop {
+        if let Some(sock) = listener.accept().expect("accept") {
+            break sock;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    (client, server)
+}
+
+/// Writes as much of `chunk` as the kernel accepts right now (possibly zero
+/// bytes), without blocking — the raw-write primitive of the chunking test.
+fn write_some(sock: &mut Socket, chunk: &[u8]) -> Result<usize, io::Error> {
+    match sock.write(chunk) {
+        Ok(n) => Ok(n),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Raw chunked writes: the concatenated byte stream of many frames is pushed
+    /// through the socket in arbitrary slices (single bytes up to multi-frame
+    /// coalescings), with the reactor deciding when the receiver reads.  The
+    /// decoder must reproduce every frame, in order, bit-for-bit.
+    #[test]
+    fn arbitrary_chunking_reassembles_every_frame(seed in 0u64..1 << 48) {
+        let mut s = seed;
+        let n_frames = 2 + (mix(&mut s) % 24) as usize;
+        let frames: Vec<Json> = (0..n_frames).map(|i| frame_from_seed(&mut s, i)).collect();
+        let mut wire: Vec<u8> = Vec::new();
+        for f in &frames {
+            wire.extend(encode_json_frame(f));
+        }
+
+        let (mut tx, server) = loopback_sockets();
+        let mut rx = FramedConn::new(server);
+        let mut reactor = Reactor::new().expect("reactor");
+        reactor
+            .register(rx.raw_fd(), 1, Interest::READABLE)
+            .expect("register rx");
+
+        let mut sent = 0usize;
+        let mut got: Vec<Json> = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while got.len() < frames.len() {
+            prop_assert!(Instant::now() < deadline, "timed out with {} frames", got.len());
+            // Push one arbitrary-sized slice (1 byte .. ~100 KiB) while data remains.
+            if sent < wire.len() {
+                let max = wire.len() - sent;
+                let chunk = match mix(&mut s) % 3 {
+                    0 => 1 + (mix(&mut s) % 7) as usize,       // byte-dribble
+                    1 => 1 + (mix(&mut s) % 1500) as usize,    // segment-ish
+                    _ => 1 + (mix(&mut s) % 100_000) as usize, // coalesce frames
+                }
+                .min(max);
+                match write_some(&mut tx, &wire[sent..sent + chunk]) {
+                    Ok(n) => sent += n,
+                    Err(e) => prop_assert!(false, "write: {e}"),
+                }
+            }
+            let ready = reactor
+                .poll(Some(50))
+                .expect("poll")
+                .iter()
+                .any(|e| e.token == 1 && e.readable);
+            if ready || sent == wire.len() {
+                match rx.on_readable() {
+                    Ok(decoded) => got.extend(decoded),
+                    Err(e) => prop_assert!(false, "read: {e}"),
+                }
+            }
+        }
+        prop_assert_eq!(got, frames);
+    }
+
+    /// Partial writes through [`FramedConn`]: every frame is queued up front, the
+    /// writer flushes only when the reactor reports the socket writable, and the
+    /// reader drains concurrently.  With more queued bytes than the socket buffers
+    /// hold, `flush` must stop mid-frame on `EWOULDBLOCK` and resume exactly
+    /// where it left off; `frames_flushed` must count every frame exactly once.
+    #[test]
+    fn partial_writes_resume_across_reactor_wakeups(seed in 0u64..1 << 48) {
+        let mut s = seed;
+        let n_frames = 8 + (mix(&mut s) % 24) as usize;
+        let frames: Vec<Json> = (0..n_frames).map(|i| frame_from_seed(&mut s, i)).collect();
+
+        let (client, server) = loopback_sockets();
+        let mut tx = FramedConn::new(client);
+        let mut rx = FramedConn::new(server);
+        let mut reactor = Reactor::new().expect("reactor");
+        reactor
+            .register(tx.raw_fd(), 0, Interest::BOTH)
+            .expect("register tx");
+        reactor
+            .register(rx.raw_fd(), 1, Interest::READABLE)
+            .expect("register rx");
+
+        for f in &frames {
+            tx.queue_bytes(encode_json_frame(f));
+        }
+        let mut got: Vec<Json> = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while got.len() < frames.len() {
+            prop_assert!(Instant::now() < deadline, "timed out with {} frames", got.len());
+            let events: Vec<_> = reactor.poll(Some(50)).expect("poll").to_vec();
+            for event in events {
+                if event.token == 0 && event.writable && tx.wants_write() {
+                    match tx.flush() {
+                        Ok(_) => {}
+                        Err(e) => prop_assert!(false, "flush: {e}"),
+                    }
+                }
+                if event.token == 1 && event.readable {
+                    match rx.on_readable() {
+                        Ok(decoded) => got.extend(decoded),
+                        Err(e) => prop_assert!(false, "read: {e}"),
+                    }
+                }
+            }
+        }
+        prop_assert!(!tx.wants_write(), "queue must drain completely");
+        prop_assert_eq!(tx.frames_flushed(), frames.len() as u64);
+        prop_assert_eq!(got, frames);
+    }
+}

@@ -12,6 +12,8 @@
 //! cargo run --release --bin experiments -- --target sweep --format json --out BENCH_results.json
 //! cargo run --release --bin experiments -- --target sweep --scenario ring-B-n4
 //! cargo run --release --bin experiments -- --target throughput --format json
+//! cargo run --release --bin experiments -- --target deploy
+//! cargo run --release --bin experiments -- --target deploy --scenario deploy-C-n3 --fault delay=1,dup=0.2
 //! cargo run --release --bin experiments -- --target custom
 //! cargo run --release --bin experiments -- --property 'G(P0.p U (P1.p && P2.p))' --procs 3
 //! cargo run --release --bin experiments -- --property-file my_property.ltl --format json
@@ -27,9 +29,12 @@
 //! text tables, `sweep` runs the offline scenarios of the standard registry
 //! ([`ScenarioRegistry`]) — the paper's sweeps plus the extended workload shapes —
 //! `throughput` runs the streaming family (hundreds–thousands of concurrent
-//! sessions through the sharded `dlrv-stream` runtime) and `custom` runs the
-//! registry's user-style LTL properties.  Targets are positional arguments;
-//! `--target NAME` is an equivalent spelling.
+//! sessions through the sharded `dlrv-stream` runtime), `deploy` runs the
+//! real-socket family (one `monitord` OS process per monitor over TCP/Unix
+//! sockets, optionally through the fault-injection shim — `--fault
+//! drop=p,delay=ms,dup=p,reorder=p` overrides the scenarios' shim spec) and
+//! `custom` runs the registry's user-style LTL properties.  Targets are
+//! positional arguments; `--target NAME` is an equivalent spelling.
 //!
 //! `--property 'LTL'` (or `--property-file PATH`, whose format allows `#` comments
 //! plus optional `name:` / `procs:` headers before the formula) runs an arbitrary
@@ -94,6 +99,7 @@ use dlrv_core::{
     PaperProperty, PropertySpec, PropertySpecError, Scenario, ScenarioFamily, ScenarioRecord,
     ScenarioRegistry,
 };
+use dlrv_core::dlrv_net::FaultSpec;
 use dlrv_monitor::{MonitorOptions, RunMetrics};
 use std::path::PathBuf;
 use std::process::exit;
@@ -102,14 +108,14 @@ use std::process::exit;
 const EVENTS: usize = 20;
 
 /// Everything a target argument may select.
-const KNOWN_TARGETS: [&str; 14] = [
+const KNOWN_TARGETS: [&str; 15] = [
     "all", "table5_1", "automata_dot", "fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8",
-    "fig5_9", "sweep", "throughput", "overhead", "custom", "analyze",
+    "fig5_9", "sweep", "throughput", "overhead", "custom", "deploy", "analyze",
 ];
 
 /// The targets backed by the scenario registry (the ones `--scenario` can filter,
 /// `--no-opt` can override and `--format json` can serialize).
-const REGISTRY_TARGETS: [&str; 4] = ["sweep", "throughput", "overhead", "custom"];
+const REGISTRY_TARGETS: [&str; 5] = ["sweep", "throughput", "overhead", "custom", "deploy"];
 
 /// Output format of metric-producing targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +167,9 @@ struct Cli {
     /// `--require-family NAME[,...]`: with `--validate-results`, additionally fail
     /// unless the document contains measured scenarios of each named family.
     require_family: Vec<String>,
+    /// `--fault SPEC`: override the fault-injection spec of every selected deploy
+    /// scenario (`drop=p,delay=ms,dup=p,reorder=p[,seed=n]`).
+    fault: Option<FaultSpec>,
 }
 
 fn usage_error(message: &str) -> ! {
@@ -168,6 +177,7 @@ fn usage_error(message: &str) -> ! {
     eprintln!(
         "usage: experiments [TARGET...] [--target NAME] [--jobs N] \
          [--format text|json] [--out PATH] [--scenario NAME[,NAME...]] [--no-opt] \
+         [--fault drop=p,delay=ms,dup=p,reorder=p[,seed=n]] \
          [--property LTL | --property-file PATH] [--procs N] [--emit-dot NAME] \
          [--analyze-property LTL|PATH] [--deny warn|error|LINT-ID[,...]] \
          [--allow LINT-ID[,...]] [--results PATH] \
@@ -275,6 +285,7 @@ fn parse_cli(args: Vec<String>) -> Cli {
         results: None,
         budget: Budget::default(),
         require_family: Vec::new(),
+        fault: None,
     };
     let mut iter = args.into_iter();
     // `--flag value` and `--flag=value` are both accepted.
@@ -413,6 +424,13 @@ fn parse_cli(args: Vec<String>) -> Cli {
                     }
                 }
             }
+            "--fault" => {
+                let value = flag_value(&mut iter, "--fault", inline.as_deref());
+                match FaultSpec::parse(&value) {
+                    Ok(spec) => cli.fault = Some(spec),
+                    Err(e) => usage_error(&format!("invalid --fault spec: {e}")),
+                }
+            }
             "--require-family" => {
                 let value = flag_value(&mut iter, "--require-family", inline.as_deref());
                 for name in value.split(',').map(str::trim) {
@@ -508,6 +526,9 @@ fn parse_cli(args: Vec<String>) -> Cli {
     if !cli.require_family.is_empty() && cli.validate.is_none() {
         usage_error("--require-family only applies to --validate-results");
     }
+    if cli.fault.is_some() && !cli.targets.iter().any(|t| t == "deploy") {
+        usage_error("--fault only applies to `--target deploy`");
+    }
     if let Some(dot_target) = &cli.emit_dot {
         if cli.format != Format::Text {
             usage_error("--emit-dot prints Graphviz DOT; drop --format json");
@@ -589,6 +610,7 @@ fn parse_cli(args: Vec<String>) -> Cli {
                 ScenarioFamily::Throughput => vec!["throughput"],
                 ScenarioFamily::Overhead => vec!["overhead"],
                 ScenarioFamily::Custom => vec!["custom", "sweep"],
+                ScenarioFamily::Deploy => vec!["deploy"],
                 _ => vec!["sweep"],
             };
             wanted_targets.push("analyze");
@@ -739,16 +761,20 @@ fn main() {
     }
 }
 
-/// The registry families one registry target runs: `throughput` and `overhead` own
-/// their families, `custom` focuses on the custom LTL family, and `sweep` runs every
-/// offline family (paper, comm-frequency, extended and custom — the composition of
-/// `BENCH_results.json`).
+/// The registry families one registry target runs: `throughput`, `overhead` and
+/// `deploy` own their families, `custom` focuses on the custom LTL family, and
+/// `sweep` runs every offline in-process family (paper, comm-frequency, extended
+/// and custom).
 fn target_selects(target: &str, family: ScenarioFamily) -> bool {
     match target {
         "throughput" => family == ScenarioFamily::Throughput,
         "overhead" => family == ScenarioFamily::Overhead,
         "custom" => family == ScenarioFamily::Custom,
-        _ => !matches!(family, ScenarioFamily::Throughput | ScenarioFamily::Overhead),
+        "deploy" => family == ScenarioFamily::Deploy,
+        _ => !matches!(
+            family,
+            ScenarioFamily::Throughput | ScenarioFamily::Overhead | ScenarioFamily::Deploy
+        ),
     }
 }
 
@@ -835,13 +861,30 @@ fn validate_results(path: &std::path::Path, require_family: &[String]) {
                     );
                     exit(1);
                 }
+                // Deploy records must carry their transport/fault parameters and a
+                // real wall clock — a zero wall clock means no process fleet ever
+                // ran (the family's measurements are sockets, not simulations).
+                if family == "deploy"
+                    && members
+                        .iter()
+                        .any(|r| r.scenario.deploy.is_none() || r.avg.wall_clock_secs <= 0.0)
+                {
+                    eprintln!(
+                        "error: `{}` has deploy scenarios without deploy params or \
+                         with zero wall_clock_secs; regenerate with `--target deploy`",
+                        path.display()
+                    );
+                    exit(1);
+                }
             }
             let streamed = records.iter().filter(|r| r.scenario.stream.is_some()).count();
+            let deployed = records.iter().filter(|r| r.scenario.deploy.is_some()).count();
             println!(
-                "{}: valid results document ({} scenarios, {} streamed)",
+                "{}: valid results document ({} scenarios, {} streamed, {} deployed)",
                 path.display(),
                 records.len(),
-                streamed
+                streamed,
+                deployed
             );
         }
         Err(e) => {
@@ -985,6 +1028,7 @@ fn run_user_property(cli: &Cli) {
             MonitorOptions::default()
         },
         stream: None,
+        deploy: None,
     };
     let results = vec![(scenario.clone(), scenario.run())];
     match cli.format {
@@ -1291,6 +1335,7 @@ fn registry_target(target: &str, cli: &Cli) {
         Format::Text if target == "throughput" => throughput_table(&results),
         Format::Text if target == "overhead" => overhead_table(&results),
         Format::Text if target == "custom" => sweep_table("Custom property scenarios", &results),
+        Format::Text if target == "deploy" => deploy_table(&results),
         Format::Text => sweep_table("Scenario sweep", &results),
     }
 }
@@ -1311,6 +1356,11 @@ fn select_scenarios(target: &str, cli: &Cli) -> Vec<Scenario> {
                 // carries the overridden (all-false) switches.
                 s.options = dlrv_monitor::MonitorOptions::ALL_OFF;
             }
+            if let (Some(fault), Some(params)) = (cli.fault, s.deploy.as_mut()) {
+                // `--fault` swaps the shim spec of every selected deploy scenario;
+                // the emitted record's `deploy` object carries the override.
+                params.fault = if fault.is_noop() { None } else { Some(fault) };
+            }
             s
         })
         .collect();
@@ -1327,11 +1377,12 @@ fn select_scenarios(target: &str, cli: &Cli) -> Vec<Scenario> {
 ///
 /// Offline scenarios are independent simulations and fan out across worker
 /// threads.  Throughput scenarios are *themselves* multi-threaded (each spins up
-/// its shard pool), so they run sequentially: overlapping two engine runs would
-/// corrupt each other's wall-clock and events/sec measurements.
+/// its shard pool) and deploy scenarios spawn an OS-process fleet per run, so
+/// both run sequentially: overlapping two engine runs would corrupt each other's
+/// wall-clock and events/sec measurements.
 fn run_scenarios(scenarios: &[Scenario]) -> Vec<(Scenario, ExperimentResult)> {
     let offline: Vec<usize> = (0..scenarios.len())
-        .filter(|&i| scenarios[i].stream.is_none())
+        .filter(|&i| scenarios[i].stream.is_none() && scenarios[i].deploy.is_none())
         .collect();
     let offline_results =
         parallel_map_indexed(offline.len(), dlrv_core::effective_jobs(), |k| {
@@ -1344,7 +1395,7 @@ fn run_scenarios(scenarios: &[Scenario]) -> Vec<(Scenario, ExperimentResult)> {
         results[i] = Some(r);
     }
     for (i, s) in scenarios.iter().enumerate() {
-        if s.stream.is_some() {
+        if s.stream.is_some() || s.deploy.is_some() {
             results[i] = Some((s.clone(), s.run()));
         }
     }
@@ -1531,6 +1582,42 @@ fn throughput_table(results: &[(Scenario, ExperimentResult)]) {
             m.monitor_messages,
             max_lat_ms,
             stalls
+        );
+    }
+    println!();
+}
+
+/// The real-socket deployment table: one row per process-fleet run, with the
+/// transport, the fault-shim spec (or `none` for clean channels) and the same
+/// verdict/metric columns as the offline sweep so a deploy row can be eyeballed
+/// against its in-process twin.
+fn deploy_table(results: &[(Scenario, ExperimentResult)]) {
+    println!("== Real-socket deployments ({} scenarios) ==", results.len());
+    println!(
+        "{:<20} {:<6} {:<34} {:>6} {:>8} {:>10} {:>8} {:>10}",
+        "scenario", "trans", "fault", "procs", "events", "mon.msgs", "wall s", "verdicts"
+    );
+    for (scenario, result) in results {
+        let params = scenario.deploy.expect("deploy scenarios carry deploy params");
+        let fault = params
+            .fault
+            .map(|f| f.to_string())
+            .unwrap_or_else(|| "none".to_string());
+        let verdicts: Vec<&str> = result
+            .detected_verdicts
+            .iter()
+            .map(|v| v.symbol())
+            .collect();
+        println!(
+            "{:<20} {:<6} {:<34} {:>6} {:>8} {:>10} {:>8.3} {:>10}",
+            scenario.name,
+            params.transport.name(),
+            fault,
+            scenario.config.n_processes,
+            result.avg.total_events,
+            result.avg.monitor_messages,
+            result.avg.wall_clock_secs,
+            verdicts.join(",")
         );
     }
     println!();

@@ -1,0 +1,174 @@
+//! Soundness of the real-socket deployment under injected transport faults.
+//!
+//! The deploy runtime (`run_deploy` + one `monitord` OS process per monitor) must
+//! produce **identical verdicts** to the in-process replay driver of the same
+//! seeded computation — that is the multi-process sibling of the streaming
+//! equivalence anchor.  The fault matrix pins where that guarantee survives:
+//!
+//! * **clean**, **delay**, **duplicate** and **reorder** channels are *sound*:
+//!   the quiescence barrier delivers every surviving frame between consecutive
+//!   events, duplicates are suppressed by per-channel sequence numbers before
+//!   they reach the monitor, and reordering can only permute one event's message
+//!   burst — verdict sets match the baseline exactly, per seed, detected and
+//!   possible alike.
+//! * **frame loss** (`drop=1`) genuinely removes lattice exploration and is an
+//!   *expected divergence*: monitors stop hearing about remote events, so
+//!   detected verdicts can only shrink.  The test asserts the loss explicitly —
+//!   deployed detections stay a subset of the baseline and at least one paper
+//!   property demonstrably loses a verdict.
+
+use dlrv::dlrv_distsim::{run_simulation, NullMonitor, SimConfig};
+use dlrv::dlrv_ltl::Verdict;
+use dlrv::dlrv_monitor::{replay_decentralized, MonitorOptions};
+use dlrv::dlrv_net::FaultSpec;
+use dlrv::dlrv_trace::generate_workload;
+use dlrv::{
+    run_deploy, CompiledProperty, DeployParams, DeployTransport, ExperimentConfig, PaperProperty,
+};
+use std::collections::BTreeSet;
+
+/// Points the orchestrator at the `monitord` binary Cargo built for this test run.
+fn use_built_monitord() {
+    std::env::set_var("DLRV_MONITORD_BIN", env!("CARGO_BIN_EXE_monitord"));
+}
+
+/// A small deploy-sized experiment: short traces keep each fleet run fast while
+/// still exchanging enough tokens for faults to bite.
+fn deploy_config(property: PaperProperty, seeds: Vec<u64>) -> ExperimentConfig {
+    ExperimentConfig {
+        events_per_process: 5,
+        seeds,
+        ..ExperimentConfig::paper_default(property, 3)
+    }
+}
+
+/// The in-process baseline: replay the same seeded computation through the
+/// `FeedSession` driver and return (detected, possible) verdict sets.
+fn baseline(config: &ExperimentConfig, seed: u64) -> (BTreeSet<Verdict>, BTreeSet<Verdict>) {
+    let compiled = CompiledProperty::compile(&config.property, config.n_processes);
+    let workload = generate_workload(&config.workload_config(seed));
+    let report = run_simulation(&workload, &compiled.registry, &SimConfig::default(), |_| {
+        NullMonitor::default()
+    });
+    let replay = replay_decentralized(
+        &report.computation,
+        &compiled.registry,
+        &compiled.automaton,
+        MonitorOptions::default(),
+    );
+    (replay.detected_final_verdicts(), replay.possible_verdicts())
+}
+
+/// Runs `config` through a real process fleet under `fault` and compares every
+/// seed's verdict sets against the in-process baseline.
+fn assert_verdicts_match_baseline(
+    property: PaperProperty,
+    transport: DeployTransport,
+    fault: Option<FaultSpec>,
+    label: &str,
+) {
+    let config = deploy_config(property, vec![1]);
+    let params = DeployParams { transport, fault };
+    let outcome = run_deploy(&config, MonitorOptions::default(), &params)
+        .unwrap_or_else(|e| panic!("{property:?} [{label}]: deploy failed: {e}"));
+    for (i, &seed) in config.seeds.iter().enumerate() {
+        let (detected, possible) = baseline(&config, seed);
+        let deployed = &outcome.result.per_seed[i];
+        assert_eq!(
+            deployed.detected_final_verdicts, detected,
+            "{property:?} [{label}] seed {seed}: detected verdicts diverge"
+        );
+        assert_eq!(
+            deployed.possible_verdicts, possible,
+            "{property:?} [{label}] seed {seed}: possible verdicts diverge"
+        );
+    }
+}
+
+#[test]
+fn clean_channels_reproduce_in_process_verdicts_for_every_property() {
+    use_built_monitord();
+    for property in PaperProperty::ALL {
+        // Alternate the two socket families so both carry every code path.
+        let transport = if (property as usize).is_multiple_of(2) {
+            DeployTransport::Unix
+        } else {
+            DeployTransport::Tcp
+        };
+        assert_verdicts_match_baseline(property, transport, None, "clean");
+    }
+}
+
+#[test]
+fn sound_faults_preserve_verdicts_for_every_property() {
+    use_built_monitord();
+    // All three soundness-preserving faults at once, aggressively: every channel
+    // delays 1 ms, duplicates ~30% and holds back ~30% of its frames.
+    let fault = FaultSpec::parse("delay=1,dup=0.3,reorder=0.3,seed=5").expect("valid spec");
+    for property in PaperProperty::ALL {
+        assert_verdicts_match_baseline(property, DeployTransport::Unix, Some(fault), "sound mix");
+    }
+}
+
+#[test]
+fn each_sound_fault_kind_preserves_verdicts_in_isolation() {
+    use_built_monitord();
+    // Every fault kind runs on property C — the paper's message-overhead worst
+    // case at 3 processes — at its maximum setting, so each sees the densest
+    // token traffic.  dup=1 in particular exercises the daemon's sequence-number
+    // suppression: without it, every duplicate's responses would be re-duplicated
+    // and traffic would amplify geometrically instead of quiescing.
+    for (property, label, spec) in [
+        (PaperProperty::C, "delay", "delay=2"),
+        (PaperProperty::C, "dup", "dup=1"),
+        (PaperProperty::C, "reorder", "reorder=1"),
+    ] {
+        let fault = FaultSpec::parse(spec).expect("valid spec");
+        assert_verdicts_match_baseline(property, DeployTransport::Unix, Some(fault), label);
+    }
+}
+
+#[test]
+fn total_frame_loss_is_a_pinned_divergence() {
+    use_built_monitord();
+    // drop=1: every inter-monitor frame vanishes.  Monitors still see their local
+    // events, so nothing *wrong* is detected — but verdicts requiring remote
+    // knowledge are lost.  This is the soundness boundary of the FIFO assumption.
+    let fault = FaultSpec::parse("drop=1,seed=3").expect("valid spec");
+    let mut lost_somewhere = false;
+    let mut baseline_detected_anything = false;
+    for property in PaperProperty::ALL {
+        let config = deploy_config(property, vec![1]);
+        let params = DeployParams {
+            transport: DeployTransport::Unix,
+            fault: Some(fault),
+        };
+        let outcome = run_deploy(&config, MonitorOptions::default(), &params)
+            .unwrap_or_else(|e| panic!("{property:?} [drop]: deploy failed: {e}"));
+        assert!(
+            outcome.fault_stats.dropped > 0,
+            "{property:?}: the shim must actually drop frames"
+        );
+        assert_eq!(
+            outcome.fault_stats.passed, 0,
+            "{property:?}: drop=1 lets nothing through"
+        );
+        let (detected, _) = baseline(&config, 1);
+        let deployed = &outcome.result.per_seed[0].detected_final_verdicts;
+        assert!(
+            deployed.is_subset(&detected),
+            "{property:?}: frame loss must never *add* detections \
+             (deployed {deployed:?} vs baseline {detected:?})"
+        );
+        baseline_detected_anything |= !detected.is_empty();
+        lost_somewhere |= deployed.len() < detected.len();
+    }
+    assert!(
+        baseline_detected_anything,
+        "fixture too weak: no property detects anything in-process"
+    );
+    assert!(
+        lost_somewhere,
+        "expected at least one property to lose a detected verdict under drop=1"
+    );
+}
