@@ -120,6 +120,16 @@ pub fn comm_frequency_run(comm_mu: Option<f64>, events_per_process: usize) -> Ru
 mod tests {
     use super::*;
 
+    /// Zero the fields that measure the host rather than the algorithm: wall-clock
+    /// duration, derived throughput, and the process-wide RSS high-water mark all
+    /// legitimately vary between two runs of the same scenario.
+    fn strip_host_measurements(mut m: RunMetrics) -> RunMetrics {
+        m.wall_clock_secs = 0.0;
+        m.events_per_sec = 0.0;
+        m.peak_rss_bytes = 0;
+        m
+    }
+
     #[test]
     fn transition_counts_grow_with_processes() {
         let two = transition_counts(PaperProperty::D, 2);
@@ -137,15 +147,12 @@ mod tests {
 
     #[test]
     fn scenario_run_matches_direct_execution() {
-        // The registry indirection must not change what is measured.  The wall-clock
-        // duration is the one field that legitimately varies between two runs of the
-        // same scenario, so it is excluded from the comparison.
+        // The registry indirection must not change what is measured, host-side
+        // timing/RSS measurements aside.
         let mut scenario = registry_scenario("paper-B-n2");
         scenario.config.events_per_process = 5;
-        let mut via_helper = scenario_run("paper-B-n2", 5);
-        let mut direct = scenario.run().avg;
-        via_helper.wall_clock_secs = 0.0;
-        direct.wall_clock_secs = 0.0;
+        let via_helper = strip_host_measurements(scenario_run("paper-B-n2", 5));
+        let direct = strip_host_measurements(scenario.run().avg);
         assert_eq!(via_helper, direct);
     }
 
@@ -168,13 +175,15 @@ mod tests {
     fn comm_frequency_run_honors_non_registry_mu() {
         // mu=3.9 would truncate to the registered `commfreq-mu3` name; the function
         // must run the requested µ, not the name-collided scenario.
-        let requested = comm_frequency_run(Some(3.9), 4);
-        let direct = run_experiment(&ExperimentConfig {
-            events_per_process: 4,
-            comm_mu: Some(3.9),
-            ..ExperimentConfig::paper_default(PaperProperty::C, 4)
-        })
-        .avg;
+        let requested = strip_host_measurements(comm_frequency_run(Some(3.9), 4));
+        let direct = strip_host_measurements(
+            run_experiment(&ExperimentConfig {
+                events_per_process: 4,
+                comm_mu: Some(3.9),
+                ..ExperimentConfig::paper_default(PaperProperty::C, 4)
+            })
+            .avg,
+        );
         assert_eq!(requested, direct);
     }
 }

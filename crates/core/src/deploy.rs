@@ -35,17 +35,18 @@ use crate::spec::CompiledProperty;
 use dlrv_distsim::{initial_global_state, run_simulation, NullMonitor, SimConfig};
 use dlrv_monitor::{timestamp_order, MonitorOptions, RunMetrics};
 use dlrv_net::{
-    connect_with_retry, DaemonReport, DaemonStatus, Endpoint, FaultSpec, FaultStats, FramedConn,
-    WireMsg,
+    connect_with_retry, DaemonReport, DaemonStatus, DaemonTelemetry, Endpoint, FaultSpec,
+    FaultStats, FramedConn, WireMsg,
 };
 use dlrv_trace::generate_workload;
 use dlrv_vclock::Event;
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
 use std::io::BufRead;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Which socket family carries the deployment.
@@ -180,6 +181,9 @@ struct Daemon {
     endpoint: String,
     conn: FramedConn,
     inbox: VecDeque<WireMsg>,
+    /// Unsolicited telemetry samples intercepted off the control channel, in
+    /// arrival order — the daemon's live timeline for this run.
+    telemetry: Vec<DaemonTelemetry>,
 }
 
 impl Daemon {
@@ -202,14 +206,22 @@ impl Daemon {
     }
 
     /// Receives the next control frame, blocking up to [`REPLY_TIMEOUT`].
+    ///
+    /// Telemetry frames are unsolicited: they are folded into
+    /// [`Daemon::telemetry`] here and never surfaced as a reply, so the
+    /// lockstep request/response discipline of the feed loop is unaffected by
+    /// how often daemons sample.
     fn recv(&mut self) -> Result<WireMsg, String> {
         let deadline = Instant::now() + REPLY_TIMEOUT;
         loop {
-            if let Some(msg) = self.inbox.pop_front() {
-                if let WireMsg::Error { message } = msg {
-                    return Err(format!("daemon {}: {message}", self.endpoint));
+            while let Some(msg) = self.inbox.pop_front() {
+                match msg {
+                    WireMsg::Error { message } => {
+                        return Err(format!("daemon {}: {message}", self.endpoint));
+                    }
+                    WireMsg::Telemetry(sample) => self.telemetry.push(sample),
+                    msg => return Ok(msg),
                 }
-                return Ok(msg);
             }
             let frames = self
                 .conn
@@ -247,14 +259,39 @@ impl Drop for Fleet {
     }
 }
 
-/// Spawns one daemon and reads its `LISTEN` line.
-fn spawn_daemon(binary: &PathBuf, listen: &str) -> Result<(Child, String), String> {
+/// Spawns one daemon, reads its `LISTEN` line, and starts a reader thread that
+/// tags every stderr line with the daemon index and appends it to the shared
+/// `stderr_log` in true arrival order (the interleaved fleet log).  The daemon
+/// inherits the orchestrator's environment, so `DLRV_LOG` set on the
+/// `experiments` process propagates to the whole fleet; when it is set the
+/// tagged lines are additionally echoed to the orchestrator's own stderr.
+fn spawn_daemon(
+    binary: &PathBuf,
+    listen: &str,
+    process: usize,
+    stderr_log: &Arc<Mutex<Vec<String>>>,
+) -> Result<(Child, String, std::thread::JoinHandle<()>), String> {
     let mut child = Command::new(binary)
         .args(["--listen", listen, "--idle-timeout-secs", "60"])
         .stdout(Stdio::piped())
-        .stderr(Stdio::inherit())
+        .stderr(Stdio::piped())
         .spawn()
         .map_err(|e| format!("spawn {}: {e}", binary.display()))?;
+    let stderr = child.stderr.take().ok_or("daemon stderr not captured")?;
+    let log = Arc::clone(stderr_log);
+    let echo = std::env::var_os("DLRV_LOG").is_some();
+    let reader = std::thread::spawn(move || {
+        for line in std::io::BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            let tagged = format!("[daemon{process}] {line}");
+            if echo {
+                eprintln!("{tagged}");
+            }
+            if let Ok(mut log) = log.lock() {
+                log.push(tagged);
+            }
+        }
+    });
     let stdout = child.stdout.take().ok_or("daemon stdout not captured")?;
     let mut line = String::new();
     std::io::BufReader::new(stdout)
@@ -265,10 +302,11 @@ fn spawn_daemon(binary: &PathBuf, listen: &str) -> Result<(Child, String), Strin
         .map(|rest| rest.trim().to_string())
         .filter(|ep| !ep.is_empty());
     match endpoint {
-        Some(ep) => Ok((child, ep)),
+        Some(ep) => Ok((child, ep, reader)),
         None => {
             let _ = child.kill();
             let _ = child.wait();
+            let _ = reader.join();
             Err(format!("daemon did not report LISTEN (got `{}`)", line.trim()))
         }
     }
@@ -299,8 +337,11 @@ fn run_seed(
         .collect();
     let initial_state = initial_global_state(&workload, &compiled.registry).0;
 
-    // Spawn the fleet.
+    // Spawn the fleet.  All daemons append their tagged stderr lines to one
+    // shared vector, so the fleet log is interleaved in actual arrival order.
     let run_id = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let stderr_log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut stderr_readers = Vec::with_capacity(n);
     let mut fleet = Fleet {
         daemons: Vec::with_capacity(n),
     };
@@ -315,7 +356,8 @@ fn run_seed(
                 format!("unix:{}", path.display())
             }
         };
-        let (child, endpoint) = spawn_daemon(binary, &listen)?;
+        let (child, endpoint, reader) = spawn_daemon(binary, &listen, i, &stderr_log)?;
+        stderr_readers.push(reader);
         let ep = Endpoint::parse(&endpoint).map_err(|e| format!("daemon endpoint: {e}"))?;
         let sock = connect_with_retry(&ep, Duration::from_secs(10))
             .map_err(|e| format!("connect control channel to {endpoint}: {e}"))?;
@@ -324,6 +366,7 @@ fn run_seed(
             endpoint,
             conn: FramedConn::new(sock),
             inbox: VecDeque::new(),
+            telemetry: Vec::new(),
         });
     }
 
@@ -382,6 +425,13 @@ fn run_seed(
             other => return Err(format!("daemon {i}: expected report_ok, got {other:?}")),
         }
     }
+    // Every telemetry frame precedes `report_ok` on the control channel, so by
+    // now each daemon's full timeline has been intercepted into its inbox path.
+    let telemetry: Vec<Vec<DaemonTelemetry>> = fleet
+        .daemons
+        .iter_mut()
+        .map(|d| std::mem::take(&mut d.telemetry))
+        .collect();
     for (i, daemon) in fleet.daemons.iter_mut().enumerate() {
         daemon.send(&WireMsg::Shutdown)?;
         match daemon.recv()? {
@@ -397,6 +447,21 @@ fn run_seed(
         }
     }
     fleet.daemons.clear();
+    // The daemons exited, so the pipes are at EOF and the readers are done.
+    for reader in stderr_readers {
+        let _ = reader.join();
+    }
+    if let Some(dir) = std::env::var_os("DLRV_ARTIFACT_DIR") {
+        let lines = stderr_log
+            .lock()
+            .map(|l| l.clone())
+            .unwrap_or_default();
+        if let Err(e) =
+            write_run_artifacts(Path::new(&dir), params.transport, seed, &telemetry, &lines)
+        {
+            dlrv_obs::obs_warn!("deploy artifacts not written: {e}");
+        }
+    }
 
     // Fold into RunMetrics, the same shape every other runner produces.
     let per_monitor: Vec<_> = reports.iter().map(|r| r.metrics.clone()).collect();
@@ -422,7 +487,41 @@ fn run_seed(
     } else {
         0.0
     };
+    // Largest single-daemon high-water mark: the fleet's per-process memory
+    // peak, comparable to the in-process runners' whole-process figure.
+    metrics.peak_rss_bytes = reports.iter().map(|r| r.peak_rss_bytes).max().unwrap_or(0);
     Ok(metrics)
+}
+
+/// Writes one deploy run's artifacts under `$DLRV_ARTIFACT_DIR`: a
+/// `telemetry-daemon<i>.jsonl` timeline per daemon plus the interleaved fleet
+/// stderr log.  Purely observational — failures are reported, never fatal.
+fn write_run_artifacts(
+    dir: &Path,
+    transport: DeployTransport,
+    seed: u64,
+    telemetry: &[Vec<DaemonTelemetry>],
+    stderr_lines: &[String],
+) -> Result<(), String> {
+    let run_dir = dir.join(format!("deploy-{}-seed{seed}", transport.name()));
+    std::fs::create_dir_all(&run_dir)
+        .map_err(|e| format!("create {}: {e}", run_dir.display()))?;
+    for (i, samples) in telemetry.iter().enumerate() {
+        let mut out = String::new();
+        for sample in samples {
+            out.push_str(&sample.to_json().to_string_compact());
+            out.push('\n');
+        }
+        let path = run_dir.join(format!("telemetry-daemon{i}.jsonl"));
+        std::fs::write(&path, out).map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    let mut log = stderr_lines.join("\n");
+    if !log.is_empty() {
+        log.push('\n');
+    }
+    let path = run_dir.join("daemons.stderr.log");
+    std::fs::write(&path, log).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(())
 }
 
 /// Polls every daemon's transport counters until the system is quiescent: the

@@ -237,20 +237,30 @@ pub fn run_single(
     automaton: &Arc<MonitorAutomaton>,
     opts: MonitorOptions,
 ) -> RunMetrics {
+    let started = std::time::Instant::now();
     let n = workload.config.n_processes;
     let initial_gstate = initial_global_state(workload, registry);
     let report = run_simulation(workload, registry, &SimConfig::default(), |i| {
         DecentralizedMonitor::new(i, n, automaton.clone(), registry.clone(), initial_gstate, opts)
     });
     let per_monitor: Vec<_> = report.monitors.iter().map(|m| m.metrics()).collect();
-    RunMetrics::aggregate(
+    let mut metrics = RunMetrics::aggregate(
         &per_monitor,
         report.program_events,
         report.program_messages,
         report.monitor_messages,
         report.program_end_time,
         report.monitoring_end_time,
-    )
+    );
+    // Real elapsed time of the run, so offline sweep/overhead/custom rows carry a
+    // nonzero wall clock and throughput like the streamed families do (these are
+    // the only fields of an offline record that vary run to run).
+    metrics.wall_clock_secs = started.elapsed().as_secs_f64();
+    if metrics.wall_clock_secs > 0.0 {
+        metrics.events_per_sec = metrics.total_events as f64 / metrics.wall_clock_secs;
+    }
+    metrics.peak_rss_bytes = dlrv_obs::peak_rss_bytes().unwrap_or(0);
+    metrics
 }
 
 /// Averages a slice of run metrics field-by-field (verdict sets are unioned).
@@ -279,6 +289,8 @@ pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
         avg.monitor_extra_time += r.monitor_extra_time;
         avg.wall_clock_secs += r.wall_clock_secs;
         avg.events_per_sec += r.events_per_sec;
+        // RSS is a high-water mark, not a rate: the max across runs, never a mean.
+        avg.peak_rss_bytes = avg.peak_rss_bytes.max(r.peak_rss_bytes);
         avg.detected_final_verdicts
             .extend(r.detected_final_verdicts.iter().copied());
         avg.possible_verdicts.extend(r.possible_verdicts.iter().copied());
@@ -407,8 +419,20 @@ mod tests {
         let parallel = run_experiment(&cfg);
         set_jobs(0);
         // Full structural equality: every per-seed metric, the averages and the
-        // detected verdicts are identical whatever the thread count.
-        assert_eq!(sequential, parallel);
+        // detected verdicts are identical whatever the thread count.  Wall clock,
+        // throughput and RSS are real machine measurements — the documented
+        // run-to-run-varying fields — so they are scrubbed before comparing.
+        fn scrubbed(mut r: ExperimentResult) -> ExperimentResult {
+            let scrub = |m: &mut RunMetrics| {
+                m.wall_clock_secs = 0.0;
+                m.events_per_sec = 0.0;
+                m.peak_rss_bytes = 0;
+            };
+            scrub(&mut r.avg);
+            r.per_seed.iter_mut().for_each(scrub);
+            r
+        }
+        assert_eq!(scrubbed(sequential), scrubbed(parallel));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod analysis;
 pub mod deploy;
 pub mod experiment;
 pub mod properties;
+pub mod report;
 pub mod results;
 pub mod scenario;
 pub mod spec;
@@ -55,6 +56,7 @@ pub use experiment::{
     run_experiment_with_options, run_single, set_jobs, ExperimentConfig, ExperimentResult,
 };
 pub use properties::PaperProperty;
+pub use report::{render_report, RenderedReport, TrendPoint};
 pub use results::{sweep_from_json, sweep_to_json, ScenarioRecord, RESULTS_SCHEMA_VERSION};
 pub use spec::{
     CompiledProperty, PropertySpec, PropertySpecError, MAX_SPEC_ATOMS,
@@ -70,6 +72,7 @@ pub use dlrv_json;
 pub use dlrv_ltl;
 pub use dlrv_monitor;
 pub use dlrv_net;
+pub use dlrv_obs;
 pub use dlrv_stream;
 pub use dlrv_trace;
 pub use dlrv_vclock;

@@ -158,6 +158,7 @@ fn run_once(
             0.0
         },
         per_shard: report.per_shard,
+        peak_rss_bytes: dlrv_obs::peak_rss_bytes().unwrap_or(0),
         ..RunMetrics::default()
     };
     for outcome in report.sessions.values() {

@@ -271,12 +271,14 @@ impl DecentralizedMonitor {
     /// Updates the peak-live-view count (the §4.3 memory-overhead measurement).
     fn note_view_peak(&mut self) {
         self.metrics.max_live_views = self.metrics.max_live_views.max(self.views.len());
+        dlrv_obs::gauge!("monitor.live_views").raise_to(self.views.len() as i64);
     }
 
     /// Sends `token` toward `dest` — immediately as a single-token message, or staged
     /// for the end-of-activation batch flush when token aggregation is on (§4.3.1).
     fn send_token(&mut self, dest: ProcessId, token: Token, ctx: &mut MonitorContext<'_, MonitorMsg>) {
         self.metrics.tokens_sent += 1;
+        dlrv_obs::counter!("monitor.tokens_sent").inc();
         if self.opts.aggregate_tokens {
             self.outbound.entry(dest).or_default().push(token);
         } else {
@@ -305,6 +307,7 @@ impl DecentralizedMonitor {
         if self.views.len() <= 1 {
             return;
         }
+        let _span = dlrv_obs::span("monitor.merge_views");
         let mut kept: Vec<GlobalView> = Vec::with_capacity(self.views.len());
         let mut index: HashMap<ViewKey, usize> = HashMap::with_capacity(self.views.len());
         for gv in std::mem::take(&mut self.views) {
@@ -835,6 +838,7 @@ impl MonitorBehavior for DecentralizedMonitor {
 
     /// RECEIVEEVENT (Algorithm 2).
     fn on_local_event(&mut self, event: &Arc<Event>, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        let _span = dlrv_obs::span("monitor.local_event");
         self.metrics.events_observed += 1;
         self.metrics.last_event_time = ctx.now;
         self.metrics.last_activity_time = ctx.now;
@@ -892,6 +896,7 @@ impl MonitorBehavior for DecentralizedMonitor {
         match msg {
             MonitorMsg::Token(token) => {
                 self.metrics.tokens_received += 1;
+                dlrv_obs::counter!("monitor.tokens_received").inc();
                 if token.parent == self.pid {
                     self.handle_returned_token(token, ctx);
                 } else {
@@ -903,6 +908,7 @@ impl MonitorBehavior for DecentralizedMonitor {
                 // §4.3.1: an aggregated message — process the carried tokens in order,
                 // exactly as if they had arrived as consecutive messages.
                 self.metrics.tokens_received += tokens.len();
+                dlrv_obs::counter!("monitor.tokens_received").add(tokens.len() as u64);
                 for token in tokens {
                     if token.parent == self.pid {
                         self.handle_returned_token(token, ctx);

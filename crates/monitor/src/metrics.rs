@@ -237,6 +237,12 @@ pub struct RunMetrics {
     /// once — the run's peak lattice-exploration memory (§4.3 overhead accounting).
     /// `0` for runs that predate the field.
     pub peak_global_views: usize,
+    /// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`) of the
+    /// largest single process involved in the run — the bounded-memory observable
+    /// soak assertions watch.  Like `wall_clock_secs` this is a real machine
+    /// measurement, not simulated, so it varies run to run.  `0` when not measured
+    /// (non-Linux, or records that predate the field).
+    pub peak_rss_bytes: u64,
 }
 
 impl RunMetrics {
@@ -269,6 +275,7 @@ impl RunMetrics {
             ),
             ("monitor_tokens", Json::from(self.monitor_tokens)),
             ("peak_global_views", Json::from(self.peak_global_views)),
+            ("peak_rss_bytes", Json::from(self.peak_rss_bytes)),
         ])
     }
 
@@ -304,6 +311,8 @@ impl RunMetrics {
             peak_global_views: v
                 .get_opt("peak_global_views")?
                 .map_or(Ok(0), Json::as_usize)?,
+            // The RSS field postdates the §4.3 fields (PR 8); additive like them.
+            peak_rss_bytes: v.get_opt("peak_rss_bytes")?.map_or(Ok(0), Json::as_u64)?,
         })
     }
 
@@ -474,6 +483,7 @@ mod tests {
         m.wall_clock_secs = 9.0; // will be stripped below
         m.monitor_tokens = 44; // likewise
         m.peak_global_views = 9;
+        m.peak_rss_bytes = 1 << 30;
         let Json::Object(mut fields) = m.to_json() else {
             panic!("metrics must serialize to an object")
         };
@@ -485,6 +495,7 @@ mod tests {
                     | "per_shard"
                     | "monitor_tokens"
                     | "peak_global_views"
+                    | "peak_rss_bytes"
             )
         });
         let back = RunMetrics::from_json(&Json::Object(fields)).unwrap();
@@ -493,6 +504,7 @@ mod tests {
         assert!(back.per_shard.is_empty());
         assert_eq!(back.monitor_tokens, 0, "overhead fields default to unmeasured");
         assert_eq!(back.peak_global_views, 0);
+        assert_eq!(back.peak_rss_bytes, 0, "RSS defaults to unmeasured");
         assert_eq!(back.total_events, 12);
     }
 

@@ -24,4 +24,4 @@ pub use conn::{encode_json_frame, FramedConn, JsonFrameDecoder, NetError};
 pub use endpoint::{connect_with_retry, Endpoint, Listener, Socket};
 pub use fault::{FaultInjector, FaultSpec, FaultStats};
 pub use reactor::{IoEvent, Interest, Reactor};
-pub use wire::{DaemonReport, DaemonStatus, WireMsg};
+pub use wire::{DaemonReport, DaemonStatus, DaemonTelemetry, WireMsg, TELEMETRY_EVERY_EVENTS};

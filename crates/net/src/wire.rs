@@ -247,6 +247,10 @@ pub struct DaemonReport {
     pub logical_monitor_msgs: u64,
     /// What the fault shim did across all of this daemon's outgoing channels.
     pub fault_stats: FaultStats,
+    /// The daemon process's peak RSS in bytes (`VmHWM`); `0` when not measured
+    /// or when the peer predates the field (additive, like the schema-v1
+    /// `RunMetrics` field it feeds).
+    pub peak_rss_bytes: u64,
 }
 
 impl DaemonReport {
@@ -257,6 +261,7 @@ impl DaemonReport {
             ("metrics", self.metrics.to_json()),
             ("logical_monitor_msgs", Json::from(self.logical_monitor_msgs)),
             ("fault_stats", self.fault_stats.to_json()),
+            ("peak_rss_bytes", Json::from(self.peak_rss_bytes)),
         ])
     }
 
@@ -267,9 +272,64 @@ impl DaemonReport {
             metrics: MonitorMetrics::from_json(v.get("metrics")?)?,
             logical_monitor_msgs: v.get("logical_monitor_msgs")?.as_u64()?,
             fault_stats: FaultStats::from_json(v.get("fault_stats")?)?,
+            peak_rss_bytes: v.get_opt("peak_rss_bytes")?.map_or(Ok(0), Json::as_u64)?,
         })
     }
 }
+
+/// One live progress sample from a running daemon (see [`WireMsg::Telemetry`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonTelemetry {
+    /// The reporting daemon's process index.
+    pub process: usize,
+    /// Program events observed so far (the cadence anchor: samples are taken at
+    /// fixed event counts, so two runs of the same trace sample at the same
+    /// points).
+    pub events_seen: u64,
+    /// Global views currently alive in the monitor.
+    pub live_views: u64,
+    /// Tokens sent so far.
+    pub tokens_sent: u64,
+    /// Tokens received so far.
+    pub tokens_received: u64,
+    /// Monitor-to-monitor frames currently queued (delay shim + unflushed).
+    pub queued_frames: u64,
+    /// The daemon's peak RSS in bytes at sample time (`0` = not measured).
+    pub peak_rss_bytes: u64,
+}
+
+impl DaemonTelemetry {
+    /// Serializes the sample (also the JSONL timeline row format the deploy
+    /// orchestrator writes to `telemetry-daemon<i>.jsonl`).
+    pub fn to_json(&self) -> Json {
+        object([
+            ("process", Json::from(self.process)),
+            ("events_seen", Json::from(self.events_seen)),
+            ("live_views", Json::from(self.live_views)),
+            ("tokens_sent", Json::from(self.tokens_sent)),
+            ("tokens_received", Json::from(self.tokens_received)),
+            ("queued_frames", Json::from(self.queued_frames)),
+            ("peak_rss_bytes", Json::from(self.peak_rss_bytes)),
+        ])
+    }
+
+    /// Parses the sample back.
+    pub fn from_json(v: &Json) -> Result<DaemonTelemetry, JsonError> {
+        Ok(DaemonTelemetry {
+            process: v.get("process")?.as_usize()?,
+            events_seen: v.get("events_seen")?.as_u64()?,
+            live_views: v.get("live_views")?.as_u64()?,
+            tokens_sent: v.get("tokens_sent")?.as_u64()?,
+            tokens_received: v.get("tokens_received")?.as_u64()?,
+            queued_frames: v.get("queued_frames")?.as_u64()?,
+            peak_rss_bytes: v.get("peak_rss_bytes")?.as_u64()?,
+        })
+    }
+}
+
+/// A daemon emits one [`WireMsg::Telemetry`] sample each time `events_seen`
+/// crosses a multiple of this count (and one final sample at finish time).
+pub const TELEMETRY_EVERY_EVENTS: u64 = 16;
 
 /// Every frame of the deploy protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -323,6 +383,12 @@ pub enum WireMsg {
     Shutdown,
     /// Daemon → orchestrator: about to exit.
     ShutdownOk,
+    /// Daemon → orchestrator: unsolicited live progress, emitted on the control
+    /// connection every `TELEMETRY_EVERY_EVENTS` observed events (an event-count
+    /// cadence, not a timer, so runs stay deterministic).  The orchestrator
+    /// folds these into per-daemon timelines in the run artifact directory;
+    /// peers that never send them are simply quiet (the frame is additive).
+    Telemetry(DaemonTelemetry),
     /// Daemon → orchestrator: fatal protocol error (the daemon exits non-zero).
     Error {
         /// Human-readable description.
@@ -403,6 +469,10 @@ impl WireMsg {
             ]),
             WireMsg::Shutdown => object([("type", Json::from("shutdown"))]),
             WireMsg::ShutdownOk => object([("type", Json::from("shutdown_ok"))]),
+            WireMsg::Telemetry(sample) => object([
+                ("type", Json::from("telemetry")),
+                ("sample", sample.to_json()),
+            ]),
             WireMsg::Error { message } => object([
                 ("type", Json::from("error")),
                 ("message", Json::from(message.as_str())),
@@ -462,6 +532,9 @@ impl WireMsg {
             "report_ok" => Ok(WireMsg::ReportOk(DaemonReport::from_json(v.get("report")?)?)),
             "shutdown" => Ok(WireMsg::Shutdown),
             "shutdown_ok" => Ok(WireMsg::ShutdownOk),
+            "telemetry" => Ok(WireMsg::Telemetry(DaemonTelemetry::from_json(
+                v.get("sample")?,
+            )?)),
             "error" => Ok(WireMsg::Error {
                 message: v.get("message")?.as_str()?.to_string(),
             }),
@@ -602,9 +675,19 @@ mod tests {
                     duplicated: 0,
                     reordered: 1,
                 },
+                peak_rss_bytes: 7 << 20,
             }),
             WireMsg::Shutdown,
             WireMsg::ShutdownOk,
+            WireMsg::Telemetry(DaemonTelemetry {
+                process: 2,
+                events_seen: 48,
+                live_views: 5,
+                tokens_sent: 17,
+                tokens_received: 13,
+                queued_frames: 2,
+                peak_rss_bytes: 9 << 20,
+            }),
             WireMsg::Error {
                 message: "boom".to_string(),
             },

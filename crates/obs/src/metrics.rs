@@ -1,0 +1,540 @@
+//! Named counters, gauges and log₂-bucketed histograms with JSON snapshots.
+//!
+//! Handles are interned by name in a global [`Registry`] and live for the
+//! whole process (`Box::leak`); call sites cache the `&'static` handle in a
+//! `OnceLock` via the `counter!` / `gauge!` / `histogram!` macros so the
+//! registry mutex is taken once per call site, not per event.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use dlrv_json::{object, Json, JsonError};
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1` holds
+/// values `v` with `2^(i-1) ≤ v < 2^i`, and the last bucket additionally
+/// absorbs everything above.  64 buckets cover the full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Monotonically increasing event count.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds 1 when observability is enabled; no-op (one relaxed load) otherwise.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` when observability is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (reads regardless of the enable gate).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The interned metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A last-written-wins instantaneous value (e.g. live view count, queue depth).
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge when observability is enabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to at least `v` (a high-water mark) when enabled.
+    #[inline]
+    pub fn raise_to(&self, v: i64) {
+        if crate::enabled() {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The interned metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Log₂-bucketed histogram of `u64` samples (canonically: latency in
+/// nanoseconds).  Recording is wait-free: one bucket `fetch_add` plus
+/// count/sum/min/max updates, all `Relaxed`.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Index of the log₂ bucket holding `v`: 0 for 0, else `64 - leading_zeros`,
+/// clamped into range (the top bucket absorbs the tail).
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`0` for bucket 0, else `2^i - 1`;
+/// `u64::MAX` for the top bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample when observability is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// The interned metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, slot) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *b = slot.load(Ordering::Relaxed);
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`], mergeable and JSON-serializable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Per-bucket sample counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping add on overflow is acceptable for stats).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot with the given name.
+    pub fn empty(name: impl Into<String>) -> Self {
+        HistogramSnapshot {
+            name: name.into(),
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, estimated as the inclusive upper
+    /// bound of the bucket containing the rank-`⌈q·count⌉` sample.  Returns 0
+    /// for an empty histogram.  Monotone in `q` by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Element-wise merge: bucket-by-bucket addition, so merging is
+    /// associative and commutative (pinned by proptest).
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = self.buckets;
+        for (b, o) in buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.wrapping_add(*o);
+        }
+        HistogramSnapshot {
+            name: self.name.clone(),
+            buckets,
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            min: match (self.count, other.count) {
+                (0, _) => other.min,
+                (_, 0) => self.min,
+                _ => self.min.min(other.min),
+            },
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Serializes to JSON.  Buckets are stored sparsely as `[index, count]`
+    /// pairs to keep snapshots compact.
+    pub fn to_json(&self) -> Json {
+        let sparse: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Array(vec![Json::from(i as u64), Json::from(c)]))
+            .collect();
+        object([
+            ("name", Json::Str(self.name.clone())),
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+            ("min", Json::from(self.min)),
+            ("max", Json::from(self.max)),
+            ("p50", Json::from(self.quantile(0.50))),
+            ("p90", Json::from(self.quantile(0.90))),
+            ("p99", Json::from(self.quantile(0.99))),
+            ("buckets", Json::Array(sparse)),
+        ])
+    }
+
+    /// Parses the [`to_json`](Self::to_json) form (the derived p50/p90/p99
+    /// fields are recomputed, not trusted).
+    pub fn from_json(v: &Json) -> Result<HistogramSnapshot, JsonError> {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for pair in v.get("buckets")?.as_array()? {
+            let pair = pair.as_array()?;
+            if pair.len() != 2 {
+                return Err(JsonError::msg("histogram bucket pair must be [index, count]"));
+            }
+            let i = pair[0].as_usize()?;
+            if i >= HISTOGRAM_BUCKETS {
+                return Err(JsonError::msg("histogram bucket index out of range"));
+            }
+            buckets[i] = pair[1].as_u64()?;
+        }
+        Ok(HistogramSnapshot {
+            name: v.get("name")?.as_str()?.to_string(),
+            buckets,
+            count: v.get("count")?.as_u64()?,
+            sum: v.get("sum")?.as_u64()?,
+            min: v.get("min")?.as_u64()?,
+            max: v.get("max")?.as_u64()?,
+        })
+    }
+}
+
+enum Slot {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// Process-global metric registry; interns handles by name.
+pub struct Registry {
+    slots: Mutex<BTreeMap<&'static str, Slot>>,
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry { slots: Mutex::new(BTreeMap::new()) }
+    }
+
+    // The registry is never left in a partial state, so a panic elsewhere while
+    // the lock was held (e.g. in a test) does not invalidate it — recover from
+    // poisoning instead of cascading.
+    fn slots(&self) -> std::sync::MutexGuard<'_, BTreeMap<&'static str, Slot>> {
+        self.slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Interns (or retrieves) the counter named `name`.
+    ///
+    /// Panics if `name` is already registered as a different metric kind —
+    /// that is a programming error, caught on first use.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let got = match self.slots().entry(name).or_insert_with(|| {
+            Slot::Counter(Box::leak(Box::new(Counter { name, value: AtomicU64::new(0) })))
+        }) {
+            Slot::Counter(c) => Some(*c),
+            _ => None,
+        };
+        got.unwrap_or_else(|| panic!("metric {name:?} already registered with a different kind"))
+    }
+
+    /// Interns (or retrieves) the gauge named `name`.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let got = match self.slots().entry(name).or_insert_with(|| {
+            Slot::Gauge(Box::leak(Box::new(Gauge { name, value: AtomicI64::new(0) })))
+        }) {
+            Slot::Gauge(g) => Some(*g),
+            _ => None,
+        };
+        got.unwrap_or_else(|| panic!("metric {name:?} already registered with a different kind"))
+    }
+
+    /// Interns (or retrieves) the histogram named `name`.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let got = match self.slots().entry(name).or_insert_with(|| {
+            Slot::Histogram(Box::leak(Box::new(Histogram {
+                name,
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            })))
+        }) {
+            Slot::Histogram(h) => Some(*h),
+            _ => None,
+        };
+        got.unwrap_or_else(|| panic!("metric {name:?} already registered with a different kind"))
+    }
+
+    /// A deterministic (name-sorted) copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots();
+        let mut snap = MetricsSnapshot::default();
+        for (name, slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => snap.counters.push((name.to_string(), c.get())),
+                Slot::Gauge(g) => snap.gauges.push((name.to_string(), g.get())),
+                Slot::Histogram(h) => snap.histograms.push(h.snapshot()),
+            }
+        }
+        snap
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global [`Registry`].
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Point-in-time copy of the whole registry, JSON round-trippable.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes as `{"counters": {...}, "gauges": {...}, "histograms": [...]}`.
+    pub fn to_json(&self) -> Json {
+        let counters: Vec<(String, Json)> = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::from(*v)))
+            .collect();
+        let gauges: Vec<(String, Json)> = self
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::Int(i128::from(*v))))
+            .collect();
+        Json::Object(vec![
+            ("counters".to_string(), Json::Object(counters)),
+            ("gauges".to_string(), Json::Object(gauges)),
+            (
+                "histograms".to_string(),
+                Json::Array(self.histograms.iter().map(HistogramSnapshot::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses the [`to_json`](Self::to_json) form.
+    pub fn from_json(v: &Json) -> Result<MetricsSnapshot, JsonError> {
+        let obj_pairs = |j: &Json| -> Result<Vec<(String, Json)>, JsonError> {
+            match j {
+                Json::Object(pairs) => Ok(pairs.clone()),
+                _ => Err(JsonError::msg("expected object")),
+            }
+        };
+        let mut counters = Vec::new();
+        for (n, val) in obj_pairs(v.get("counters")?)? {
+            counters.push((n, val.as_u64()?));
+        }
+        let mut gauges = Vec::new();
+        for (n, val) in obj_pairs(v.get("gauges")?)? {
+            let g = match val {
+                Json::Int(i) => i64::try_from(i)
+                    .map_err(|_| JsonError::msg(format!("gauge {n} out of i64 range")))?,
+                _ => return Err(JsonError::msg(format!("gauge {n} must be an integer"))),
+            };
+            gauges.push((n, g));
+        }
+        let mut histograms = Vec::new();
+        for h in v.get("histograms")?.as_array()? {
+            histograms.push(HistogramSnapshot::from_json(h)?);
+        }
+        Ok(MetricsSnapshot { counters, gauges, histograms })
+    }
+}
+
+/// Interns a [`Counter`] once per call site (the `OnceLock` lives in the
+/// expansion), returning the cached `&'static Counter` thereafter.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static SLOT: std::sync::OnceLock<&'static $crate::Counter> = std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// Interns a [`Gauge`] once per call site (see `counter!`).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static SLOT: std::sync::OnceLock<&'static $crate::Gauge> = std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// Interns a [`Histogram`] once per call site (see `counter!`).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static SLOT: std::sync::OnceLock<&'static $crate::Histogram> = std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_bounds_agree() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_respect_enable_gate() {
+        let _gate = crate::test_gate();
+        crate::set_enabled(false);
+        let c = registry().counter("test.gate.counter");
+        let before = c.get();
+        c.inc();
+        assert_eq!(c.get(), before, "disabled counter must not move");
+        crate::set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), before + 1);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let _gate = crate::test_gate();
+        crate::set_enabled(true);
+        let h = registry().histogram("test.quantiles");
+        for v in [1u64, 5, 9, 120, 4096, 70_000] {
+            h.record(v);
+        }
+        crate::set_enabled(false);
+        let s = h.snapshot();
+        let (p50, p90, p99) = (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p99 <= s.max);
+        assert_eq!(s.count, 6);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut s = HistogramSnapshot::empty("rt");
+        s.buckets[3] = 4;
+        s.buckets[10] = 2;
+        s.count = 6;
+        s.sum = 2100;
+        s.min = 5;
+        s.max = 900;
+        let back = HistogramSnapshot::from_json(&s.to_json()).expect("parse");
+        assert_eq!(s, back);
+
+        let snap = MetricsSnapshot {
+            counters: vec![("a".into(), 3), ("b".into(), 0)],
+            gauges: vec![("g".into(), -7)],
+            histograms: vec![s],
+        };
+        let back = MetricsSnapshot::from_json(&snap.to_json()).expect("parse");
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_panic() {
+        registry().counter("test.kind.conflict");
+        registry().gauge("test.kind.conflict");
+    }
+}

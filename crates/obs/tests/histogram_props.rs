@@ -1,0 +1,106 @@
+//! Property tests of the histogram laws the report pipeline relies on:
+//! every sample lands in the bucket whose bounds contain it, quantiles are
+//! monotone and bracketed by min/max, and snapshot merge is an associative,
+//! commutative element-wise addition (so per-shard / per-daemon histograms can
+//! be folded in any order).
+
+use dlrv_obs::metrics::{bucket_index, bucket_upper_bound};
+use dlrv_obs::HistogramSnapshot;
+use proptest::prelude::*;
+
+/// Expands a seed into `n` samples spread over the full dynamic range (mixing
+/// small and huge values so many distinct buckets are hit).
+fn samples_from(mut seed: u64, n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        seed = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let magnitude = (seed >> 58) as u32; // 0..64
+        out.push((seed >> 20) >> (63 - magnitude.min(63)));
+    }
+    out
+}
+
+/// Builds a snapshot directly (not through the global registry, so property
+/// cases stay independent of each other and of other tests).
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let mut s = HistogramSnapshot::empty("prop");
+    for &v in samples {
+        s.buckets[bucket_index(v)] += 1;
+        s.count += 1;
+        s.sum = s.sum.wrapping_add(v);
+        s.min = if s.count == 1 { v } else { s.min.min(v) };
+        s.max = s.max.max(v);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_sample_lands_in_its_bucket(seed in 0u64..1 << 48, n in 1usize..64) {
+        for v in samples_from(seed, n) {
+            let i = bucket_index(v);
+            prop_assert!(v <= bucket_upper_bound(i), "v={} above bucket {} bound", v, i);
+            if i > 0 {
+                prop_assert!(v > bucket_upper_bound(i - 1), "v={} below bucket {} floor", v, i);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(seed in 0u64..1 << 48, n in 1usize..128) {
+        let s = snapshot_of(&samples_from(seed, n));
+        let mut prev = 0u64;
+        for pct in [0.0, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+            let q = s.quantile(pct);
+            prop_assert!(q >= prev, "quantile not monotone at {}: {} < {}", pct, q, prev);
+            prop_assert!(q <= s.max, "quantile above max at {}", pct);
+            prev = q;
+        }
+        // The true maximum is never underestimated by the top quantile.
+        prop_assert!(s.quantile(1.0) >= *samples_from(seed, n).iter().max().expect("n >= 1")
+            || s.quantile(1.0) == s.max);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in 0u64..1 << 48, b in 0u64..1 << 48, n in 1usize..64) {
+        let (x, y) = (snapshot_of(&samples_from(a, n)), snapshot_of(&samples_from(b, n)));
+        prop_assert_eq!(x.merge(&y), y.merge(&x));
+    }
+
+    #[test]
+    fn merge_is_associative(a in 0u64..1 << 48, b in 0u64..1 << 48, c in 0u64..1 << 48, n in 1usize..48) {
+        let (x, y, z) = (
+            snapshot_of(&samples_from(a, n)),
+            snapshot_of(&samples_from(b, n)),
+            snapshot_of(&samples_from(c, n)),
+        );
+        prop_assert_eq!(x.merge(&y).merge(&z), x.merge(&y.merge(&z)));
+    }
+
+    #[test]
+    fn merge_equals_concatenation(a in 0u64..1 << 48, b in 0u64..1 << 48, n in 1usize..64) {
+        let (sa, sb) = (samples_from(a, n), samples_from(b, n));
+        let merged = snapshot_of(&sa).merge(&snapshot_of(&sb));
+        let mut both = sa.clone();
+        both.extend_from_slice(&sb);
+        prop_assert_eq!(merged, snapshot_of(&both));
+    }
+
+    #[test]
+    fn empty_is_a_merge_identity(seed in 0u64..1 << 48, n in 1usize..64) {
+        let s = snapshot_of(&samples_from(seed, n));
+        prop_assert_eq!(s.merge(&HistogramSnapshot::empty("prop")), s.clone());
+        prop_assert_eq!(HistogramSnapshot::empty("prop").merge(&s), s.clone());
+    }
+
+    #[test]
+    fn json_round_trips_any_snapshot(seed in 0u64..1 << 48, n in 0usize..64) {
+        let s = snapshot_of(&samples_from(seed, n));
+        let back = HistogramSnapshot::from_json(&s.to_json()).expect("parse back");
+        prop_assert_eq!(s, back);
+    }
+}

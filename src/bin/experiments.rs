@@ -23,6 +23,8 @@
 //! cargo run --release --bin experiments -- --target analyze --deny error
 //! cargo run --release --bin experiments -- --target analyze --results BENCH_results.json
 //! cargo run --release --bin experiments -- --analyze-property 'G(P0.req -> F P1.ack)'
+//! cargo run --release --bin experiments -- --target report
+//! cargo run --release --bin experiments -- --target report --results thr.json --out-dir /tmp/dash
 //! ```
 //!
 //! Targets select what to run: the classic figure/table targets print the paper's
@@ -73,9 +75,20 @@
 //! `dlrv-analyze`) and fails loudly on schema drift — CI uses it instead of an
 //! external JSON tool; `--require-family NAME[,…]` additionally fails unless the
 //! document contains scenarios of each named family with real measurements
-//! (non-zero `events_per_sec` for `throughput`).  Unknown formats, `--out` without
+//! (non-zero `events_per_sec` for `throughput`).  `--baseline PATH` additionally
+//! gates the validated document's throughput rates against a committed baseline
+//! document: any shared scenario whose `events_per_sec` dropped more than
+//! `--max-regression PCT` (default 50) fails the run — the CI perf-regression
+//! gate.  Unknown formats, `--out` without
 //! `--format json`, and `--format json` with a text-only target are rejected with
 //! an error — nothing is silently ignored.
+//!
+//! `--target report` renders a results document (`--results PATH`, default the
+//! committed `BENCH_results.json`) plus its git history into a dashboard under
+//! `--out-dir DIR` (default `report/`): per-family markdown tables in
+//! `REPORT.md`, SVG trend charts in `svg/` and per-scenario monitor automata in
+//! `dot/`.  It runs no workloads and must stand alone — see
+//! `docs/OBSERVABILITY.md`.
 //!
 //! `--jobs N` (or the `DLRV_JOBS` environment variable) caps the worker threads used
 //! to fan out independent seeds and configurations; the default uses every core.
@@ -94,10 +107,10 @@ use dlrv_core::dlrv_analyze::{
     ANALYSIS_GENERATOR,
 };
 use dlrv_core::{
-    analyze_spec, analyze_to_dot, measured_overhead_for, parallel_map_indexed, set_jobs,
-    sweep_from_json, sweep_to_json, CompiledProperty, ExperimentConfig, ExperimentResult,
-    PaperProperty, PropertySpec, PropertySpecError, Scenario, ScenarioFamily, ScenarioRecord,
-    ScenarioRegistry,
+    analyze_spec, analyze_to_dot, measured_overhead_for, parallel_map_indexed, render_report,
+    set_jobs, sweep_from_json, sweep_to_json, CompiledProperty, ExperimentConfig,
+    ExperimentResult, PaperProperty, PropertySpec, PropertySpecError, Scenario, ScenarioFamily,
+    ScenarioRecord, ScenarioRegistry, TrendPoint,
 };
 use dlrv_core::dlrv_net::FaultSpec;
 use dlrv_monitor::{MonitorOptions, RunMetrics};
@@ -108,9 +121,9 @@ use std::process::exit;
 const EVENTS: usize = 20;
 
 /// Everything a target argument may select.
-const KNOWN_TARGETS: [&str; 15] = [
+const KNOWN_TARGETS: [&str; 16] = [
     "all", "table5_1", "automata_dot", "fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8",
-    "fig5_9", "sweep", "throughput", "overhead", "custom", "deploy", "analyze",
+    "fig5_9", "sweep", "throughput", "overhead", "custom", "deploy", "analyze", "report",
 ];
 
 /// The targets backed by the scenario registry (the ones `--scenario` can filter,
@@ -167,9 +180,18 @@ struct Cli {
     /// `--require-family NAME[,...]`: with `--validate-results`, additionally fail
     /// unless the document contains measured scenarios of each named family.
     require_family: Vec<String>,
+    /// `--baseline PATH`: with `--validate-results`, gate the validated document's
+    /// throughput rates against this committed baseline document.
+    baseline: Option<PathBuf>,
+    /// `--max-regression PCT`: with `--baseline`, the tolerated `events_per_sec`
+    /// drop (in percent) before the perf gate fails.
+    max_regression: Option<f64>,
     /// `--fault SPEC`: override the fault-injection spec of every selected deploy
     /// scenario (`drop=p,delay=ms,dup=p,reorder=p[,seed=n]`).
     fault: Option<FaultSpec>,
+    /// `--out-dir PATH`: output directory of the `report` target (default
+    /// `report/`).
+    out_dir: Option<PathBuf>,
 }
 
 fn usage_error(message: &str) -> ! {
@@ -182,7 +204,9 @@ fn usage_error(message: &str) -> ! {
          [--analyze-property LTL|PATH] [--deny warn|error|LINT-ID[,...]] \
          [--allow LINT-ID[,...]] [--results PATH] \
          [--budget alphabet=N,states=N,transitions=N] [--list-scenarios] \
-         [--validate-results PATH [--require-family NAME[,...]]]"
+         [--validate-results PATH [--require-family NAME[,...]] \
+          [--baseline PATH [--max-regression PCT]]] \
+         [--target report [--results PATH] [--out-dir DIR]]"
     );
     exit(2);
 }
@@ -285,7 +309,10 @@ fn parse_cli(args: Vec<String>) -> Cli {
         results: None,
         budget: Budget::default(),
         require_family: Vec::new(),
+        baseline: None,
+        max_regression: None,
         fault: None,
+        out_dir: None,
     };
     let mut iter = args.into_iter();
     // `--flag value` and `--flag=value` are both accepted.
@@ -327,6 +354,10 @@ fn parse_cli(args: Vec<String>) -> Cli {
             "--out" => {
                 let value = flag_value(&mut iter, "--out", inline.as_deref());
                 cli.out = Some(PathBuf::from(value));
+            }
+            "--out-dir" => {
+                let value = flag_value(&mut iter, "--out-dir", inline.as_deref());
+                cli.out_dir = Some(PathBuf::from(value));
             }
             "--scenario" => {
                 let value = flag_value(&mut iter, "--scenario", inline.as_deref());
@@ -440,6 +471,17 @@ fn parse_cli(args: Vec<String>) -> Cli {
                     cli.require_family.push(name.to_string());
                 }
             }
+            "--baseline" => {
+                let value = flag_value(&mut iter, "--baseline", inline.as_deref());
+                cli.baseline = Some(PathBuf::from(value));
+            }
+            "--max-regression" => {
+                let value = flag_value(&mut iter, "--max-regression", inline.as_deref());
+                match value.parse::<f64>() {
+                    Ok(pct) if (0.0..100.0).contains(&pct) => cli.max_regression = Some(pct),
+                    _ => usage_error("--max-regression expects a percentage in [0, 100)"),
+                }
+            }
             "--no-opt" => {
                 if inline.is_some() {
                     usage_error("--no-opt takes no value");
@@ -509,6 +551,7 @@ fn parse_cli(args: Vec<String>) -> Cli {
     }
     let analyze_mode =
         cli.analyze_property.is_some() || cli.targets.iter().any(|t| t == "analyze");
+    let report_mode = cli.targets.iter().any(|t| t == "report");
     if !analyze_mode {
         if cli.deny_level.is_some() || !cli.deny_lints.is_empty() {
             usage_error("--deny only applies to `--target analyze` / --analyze-property");
@@ -516,15 +559,43 @@ fn parse_cli(args: Vec<String>) -> Cli {
         if !cli.allow_lints.is_empty() {
             usage_error("--allow only applies to `--target analyze` / --analyze-property");
         }
-        if cli.results.is_some() {
-            usage_error("--results only applies to `--target analyze` / --analyze-property");
+        if cli.results.is_some() && !report_mode {
+            usage_error(
+                "--results only applies to `--target analyze` / --analyze-property / \
+                 `--target report`",
+            );
         }
         if cli.budget != Budget::default() {
             usage_error("--budget only applies to `--target analyze` / --analyze-property");
         }
     }
+    if report_mode {
+        // `report` renders an existing document; it runs nothing, so combining it
+        // with run targets (or run-shaping flags) is a mistake worth rejecting.
+        if cli.targets.len() > 1 {
+            usage_error("`--target report` renders a document; run it by itself");
+        }
+        if cli.format != Format::Text {
+            usage_error("the report target writes markdown + SVG; drop --format json");
+        }
+        if cli.out.is_some() || cli.no_opt || !cli.scenarios.is_empty() || cli.fault.is_some() {
+            usage_error(
+                "`--target report` only takes --results (input document) and \
+                 --out-dir (output directory)",
+            );
+        }
+    }
+    if cli.out_dir.is_some() && !report_mode {
+        usage_error("--out-dir only applies to `--target report`");
+    }
     if !cli.require_family.is_empty() && cli.validate.is_none() {
         usage_error("--require-family only applies to --validate-results");
+    }
+    if cli.baseline.is_some() && cli.validate.is_none() {
+        usage_error("--baseline only applies to --validate-results");
+    }
+    if cli.max_regression.is_some() && cli.baseline.is_none() {
+        usage_error("--max-regression requires --baseline");
     }
     if cli.fault.is_some() && !cli.targets.iter().any(|t| t == "deploy") {
         usage_error("--fault only applies to `--target deploy`");
@@ -681,7 +752,12 @@ fn main() {
         return;
     }
     if let Some(path) = &cli.validate {
-        validate_results(path, &cli.require_family);
+        validate_results(
+            path,
+            &cli.require_family,
+            cli.baseline.as_deref(),
+            cli.max_regression,
+        );
         return;
     }
     if cli.property.is_some() || cli.property_file.is_some() {
@@ -694,6 +770,10 @@ fn main() {
     }
     if let Some(name) = &cli.emit_dot {
         emit_dot_for_scenario(name, &cli);
+        return;
+    }
+    if cli.targets.iter().any(|t| t == "report") {
+        run_report(&cli);
         return;
     }
 
@@ -785,7 +865,12 @@ fn target_selects(target: &str, family: ScenarioFamily) -> bool {
 /// `analyses_from_json`.  `require_family` names scenario families that must be
 /// present with real measurements (CI's guard against committing a sweep that
 /// silently dropped the throughput family).
-fn validate_results(path: &std::path::Path, require_family: &[String]) {
+fn validate_results(
+    path: &std::path::Path,
+    require_family: &[String],
+    baseline: Option<&std::path::Path>,
+    max_regression: Option<f64>,
+) {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
@@ -806,6 +891,14 @@ fn validate_results(path: &std::path::Path, require_family: &[String]) {
         .flatten()
         .and_then(|g| g.as_str().ok().map(str::to_string));
     if generator.as_deref() == Some(ANALYSIS_GENERATOR) {
+        if baseline.is_some() {
+            eprintln!(
+                "error: --baseline applies to benchmark documents; `{}` is an \
+                 analysis report",
+                path.display()
+            );
+            exit(1);
+        }
         if !require_family.is_empty() {
             eprintln!(
                 "error: --require-family applies to benchmark documents; `{}` is an \
@@ -886,6 +979,9 @@ fn validate_results(path: &std::path::Path, require_family: &[String]) {
                 streamed,
                 deployed
             );
+            if let Some(baseline_path) = baseline {
+                perf_gate(&records, baseline_path, max_regression.unwrap_or(50.0));
+            }
         }
         Err(e) => {
             eprintln!(
@@ -895,6 +991,81 @@ fn validate_results(path: &std::path::Path, require_family: &[String]) {
             exit(1);
         }
     }
+}
+
+/// The CI perf-regression gate: every throughput scenario in the validated
+/// (freshly measured) document whose name also appears in the committed
+/// baseline must keep its `events_per_sec` within `max_pct` percent of the
+/// baseline rate.  Scenarios only on one side are reported and skipped; an
+/// empty intersection fails loudly, because a vacuous gate guards nothing.
+fn perf_gate(fresh: &[ScenarioRecord], baseline_path: &std::path::Path, max_pct: f64) {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read baseline `{}`: {e}", baseline_path.display());
+            exit(1);
+        }
+    };
+    let baseline = match dlrv_core::dlrv_json::Json::parse(&text)
+        .map_err(|e| e.to_string())
+        .and_then(|doc| sweep_from_json(&doc).map_err(|e| e.to_string()))
+    {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!(
+                "error: baseline `{}` is not a valid results document: {e}",
+                baseline_path.display()
+            );
+            exit(1);
+        }
+    };
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    for record in fresh.iter().filter(|r| r.scenario.stream.is_some()) {
+        let rate = record.avg.events_per_sec;
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.scenario.name == record.scenario.name)
+        else {
+            println!("perf gate: {:<28} not in baseline, skipped", record.scenario.name);
+            continue;
+        };
+        let base_rate = base.avg.events_per_sec;
+        if base_rate <= 0.0 {
+            println!("perf gate: {:<28} baseline unmeasured, skipped", record.scenario.name);
+            continue;
+        }
+        compared += 1;
+        let delta_pct = (rate - base_rate) / base_rate * 100.0;
+        let verdict = if -delta_pct > max_pct { "FAIL" } else { "ok" };
+        println!(
+            "perf gate: {:<28} {:>12.0} ev/s vs {:>12.0} baseline ({:+.1}%) {verdict}",
+            record.scenario.name, rate, base_rate, delta_pct
+        );
+        if -delta_pct > max_pct {
+            failures.push(record.scenario.name.clone());
+        }
+    }
+    if compared == 0 {
+        eprintln!(
+            "error: no throughput scenario overlaps baseline `{}`; the perf gate \
+             compared nothing",
+            baseline_path.display()
+        );
+        exit(1);
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "error: throughput regressed more than {max_pct}% vs `{}`: {}",
+            baseline_path.display(),
+            failures.join(", ")
+        );
+        exit(1);
+    }
+    println!(
+        "perf gate: {compared} scenario(s) within {max_pct}% of `{}`",
+        baseline_path.display()
+    );
 }
 
 /// Writes `text` to `--out` or stdout.
@@ -1087,6 +1258,125 @@ fn load_results_or_exit(path: &std::path::Path) -> Vec<ScenarioRecord> {
             exit(1);
         }
     }
+}
+
+/// Runs `git` in the current directory, returning stdout on success.
+fn git_stdout(args: &[&str]) -> Option<String> {
+    let output = std::process::Command::new("git").args(args).output().ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&output.stdout).into_owned())
+}
+
+/// How many historical snapshots the trend charts go back (newest-first cap, so
+/// a long-lived repository keeps the x axis readable).
+const TREND_HISTORY_CAP: usize = 12;
+
+/// The trend history of a results document: every git commit that touched it
+/// (oldest first, capped at [`TREND_HISTORY_CAP`]), each parsed with the
+/// in-tree schema parser, followed by the working-tree document as `current`.
+/// Commits whose snapshot no longer parses (pre-schema history) are skipped;
+/// without git the history is just the `current` point.
+fn collect_history(path: &std::path::Path, current: &[ScenarioRecord]) -> Vec<TrendPoint> {
+    let mut points: Vec<TrendPoint> = Vec::new();
+    let path_str = path.to_string_lossy();
+    // `git show REV:./PATH` resolves PATH relative to the current directory,
+    // which is also what the `--results` flag is relative to.
+    let rel = if path.is_absolute() {
+        path_str.to_string()
+    } else {
+        format!("./{path_str}")
+    };
+    if let Some(log) = git_stdout(&["log", "--reverse", "--format=%H %h", "--", &path_str]) {
+        let commits: Vec<(&str, &str)> = log
+            .lines()
+            .filter_map(|line| line.split_once(' '))
+            .collect();
+        let skip = commits.len().saturating_sub(TREND_HISTORY_CAP);
+        for &(full, short) in &commits[skip..] {
+            let Some(text) = git_stdout(&["show", &format!("{full}:{rel}")]) else {
+                continue;
+            };
+            let Ok(parsed) = dlrv_core::dlrv_json::Json::parse(&text) else {
+                continue;
+            };
+            let Ok(records) = sweep_from_json(&parsed) else {
+                continue;
+            };
+            points.push(TrendPoint {
+                label: short.to_string(),
+                records,
+            });
+        }
+    }
+    points.push(TrendPoint {
+        label: "current".to_string(),
+        records: current.to_vec(),
+    });
+    points
+}
+
+/// `--target report`: render the benchmark document (default
+/// `BENCH_results.json`, override with `--results`) plus its git history into
+/// a markdown + SVG dashboard under `--out-dir` (default `report/`), with the
+/// per-scenario monitor automata as Graphviz DOT alongside.
+fn run_report(cli: &Cli) {
+    let path = cli
+        .results
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_results.json"));
+    let records = load_results_or_exit(&path);
+    let history = collect_history(&path, &records);
+    let rendered = render_report(&records, &history);
+
+    let out_dir = cli.out_dir.clone().unwrap_or_else(|| PathBuf::from("report"));
+    let write = |rel: &str, text: &str| {
+        let target = out_dir.join(rel);
+        if let Some(parent) = target.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create `{}`: {e}", parent.display());
+                exit(1);
+            }
+        }
+        if let Err(e) = std::fs::write(&target, text) {
+            eprintln!("error: cannot write `{}`: {e}", target.display());
+            exit(1);
+        }
+    };
+    write("REPORT.md", &rendered.markdown);
+    for (file, svg) in &rendered.svgs {
+        write(file, svg);
+    }
+    // One automaton rendering per scenario; identical (property, procs) pairs
+    // synthesize once and share the DOT text.
+    let mut dot_cache: Vec<((String, usize), String)> = Vec::new();
+    let mut automata = 0usize;
+    for r in &records {
+        let key = (
+            r.scenario.config.property.name().to_string(),
+            r.scenario.config.n_processes,
+        );
+        let dot = match dot_cache.iter().find(|(k, _)| *k == key) {
+            Some((_, dot)) => dot.clone(),
+            None => {
+                let dot =
+                    analyze_to_dot(&r.scenario.config.property, r.scenario.config.n_processes);
+                dot_cache.push((key, dot.clone()));
+                dot
+            }
+        };
+        write(&format!("dot/{}.dot", r.scenario.name), &dot);
+        automata += 1;
+    }
+    println!(
+        "wrote {} ({} scenarios, {} snapshots, {} charts, {} automata)",
+        out_dir.join("REPORT.md").display(),
+        records.len(),
+        history.len(),
+        rendered.svgs.len(),
+        automata
+    );
 }
 
 /// `--target analyze`: statically analyze the registry's scenarios — by default

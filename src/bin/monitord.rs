@@ -25,9 +25,11 @@ use dlrv_core::results::{options_from_json, property_from_json};
 use dlrv_core::CompiledProperty;
 use dlrv_monitor::{DecentralizedMonitor, MonitorMsg};
 use dlrv_net::{
-    connect_with_retry, encode_json_frame, DaemonReport, DaemonStatus, Endpoint, FaultInjector,
-    FaultStats, FramedConn, Interest, Listener, NetError, Reactor, WireMsg,
+    connect_with_retry, encode_json_frame, DaemonReport, DaemonStatus, DaemonTelemetry, Endpoint,
+    FaultInjector, FaultStats, FramedConn, Interest, Listener, NetError, Reactor, WireMsg,
+    TELEMETRY_EVERY_EVENTS,
 };
+use dlrv_obs::{obs_debug, obs_info, obs_warn, LogLevel};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::io::Write as _;
@@ -35,7 +37,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: monitord --listen <tcp:HOST:PORT | unix:PATH> [--idle-timeout-secs SECS]";
+const USAGE: &str = "usage: monitord --listen <tcp:HOST:PORT | unix:PATH> [--idle-timeout-secs SECS] [--log-level error|warn|info|debug|trace]";
 
 /// Token of the listening socket in the reactor; connections start at 1.
 const LISTENER_TOKEN: u64 = 0;
@@ -57,6 +59,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
                 idle_timeout = Duration::from_secs_f64(value);
+            }
+            "--log-level" => {
+                let Some(level) = args.next().as_deref().and_then(LogLevel::parse) else {
+                    eprintln!("monitord: --log-level expects error|warn|info|debug|trace\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                dlrv_obs::set_log_level(level);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -99,6 +108,8 @@ fn main() -> ExitCode {
     };
     println!("LISTEN {local}");
     let _ = std::io::stdout().flush();
+    dlrv_obs::set_log_prefix("monitord");
+    obs_info!("listening on {local} (idle timeout {:.1}s)", idle_timeout.as_secs_f64());
     match Daemon::new(listener, idle_timeout).and_then(Daemon::run) {
         Ok(code) => code,
         Err(e) => {
@@ -201,8 +212,8 @@ impl Daemon {
             }
             let now = Instant::now();
             if now >= self.idle_deadline {
-                eprintln!(
-                    "monitord: no orchestrator traffic for {:.1}s, exiting",
+                obs_warn!(
+                    "no orchestrator traffic for {:.1}s, exiting",
                     self.idle_timeout.as_secs_f64()
                 );
                 return Ok(ExitCode::from(3));
@@ -332,6 +343,8 @@ impl Daemon {
                 if process >= n_processes || peers.len() != n_processes {
                     return self.fail(token, "hello process/peers mismatch");
                 }
+                dlrv_obs::set_log_prefix(format!("daemon{process}"));
+                obs_info!("hello: process {process} of {n_processes}");
                 let compiled = CompiledProperty::compile(&spec, n_processes);
                 let monitor = DecentralizedMonitor::new(
                     process,
@@ -425,6 +438,13 @@ impl Daemon {
                     run.monitor.on_local_event(&Arc::new(event), &mut ctx);
                 }
                 self.dispatch_outbox(time, outbox)?;
+                let telemetry_due = self
+                    .run
+                    .as_ref()
+                    .is_some_and(|r| r.events_seen % TELEMETRY_EVERY_EVENTS == 0);
+                if telemetry_due {
+                    self.send_telemetry()?;
+                }
             }
             WireMsg::Monitor {
                 from,
@@ -472,6 +492,10 @@ impl Daemon {
                     }
                     self.dispatch_outbox(time, outbox)?;
                 }
+                obs_info!("finish at t={time:.3}");
+                // One final sample so the timeline always covers the run's end
+                // state, whatever the event-count cadence left off at.
+                self.send_telemetry()?;
                 self.reply(token, &WireMsg::FinishOk)?;
             }
             WireMsg::Report => {
@@ -486,11 +510,17 @@ impl Daemon {
                     metrics: run.monitor.metrics(),
                     logical_monitor_msgs: run.logical_msgs,
                     fault_stats,
+                    peak_rss_bytes: dlrv_obs::peak_rss_bytes().unwrap_or(0),
                 };
+                obs_info!(
+                    "report: {} events, {} logical monitor msgs",
+                    run.events_seen, run.logical_msgs
+                );
                 self.reply(token, &WireMsg::ReportOk(report))?;
             }
             WireMsg::Shutdown => {
                 self.touch_control(token);
+                obs_info!("shutdown");
                 self.reply(token, &WireMsg::ShutdownOk)?;
                 self.shutdown = true;
             }
@@ -510,7 +540,35 @@ impl Daemon {
         }
         let process = run.process;
         let Some(control) = self.control else { return Ok(()) };
+        obs_info!("peer mesh complete, sending hello_ok");
         self.reply(control, &WireMsg::HelloOk { process })
+    }
+
+    /// Emits one unsolicited [`WireMsg::Telemetry`] frame on the control
+    /// connection; the orchestrator intercepts these into per-daemon timelines
+    /// instead of treating them as replies.
+    fn send_telemetry(&mut self) -> Result<(), NetError> {
+        let Some(control) = self.control else { return Ok(()) };
+        let Some(run) = self.run.as_ref() else { return Ok(()) };
+        let metrics = run.monitor.metrics();
+        let queued_frames = run.delay_heap.len() as u64
+            + run.injectors.iter().flatten().map(|i| i.held() as u64).sum::<u64>();
+        let sample = DaemonTelemetry {
+            process: run.process,
+            events_seen: run.events_seen,
+            live_views: run.monitor.views().len() as u64,
+            tokens_sent: metrics.tokens_sent as u64,
+            tokens_received: metrics.tokens_received as u64,
+            queued_frames,
+            peak_rss_bytes: dlrv_obs::peak_rss_bytes().unwrap_or(0),
+        };
+        obs_debug!(
+            "telemetry: {} events, {} live views, {} queued frames",
+            sample.events_seen,
+            sample.live_views,
+            sample.queued_frames
+        );
+        self.reply(control, &WireMsg::Telemetry(sample))
     }
 
     /// Runs the monitor outbox to quiescence: self-deliveries recurse FIFO, remote

@@ -70,6 +70,10 @@ fn wait_with_deadline(child: &mut Child, deadline: Duration) -> ExitStatus {
 }
 
 /// Sends one control frame and blocks for the single reply it provokes.
+///
+/// The daemon also pushes unsolicited `telemetry` frames up the control
+/// channel (e.g. a final sample right before `finish_ok`); like the real
+/// orchestrator, the helper collects those without treating them as replies.
 fn rpc(conn: &mut FramedConn, msg: &WireMsg) -> WireMsg {
     conn.send(&msg.to_json()).expect("send");
     let deadline = Instant::now() + Duration::from_secs(10);
@@ -78,10 +82,17 @@ fn rpc(conn: &mut FramedConn, msg: &WireMsg) -> WireMsg {
         while conn.wants_write() {
             conn.flush().expect("flush");
         }
-        let mut frames = conn.on_readable().expect("read").into_iter();
-        if let Some(frame) = frames.next() {
-            assert!(frames.next().is_none(), "expected exactly one reply frame");
-            return WireMsg::from_json(&frame).expect("decode reply");
+        let mut reply = None;
+        for frame in conn.on_readable().expect("read") {
+            let decoded = WireMsg::from_json(&frame).expect("decode frame");
+            if matches!(decoded, WireMsg::Telemetry(_)) {
+                continue;
+            }
+            assert!(reply.is_none(), "expected exactly one reply frame");
+            reply = Some(decoded);
+        }
+        if let Some(reply) = reply {
+            return reply;
         }
         assert!(!conn.is_eof(), "daemon closed the connection mid-request");
         std::thread::sleep(Duration::from_millis(1));

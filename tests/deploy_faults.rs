@@ -129,6 +129,53 @@ fn each_sound_fault_kind_preserves_verdicts_in_isolation() {
 }
 
 #[test]
+fn deploy_writes_live_telemetry_artifacts() {
+    use_built_monitord();
+    // A unique seed keeps this run's artifact directory disjoint from the other
+    // deploy tests, which may run concurrently with the env var visible.
+    let dir = std::env::temp_dir().join(format!("dlrv-artifacts-{}", std::process::id()));
+    std::env::set_var("DLRV_ARTIFACT_DIR", &dir);
+    let config = deploy_config(PaperProperty::C, vec![42]);
+    let outcome = run_deploy(
+        &config,
+        MonitorOptions::default(),
+        &DeployParams::clean(DeployTransport::Unix),
+    )
+    .expect("deploy with artifacts enabled");
+    std::env::remove_var("DLRV_ARTIFACT_DIR");
+
+    let run_dir = dir.join("deploy-unix-seed42");
+    for i in 0..config.n_processes {
+        let path = run_dir.join(format!("telemetry-daemon{i}.jsonl"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing timeline {}: {e}", path.display()));
+        let samples: Vec<dlrv::dlrv_net::DaemonTelemetry> = text
+            .lines()
+            .map(|line| {
+                let json = dlrv::dlrv_json::Json::parse(line).expect("telemetry line is JSON");
+                dlrv::dlrv_net::DaemonTelemetry::from_json(&json).expect("telemetry shape")
+            })
+            .collect();
+        // The finish handler always emits one final sample, whatever the
+        // event-count cadence left off at.
+        assert!(!samples.is_empty(), "daemon {i} timeline must have samples");
+        let last = samples.last().expect("nonempty");
+        assert_eq!(last.process, i);
+        assert!(
+            samples.windows(2).all(|w| w[0].events_seen <= w[1].events_seen),
+            "daemon {i}: events_seen must be monotone across the timeline"
+        );
+    }
+    assert!(
+        run_dir.join("daemons.stderr.log").is_file(),
+        "interleaved fleet stderr log must exist"
+    );
+    // The daemons' VmHWM made it into the folded run metrics.
+    assert!(outcome.result.per_seed[0].peak_rss_bytes > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn total_frame_loss_is_a_pinned_divergence() {
     use_built_monitord();
     // drop=1: every inter-monitor frame vanishes.  Monitors still see their local

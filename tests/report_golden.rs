@@ -1,0 +1,157 @@
+//! Golden-file pin of the `--target report` markdown.
+//!
+//! The dashboard renderer ([`dlrv::render_report`]) is a pure function of the
+//! parsed records, so its markdown for a fixed input must never drift without
+//! a deliberate decision.  This test renders a hand-built document (one
+//! scenario per table shape: offline, overhead A/B pair, throughput, deploy)
+//! with a two-point history and compares the result byte-for-byte against
+//! `tests/fixtures/report_golden.md`.
+//!
+//! To bless an intentional change: `UPDATE_GOLDEN=1 cargo test --test
+//! report_golden`, then review the diff like any other code change.
+
+use dlrv::dlrv_ltl::Verdict;
+use dlrv::dlrv_monitor::{MonitorOptions, RunMetrics};
+use dlrv::dlrv_net::FaultSpec;
+use dlrv::{
+    render_report, DeployParams, DeployTransport, ExperimentConfig, PaperProperty, Scenario,
+    ScenarioFamily, ScenarioRecord, StreamParams, TrendPoint,
+};
+
+const GOLDEN_PATH: &str = "tests/fixtures/report_golden.md";
+
+/// A fully deterministic record: every metric fixed by hand, including the
+/// normally machine-dependent wall clock / throughput / RSS fields.
+fn record(
+    name: &str,
+    family: ScenarioFamily,
+    property: PaperProperty,
+    msgs: usize,
+    verdict: Verdict,
+) -> ScenarioRecord {
+    let mut avg = RunMetrics {
+        n_processes: 3,
+        total_events: 60,
+        monitor_messages: msgs,
+        program_messages: 30,
+        total_global_views: 4 * msgs / 3,
+        avg_delayed_events: 2.25,
+        delay_time_pct_per_gv: 0.125,
+        wall_clock_secs: 0.5,
+        events_per_sec: 120.0,
+        monitor_tokens: 2 * msgs,
+        peak_global_views: 9,
+        peak_rss_bytes: 24 * 1024 * 1024,
+        ..RunMetrics::default()
+    };
+    avg.detected_final_verdicts.insert(verdict);
+    avg.possible_verdicts.insert(verdict);
+    ScenarioRecord {
+        scenario: Scenario {
+            name: name.to_string(),
+            description: format!("fixture scenario {name}"),
+            family,
+            config: ExperimentConfig {
+                seeds: vec![1],
+                events_per_process: 20,
+                ..ExperimentConfig::paper_default(property, 3)
+            },
+            options: MonitorOptions::default(),
+            stream: (family == ScenarioFamily::Throughput).then_some(StreamParams {
+                n_sessions: 50,
+                n_shards: 4,
+                mailbox_capacity: 64,
+                batch_size: 8,
+            }),
+            deploy: (family == ScenarioFamily::Deploy).then(|| DeployParams {
+                transport: DeployTransport::Unix,
+                fault: Some(FaultSpec::parse("delay=1,dup=0.2,seed=7").expect("valid spec")),
+            }),
+        },
+        detected_verdicts: avg.detected_final_verdicts.clone(),
+        per_seed: vec![avg.clone()],
+        avg,
+    }
+}
+
+/// One fixture document covering all four table shapes.
+fn fixture(msg_scale: usize) -> Vec<ScenarioRecord> {
+    vec![
+        record(
+            "paper-C-n3",
+            ScenarioFamily::Paper,
+            PaperProperty::C,
+            100 * msg_scale,
+            Verdict::False,
+        ),
+        record(
+            "overhead-C-opts",
+            ScenarioFamily::Overhead,
+            PaperProperty::C,
+            60 * msg_scale,
+            Verdict::False,
+        ),
+        record(
+            "overhead-C-noopt",
+            ScenarioFamily::Overhead,
+            PaperProperty::C,
+            240 * msg_scale,
+            Verdict::False,
+        ),
+        record(
+            "stream-B-s50",
+            ScenarioFamily::Throughput,
+            PaperProperty::B,
+            30 * msg_scale,
+            Verdict::True,
+        ),
+        record(
+            "deploy-C-n3",
+            ScenarioFamily::Deploy,
+            PaperProperty::C,
+            100 * msg_scale,
+            Verdict::False,
+        ),
+    ]
+}
+
+#[test]
+fn report_markdown_matches_the_golden_file() {
+    let current = fixture(2);
+    let history = vec![
+        TrendPoint {
+            label: "abc1234".to_string(),
+            records: fixture(1),
+        },
+        TrendPoint {
+            label: "current".to_string(),
+            records: current.clone(),
+        },
+    ];
+    let rendered = render_report(&current, &history);
+
+    // The SVG charts referenced from the markdown must actually be rendered,
+    // one per family present in the two-point history.
+    let families = ["paper", "overhead", "throughput", "deploy"];
+    for family in families {
+        let file = format!("svg/trend-{family}.svg");
+        assert!(
+            rendered.svgs.iter().any(|(f, _)| f == &file),
+            "missing chart {file}"
+        );
+        assert!(rendered.markdown.contains(&file), "markdown must link {file}");
+    }
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/fixtures").expect("create fixture dir");
+        std::fs::write(GOLDEN_PATH, &rendered.markdown).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; bless with UPDATE_GOLDEN=1");
+    assert_eq!(
+        rendered.markdown, golden,
+        "report markdown drifted from {GOLDEN_PATH}; if intentional, bless with \
+         UPDATE_GOLDEN=1 and review the diff"
+    );
+}
