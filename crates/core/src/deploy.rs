@@ -85,14 +85,20 @@ pub struct DeployParams {
     /// Fault spec applied to every daemon's outgoing peer channels (`None` = a
     /// perfect network).
     pub fault: Option<FaultSpec>,
+    /// True when event and monitor frames travel in the compact binary format
+    /// (negotiated via the `hello` frame's `wire` field); false keeps the
+    /// original all-JSON wire, the A/B baseline.
+    pub binary_wire: bool,
 }
 
 impl DeployParams {
-    /// A fault-free deployment over the given transport.
+    /// A fault-free deployment over the given transport, with the binary wire
+    /// (the optimized default; use a struct literal for the JSON baseline).
     pub fn clean(transport: DeployTransport) -> Self {
         DeployParams {
             transport,
             fault: None,
+            binary_wire: true,
         }
     }
 }
@@ -190,7 +196,7 @@ impl Daemon {
     /// Sends one control frame, blocking until it is fully on the wire.
     fn send(&mut self, msg: &WireMsg) -> Result<(), String> {
         self.conn
-            .send(&msg.to_json())
+            .send_msg(msg)
             .map_err(|e| format!("send to {}: {e}", self.endpoint))?;
         let deadline = Instant::now() + REPLY_TIMEOUT;
         while self.conn.wants_write() {
@@ -223,15 +229,11 @@ impl Daemon {
                     msg => return Ok(msg),
                 }
             }
-            let frames = self
+            let msgs = self
                 .conn
-                .on_readable()
+                .on_readable_msgs()
                 .map_err(|e| format!("recv from {}: {e}", self.endpoint))?;
-            for frame in frames {
-                let msg = WireMsg::from_json(&frame)
-                    .map_err(|e| format!("recv from {}: {e}", self.endpoint))?;
-                self.inbox.push_back(msg);
-            }
+            self.inbox.extend(msgs);
             if self.inbox.is_empty() {
                 if self.conn.is_eof() {
                     return Err(format!("daemon {} closed the control channel", self.endpoint));
@@ -361,10 +363,15 @@ fn run_seed(
         let ep = Endpoint::parse(&endpoint).map_err(|e| format!("daemon endpoint: {e}"))?;
         let sock = connect_with_retry(&ep, Duration::from_secs(10))
             .map_err(|e| format!("connect control channel to {endpoint}: {e}"))?;
+        let mut conn = FramedConn::new(sock);
+        // The hello itself still travels as JSON (only the hot frame types have
+        // binary bodies), so switching the connection before the handshake is
+        // safe — the daemon learns the format from the hello it decodes first.
+        conn.set_binary_wire(params.binary_wire);
         fleet.daemons.push(Daemon {
             child,
             endpoint,
-            conn: FramedConn::new(sock),
+            conn,
             inbox: VecDeque::new(),
             telemetry: Vec::new(),
         });
@@ -383,6 +390,7 @@ fn run_seed(
             initial_state,
             fault: params.fault,
             peers: peers.clone(),
+            binary_wire: params.binary_wire,
         })?;
     }
     for (i, daemon) in fleet.daemons.iter_mut().enumerate() {

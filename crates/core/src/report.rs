@@ -42,13 +42,14 @@ pub struct RenderedReport {
 }
 
 /// Display order of the family sections (registry families, offline first).
-const FAMILY_ORDER: [ScenarioFamily; 7] = [
+const FAMILY_ORDER: [ScenarioFamily; 8] = [
     ScenarioFamily::Paper,
     ScenarioFamily::CommFrequency,
     ScenarioFamily::Extended,
     ScenarioFamily::Custom,
     ScenarioFamily::Overhead,
     ScenarioFamily::Throughput,
+    ScenarioFamily::Hotpath,
     ScenarioFamily::Deploy,
 ];
 
@@ -448,7 +449,11 @@ pub fn render_report(current: &[ScenarioRecord], history: &[TrendPoint]) -> Rend
         let members = family_members(current, family);
         let _ = writeln!(out, "\n## {} ({} scenarios)\n", family.name(), members.len());
         match family {
-            ScenarioFamily::Throughput => throughput_table(&mut out, &members),
+            // The hotpath ablation is measured by the same streaming engine, so
+            // it shares the throughput table shape (rates, stalls, shards).
+            ScenarioFamily::Throughput | ScenarioFamily::Hotpath => {
+                throughput_table(&mut out, &members)
+            }
             ScenarioFamily::Overhead => overhead_table(&mut out, &members),
             ScenarioFamily::Deploy => deploy_table(&mut out, &members),
             _ => offline_table(&mut out, &members),

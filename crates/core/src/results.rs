@@ -129,6 +129,7 @@ pub fn options_to_json(options: &MonitorOptions) -> Json {
         ("aggregate_tokens", Json::from(options.aggregate_tokens)),
         ("dedup_global_views", Json::from(options.dedup_global_views)),
         ("prune_disjunctive", Json::from(options.prune_disjunctive)),
+        ("arena_recycling", Json::from(options.arena_recycling)),
     ])
 }
 
@@ -138,6 +139,9 @@ pub fn options_from_json(v: &Json) -> Result<MonitorOptions, JsonError> {
         aggregate_tokens: v.get("aggregate_tokens")?.as_bool()?,
         dedup_global_views: v.get("dedup_global_views")?.as_bool()?,
         prune_disjunctive: v.get("prune_disjunctive")?.as_bool()?,
+        // Arena recycling postdates the first documents; records written before it
+        // ran with per-event allocation, so absence means `false`.
+        arena_recycling: v.get_opt("arena_recycling")?.map_or(Ok(false), Json::as_bool)?,
     })
 }
 
@@ -148,6 +152,8 @@ pub fn stream_params_to_json(params: &StreamParams) -> Json {
         ("n_shards", Json::from(params.n_shards)),
         ("mailbox_capacity", Json::from(params.mailbox_capacity)),
         ("batch_size", Json::from(params.batch_size)),
+        ("binary_wire", Json::from(params.binary_wire)),
+        ("use_rings", Json::from(params.use_rings)),
     ])
 }
 
@@ -158,6 +164,11 @@ pub fn stream_params_from_json(v: &Json) -> Result<StreamParams, JsonError> {
         n_shards: v.get("n_shards")?.as_usize()?,
         mailbox_capacity: v.get("mailbox_capacity")?.as_usize()?,
         batch_size: v.get("batch_size")?.as_usize()?,
+        // The hot-path wire/mailbox switches postdate the first throughput
+        // documents; records written before them ran JSON frames over
+        // `sync_channel` mailboxes, so absence means `false`.
+        binary_wire: v.get_opt("binary_wire")?.map_or(Ok(false), Json::as_bool)?,
+        use_rings: v.get_opt("use_rings")?.map_or(Ok(false), Json::as_bool)?,
     })
 }
 
@@ -170,6 +181,7 @@ pub fn deploy_params_to_json(params: &DeployParams) -> Json {
             "fault",
             params.fault.as_ref().map_or(Json::Null, FaultSpec::to_json),
         ),
+        ("binary_wire", Json::from(params.binary_wire)),
     ])
 }
 
@@ -184,6 +196,8 @@ pub fn deploy_params_from_json(v: &Json) -> Result<DeployParams, JsonError> {
             Json::Null => None,
             spec => Some(FaultSpec::from_json(spec)?),
         },
+        // Additive: deploy records written before the binary wire ran all-JSON.
+        binary_wire: v.get_opt("binary_wire")?.map_or(Ok(false), Json::as_bool)?,
     })
 }
 

@@ -57,6 +57,11 @@ pub enum ScenarioFamily {
     /// monitor, tokens over TCP/Unix sockets, optionally through the
     /// deterministic fault-injection shim (`--target deploy`).
     Deploy,
+    /// Hot-path A/B ablation: one streaming workload run with each hot-path
+    /// optimization (binary wire, view arenas, SPSC rings) individually on,
+    /// all on, and all off, so `--target hotpath` attributes the throughput
+    /// gain switch by switch (`--target hotpath`).
+    Hotpath,
 }
 
 impl ScenarioFamily {
@@ -70,6 +75,7 @@ impl ScenarioFamily {
             ScenarioFamily::Overhead => "overhead",
             ScenarioFamily::Custom => "custom",
             ScenarioFamily::Deploy => "deploy",
+            ScenarioFamily::Hotpath => "hotpath",
         }
     }
 
@@ -83,6 +89,7 @@ impl ScenarioFamily {
             ScenarioFamily::Overhead,
             ScenarioFamily::Custom,
             ScenarioFamily::Deploy,
+            ScenarioFamily::Hotpath,
         ]
         .into_iter()
         .find(|f| f.name() == name)
@@ -100,17 +107,36 @@ pub struct StreamParams {
     pub mailbox_capacity: usize,
     /// Maximum records a shard applies per wakeup.
     pub batch_size: usize,
+    /// Encode the wire stream with the compact binary codec instead of JSON
+    /// frames (hot-path optimization 1; the decoder handles either).
+    pub binary_wire: bool,
+    /// Route records through SPSC ring mailboxes instead of `sync_channel`s
+    /// (hot-path optimization 3).
+    pub use_rings: bool,
 }
 
 impl StreamParams {
     /// The registry's default engine sizing: deep-enough mailboxes to keep shards
-    /// busy, small batches to keep queue latency bounded.
+    /// busy, small batches to keep queue latency bounded, and the (equivalence-
+    /// pinned) hot-path wire/mailbox optimizations on.
     pub fn sized(n_sessions: usize, n_shards: usize) -> Self {
         StreamParams {
             n_sessions,
             n_shards,
             mailbox_capacity: 1024,
             batch_size: 32,
+            binary_wire: true,
+            use_rings: true,
+        }
+    }
+
+    /// The pre-optimization engine: JSON frames and `sync_channel` mailboxes.
+    /// The `hotpath` A/B family measures [`sized`](Self::sized) against this.
+    pub fn classic(n_sessions: usize, n_shards: usize) -> Self {
+        StreamParams {
+            binary_wire: false,
+            use_rings: false,
+            ..StreamParams::sized(n_sessions, n_shards)
         }
     }
 }
@@ -408,6 +434,62 @@ impl ScenarioRegistry {
             deploy: None,
         });
 
+        // The hotpath family: the shard-scaling workload (property C, 400
+        // sessions) run under a one-switch-at-a-time ablation of the hot-path
+        // optimizations.  Every variant of one shard count shares the same
+        // config and seeds, so within a group any events/sec difference is the
+        // named switch — the streaming sibling of the §4.3 overhead A/B pairs.
+        // Verdict equality across variants is separately pinned by
+        // `tests/stream_equivalence.rs`; this family measures the speed side.
+        let arena_off = MonitorOptions {
+            arena_recycling: false,
+            ..MonitorOptions::default()
+        };
+        for n_shards in [1usize, 4] {
+            let variants: [(&str, &str, StreamParams, MonitorOptions); 5] = [
+                ("off", "every hot-path switch off", StreamParams::classic(400, n_shards), arena_off),
+                (
+                    "binary",
+                    "binary wire frames only",
+                    StreamParams {
+                        binary_wire: true,
+                        ..StreamParams::classic(400, n_shards)
+                    },
+                    arena_off,
+                ),
+                (
+                    "arena",
+                    "view/token arena recycling only",
+                    StreamParams::classic(400, n_shards),
+                    MonitorOptions::default(),
+                ),
+                (
+                    "rings",
+                    "SPSC ring mailboxes only",
+                    StreamParams {
+                        use_rings: true,
+                        ..StreamParams::classic(400, n_shards)
+                    },
+                    arena_off,
+                ),
+                ("all", "every hot-path switch on", StreamParams::sized(400, n_shards), MonitorOptions::default()),
+            ];
+            for (suffix, label, stream, options) in variants {
+                registry.push(Scenario {
+                    name: format!("hotpath-C-s400-sh{n_shards}-{suffix}"),
+                    description: format!(
+                        "Hot-path A/B: 400 concurrent sessions of property C, \
+                         2 processes, {n_shards} shard(s), {label}"
+                    ),
+                    family: ScenarioFamily::Hotpath,
+                    config: stream_config(PaperProperty::C, 2, 8),
+                    options,
+                    stream: Some(stream),
+                    deploy: None,
+                });
+            }
+        }
+
         // The §4.3 overhead family: every property at the paper's 4-process point,
         // once with the full optimization suite (the defaults) and once with every
         // switch off (the `--no-opt` baseline).  `--target overhead` prints the pairs
@@ -581,6 +663,7 @@ impl ScenarioRegistry {
                     FaultSpec::parse("delay=1,dup=0.2,reorder=0.2,seed=7")
                         .expect("registry fault specs are valid"),
                 ),
+                binary_wire: true,
             }),
         });
 
@@ -680,15 +763,60 @@ mod tests {
             shard_counts.len() >= 3,
             "need ≥ 3 shard counts, got {shard_counts:?}"
         );
-        // Offline scenarios never carry stream params.
+        // Offline scenarios never carry stream params; the two streaming
+        // families always do.
         for s in &registry {
             assert_eq!(
                 s.stream.is_some(),
-                s.family == ScenarioFamily::Throughput,
+                matches!(
+                    s.family,
+                    ScenarioFamily::Throughput | ScenarioFamily::Hotpath
+                ),
                 "{}",
                 s.name
             );
         }
+    }
+
+    #[test]
+    fn hotpath_family_ablates_one_switch_at_a_time() {
+        let registry = ScenarioRegistry::standard();
+        for n_shards in [1usize, 4] {
+            // (suffix, binary_wire, use_rings, arena_recycling)
+            let expect = [
+                ("off", false, false, false),
+                ("binary", true, false, false),
+                ("arena", false, false, true),
+                ("rings", false, true, false),
+                ("all", true, true, true),
+            ];
+            let baseline = registry
+                .get(&format!("hotpath-C-s400-sh{n_shards}-off"))
+                .expect("baseline variant");
+            for (suffix, binary, rings, arena) in expect {
+                let name = format!("hotpath-C-s400-sh{n_shards}-{suffix}");
+                let s = registry.get(&name).unwrap_or_else(|| panic!("missing {name}"));
+                assert_eq!(s.family, ScenarioFamily::Hotpath);
+                // All variants of a shard count share the same workload …
+                assert_eq!(s.config, baseline.config, "{name}: must share traces");
+                let stream = s.stream.expect("hotpath scenarios stream");
+                assert_eq!(stream.n_sessions, 400, "{name}");
+                assert_eq!(stream.n_shards, n_shards, "{name}");
+                assert_eq!(
+                    (stream.mailbox_capacity, stream.batch_size),
+                    {
+                        let b = baseline.stream.unwrap();
+                        (b.mailbox_capacity, b.batch_size)
+                    },
+                    "{name}: engine sizing must match the baseline"
+                );
+                // … and differ only in the advertised switches.
+                assert_eq!(stream.binary_wire, binary, "{name}");
+                assert_eq!(stream.use_rings, rings, "{name}");
+                assert_eq!(s.options.arena_recycling, arena, "{name}");
+            }
+        }
+        assert_eq!(registry.family(ScenarioFamily::Hotpath).count(), 10);
     }
 
     #[test]
@@ -762,6 +890,8 @@ mod tests {
             ScenarioFamily::Throughput,
             ScenarioFamily::Overhead,
             ScenarioFamily::Custom,
+            ScenarioFamily::Deploy,
+            ScenarioFamily::Hotpath,
         ] {
             assert_eq!(ScenarioFamily::from_name(family.name()), Some(family));
         }

@@ -29,8 +29,8 @@ use dlrv_distsim::{initial_global_state, run_simulation, NullMonitor, SimConfig}
 use dlrv_ltl::{AtomRegistry, Verdict};
 use dlrv_monitor::{timestamp_order, MonitorOptions, RunMetrics};
 use dlrv_stream::{
-    encode_stream, interleave_sessions, ReaderSource, SessionSpec, SessionStream,
-    ShardedRuntime, StreamConfig,
+    encode_stream, encode_stream_binary, interleave_sessions, ReaderSource, SessionSpec,
+    SessionStream, ShardedRuntime, StreamConfig,
 };
 use dlrv_trace::generate_workload;
 use std::collections::BTreeSet;
@@ -107,8 +107,14 @@ fn run_once(
         });
     }
 
-    // Phase 2: the canonical interleaved wire stream.
-    let bytes = encode_stream(&interleave_sessions(&inputs));
+    // Phase 2: the canonical interleaved wire stream, in the scenario's wire
+    // format — the decoder autodetects, so this purely changes the bytes pumped.
+    let records = interleave_sessions(&inputs);
+    let bytes = if params.binary_wire {
+        encode_stream_binary(&records)
+    } else {
+        encode_stream(&records)
+    };
 
     // Phase 3: pump the bytes through the runtime (decode + route + monitor).
     let started = Instant::now();
@@ -116,6 +122,7 @@ fn run_once(
         n_shards: params.n_shards,
         mailbox_capacity: params.mailbox_capacity,
         batch_size: params.batch_size,
+        use_rings: params.use_rings,
     });
     let spec = Arc::new(SessionSpec {
         n_processes: config.n_processes,
@@ -198,29 +205,39 @@ mod tests {
 
     #[test]
     fn throughput_run_produces_streaming_metrics() {
-        let params = StreamParams {
-            n_sessions: 20,
-            n_shards: 3,
-            mailbox_capacity: 64,
-            batch_size: 8,
-        };
-        let result = run_throughput(
-            &small_config(PaperProperty::B),
-            &params,
-            MonitorOptions::default(),
-        );
-        let m = &result.avg;
-        assert!(m.total_events > 0);
-        assert!(m.wall_clock_secs > 0.0);
-        assert!(m.events_per_sec > 0.0);
-        assert_eq!(m.per_shard.len(), 3);
-        let shard_events: usize = m.per_shard.iter().map(|s| s.events_processed).sum();
-        assert_eq!(shard_events, m.total_events);
-        let opened: usize = m.per_shard.iter().map(|s| s.sessions_opened).sum();
-        assert_eq!(opened, params.n_sessions);
-        // The workload's goal tail satisfies reachability property B in every session.
-        assert!(result.detected_verdicts.contains(&Verdict::True));
-        assert!(verdicts_nonempty(m));
+        // Both the optimized (binary + rings) and the classic (JSON + channels)
+        // engine must produce structurally identical streaming metrics.
+        for params in [
+            StreamParams {
+                mailbox_capacity: 64,
+                batch_size: 8,
+                ..StreamParams::sized(20, 3)
+            },
+            StreamParams {
+                mailbox_capacity: 64,
+                batch_size: 8,
+                ..StreamParams::classic(20, 3)
+            },
+        ] {
+            let result = run_throughput(
+                &small_config(PaperProperty::B),
+                &params,
+                MonitorOptions::default(),
+            );
+            let m = &result.avg;
+            assert!(m.total_events > 0);
+            assert!(m.wall_clock_secs > 0.0);
+            assert!(m.events_per_sec > 0.0);
+            assert_eq!(m.per_shard.len(), 3);
+            let shard_events: usize = m.per_shard.iter().map(|s| s.events_processed).sum();
+            assert_eq!(shard_events, m.total_events);
+            let opened: usize = m.per_shard.iter().map(|s| s.sessions_opened).sum();
+            assert_eq!(opened, params.n_sessions);
+            // The workload's goal tail satisfies reachability property B in
+            // every session.
+            assert!(result.detected_verdicts.contains(&Verdict::True));
+            assert!(verdicts_nonempty(m));
+        }
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub struct MonitorOptions {
     /// candidate transitions into the same target; never explore candidates whose
     /// target verdict a sibling view already detected.
     pub prune_disjunctive: bool,
+    /// Hot-path allocation recycling: retired global views, token cuts, conjunct
+    /// buffers and view-set staging vectors are pooled and reused instead of
+    /// reallocated per event, and the §4.3.2 dedup/merge scans run as single-pass
+    /// batched clock comparisons over the live view set instead of building
+    /// per-call hash indexes.  Not a paper optimization — an engineering switch
+    /// following the same A/B discipline: verdicts, tokens and messages are
+    /// byte-identical with the flag off (pinned by the equivalence suites).
+    pub arena_recycling: bool,
 }
 
 impl MonitorOptions {
@@ -74,16 +82,18 @@ impl MonitorOptions {
         aggregate_tokens: false,
         dedup_global_views: false,
         prune_disjunctive: false,
+        arena_recycling: false,
     };
 
-    /// All 8 flag combinations, for exhaustive equivalence testing.
-    pub fn all_combinations() -> [MonitorOptions; 8] {
-        let mut out = [MonitorOptions::ALL_OFF; 8];
+    /// All 16 flag combinations, for exhaustive equivalence testing.
+    pub fn all_combinations() -> [MonitorOptions; 16] {
+        let mut out = [MonitorOptions::ALL_OFF; 16];
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = MonitorOptions {
                 aggregate_tokens: i & 1 != 0,
                 dedup_global_views: i & 2 != 0,
                 prune_disjunctive: i & 4 != 0,
+                arena_recycling: i & 8 != 0,
             };
         }
         out
@@ -96,9 +106,39 @@ impl Default for MonitorOptions {
             aggregate_tokens: true,
             dedup_global_views: true,
             prune_disjunctive: true,
+            arena_recycling: true,
         }
     }
 }
+
+/// Recycled allocation pools of the event hot path (the
+/// [`MonitorOptions::arena_recycling`] switch).  Every buffer is cleared before
+/// reuse, so recycling is observationally invisible — it only removes the
+/// per-event allocate/free churn of the unoptimized path.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Spare view-set vectors (merge staging, per-event rebuild, fork outputs).
+    view_bufs: Vec<Vec<GlobalView>>,
+    /// Retired global views whose cut and pending-queue allocations
+    /// [`spawn_view`](DecentralizedMonitor::spawn_view) reuses.
+    free_views: Vec<GlobalView>,
+    /// Spare vector clocks for token cuts.
+    clocks: Vec<VectorClock>,
+    /// Spare per-process conjunct buffers.
+    conjuncts: Vec<Vec<ConjunctEval>>,
+    /// Spare candidate-transition vectors (token payloads).
+    transitions: Vec<Vec<TokenTransition>>,
+    /// Output buffer of the batched clock comparisons in the merge scan.
+    ord: Vec<Option<std::cmp::Ordering>>,
+    /// Index buffer of `process_token_with_event`.
+    targeted: Vec<usize>,
+    /// Result buffer of `process_token_with_event`.
+    local_results: Vec<(usize, bool)>,
+}
+
+/// Upper bound on each scratch pool, so pathological fan-outs cannot turn the
+/// recycler into a leak.
+const POOL_CAP: usize = 64;
 
 /// A decentralized monitor process `Mi` (Algorithm 1).
 #[derive(Debug, Clone)]
@@ -136,6 +176,8 @@ pub struct DecentralizedMonitor {
     outbound: BTreeMap<ProcessId, Vec<Token>>,
     /// Hash-consing pool for the immutable clocks tokens carry.
     intern: ClockIntern,
+    /// Recycled allocation pools (`opts.arena_recycling`).
+    scratch: Scratch,
     /// Collected metrics.
     metrics: MonitorMetrics,
 }
@@ -178,6 +220,7 @@ impl DecentralizedMonitor {
             in_flight: Default::default(),
             outbound: BTreeMap::new(),
             intern: ClockIntern::new(),
+            scratch: Scratch::default(),
             metrics,
         }
     }
@@ -216,6 +259,107 @@ impl DecentralizedMonitor {
         m.max_live_views = m.max_live_views.max(self.views.len());
         m.possible_verdicts = self.possible_verdicts();
         m
+    }
+
+    // ------------------------------------------------------------------
+    // Scratch pools (`opts.arena_recycling`)
+    // ------------------------------------------------------------------
+
+    /// An empty view-set vector — recycled when the arena is on, fresh otherwise.
+    fn take_view_buf(&mut self) -> Vec<GlobalView> {
+        if self.opts.arena_recycling {
+            self.scratch.view_bufs.pop().unwrap_or_default()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Returns a view-set vector to the pool (dropped when the arena is off).
+    fn put_view_buf(&mut self, mut buf: Vec<GlobalView>) {
+        if self.opts.arena_recycling && self.scratch.view_bufs.len() < POOL_CAP {
+            buf.clear();
+            self.scratch.view_bufs.push(buf);
+        }
+    }
+
+    /// An empty transition vector for token payloads.
+    fn take_transition_buf(&mut self) -> Vec<TokenTransition> {
+        if self.opts.arena_recycling {
+            self.scratch.transitions.pop().unwrap_or_default()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Returns a (drained) transition vector to the pool.
+    fn put_transition_buf(&mut self, mut buf: Vec<TokenTransition>) {
+        if self.opts.arena_recycling && self.scratch.transitions.len() < POOL_CAP {
+            buf.clear();
+            self.scratch.transitions.push(buf);
+        }
+    }
+
+    /// A clock holding a copy of `src`: a recycled buffer overwritten in place when
+    /// the arena is on, a fresh clone otherwise.
+    fn clock_copy(&mut self, src: &VectorClock) -> VectorClock {
+        if self.opts.arena_recycling {
+            if let Some(mut clock) = self.scratch.clocks.pop() {
+                clock.copy_from(src);
+                return clock;
+            }
+        }
+        src.clone()
+    }
+
+    /// Returns a retired clock to the pool.
+    fn reclaim_clock(&mut self, clock: VectorClock) {
+        if self.opts.arena_recycling && self.scratch.clocks.len() < POOL_CAP {
+            self.scratch.clocks.push(clock);
+        }
+    }
+
+    /// An empty conjunct buffer.
+    fn take_conjunct_buf(&mut self) -> Vec<ConjunctEval> {
+        if self.opts.arena_recycling {
+            self.scratch.conjuncts.pop().unwrap_or_default()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Reclaims a decided transition's allocations: both cuts and the conjunct
+    /// buffer go back to their pools.
+    fn reclaim_transition(&mut self, tran: TokenTransition) {
+        if !self.opts.arena_recycling {
+            return;
+        }
+        self.reclaim_clock(tran.gcut);
+        self.reclaim_clock(tran.depend);
+        if self.scratch.conjuncts.len() < POOL_CAP {
+            let mut conjuncts = tran.conjuncts;
+            conjuncts.clear();
+            self.scratch.conjuncts.push(conjuncts);
+        }
+    }
+
+    /// A retired global view for [`spawn_view`](Self::spawn_view) to overwrite, or
+    /// `None` when the pool is empty or the arena is off.
+    fn take_free_view(&mut self) -> Option<GlobalView> {
+        if self.opts.arena_recycling {
+            self.scratch.free_views.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Retires a dropped global view so its cut and pending-queue allocations can
+    /// be reused.  The pending queue is cleared eagerly: buffered events must not
+    /// stay alive while the view sits in the pool.
+    fn reclaim_view(&mut self, mut gv: GlobalView) {
+        if self.opts.arena_recycling && self.scratch.free_views.len() < POOL_CAP {
+            gv.pending.clear();
+            self.scratch.free_views.push(gv);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -302,12 +446,27 @@ impl DecentralizedMonitor {
     }
 
     /// MERGESIMILARGLOBALVIEWS: collapse views with identical automaton state, cut and
-    /// global state.  Hash-keyed: one map lookup per view instead of a pairwise scan.
+    /// global state.
+    ///
+    /// Two equivalent implementations, selected by `opts.arena_recycling`:
+    ///
+    /// * **Hash-keyed** (arena off) — one map lookup per view; building the index
+    ///   clones every view's cut into its [`ViewKey`] and allocates the map and the
+    ///   kept vector per call.
+    /// * **Batched scan** (arena on) — each incoming view's cut is compared against
+    ///   every kept cut in a single [`compare_many`] pass over raw entry slices,
+    ///   using only recycled buffers.  Both keep the first occurrence of each
+    ///   exploration point in encounter order, so the resulting view sets are
+    ///   identical.
     fn merge_similar_views(&mut self) {
         if self.views.len() <= 1 {
             return;
         }
         let _span = dlrv_obs::span("monitor.merge_views");
+        if self.opts.arena_recycling {
+            self.merge_similar_views_scan();
+            return;
+        }
         let mut kept: Vec<GlobalView> = Vec::with_capacity(self.views.len());
         let mut index: HashMap<ViewKey, usize> = HashMap::with_capacity(self.views.len());
         for gv in std::mem::take(&mut self.views) {
@@ -330,11 +489,56 @@ impl DecentralizedMonitor {
         self.views = kept;
     }
 
+    /// The allocation-free merge: kept views accumulate in (recycled) `self.views`,
+    /// and each incoming view is matched by one batched clock comparison plus the
+    /// state/valuation checks.  View counts per monitor are small (bounded by the
+    /// lattice width), so the scan term stays cheap while saving the per-view key
+    /// clone and the per-call map.
+    fn merge_similar_views_scan(&mut self) {
+        let mut staged = self.take_view_buf();
+        std::mem::swap(&mut staged, &mut self.views);
+        for gv in staged.drain(..) {
+            dlrv_vclock::compare_many(
+                &gv.gcut,
+                self.views.iter().map(|kept| &kept.gcut),
+                &mut self.scratch.ord,
+            );
+            let pos = self.views.iter().enumerate().position(|(i, kept)| {
+                self.scratch.ord[i] == Some(std::cmp::Ordering::Equal)
+                    && kept.q == gv.q
+                    && kept.gstate == gv.gstate
+            });
+            match pos {
+                Some(i) => {
+                    // Prefer the unblocked copy; merge pending queues conservatively.
+                    let existing = &mut self.views[i];
+                    if existing.state == GvState::Waiting && gv.state == GvState::Unblocked {
+                        let pending = std::mem::take(&mut existing.pending);
+                        let mut retired = std::mem::replace(existing, gv);
+                        // The kept slot gets the saved queue; the incoming view's
+                        // (identical) queue rides out on the retired view, whose
+                        // reclamation clears it.
+                        retired.pending = std::mem::replace(&mut self.views[i].pending, pending);
+                        self.reclaim_view(retired);
+                    } else {
+                        self.reclaim_view(gv);
+                    }
+                }
+                None => self.views.push(gv),
+            }
+        }
+        self.put_view_buf(staged);
+    }
+
     /// CHECKOUTGOINGTRANSITIONS: build the candidate token transitions of `gv` for the
-    /// event `e`.
-    fn candidate_transitions(&self, gv: &GlobalView, e: &Event) -> Vec<TokenTransition> {
-        let mut out = Vec::new();
-        for t in self.automaton.outgoing_transitions(gv.q) {
+    /// event `e`.  With the arena on, the cuts and conjunct buffers come from the
+    /// scratch pools (they return when the token's transitions are decided).
+    fn candidate_transitions(&mut self, gv: &GlobalView, e: &Event) -> Vec<TokenTransition> {
+        let mut out = self.take_transition_buf();
+        // A second handle to the shared automaton, so iterating its transitions does
+        // not hold a borrow of `self` across the pool calls below.
+        let automaton = Arc::clone(&self.automaton);
+        for t in automaton.outgoing_transitions(gv.q) {
             // The local conjunct must be satisfied by the process's own (fresh) state.
             if !self.conjunct_of(t, self.pid).eval(gv.gstate) {
                 continue;
@@ -347,7 +551,8 @@ impl DecentralizedMonitor {
             // Determine which processes "forbid" the transition: their believed state
             // does not satisfy their conjunct.  If nobody forbids, the transition is
             // already enabled under the believed state and needs no token.
-            let mut conjuncts = Vec::with_capacity(self.n);
+            let mut conjuncts = self.take_conjunct_buf();
+            conjuncts.reserve(self.n);
             let mut has_forbidding = false;
             for p in 0..self.n {
                 let c = if !self.participates(t, p) {
@@ -363,14 +568,18 @@ impl DecentralizedMonitor {
                 conjuncts.push(c);
             }
             if !has_forbidding {
+                if self.opts.arena_recycling && self.scratch.conjuncts.len() < POOL_CAP {
+                    conjuncts.clear();
+                    self.scratch.conjuncts.push(conjuncts);
+                }
                 continue;
             }
             let gcut = {
-                let mut g = gv.gcut.clone();
+                let mut g = self.clock_copy(&gv.gcut);
                 g.merge(&e.vc);
                 g
             };
-            let depend = gcut.clone();
+            let depend = self.clock_copy(&gcut);
             let first_unset = conjuncts
                 .iter()
                 .position(|c| *c == ConjunctEval::Unset)
@@ -499,7 +708,12 @@ impl DecentralizedMonitor {
     fn process_token_with_event(&mut self, token: &mut Token, event: &Event) -> bool {
         let sn = event.sn;
         // ADDEVENTTOTOKEN for every transition targeting (self, sn).
-        let mut targeted: Vec<usize> = Vec::new();
+        let mut targeted = if self.opts.arena_recycling {
+            std::mem::take(&mut self.scratch.targeted)
+        } else {
+            Vec::new()
+        };
+        targeted.clear();
         for (idx, tran) in token.transitions.iter_mut().enumerate() {
             if tran.eval == EvalState::Unset
                 && tran.next_target_process == self.pid
@@ -514,12 +728,20 @@ impl DecentralizedMonitor {
             }
         }
         if targeted.is_empty() {
+            if self.opts.arena_recycling {
+                self.scratch.targeted = targeted;
+            }
             return false;
         }
 
         // EVALUATETOKEN: evaluate this process's conjunct of every targeted transition.
         let mut any_true = false;
-        let mut local_results: Vec<(usize, bool)> = Vec::new();
+        let mut local_results = if self.opts.arena_recycling {
+            std::mem::take(&mut self.scratch.local_results)
+        } else {
+            Vec::new()
+        };
+        local_results.clear();
         for &idx in &targeted {
             let tran = &token.transitions[idx];
             if tran.conjuncts[self.pid] == ConjunctEval::NotInvolved {
@@ -583,6 +805,10 @@ impl DecentralizedMonitor {
             token.next_target_process = self.pid;
             token.next_target_event = next;
         }
+        if self.opts.arena_recycling {
+            self.scratch.targeted = targeted;
+            self.scratch.local_results = local_results;
+        }
         continue_here
     }
 
@@ -609,13 +835,16 @@ impl DecentralizedMonitor {
         let owner_idx = self.views.iter().position(|gv| gv.id == token.parent_gv);
 
         // §4.3.2: the exploration points already represented, so an enabled
-        // transition never forks a duplicate view (one hash probe per spawn).  Built
-        // lazily — most returned tokens (all-disabled, still-pending) spawn nothing
-        // and must not pay for snapshotting the live view set.
+        // transition never forks a duplicate view.  Two equivalent forms: without the
+        // arena, a lazily built hash snapshot (one probe per spawn, but every live
+        // view's cut is cloned into its key); with the arena, a direct scan of the
+        // live view set — freshly spawned views are pushed into `self.views`
+        // immediately, so the scan sees exactly the snapshot-plus-inserts membership
+        // without allocating anything.
         let mut existing: Option<HashSet<ViewKey>> = None;
 
         let mut enabled_targets: BTreeSet<dlrv_automaton::StateId> = BTreeSet::new();
-        let mut remaining: Vec<TokenTransition> = Vec::new();
+        let mut remaining: Vec<TokenTransition> = self.take_transition_buf();
         for tran in token.transitions.drain(..) {
             match tran.eval {
                 EvalState::Enabled => {
@@ -624,29 +853,57 @@ impl DecentralizedMonitor {
                     // into the same target are redundant; likewise explorations whose
                     // target verdict a sibling view already detected.
                     if self.opts.prune_disjunctive && enabled_targets.contains(&target) {
+                        self.reclaim_transition(tran);
                         continue;
                     }
                     if self.target_verdict_subsumed(target) {
                         enabled_targets.insert(target);
+                        self.reclaim_transition(tran);
                         continue;
                     }
                     enabled_targets.insert(target);
                     if self.opts.dedup_global_views {
-                        let keys = existing.get_or_insert_with(|| {
-                            self.views.iter().map(GlobalView::slice_key).collect()
-                        });
-                        let key = ViewKey {
-                            q: target,
-                            gcut: tran.gcut.clone(),
-                            gstate: tran.gstate,
+                        let duplicate = if self.opts.arena_recycling {
+                            self.views.iter().any(|gv| {
+                                gv.q == target
+                                    && gv.gstate == tran.gstate
+                                    && gv.gcut == tran.gcut
+                            })
+                        } else {
+                            let keys = existing.get_or_insert_with(|| {
+                                self.views.iter().map(GlobalView::slice_key).collect()
+                            });
+                            let key = ViewKey {
+                                q: target,
+                                gcut: tran.gcut.clone(),
+                                gstate: tran.gstate,
+                            };
+                            !keys.insert(key)
                         };
-                        if !keys.insert(key) {
+                        if duplicate {
+                            self.reclaim_transition(tran);
                             continue;
                         }
                     }
-                    self.spawn_view(target, tran.gcut.clone(), tran.gstate);
+                    // The cut moves into the spawned view; the rest of the
+                    // transition's allocations are reclaimed.
+                    let TokenTransition {
+                        gcut,
+                        depend,
+                        gstate,
+                        mut conjuncts,
+                        ..
+                    } = tran;
+                    self.spawn_view(target, gcut, gstate);
+                    self.reclaim_clock(depend);
+                    if self.opts.arena_recycling && self.scratch.conjuncts.len() < POOL_CAP {
+                        conjuncts.clear();
+                        self.scratch.conjuncts.push(conjuncts);
+                    }
                 }
-                EvalState::Disabled => {}
+                EvalState::Disabled => {
+                    self.reclaim_transition(tran);
+                }
                 EvalState::Unset => {
                     let mut tran = tran;
                     if let Some(k) = tran.inconsistent_process() {
@@ -656,9 +913,11 @@ impl DecentralizedMonitor {
                     // §4.3.3 also applies to still-pending siblings.
                     let target = self.automaton.transition(tran.transition_id).to;
                     if self.opts.prune_disjunctive && enabled_targets.contains(&target) {
+                        self.reclaim_transition(tran);
                         continue;
                     }
                     if self.target_verdict_subsumed(target) {
+                        self.reclaim_transition(tran);
                         continue;
                     }
                     remaining.push(tran);
@@ -667,6 +926,8 @@ impl DecentralizedMonitor {
         }
 
         if remaining.is_empty() {
+            self.put_transition_buf(remaining);
+            self.put_transition_buf(std::mem::take(&mut token.transitions));
             // The exploration is over: release the in-flight slot, unblock the owning
             // view and drain its queue.
             if let Some(count) = self.in_flight.get_mut(&token.origin_state) {
@@ -678,24 +939,39 @@ impl DecentralizedMonitor {
             }
             self.merge_similar_views();
         } else {
-            token.transitions = remaining;
+            let drained = std::mem::replace(&mut token.transitions, remaining);
+            self.put_transition_buf(drained);
             self.route_token(token, ctx);
         }
     }
 
     /// Forks a new global view at `q` with the constructed cut and state (the caller
-    /// has already applied the §4.3.2 duplicate check).
+    /// has already applied the §4.3.2 duplicate check).  With the arena on, a retired
+    /// view is overwritten in place instead of allocating a fresh one.
     fn spawn_view(&mut self, q: dlrv_automaton::StateId, gcut: VectorClock, gstate: Assignment) {
-        let gv = GlobalView {
-            id: self.next_gv_id,
-            gcut,
-            gstate,
-            q,
-            pending: Default::default(),
-            keep_after_fork: false,
-            state: GvState::Unblocked,
-        };
+        let id = self.next_gv_id;
         self.next_gv_id += 1;
+        let gv = match self.take_free_view() {
+            Some(mut view) => {
+                self.reclaim_clock(std::mem::replace(&mut view.gcut, gcut));
+                view.id = id;
+                view.gstate = gstate;
+                view.q = q;
+                view.pending.clear();
+                view.keep_after_fork = false;
+                view.state = GvState::Unblocked;
+                view
+            }
+            None => GlobalView {
+                id,
+                gcut,
+                gstate,
+                q,
+                pending: Default::default(),
+                keep_after_fork: false,
+                state: GvState::Unblocked,
+            },
+        };
         self.metrics.global_views_created += 1;
         self.record_state_verdict(q);
         self.views.push(gv);
@@ -703,13 +979,18 @@ impl DecentralizedMonitor {
     }
 
     /// PROCESSEVENT (Algorithm 2) for one view; may fork a copy and/or emit a token.
+    ///
+    /// The views this call produces (the continuation first, then any forks) are
+    /// pushed into `produced`, which must arrive empty — an out-parameter so callers
+    /// can recycle one buffer across an event's whole view set.
     fn process_event_on_view(
         &mut self,
         mut gv: GlobalView,
         e: &Event,
         ctx: &mut MonitorContext<'_, MonitorMsg>,
-    ) -> Vec<GlobalView> {
-        let mut produced = Vec::new();
+        produced: &mut Vec<GlobalView>,
+    ) {
+        debug_assert!(produced.is_empty());
 
         // Fold the local event into the view.
         gv.gcut.set(self.pid, e.vc.get(self.pid));
@@ -746,8 +1027,13 @@ impl DecentralizedMonitor {
             && self.in_flight.get(&gv.q).copied().unwrap_or(0) > 0;
 
         if candidates.is_empty() || already_exploring {
+            let mut candidates = candidates;
+            for tran in candidates.drain(..) {
+                self.reclaim_transition(tran);
+            }
+            self.put_transition_buf(candidates);
             produced.push(gv);
-            return produced;
+            return;
         }
 
         // Fork: keep a copy following the local progress path while the original waits
@@ -757,12 +1043,26 @@ impl DecentralizedMonitor {
                 && (self.views.iter().any(|other| other.same_slice(&gv))
                     || produced.iter().any(|other: &GlobalView| other.same_slice(&gv)));
             if !duplicate_exists {
-                let mut copy = gv.clone();
+                // The fork starts with an empty queue, so a retired view's buffers
+                // can host it without ever cloning the pending events.
+                let mut copy = match self.take_free_view() {
+                    Some(mut view) => {
+                        view.gcut.copy_from(&gv.gcut);
+                        view.gstate = gv.gstate;
+                        view.q = gv.q;
+                        view.pending.clear();
+                        view
+                    }
+                    None => {
+                        let mut fresh = gv.clone();
+                        fresh.pending.clear();
+                        fresh
+                    }
+                };
                 copy.id = self.next_gv_id;
                 self.next_gv_id += 1;
                 copy.keep_after_fork = false;
                 copy.state = GvState::Unblocked;
-                copy.pending.clear();
                 self.metrics.global_views_created += 1;
                 produced.push(copy);
             }
@@ -788,42 +1088,47 @@ impl DecentralizedMonitor {
             produced.push(gv);
             self.route_token(token, ctx);
         } else {
-            for tran in candidates {
+            let mut candidates = candidates;
+            for tran in candidates.drain(..) {
+                let mut transitions = self.take_transition_buf();
+                transitions.push(tran);
                 let token = Token {
                     parent: self.pid,
                     origin_state,
                     parent_gv,
                     parent_event_vc: shared_vc.clone(),
-                    transitions: vec![tran],
+                    transitions,
                     next_target_process: self.pid,
                     next_target_event: 0,
                 };
                 *self.in_flight.entry(origin_state).or_insert(0) += 1;
                 self.route_token(token, ctx);
             }
+            self.put_transition_buf(candidates);
             produced.push(gv);
         }
-        produced
     }
 
     /// Drains the pending queue of view `idx` as long as it stays unblocked.
     fn drain_pending(&mut self, idx: usize, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        let mut produced = self.take_view_buf();
         loop {
             if idx >= self.views.len() || !self.views[idx].is_unblocked() {
-                return;
+                break;
             }
             let Some(event) = self.views[idx].pending.pop_front() else {
-                return;
+                break;
             };
             let gv = self.views.remove(idx);
-            let produced = self.process_event_on_view(gv, &event, ctx);
+            self.process_event_on_view(gv, &event, ctx, &mut produced);
             // Reinsert produced views at the same position to keep `idx` meaningful:
             // the first produced view is the continuation of the drained one.
-            for (offset, v) in produced.into_iter().enumerate() {
+            for (offset, v) in produced.drain(..).enumerate() {
                 self.views.insert(idx + offset, v);
             }
             self.note_view_peak();
         }
+        self.put_view_buf(produced);
     }
 }
 
@@ -853,11 +1158,17 @@ impl MonitorBehavior for DecentralizedMonitor {
             self.advance_local_token(token, ctx);
         }
 
-        // Deliver the event to every view (waiting views just buffer it).
+        // Deliver the event to every view (waiting views just buffer it).  The view
+        // set is rebuilt through recycled staging buffers; `self.views` holds only
+        // synchronously spawned views until the rebuilt set is appended, exactly as
+        // in the allocating version.
         let mut delayed = 0usize;
-        let views = std::mem::take(&mut self.views);
-        let mut rebuilt: Vec<GlobalView> = Vec::with_capacity(views.len());
-        for mut gv in views {
+        let mut staged = self.take_view_buf();
+        std::mem::swap(&mut staged, &mut self.views);
+        let mut rebuilt = self.take_view_buf();
+        rebuilt.reserve(staged.len());
+        let mut produced = self.take_view_buf();
+        for mut gv in staged.drain(..) {
             gv.pending.push_back(Arc::clone(&event));
             if gv.is_unblocked() {
                 // Process the whole queue while the view stays unblocked.
@@ -866,10 +1177,11 @@ impl MonitorBehavior for DecentralizedMonitor {
                         break;
                     }
                     let Some(e) = gv.pending.pop_front() else { break };
-                    let mut produced = self.process_event_on_view(gv, &e, ctx);
+                    self.process_event_on_view(gv, &e, ctx, &mut produced);
                     // The first produced view is the continuation; the rest are forks.
-                    gv = produced.remove(0);
-                    rebuilt.extend(produced);
+                    let mut views = produced.drain(..);
+                    gv = views.next().expect("the continuation view is always produced");
+                    rebuilt.extend(views);
                 }
                 rebuilt.push(gv);
             } else {
@@ -877,7 +1189,10 @@ impl MonitorBehavior for DecentralizedMonitor {
                 rebuilt.push(gv);
             }
         }
-        self.views.extend(rebuilt);
+        self.put_view_buf(staged);
+        self.put_view_buf(produced);
+        self.views.append(&mut rebuilt);
+        self.put_view_buf(rebuilt);
         self.metrics.queued_events_sum += delayed;
         self.metrics.queued_events_samples += 1;
         self.metrics.max_queued_events = self.metrics.max_queued_events.max(delayed);
@@ -993,12 +1308,14 @@ mod tests {
     fn monitor_options_default_enables_all_optimizations() {
         let opts = MonitorOptions::default();
         assert!(opts.aggregate_tokens && opts.dedup_global_views && opts.prune_disjunctive);
+        assert!(opts.arena_recycling);
         assert_eq!(
             MonitorOptions::ALL_OFF,
             MonitorOptions {
                 aggregate_tokens: false,
                 dedup_global_views: false,
                 prune_disjunctive: false,
+                arena_recycling: false,
             }
         );
     }
@@ -1006,11 +1323,18 @@ mod tests {
     #[test]
     fn all_combinations_enumerates_every_flag_setting() {
         let combos = MonitorOptions::all_combinations();
-        let unique: std::collections::BTreeSet<(bool, bool, bool)> = combos
+        let unique: std::collections::BTreeSet<(bool, bool, bool, bool)> = combos
             .iter()
-            .map(|o| (o.aggregate_tokens, o.dedup_global_views, o.prune_disjunctive))
+            .map(|o| {
+                (
+                    o.aggregate_tokens,
+                    o.dedup_global_views,
+                    o.prune_disjunctive,
+                    o.arena_recycling,
+                )
+            })
             .collect();
-        assert_eq!(unique.len(), 8);
+        assert_eq!(unique.len(), 16);
         assert!(combos.contains(&MonitorOptions::ALL_OFF));
         assert!(combos.contains(&MonitorOptions::default()));
     }

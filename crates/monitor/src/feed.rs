@@ -81,6 +81,9 @@ pub fn combined_verdict(detected: &BTreeSet<Verdict>) -> Verdict {
 pub struct FeedSession<B: MonitorBehavior> {
     monitors: Vec<B>,
     inflight: VecDeque<(ProcessId, ProcessId, B::Message)>,
+    /// Recycled per-activation outbox: one buffer for the whole session instead of a
+    /// fresh `Vec` per delivered event/message.
+    outbox: Vec<(ProcessId, B::Message)>,
     messages: usize,
     /// Largest event timestamp seen; termination is signalled at this time.
     last_time: f64,
@@ -93,6 +96,7 @@ impl<B: MonitorBehavior + SessionVerdicts> FeedSession<B> {
         FeedSession {
             monitors: (0..n_processes).map(make_monitor).collect(),
             inflight: VecDeque::new(),
+            outbox: Vec::new(),
             messages: 0,
             last_time: 0.0,
             finished: false,
@@ -141,13 +145,13 @@ impl<B: MonitorBehavior + SessionVerdicts> FeedSession<B> {
         assert!(p < self.monitors.len(), "event process {p} out of range");
         self.last_time = self.last_time.max(event.time);
         let now = event.time;
-        let mut outbox = Vec::new();
+        debug_assert!(self.outbox.is_empty());
         {
-            let mut ctx = MonitorContext::new(p, self.monitors.len(), now, &mut outbox);
+            let mut ctx = MonitorContext::new(p, self.monitors.len(), now, &mut self.outbox);
             self.monitors[p].on_local_event(event, &mut ctx);
         }
-        self.messages += outbox.len();
-        for (dest, m) in outbox {
+        self.messages += self.outbox.len();
+        for (dest, m) in self.outbox.drain(..) {
             self.inflight.push_back((p, dest, m));
         }
         self.drain(now);
@@ -171,13 +175,13 @@ impl<B: MonitorBehavior + SessionVerdicts> FeedSession<B> {
         let n = self.monitors.len();
         let end_time = self.last_time;
         for p in 0..n {
-            let mut outbox = Vec::new();
+            debug_assert!(self.outbox.is_empty());
             {
-                let mut ctx = MonitorContext::new(p, n, end_time, &mut outbox);
+                let mut ctx = MonitorContext::new(p, n, end_time, &mut self.outbox);
                 self.monitors[p].on_local_termination(&mut ctx);
             }
-            self.messages += outbox.len();
-            for (dest, m) in outbox {
+            self.messages += self.outbox.len();
+            for (dest, m) in self.outbox.drain(..) {
                 self.inflight.push_back((p, dest, m));
             }
             self.drain(end_time);
@@ -212,13 +216,13 @@ impl<B: MonitorBehavior + SessionVerdicts> FeedSession<B> {
     fn drain(&mut self, now: f64) {
         let n = self.monitors.len();
         while let Some((from, to, msg)) = self.inflight.pop_front() {
-            let mut outbox = Vec::new();
+            debug_assert!(self.outbox.is_empty());
             {
-                let mut ctx = MonitorContext::new(to, n, now, &mut outbox);
+                let mut ctx = MonitorContext::new(to, n, now, &mut self.outbox);
                 self.monitors[to].on_monitor_message(from, msg, &mut ctx);
             }
-            self.messages += outbox.len();
-            for (dest, m) in outbox {
+            self.messages += self.outbox.len();
+            for (dest, m) in self.outbox.drain(..) {
                 self.inflight.push_back((to, dest, m));
             }
         }

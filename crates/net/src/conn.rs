@@ -14,8 +14,9 @@
 //! the kernel — is the `sent` side of the deploy quiescence barrier.
 
 use crate::endpoint::Socket;
+use crate::wire::{self, WireMsg};
 use dlrv_json::Json;
-use dlrv_stream::MAX_FRAME_LEN;
+use dlrv_stream::{BINARY_FRAME_FLAG, MAX_FRAME_LEN};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io;
@@ -57,6 +58,12 @@ impl From<dlrv_json::JsonError> for NetError {
     }
 }
 
+impl From<dlrv_stream::StreamError> for NetError {
+    fn from(e: dlrv_stream::StreamError) -> Self {
+        NetError::msg(format!("wire codec: {e}"))
+    }
+}
+
 /// Encodes one JSON value as a frame: 4-byte big-endian length + compact payload.
 pub fn encode_json_frame(value: &Json) -> Vec<u8> {
     let payload = value.to_string_compact().into_bytes();
@@ -95,13 +102,17 @@ impl JsonFrameDecoder {
         self.buf.len() - self.pos
     }
 
-    /// Decodes the next complete frame, or `None` when more bytes are needed.
-    pub fn next_frame(&mut self) -> Result<Option<Json>, NetError> {
+    /// Decodes the next complete frame as `(binary-flag, payload)`, or `None`
+    /// when more bytes are needed.  The flag is the header's bit 31 (see
+    /// [`BINARY_FRAME_FLAG`]); interpreting the payload is the caller's job.
+    pub fn next_raw_frame(&mut self) -> Result<Option<(bool, Vec<u8>)>, NetError> {
         let avail = &self.buf[self.pos..];
         if avail.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        let header = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        let binary = header & BINARY_FRAME_FLAG != 0;
+        let len = (header & !BINARY_FRAME_FLAG) as usize;
         if len > MAX_FRAME_LEN {
             return Err(NetError::msg(format!(
                 "frame length {len} exceeds maximum {MAX_FRAME_LEN}"
@@ -110,12 +121,27 @@ impl JsonFrameDecoder {
         if avail.len() < 4 + len {
             return Ok(None);
         }
-        let payload = &avail[4..4 + len];
-        let text = std::str::from_utf8(payload)
-            .map_err(|_| NetError::msg("frame payload is not UTF-8"))?;
-        let value = Json::parse(text)?;
+        let payload = avail[4..4 + len].to_vec();
         self.pos += 4 + len;
-        Ok(Some(value))
+        Ok(Some((binary, payload)))
+    }
+
+    /// Decodes the next complete frame as JSON, or `None` when more bytes are
+    /// needed.  Binary frames are an error on this legacy path — callers that
+    /// negotiated the binary wire read typed messages through
+    /// [`FramedConn::on_readable_msgs`] instead.
+    pub fn next_frame(&mut self) -> Result<Option<Json>, NetError> {
+        match self.next_raw_frame()? {
+            None => Ok(None),
+            Some((true, _)) => Err(NetError::msg(
+                "binary frame on a JSON-only decode path (wire format not negotiated?)",
+            )),
+            Some((false, payload)) => {
+                let text = std::str::from_utf8(&payload)
+                    .map_err(|_| NetError::msg("frame payload is not UTF-8"))?;
+                Ok(Some(Json::parse(text)?))
+            }
+        }
     }
 }
 
@@ -131,6 +157,7 @@ pub struct FramedConn {
     frames_flushed: u64,
     eof: bool,
     read_chunk: Vec<u8>,
+    binary_wire: bool,
 }
 
 impl FramedConn {
@@ -144,7 +171,21 @@ impl FramedConn {
             frames_flushed: 0,
             eof: false,
             read_chunk: vec![0u8; 64 * 1024],
+            binary_wire: false,
         }
+    }
+
+    /// Selects the outgoing frame format for [`send_msg`](Self::send_msg):
+    /// binary bodies for the hot frame types when `on`, JSON for everything
+    /// (the default).  Reading needs no mode — each incoming frame declares its
+    /// own format in the header.
+    pub fn set_binary_wire(&mut self, on: bool) {
+        self.binary_wire = on;
+    }
+
+    /// The outgoing frame format last set by [`set_binary_wire`](Self::set_binary_wire).
+    pub fn binary_wire(&self) -> bool {
+        self.binary_wire
     }
 
     /// The raw descriptor, for reactor registration.
@@ -161,37 +202,69 @@ impl FramedConn {
     /// decoded from it (possibly empty).  Sets [`is_eof`](Self::is_eof) on a clean
     /// peer close; trailing bytes of a truncated frame at EOF are an error.
     pub fn on_readable(&mut self) -> Result<Vec<Json>, NetError> {
+        self.fill_from_socket()?;
         let mut frames = Vec::new();
+        while let Some(frame) = self.decoder.next_frame()? {
+            frames.push(frame);
+        }
+        self.check_eof_remainder()?;
+        Ok(frames)
+    }
+
+    /// Reads everything currently available and returns the complete deploy
+    /// messages decoded from it — the typed sibling of
+    /// [`on_readable`](Self::on_readable), decoding each frame per its own
+    /// header flag so JSON and binary peers share one receive path.
+    pub fn on_readable_msgs(&mut self) -> Result<Vec<WireMsg>, NetError> {
+        self.fill_from_socket()?;
+        let mut msgs = Vec::new();
+        while let Some((binary, payload)) = self.decoder.next_raw_frame()? {
+            msgs.push(wire::decode_wire_frame(binary, &payload)?);
+        }
+        self.check_eof_remainder()?;
+        Ok(msgs)
+    }
+
+    /// Pulls every available byte off the socket into the frame decoder.
+    fn fill_from_socket(&mut self) -> Result<(), NetError> {
         loop {
             match self.sock.read(&mut self.read_chunk) {
                 Ok(0) => {
                     self.eof = true;
-                    break;
+                    return Ok(());
                 }
                 Ok(n) => {
                     let chunk = self.read_chunk[..n].to_vec();
                     self.decoder.push(&chunk);
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e.into()),
             }
         }
-        while let Some(frame) = self.decoder.next_frame()? {
-            frames.push(frame);
-        }
+    }
+
+    fn check_eof_remainder(&self) -> Result<(), NetError> {
         if self.eof && self.decoder.pending_bytes() > 0 {
             return Err(NetError::msg(format!(
                 "peer closed mid-frame ({} trailing bytes)",
                 self.decoder.pending_bytes()
             )));
         }
-        Ok(frames)
+        Ok(())
     }
 
     /// Queues one JSON value for sending (framed) and attempts an immediate flush.
     pub fn send(&mut self, value: &Json) -> Result<(), NetError> {
         self.queue_bytes(encode_json_frame(value));
+        self.flush()?;
+        Ok(())
+    }
+
+    /// Queues one deploy message in the connection's negotiated format (see
+    /// [`set_binary_wire`](Self::set_binary_wire)) and attempts an immediate flush.
+    pub fn send_msg(&mut self, msg: &WireMsg) -> Result<(), NetError> {
+        self.queue_bytes(wire::encode_wire_frame(msg, self.binary_wire));
         self.flush()?;
         Ok(())
     }

@@ -24,4 +24,7 @@ pub use conn::{encode_json_frame, FramedConn, JsonFrameDecoder, NetError};
 pub use endpoint::{connect_with_retry, Endpoint, Listener, Socket};
 pub use fault::{FaultInjector, FaultSpec, FaultStats};
 pub use reactor::{IoEvent, Interest, Reactor};
-pub use wire::{DaemonReport, DaemonStatus, DaemonTelemetry, WireMsg, TELEMETRY_EVERY_EVENTS};
+pub use wire::{
+    decode_wire_frame, encode_wire_frame, DaemonReport, DaemonStatus, DaemonTelemetry, WireMsg,
+    TELEMETRY_EVERY_EVENTS,
+};

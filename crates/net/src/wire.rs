@@ -17,11 +17,15 @@
 //!   keeping this crate independent of the spec pipeline (and free of the
 //!   dependency cycle `net → core → net`).
 
+use crate::conn::NetError;
 use crate::fault::{FaultSpec, FaultStats};
 use dlrv_json::{object, Json, JsonError};
 use dlrv_ltl::Assignment;
 use dlrv_monitor::{ConjunctEval, EvalState, MonitorMetrics, MonitorMsg, Token, TokenTransition};
-use dlrv_stream::{event_from_json, event_to_json};
+use dlrv_stream::{
+    event_from_binary, event_from_json, event_to_binary, event_to_json, varint,
+    BINARY_FRAME_FLAG, MAX_FRAME_LEN,
+};
 use dlrv_vclock::{Event, VectorClock};
 use std::sync::Arc;
 
@@ -351,6 +355,13 @@ pub enum WireMsg {
         fault: Option<FaultSpec>,
         /// Listen endpoints of all daemons, indexed by process.
         peers: Vec<String>,
+        /// True when the orchestrator will send binary event frames and the
+        /// daemon should encode its peer monitor frames in the binary format
+        /// too.  Travels as an additive `"wire":"binary"` field: peers that
+        /// predate it read plain JSON hellos unchanged, and a missing field
+        /// decodes as `false` — so JSON stays the bootstrap format and the
+        /// binary path is negotiated per connection, never assumed.
+        binary_wire: bool,
     },
     /// Daemon → orchestrator: mesh established, ready for events.
     HelloOk {
@@ -428,6 +439,7 @@ impl WireMsg {
                 initial_state,
                 fault,
                 peers,
+                binary_wire,
             } => object([
                 ("type", Json::from("hello")),
                 ("process", Json::from(*process)),
@@ -442,6 +454,10 @@ impl WireMsg {
                 (
                     "peers",
                     Json::Array(peers.iter().map(|p| Json::from(p.as_str())).collect()),
+                ),
+                (
+                    "wire",
+                    Json::from(if *binary_wire { "binary" } else { "json" }),
                 ),
             ]),
             WireMsg::HelloOk { process } => object([
@@ -515,6 +531,12 @@ impl WireMsg {
                     .iter()
                     .map(|p| Ok(p.as_str()?.to_string()))
                     .collect::<Result<_, JsonError>>()?,
+                // Additive: hellos written before the binary wire existed carry
+                // no `wire` field, and their senders speak JSON only.
+                binary_wire: match v.get_opt("wire")? {
+                    None => false,
+                    Some(w) => w.as_str()? == "binary",
+                },
             }),
             "hello_ok" => Ok(WireMsg::HelloOk {
                 process: v.get("process")?.as_usize()?,
@@ -550,6 +572,306 @@ impl WireMsg {
             other => Err(JsonError::msg(format!("unknown wire message `{other}`"))),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Binary frame format for the two per-event hot messages.
+//
+// Control-plane traffic (hello, status, report, …) is a handful of frames per
+// run; only `event` and `monitor` frames scale with the trace, so only they get
+// a binary body.  A binary deploy frame reuses the `dlrv-stream` frame header —
+// 4-byte big-endian length with [`BINARY_FRAME_FLAG`] in bit 31 — so one
+// [`crate::conn::FramedConn`] decodes JSON and binary frames from the same
+// connection, frame by frame.  Payload grammar (unsigned LEB128 varints unless
+// noted; `vc` and events exactly as in `dlrv_stream`'s binary codec):
+//
+//   payload    = 0x01 event | 0x02 monitor
+//   event      = event-binary                      -- dlrv_stream::event_to_binary
+//   monitor    = from seq time(8-byte LE f64) monmsg
+//   monmsg     = 0x00 token | 0x01 len token* | 0x02 process last_sn
+//   token      = parent origin_state parent_gv vc n-transitions transition* next_p next_e
+//   transition = id vc(gcut) vc(depend) gstate n-conjuncts conjunct-byte* next_p next_e eval-byte
+//   conjunct   = 0 not-involved | 1 unset | 2 true | 3 false
+//   eval       = 0 unset | 1 enabled | 2 disabled
+//
+// No intern table, so the codec is stateless: the fault shim may drop, delay,
+// duplicate or reorder whole frames without desynchronizing the decoder.
+// ---------------------------------------------------------------------------
+
+const NET_EVENT: u8 = 1;
+const NET_MONITOR: u8 = 2;
+
+const MSG_TOKEN: u8 = 0;
+const MSG_BATCH: u8 = 1;
+const MSG_TERMINATED: u8 = 2;
+
+fn truncated(what: &str) -> NetError {
+    NetError::msg(format!("binary wire frame truncated or corrupt at {what}"))
+}
+
+fn read_uv(buf: &[u8], pos: &mut usize, what: &str) -> Result<u64, NetError> {
+    varint::read_u64(buf, pos).ok_or_else(|| truncated(what))
+}
+
+fn read_usize(buf: &[u8], pos: &mut usize, what: &str) -> Result<usize, NetError> {
+    usize::try_from(read_uv(buf, pos, what)?).map_err(|_| truncated(what))
+}
+
+fn read_f64(buf: &[u8], pos: &mut usize, what: &str) -> Result<f64, NetError> {
+    let bytes: [u8; 8] = buf
+        .get(*pos..*pos + 8)
+        .ok_or_else(|| truncated(what))?
+        .try_into()
+        .expect("slice of length 8");
+    *pos += 8;
+    Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+}
+
+fn vc_to_binary(vc: &VectorClock, out: &mut Vec<u8>) {
+    varint::write_u64(out, vc.len() as u64);
+    for &entry in vc.entries() {
+        varint::write_u64(out, entry);
+    }
+}
+
+fn vc_from_binary(buf: &[u8], pos: &mut usize, what: &str) -> Result<VectorClock, NetError> {
+    let n = read_usize(buf, pos, what)?;
+    if n > buf.len().saturating_sub(*pos) + 1 {
+        // Entries take at least one byte each; a longer length prefix is
+        // corruption, not a request to allocate.
+        return Err(truncated(what));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(read_uv(buf, pos, what)?);
+    }
+    Ok(VectorClock::from_entries(entries))
+}
+
+fn transition_to_binary(t: &TokenTransition, out: &mut Vec<u8>) {
+    varint::write_u64(out, t.transition_id as u64);
+    vc_to_binary(&t.gcut, out);
+    vc_to_binary(&t.depend, out);
+    varint::write_u64(out, t.gstate.0);
+    varint::write_u64(out, t.conjuncts.len() as u64);
+    for c in &t.conjuncts {
+        out.push(match c {
+            ConjunctEval::NotInvolved => 0,
+            ConjunctEval::Unset => 1,
+            ConjunctEval::True => 2,
+            ConjunctEval::False => 3,
+        });
+    }
+    varint::write_u64(out, t.next_target_process as u64);
+    varint::write_u64(out, t.next_target_event);
+    out.push(match t.eval {
+        EvalState::Unset => 0,
+        EvalState::Enabled => 1,
+        EvalState::Disabled => 2,
+    });
+}
+
+fn transition_from_binary(buf: &[u8], pos: &mut usize) -> Result<TokenTransition, NetError> {
+    let transition_id = read_usize(buf, pos, "transition id")?;
+    let gcut = vc_from_binary(buf, pos, "transition gcut")?;
+    let depend = vc_from_binary(buf, pos, "transition depend")?;
+    let gstate = Assignment(read_uv(buf, pos, "transition gstate")?);
+    let n = read_usize(buf, pos, "conjunct count")?;
+    if n > buf.len().saturating_sub(*pos) {
+        return Err(truncated("conjunct count"));
+    }
+    let mut conjuncts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let byte = *buf.get(*pos).ok_or_else(|| truncated("conjunct"))?;
+        *pos += 1;
+        conjuncts.push(match byte {
+            0 => ConjunctEval::NotInvolved,
+            1 => ConjunctEval::Unset,
+            2 => ConjunctEval::True,
+            3 => ConjunctEval::False,
+            other => return Err(truncated(&format!("conjunct byte {other}"))),
+        });
+    }
+    let next_target_process = read_usize(buf, pos, "transition next_p")?;
+    let next_target_event = read_uv(buf, pos, "transition next_e")?;
+    let eval_byte = *buf.get(*pos).ok_or_else(|| truncated("eval state"))?;
+    *pos += 1;
+    let eval = match eval_byte {
+        0 => EvalState::Unset,
+        1 => EvalState::Enabled,
+        2 => EvalState::Disabled,
+        other => return Err(truncated(&format!("eval byte {other}"))),
+    };
+    Ok(TokenTransition {
+        transition_id,
+        gcut,
+        depend,
+        gstate,
+        conjuncts,
+        next_target_process,
+        next_target_event,
+        eval,
+    })
+}
+
+fn token_to_binary(t: &Token, out: &mut Vec<u8>) {
+    varint::write_u64(out, t.parent as u64);
+    varint::write_u64(out, t.origin_state as u64);
+    varint::write_u64(out, t.parent_gv);
+    vc_to_binary(&t.parent_event_vc, out);
+    varint::write_u64(out, t.transitions.len() as u64);
+    for tran in &t.transitions {
+        transition_to_binary(tran, out);
+    }
+    varint::write_u64(out, t.next_target_process as u64);
+    varint::write_u64(out, t.next_target_event);
+}
+
+fn token_from_binary(buf: &[u8], pos: &mut usize) -> Result<Token, NetError> {
+    let parent = read_usize(buf, pos, "token parent")?;
+    let origin_state = read_usize(buf, pos, "token origin_state")?;
+    let parent_gv = read_uv(buf, pos, "token parent_gv")?;
+    let parent_event_vc = Arc::new(vc_from_binary(buf, pos, "token parent_vc")?);
+    let n = read_usize(buf, pos, "transition count")?;
+    if n > buf.len().saturating_sub(*pos) {
+        return Err(truncated("transition count"));
+    }
+    let mut transitions = Vec::with_capacity(n);
+    for _ in 0..n {
+        transitions.push(transition_from_binary(buf, pos)?);
+    }
+    Ok(Token {
+        parent,
+        origin_state,
+        parent_gv,
+        parent_event_vc,
+        transitions,
+        next_target_process: read_usize(buf, pos, "token next_p")?,
+        next_target_event: read_uv(buf, pos, "token next_e")?,
+    })
+}
+
+fn monitor_msg_to_binary(msg: &MonitorMsg, out: &mut Vec<u8>) {
+    match msg {
+        MonitorMsg::Token(t) => {
+            out.push(MSG_TOKEN);
+            token_to_binary(t, out);
+        }
+        MonitorMsg::Batch(tokens) => {
+            out.push(MSG_BATCH);
+            varint::write_u64(out, tokens.len() as u64);
+            for t in tokens {
+                token_to_binary(t, out);
+            }
+        }
+        MonitorMsg::Terminated { process, last_sn } => {
+            out.push(MSG_TERMINATED);
+            varint::write_u64(out, *process as u64);
+            varint::write_u64(out, *last_sn);
+        }
+    }
+}
+
+fn monitor_msg_from_binary(buf: &[u8], pos: &mut usize) -> Result<MonitorMsg, NetError> {
+    let tag = *buf.get(*pos).ok_or_else(|| truncated("monitor msg tag"))?;
+    *pos += 1;
+    match tag {
+        MSG_TOKEN => Ok(MonitorMsg::Token(token_from_binary(buf, pos)?)),
+        MSG_BATCH => {
+            let n = read_usize(buf, pos, "batch length")?;
+            if n > buf.len().saturating_sub(*pos) {
+                return Err(truncated("batch length"));
+            }
+            let mut tokens = Vec::with_capacity(n);
+            for _ in 0..n {
+                tokens.push(token_from_binary(buf, pos)?);
+            }
+            Ok(MonitorMsg::Batch(tokens))
+        }
+        MSG_TERMINATED => Ok(MonitorMsg::Terminated {
+            process: read_usize(buf, pos, "terminated process")?,
+            last_sn: read_uv(buf, pos, "terminated last_sn")?,
+        }),
+        other => Err(truncated(&format!("monitor msg tag {other}"))),
+    }
+}
+
+/// Encodes one deploy frame (header + payload) for `msg`.
+///
+/// With `binary` set, `event` and `monitor` messages — the only frame types
+/// whose count scales with the trace — are emitted in the compact binary format
+/// (bit 31 of the header set); every other message, and everything when `binary`
+/// is off, travels as self-describing JSON.  [`decode_wire_frame`] dispatches on
+/// the header bit, so mixed connections always decode.
+pub fn encode_wire_frame(msg: &WireMsg, binary: bool) -> Vec<u8> {
+    if binary {
+        let body: Option<Vec<u8>> = match msg {
+            WireMsg::Event { event } => {
+                let mut body = vec![NET_EVENT];
+                event_to_binary(event, &mut body);
+                Some(body)
+            }
+            WireMsg::Monitor {
+                from,
+                seq,
+                time,
+                msg,
+            } => {
+                let mut body = vec![NET_MONITOR];
+                varint::write_u64(&mut body, *from as u64);
+                varint::write_u64(&mut body, *seq);
+                body.extend_from_slice(&time.to_bits().to_le_bytes());
+                monitor_msg_to_binary(msg, &mut body);
+                Some(body)
+            }
+            _ => None,
+        };
+        if let Some(body) = body {
+            assert!(body.len() <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+            let mut out = Vec::with_capacity(4 + body.len());
+            out.extend_from_slice(&((body.len() as u32) | BINARY_FRAME_FLAG).to_be_bytes());
+            out.extend_from_slice(&body);
+            return out;
+        }
+    }
+    crate::conn::encode_json_frame(&msg.to_json())
+}
+
+/// Decodes one deploy frame payload; `binary` is the header's bit-31 flag.
+pub fn decode_wire_frame(binary: bool, payload: &[u8]) -> Result<WireMsg, NetError> {
+    if !binary {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| NetError::msg("frame payload is not UTF-8"))?;
+        return Ok(WireMsg::from_json(&Json::parse(text)?)?);
+    }
+    let mut pos = 0usize;
+    let tag = *payload.get(pos).ok_or_else(|| truncated("frame tag"))?;
+    pos += 1;
+    let msg = match tag {
+        NET_EVENT => WireMsg::Event {
+            event: event_from_binary(payload, &mut pos)
+                .map_err(|e| NetError::msg(e.message))?,
+        },
+        NET_MONITOR => {
+            let from = read_usize(payload, &mut pos, "monitor from")?;
+            let seq = read_uv(payload, &mut pos, "monitor seq")?;
+            let time = read_f64(payload, &mut pos, "monitor time")?;
+            WireMsg::Monitor {
+                from,
+                seq,
+                time,
+                msg: monitor_msg_from_binary(payload, &mut pos)?,
+            }
+        }
+        other => return Err(truncated(&format!("frame tag {other}"))),
+    };
+    if pos != payload.len() {
+        return Err(NetError::msg(format!(
+            "binary wire frame has {} trailing payload bytes",
+            payload.len() - pos
+        )));
+    }
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -641,6 +963,7 @@ mod tests {
                     "tcp:127.0.0.1:4001".to_string(),
                     "tcp:127.0.0.1:4002".to_string(),
                 ],
+                binary_wire: true,
             },
             WireMsg::Hello {
                 process: 0,
@@ -650,6 +973,7 @@ mod tests {
                 initial_state: 0,
                 fault: None,
                 peers: vec![],
+                binary_wire: false,
             },
             WireMsg::HelloOk { process: 1 },
             WireMsg::Event { event },
@@ -703,6 +1027,81 @@ mod tests {
             let text = msg.to_json().to_string_compact();
             let back = WireMsg::from_json(&Json::parse(&text).expect("parse")).expect("decode");
             assert_eq!(back, msg);
+
+            // The frame codec must round-trip every message in both modes: the
+            // hot frames through their binary bodies, everything else as JSON
+            // regardless of the connection's negotiated format.
+            for binary in [false, true] {
+                let frame = encode_wire_frame(&msg, binary);
+                let header = u32::from_be_bytes(frame[..4].try_into().expect("header"));
+                let is_binary = header & BINARY_FRAME_FLAG != 0;
+                let hot = matches!(msg, WireMsg::Event { .. } | WireMsg::Monitor { .. });
+                assert_eq!(is_binary, binary && hot, "only hot frames go binary");
+                let back = decode_wire_frame(is_binary, &frame[4..]).expect("decode frame");
+                assert_eq!(back, msg);
+            }
         }
+    }
+
+    #[test]
+    fn hello_without_a_wire_field_decodes_as_json_mode() {
+        // A frame written before the negotiation field existed.
+        let old = object([
+            ("type", Json::from("hello")),
+            ("process", Json::from(0usize)),
+            ("n_processes", Json::from(1usize)),
+            ("property", Json::from("A")),
+            ("options", Json::Null),
+            ("initial_state", Json::from(0u64)),
+            ("fault", Json::Null),
+            ("peers", Json::Array(vec![Json::from("tcp:127.0.0.1:1")])),
+        ]);
+        match WireMsg::from_json(&old).expect("decode") {
+            WireMsg::Hello { binary_wire, .. } => assert!(!binary_wire),
+            other => panic!("expected hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_monitor_frames_are_much_smaller_than_json() {
+        let msg = WireMsg::Monitor {
+            from: 0,
+            seq: 11,
+            time: 3.5,
+            msg: MonitorMsg::Batch(vec![sample_token(1), sample_token(2), sample_token(3)]),
+        };
+        let json = encode_wire_frame(&msg, false);
+        let binary = encode_wire_frame(&msg, true);
+        assert!(
+            binary.len() < json.len() / 3,
+            "binary ({}) should be well under a third of JSON ({})",
+            binary.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_binary_frames_are_rejected() {
+        // Unknown frame tag.
+        assert!(decode_wire_frame(true, &[9]).is_err());
+        // Truncation at every prefix of a valid monitor frame.
+        let msg = WireMsg::Monitor {
+            from: 1,
+            seq: 2,
+            time: 0.5,
+            msg: MonitorMsg::Token(sample_token(0)),
+        };
+        let frame = encode_wire_frame(&msg, true);
+        let payload = &frame[4..];
+        for cut in 0..payload.len() {
+            assert!(
+                decode_wire_frame(true, &payload[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        // Trailing garbage after a complete message.
+        let mut padded = payload.to_vec();
+        padded.push(0);
+        assert!(decode_wire_frame(true, &padded).is_err());
     }
 }

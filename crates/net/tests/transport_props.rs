@@ -7,12 +7,16 @@
 //! `monitord` event loop.
 
 use dlrv_json::{object, Json};
+use dlrv_ltl::Assignment;
+use dlrv_monitor::{ConjunctEval, EvalState, MonitorMsg, Token, TokenTransition};
 use dlrv_net::{
-    connect_with_retry, encode_json_frame, Endpoint, FramedConn, Interest, Listener, Reactor,
-    Socket,
+    connect_with_retry, encode_json_frame, encode_wire_frame, Endpoint, FramedConn, Interest,
+    Listener, Reactor, Socket, WireMsg,
 };
+use dlrv_vclock::{Event, EventKind, VectorClock};
 use proptest::prelude::*;
 use std::io;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// SplitMix64 step: expands one seed into a reproducible pseudo-random sequence.
@@ -37,6 +41,89 @@ fn frame_from_seed(seed: &mut u64, index: usize) -> Json {
         ("i", Json::from(index as u64)),
         ("pad", Json::from(fill.to_string().repeat(len))),
     ])
+}
+
+/// An arbitrary hot-path wire message — the frames the binary codec covers.
+/// Events and monitor tokens scale with the trace, so these are exactly the
+/// shapes a binary-wire connection carries at volume.
+fn hot_msg_from_seed(seed: &mut u64) -> WireMsg {
+    let n = 2 + (mix(seed) % 4) as usize;
+    let vc = |seed: &mut u64| VectorClock::from_entries((0..n).map(|_| mix(seed) % 500).collect());
+    let transition = |seed: &mut u64| TokenTransition {
+        transition_id: (mix(seed) % 32) as usize,
+        gcut: vc(seed),
+        depend: vc(seed),
+        gstate: Assignment(mix(seed)),
+        conjuncts: (0..n)
+            .map(|_| match mix(seed) % 4 {
+                0 => ConjunctEval::NotInvolved,
+                1 => ConjunctEval::Unset,
+                2 => ConjunctEval::True,
+                _ => ConjunctEval::False,
+            })
+            .collect(),
+        next_target_process: (mix(seed) % n as u64) as usize,
+        next_target_event: mix(seed) % 1000,
+        eval: match mix(seed) % 3 {
+            0 => EvalState::Unset,
+            1 => EvalState::Enabled,
+            _ => EvalState::Disabled,
+        },
+    };
+    let token = |seed: &mut u64| Token {
+        parent: (mix(seed) % n as u64) as usize,
+        origin_state: (mix(seed) % 8) as usize,
+        parent_gv: mix(seed),
+        parent_event_vc: Arc::new(vc(seed)),
+        transitions: (0..1 + mix(seed) % 3).map(|_| transition(seed)).collect(),
+        next_target_process: (mix(seed) % n as u64) as usize,
+        next_target_event: mix(seed) % 1000,
+    };
+    match mix(seed) % 5 {
+        0 => {
+            let process = (mix(seed) % n as u64) as usize;
+            WireMsg::Event {
+                event: Event {
+                    process,
+                    kind: match mix(seed) % 3 {
+                        0 => EventKind::Internal,
+                        1 => EventKind::Send { to: (process + 1) % n, msg_id: mix(seed) },
+                        _ => EventKind::Receive { from: (process + 1) % n, msg_id: mix(seed) },
+                    },
+                    sn: 1 + mix(seed) % 500,
+                    vc: vc(seed),
+                    state: Assignment(mix(seed)),
+                    time: (mix(seed) % 1_000_000) as f64 * 0.001,
+                },
+            }
+        }
+        1 => WireMsg::Monitor {
+            from: (mix(seed) % n as u64) as usize,
+            seq: mix(seed),
+            time: (mix(seed) % 1_000_000) as f64 * 0.001,
+            msg: MonitorMsg::Token(token(seed)),
+        },
+        2 => WireMsg::Monitor {
+            from: (mix(seed) % n as u64) as usize,
+            seq: mix(seed),
+            time: (mix(seed) % 1_000_000) as f64 * 0.001,
+            msg: MonitorMsg::Batch((0..1 + mix(seed) % 4).map(|_| token(seed)).collect()),
+        },
+        3 => WireMsg::Monitor {
+            from: (mix(seed) % n as u64) as usize,
+            seq: mix(seed),
+            time: (mix(seed) % 1_000_000) as f64 * 0.001,
+            msg: MonitorMsg::Terminated {
+                process: (mix(seed) % n as u64) as usize,
+                last_sn: mix(seed) % 1000,
+            },
+        },
+        // Control frames stay JSON even on a binary connection; interleave some
+        // so the decoder's per-frame autodetect is exercised both ways.
+        _ => WireMsg::Finish {
+            time: (mix(seed) % 1_000_000) as f64 * 0.001,
+        },
+    }
 }
 
 /// A connected non-blocking loopback pair (client, server).
@@ -170,5 +257,61 @@ proptest! {
         prop_assert!(!tx.wants_write(), "queue must drain completely");
         prop_assert_eq!(tx.frames_flushed(), frames.len() as u64);
         prop_assert_eq!(got, frames);
+    }
+
+    /// Differential binary-wire transport: every frame independently picks the
+    /// binary or the JSON encoding (a binary connection still sends control
+    /// frames as JSON, so real streams are always mixed), the byte stream is
+    /// pushed in arbitrary slices, and the typed receive path must reproduce
+    /// every message exactly — the receiver autodetects the format per frame
+    /// from the header bit, never from negotiated state.
+    #[test]
+    fn mixed_binary_and_json_wire_frames_reassemble_typed(seed in 0u64..1 << 48) {
+        let mut s = seed;
+        let n_msgs = 2 + (mix(&mut s) % 24) as usize;
+        let msgs: Vec<WireMsg> = (0..n_msgs).map(|_| hot_msg_from_seed(&mut s)).collect();
+        let mut wire: Vec<u8> = Vec::new();
+        for msg in &msgs {
+            wire.extend(encode_wire_frame(msg, mix(&mut s).is_multiple_of(2)));
+        }
+
+        let (mut tx, server) = loopback_sockets();
+        let mut rx = FramedConn::new(server);
+        let mut reactor = Reactor::new().expect("reactor");
+        reactor
+            .register(rx.raw_fd(), 1, Interest::READABLE)
+            .expect("register rx");
+
+        let mut sent = 0usize;
+        let mut got: Vec<WireMsg> = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while got.len() < msgs.len() {
+            prop_assert!(Instant::now() < deadline, "timed out with {} messages", got.len());
+            if sent < wire.len() {
+                let max = wire.len() - sent;
+                let chunk = match mix(&mut s) % 3 {
+                    0 => 1 + (mix(&mut s) % 7) as usize,
+                    1 => 1 + (mix(&mut s) % 1500) as usize,
+                    _ => 1 + (mix(&mut s) % 100_000) as usize,
+                }
+                .min(max);
+                match write_some(&mut tx, &wire[sent..sent + chunk]) {
+                    Ok(n) => sent += n,
+                    Err(e) => prop_assert!(false, "write: {e}"),
+                }
+            }
+            let ready = reactor
+                .poll(Some(50))
+                .expect("poll")
+                .iter()
+                .any(|e| e.token == 1 && e.readable);
+            if ready || sent == wire.len() {
+                match rx.on_readable_msgs() {
+                    Ok(decoded) => got.extend(decoded),
+                    Err(e) => prop_assert!(false, "read: {e}"),
+                }
+            }
+        }
+        prop_assert_eq!(got, msgs);
     }
 }

@@ -1,16 +1,29 @@
-//! The wire codec of the streaming runtime: length-prefixed JSON records.
+//! The wire codec of the streaming runtime: length-prefixed JSON or binary records.
 //!
-//! A stream is a sequence of *frames*.  Each frame is a 4-byte big-endian length
-//! followed by that many bytes of JSON (over the in-tree [`dlrv_json`] — this build
-//! environment has no serde), encoding one [`StreamRecord`]: a session opening, one
-//! program event of a session, or a session close.  The framing makes record
-//! boundaries independent of JSON whitespace and lets a reader hand the decoder
-//! arbitrary byte chunks — exactly what a socket delivers.
+//! A stream is a sequence of *frames*.  Each frame is a 4-byte big-endian header
+//! followed by a payload encoding one [`StreamRecord`]: a session opening, one
+//! program event of a session, or a session close.  The low 31 bits of the header
+//! are the payload length; the top bit selects the payload format:
+//!
+//! * **clear** — the payload is JSON (over the in-tree [`dlrv_json`] — this build
+//!   environment has no serde), the original self-describing format;
+//! * **set** — the payload is the compact binary format of
+//!   [`BinaryStreamEncoder`]: varint-packed integers, a one-byte record tag, and
+//!   property names interned per stream so each name travels once.
+//!
+//! [`MAX_FRAME_LEN`] is far below 2³¹, so the flag bit can never collide with a
+//! legitimate JSON length, and [`FrameDecoder`] detects the format per frame —
+//! mixed streams decode transparently, which is what lets the binary path be
+//! introduced per-connection without a protocol version bump.
+//!
+//! The framing makes record boundaries independent of payload syntax and lets a
+//! reader hand the decoder arbitrary byte chunks — exactly what a socket delivers.
 //!
 //! [`EventSource`] abstracts where records come from: an in-memory vector
 //! ([`VecSource`]), any [`std::io::Read`] ([`ReaderSource`]), or something custom
 //! (a socket acceptor, a replay file).  The sharded runtime only ever sees the trait.
 
+use crate::varint;
 use dlrv_json::{object, Json, JsonError};
 use dlrv_ltl::{Assignment, ProcessId};
 use dlrv_vclock::{Event, EventKind, VectorClock};
@@ -23,6 +36,10 @@ pub type SessionId = u64;
 /// Upper bound on a single frame's payload; a corrupt length prefix fails fast
 /// instead of asking the decoder to buffer gigabytes.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Top bit of the 4-byte frame header: set when the payload is binary-encoded,
+/// clear when it is JSON.  [`MAX_FRAME_LEN`] `< 2³¹` guarantees the bit is free.
+pub const BINARY_FRAME_FLAG: u32 = 1 << 31;
 
 /// Error of the codec layer: framing, JSON syntax, or I/O.
 #[derive(Debug)]
@@ -247,6 +264,285 @@ pub fn encode_stream(records: &[StreamRecord]) -> Vec<u8> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Binary payload format.
+//
+// Payload grammar (all integers unsigned LEB128 varints unless noted):
+//
+//   record  = 0x00 open | 0x01 event | 0x02 close
+//   open    = session prop-ref n_processes initial_state
+//   event   = session process kind sn vc state time
+//   close   = session
+//   prop-ref= index                      -- index < table len: back-reference
+//           | index len name-bytes       -- index == table len: new entry
+//   kind    = 0x00                       -- internal
+//           | 0x01 to msg_id             -- send
+//           | 0x02 msg_id                -- broadcast
+//           | 0x03 from msg_id           -- receive
+//   vc      = len entry*
+//   time    = 8-byte little-endian f64 bits
+//
+// The property table is per-stream state shared by encoder and decoder: each
+// distinct property name is transmitted once (on first use) and referenced by
+// index afterwards, so a 400-session open burst costs one string, not 400.
+// ---------------------------------------------------------------------------
+
+const REC_OPEN: u8 = 0;
+const REC_EVENT: u8 = 1;
+const REC_CLOSE: u8 = 2;
+
+const KIND_INTERNAL: u8 = 0;
+const KIND_SEND: u8 = 1;
+const KIND_BROADCAST: u8 = 2;
+const KIND_RECEIVE: u8 = 3;
+
+/// Appends the binary encoding of one program event to `out`.  Public so the
+/// `dlrv-net` message codec embeds events byte-identically to the stream codec.
+pub fn event_to_binary(event: &Event, out: &mut Vec<u8>) {
+    varint::write_u64(out, event.process as u64);
+    match &event.kind {
+        EventKind::Internal => out.push(KIND_INTERNAL),
+        EventKind::Send { to, msg_id } => {
+            out.push(KIND_SEND);
+            varint::write_u64(out, *to as u64);
+            varint::write_u64(out, *msg_id);
+        }
+        EventKind::Broadcast { msg_id } => {
+            out.push(KIND_BROADCAST);
+            varint::write_u64(out, *msg_id);
+        }
+        EventKind::Receive { from, msg_id } => {
+            out.push(KIND_RECEIVE);
+            varint::write_u64(out, *from as u64);
+            varint::write_u64(out, *msg_id);
+        }
+    }
+    varint::write_u64(out, event.sn);
+    varint::write_u64(out, event.vc.len() as u64);
+    for &entry in event.vc.entries() {
+        varint::write_u64(out, entry);
+    }
+    varint::write_u64(out, event.state.0);
+    out.extend_from_slice(&event.time.to_bits().to_le_bytes());
+}
+
+fn truncated(what: &str) -> StreamError {
+    StreamError::msg(format!("binary frame truncated or corrupt at {what}"))
+}
+
+fn read_uv(buf: &[u8], pos: &mut usize, what: &str) -> Result<u64, StreamError> {
+    varint::read_u64(buf, pos).ok_or_else(|| truncated(what))
+}
+
+fn read_usize(buf: &[u8], pos: &mut usize, what: &str) -> Result<usize, StreamError> {
+    usize::try_from(read_uv(buf, pos, what)?).map_err(|_| truncated(what))
+}
+
+/// Decodes one program event from its [`event_to_binary`] form, advancing `pos`.
+pub fn event_from_binary(buf: &[u8], pos: &mut usize) -> Result<Event, StreamError> {
+    let process = read_usize(buf, pos, "event process")?;
+    let kind = match *buf.get(*pos).ok_or_else(|| truncated("event kind"))? {
+        KIND_INTERNAL => {
+            *pos += 1;
+            EventKind::Internal
+        }
+        KIND_SEND => {
+            *pos += 1;
+            EventKind::Send {
+                to: read_usize(buf, pos, "send target")?,
+                msg_id: read_uv(buf, pos, "send msg_id")?,
+            }
+        }
+        KIND_BROADCAST => {
+            *pos += 1;
+            EventKind::Broadcast {
+                msg_id: read_uv(buf, pos, "broadcast msg_id")?,
+            }
+        }
+        KIND_RECEIVE => {
+            *pos += 1;
+            EventKind::Receive {
+                from: read_usize(buf, pos, "receive source")?,
+                msg_id: read_uv(buf, pos, "receive msg_id")?,
+            }
+        }
+        other => {
+            return Err(StreamError::msg(format!(
+                "unknown binary event kind tag {other}"
+            )))
+        }
+    };
+    let sn = read_uv(buf, pos, "event sn")?;
+    let n = read_usize(buf, pos, "vector clock length")?;
+    if n > buf.len().saturating_sub(*pos) + 1 {
+        // Each entry takes at least one byte; a length prefix larger than the
+        // remaining payload is corrupt, not a request to allocate.
+        return Err(truncated("vector clock length"));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(read_uv(buf, pos, "vector clock entry")?);
+    }
+    if process >= entries.len() {
+        return Err(StreamError::msg(format!(
+            "event process {process} out of range for a {}-entry vector clock",
+            entries.len()
+        )));
+    }
+    let state = Assignment(read_uv(buf, pos, "event state")?);
+    let time_bytes: [u8; 8] = buf
+        .get(*pos..*pos + 8)
+        .ok_or_else(|| truncated("event time"))?
+        .try_into()
+        .expect("slice of length 8");
+    *pos += 8;
+    Ok(Event {
+        process,
+        kind,
+        sn,
+        vc: VectorClock::from_entries(entries),
+        state,
+        time: f64::from_bits(u64::from_le_bytes(time_bytes)),
+    })
+}
+
+/// Stateful encoder for the binary frame format.
+///
+/// The only state is the property-name intern table, which must march in step
+/// with the receiving [`FrameDecoder`]'s — so use one encoder per stream (or
+/// per connection) and encode records in transmission order.
+#[derive(Debug, Default)]
+pub struct BinaryStreamEncoder {
+    props: Vec<String>,
+}
+
+impl BinaryStreamEncoder {
+    /// An encoder with an empty property table.
+    pub fn new() -> Self {
+        BinaryStreamEncoder::default()
+    }
+
+    fn write_prop_ref(&mut self, name: &str, out: &mut Vec<u8>) {
+        if let Some(idx) = self.props.iter().position(|p| p == name) {
+            varint::write_u64(out, idx as u64);
+        } else {
+            varint::write_u64(out, self.props.len() as u64);
+            varint::write_bytes(out, name.as_bytes());
+            self.props.push(name.to_string());
+        }
+    }
+
+    /// Appends one complete binary frame (header + payload) for `record` to `out`.
+    pub fn encode_frame_into(&mut self, record: &StreamRecord, out: &mut Vec<u8>) {
+        let header_at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        match record {
+            StreamRecord::Open {
+                session,
+                property,
+                n_processes,
+                initial_state,
+            } => {
+                out.push(REC_OPEN);
+                varint::write_u64(out, *session);
+                self.write_prop_ref(property, out);
+                varint::write_u64(out, *n_processes as u64);
+                varint::write_u64(out, *initial_state);
+            }
+            StreamRecord::Event { session, event } => {
+                out.push(REC_EVENT);
+                varint::write_u64(out, *session);
+                event_to_binary(event, out);
+            }
+            StreamRecord::Close { session } => {
+                out.push(REC_CLOSE);
+                varint::write_u64(out, *session);
+            }
+        }
+        let payload_len = out.len() - header_at - 4;
+        assert!(payload_len <= MAX_FRAME_LEN, "record exceeds MAX_FRAME_LEN");
+        let header = (payload_len as u32) | BINARY_FRAME_FLAG;
+        out[header_at..header_at + 4].copy_from_slice(&header.to_be_bytes());
+    }
+
+    /// Encodes one record as a standalone binary frame.
+    pub fn encode_frame(&mut self, record: &StreamRecord) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_frame_into(record, &mut out);
+        out
+    }
+}
+
+/// Encodes a whole record sequence into one binary byte stream (the compact
+/// counterpart of [`encode_stream`]; [`FrameDecoder`] reads either, or a mix).
+pub fn encode_stream_binary(records: &[StreamRecord]) -> Vec<u8> {
+    let mut encoder = BinaryStreamEncoder::new();
+    let mut out = Vec::new();
+    for r in records {
+        encoder.encode_frame_into(r, &mut out);
+    }
+    out
+}
+
+fn decode_binary_record(
+    payload: &[u8],
+    props: &mut Vec<String>,
+) -> Result<StreamRecord, StreamError> {
+    let mut pos = 0usize;
+    let tag = *payload.get(pos).ok_or_else(|| truncated("record tag"))?;
+    pos += 1;
+    let record = match tag {
+        REC_OPEN => {
+            let session = read_uv(payload, &mut pos, "open session")?;
+            let idx = read_usize(payload, &mut pos, "property index")?;
+            let property = if idx < props.len() {
+                props[idx].clone()
+            } else if idx == props.len() {
+                let bytes = varint::read_bytes(payload, &mut pos)
+                    .ok_or_else(|| truncated("property name"))?;
+                let name = std::str::from_utf8(bytes)
+                    .map_err(|_| StreamError::msg("property name is not UTF-8"))?
+                    .to_string();
+                props.push(name.clone());
+                name
+            } else {
+                return Err(StreamError::msg(format!(
+                    "property index {idx} skips ahead of a {}-entry intern table",
+                    props.len()
+                )));
+            };
+            StreamRecord::Open {
+                session,
+                property,
+                n_processes: read_usize(payload, &mut pos, "open n_processes")?,
+                initial_state: read_uv(payload, &mut pos, "open initial_state")?,
+            }
+        }
+        REC_EVENT => {
+            let session = read_uv(payload, &mut pos, "event session")?;
+            StreamRecord::Event {
+                session,
+                event: event_from_binary(payload, &mut pos)?,
+            }
+        }
+        REC_CLOSE => StreamRecord::Close {
+            session: read_uv(payload, &mut pos, "close session")?,
+        },
+        other => {
+            return Err(StreamError::msg(format!(
+                "unknown binary record tag {other}"
+            )))
+        }
+    };
+    if pos != payload.len() {
+        return Err(StreamError::msg(format!(
+            "binary frame has {} trailing payload bytes",
+            payload.len() - pos
+        )));
+    }
+    Ok(record)
+}
+
 /// One session's worth of wire input for [`interleave_sessions`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionStream {
@@ -297,12 +593,16 @@ pub fn interleave_sessions(sessions: &[SessionStream]) -> Vec<StreamRecord> {
 }
 
 /// An incremental frame decoder: feed it byte chunks of any size, pull complete
-/// records out.
+/// records out.  Each frame's header says whether its payload is JSON or binary
+/// (see [`BINARY_FRAME_FLAG`]), so one decoder handles either format — or a mix.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     /// Bytes of `buf` already consumed (compacted lazily).
     pos: usize,
+    /// Property-name intern table for binary frames, mirroring the sending
+    /// [`BinaryStreamEncoder`]'s table entry for entry.
+    props: Vec<String>,
 }
 
 impl FrameDecoder {
@@ -332,7 +632,9 @@ impl FrameDecoder {
         if avail.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        let header = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        let binary = header & BINARY_FRAME_FLAG != 0;
+        let len = (header & !BINARY_FRAME_FLAG) as usize;
         if len > MAX_FRAME_LEN {
             return Err(StreamError::msg(format!(
                 "frame length {len} exceeds maximum {MAX_FRAME_LEN}"
@@ -342,9 +644,13 @@ impl FrameDecoder {
             return Ok(None);
         }
         let payload = &avail[4..4 + len];
-        let text = std::str::from_utf8(payload)
-            .map_err(|_| StreamError::msg("frame payload is not UTF-8"))?;
-        let record = record_from_json(&Json::parse(text)?)?;
+        let record = if binary {
+            decode_binary_record(payload, &mut self.props)?
+        } else {
+            let text = std::str::from_utf8(payload)
+                .map_err(|_| StreamError::msg("frame payload is not UTF-8"))?;
+            record_from_json(&Json::parse(text)?)?
+        };
         self.pos += 4 + len;
         Ok(Some(record))
     }
@@ -553,5 +859,204 @@ mod tests {
             ("time", Json::from(1.0)),
         ]);
         assert!(event_from_json(&bad).is_err());
+    }
+
+    fn sample_records() -> Vec<StreamRecord> {
+        vec![
+            StreamRecord::Open {
+                session: 42,
+                property: "C".to_string(),
+                n_processes: 2,
+                initial_state: 5,
+            },
+            StreamRecord::Open {
+                session: 43,
+                property: "C".to_string(),
+                n_processes: 2,
+                initial_state: 0,
+            },
+            StreamRecord::Open {
+                session: 44,
+                property: "x-custom".to_string(),
+                n_processes: 4,
+                initial_state: u64::MAX,
+            },
+            StreamRecord::Event {
+                session: 42,
+                event: sample_event(),
+            },
+            StreamRecord::Event {
+                session: 44,
+                event: Event {
+                    process: 3,
+                    kind: EventKind::Broadcast { msg_id: u64::MAX },
+                    sn: 1 << 40,
+                    vc: VectorClock::from_entries(vec![0, u64::MAX, 7, 1]),
+                    state: Assignment(0),
+                    time: -0.0,
+                },
+            },
+            StreamRecord::Close { session: 43 },
+            StreamRecord::Close { session: 42 },
+            StreamRecord::Close { session: 44 },
+        ]
+    }
+
+    #[test]
+    fn binary_stream_round_trips() {
+        let records = sample_records();
+        let bytes = encode_stream_binary(&records);
+        let json_bytes = encode_stream(&records);
+        assert!(
+            bytes.len() < json_bytes.len() / 2,
+            "binary ({}) should be well under half of JSON ({})",
+            bytes.len(),
+            json_bytes.len()
+        );
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes);
+        let mut decoded = Vec::new();
+        while let Some(r) = decoder.next_record().unwrap() {
+            decoded.push(r);
+        }
+        assert_eq!(decoded, records);
+        assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn binary_frames_survive_byte_at_a_time_input() {
+        let records = sample_records();
+        let bytes = encode_stream_binary(&records);
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for b in bytes {
+            decoder.push(&[b]);
+            while let Some(r) = decoder.next_record().unwrap() {
+                decoded.push(r);
+            }
+        }
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn mixed_json_and_binary_frames_decode_in_one_stream() {
+        let records = sample_records();
+        let mut encoder = BinaryStreamEncoder::new();
+        let mut bytes = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            if i % 2 == 0 {
+                encoder.encode_frame_into(r, &mut bytes);
+            } else {
+                bytes.extend_from_slice(&encode_frame(r));
+            }
+        }
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes);
+        let mut decoded = Vec::new();
+        while let Some(r) = decoder.next_record().unwrap() {
+            decoded.push(r);
+        }
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn binary_event_round_trips_every_kind_and_f64_bit_pattern() {
+        for kind in [
+            EventKind::Internal,
+            EventKind::Send { to: 2, msg_id: 9 },
+            EventKind::Broadcast { msg_id: 1 },
+            EventKind::Receive { from: 1, msg_id: 3 },
+        ] {
+            for time in [0.0, -0.0, 1.5e300, f64::MIN_POSITIVE, 4.25] {
+                let event = Event {
+                    kind,
+                    process: 0,
+                    sn: 1,
+                    vc: VectorClock::from_entries(vec![1, 0, 0]),
+                    state: Assignment(0b11),
+                    time,
+                };
+                let mut buf = Vec::new();
+                event_to_binary(&event, &mut buf);
+                let mut pos = 0;
+                let back = event_from_binary(&buf, &mut pos).unwrap();
+                assert_eq!(pos, buf.len());
+                assert_eq!(back.time.to_bits(), event.time.to_bits());
+                assert_eq!(back, event);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_decoder_rejects_corruption() {
+        // Unknown record tag.
+        let mut frame = vec![0u8, 0, 0, 1, 9];
+        frame[0] = (BINARY_FRAME_FLAG >> 24) as u8;
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&frame);
+        assert!(decoder.next_record().is_err());
+
+        // Truncated payload: a valid event frame with its last byte dropped
+        // (header length shortened to match) must error, not decode.
+        let mut encoder = BinaryStreamEncoder::new();
+        let full = encoder.encode_frame(&StreamRecord::Event {
+            session: 1,
+            event: sample_event(),
+        });
+        let payload_len = full.len() - 4 - 1;
+        let mut cut = Vec::new();
+        cut.extend_from_slice(&((payload_len as u32) | BINARY_FRAME_FLAG).to_be_bytes());
+        cut.extend_from_slice(&full[4..4 + payload_len]);
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&cut);
+        assert!(decoder.next_record().is_err());
+
+        // A property back-reference that skips ahead of the intern table.
+        let mut payload = vec![REC_OPEN];
+        varint::write_u64(&mut payload, 1); // session
+        varint::write_u64(&mut payload, 3); // index 3 into an empty table
+        let mut frame = ((payload.len() as u32) | BINARY_FRAME_FLAG)
+            .to_be_bytes()
+            .to_vec();
+        frame.extend_from_slice(&payload);
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&frame);
+        assert!(decoder.next_record().is_err());
+
+        // Out-of-range process index, exactly like the JSON codec rejects.
+        let mut payload = vec![REC_EVENT];
+        varint::write_u64(&mut payload, 1); // session
+        varint::write_u64(&mut payload, 5); // process 5
+        payload.push(KIND_INTERNAL);
+        varint::write_u64(&mut payload, 1); // sn
+        varint::write_u64(&mut payload, 1); // vc len 1
+        varint::write_u64(&mut payload, 1); // vc[0]
+        varint::write_u64(&mut payload, 0); // state
+        payload.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        let mut frame = ((payload.len() as u32) | BINARY_FRAME_FLAG)
+            .to_be_bytes()
+            .to_vec();
+        frame.extend_from_slice(&payload);
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&frame);
+        assert!(decoder.next_record().is_err());
+    }
+
+    #[test]
+    fn property_interning_sends_each_name_once() {
+        let opens: Vec<StreamRecord> = (0..50)
+            .map(|s| StreamRecord::Open {
+                session: s,
+                property: "SomeLongPropertyName".to_string(),
+                n_processes: 2,
+                initial_state: 0,
+            })
+            .collect();
+        let bytes = encode_stream_binary(&opens);
+        let name_count = bytes
+            .windows(b"SomeLongPropertyName".len())
+            .filter(|w| *w == b"SomeLongPropertyName")
+            .count();
+        assert_eq!(name_count, 1, "the property name travels exactly once");
     }
 }

@@ -7,10 +7,15 @@
 //! monitored executions ("sessions") run concurrently over a fixed pool of worker
 //! shards.
 //!
-//! * [`codec`] — the wire format: length-prefixed JSON records ([`StreamRecord`])
-//!   over the in-tree `dlrv-json`, an incremental [`FrameDecoder`], and the
-//!   [`EventSource`] abstraction ([`VecSource`] for in-memory records,
-//!   [`ReaderSource`] for any `std::io::Read`).
+//! * [`codec`] — the wire format: length-prefixed records ([`StreamRecord`]) as
+//!   JSON (over the in-tree `dlrv-json`) or as the compact varint binary format
+//!   of [`BinaryStreamEncoder`] (frame-header flag bit selects per frame), an
+//!   incremental [`FrameDecoder`] that reads either, and the [`EventSource`]
+//!   abstraction ([`VecSource`] for in-memory records, [`ReaderSource`] for any
+//!   `std::io::Read`).
+//! * [`varint`] — the LEB128 integer primitive shared with `dlrv-net`.
+//! * [`ring`] — bounded SPSC rings with park/unpark backpressure, the
+//!   lock-light mailbox behind [`StreamConfig::use_rings`].
 //! * [`runtime`] — the [`ShardedRuntime`]: hash-sharded session routing onto N
 //!   worker threads, bounded mailboxes with backpressure, batched event
 //!   application, session open/feed/close lifecycle, graceful drain/shutdown, and
@@ -55,13 +60,17 @@
 #![forbid(unsafe_code)]
 
 pub mod codec;
+pub mod ring;
 pub mod runtime;
+pub mod varint;
 
 pub use codec::{
-    encode_frame, encode_stream, event_from_json, event_to_json, interleave_sessions,
-    record_from_json, record_to_json, EventSource, FrameDecoder, ReaderSource, SessionId,
-    SessionStream, StreamError, StreamRecord, VecSource, MAX_FRAME_LEN,
+    encode_frame, encode_stream, encode_stream_binary, event_from_binary, event_from_json,
+    event_to_binary, event_to_json, interleave_sessions, record_from_json, record_to_json,
+    BinaryStreamEncoder, EventSource, FrameDecoder, ReaderSource, SessionId, SessionStream,
+    StreamError, StreamRecord, VecSource, BINARY_FRAME_FLAG, MAX_FRAME_LEN,
 };
+pub use ring::{PopState, SpscRing};
 pub use runtime::{
     OpenRequest, SessionOutcome, SessionSpec, ShardedRuntime, StreamConfig, StreamReport,
 };

@@ -6,9 +6,12 @@
 //! * **Isolation** — sessions are independent monitored executions; a session's
 //!   monitors live on exactly one shard, so no lock is ever taken around monitor
 //!   state.
-//! * **Backpressure** — shard mailboxes are bounded `std::sync::mpsc::sync_channel`s;
-//!   a producer that outruns a shard blocks (after a counted `try_send` miss) instead
-//!   of growing an unbounded queue.
+//! * **Backpressure** — shard mailboxes are bounded: either
+//!   `std::sync::mpsc::sync_channel`s or, with [`StreamConfig::use_rings`], the
+//!   lock-light [`SpscRing`]s of [`crate::ring`].  Either
+//!   way a producer that outruns a shard blocks (after a counted non-blocking
+//!   miss) instead of growing an unbounded queue, and the per-shard stall count
+//!   lands in [`ShardMetrics::backpressure_stalls`].
 //! * **Batching** — a shard drains up to [`StreamConfig::batch_size`] records per
 //!   wakeup and applies them in one go, amortizing channel overhead on hot shards.
 //! * **Graceful drain** — shutdown delivers every in-flight record, finishes any
@@ -19,6 +22,7 @@
 //! per shard the right shape.
 
 use crate::codec::{EventSource, SessionId, StreamError, StreamRecord};
+use crate::ring::{PopState, SpscRing};
 use dlrv_automaton::MonitorAutomaton;
 use dlrv_ltl::{Assignment, AtomRegistry, Verdict};
 use dlrv_monitor::{decentralized_session, DecentralizedSession, MonitorOptions, ShardMetrics};
@@ -39,6 +43,9 @@ pub struct StreamConfig {
     pub mailbox_capacity: usize,
     /// Maximum records a shard applies per wakeup.
     pub batch_size: usize,
+    /// Use [`SpscRing`] mailboxes instead of `sync_channel`s (the hot-path
+    /// default; the channel path remains as the A/B reference).
+    pub use_rings: bool,
 }
 
 impl Default for StreamConfig {
@@ -47,6 +54,7 @@ impl Default for StreamConfig {
             n_shards: 4,
             mailbox_capacity: 1024,
             batch_size: 32,
+            use_rings: true,
         }
     }
 }
@@ -146,6 +154,18 @@ struct ShardResult {
     outcomes: Vec<(SessionId, SessionOutcome)>,
 }
 
+/// Producer-side handle of one shard's mailbox.
+enum ShardMailbox {
+    Channel(SyncSender<ShardMsg>),
+    Ring(Arc<SpscRing<ShardMsg>>),
+}
+
+/// Consumer-side handle of one shard's mailbox.
+enum ShardInbox {
+    Channel(Receiver<ShardMsg>),
+    Ring(Arc<SpscRing<ShardMsg>>),
+}
+
 /// The online sharded monitoring engine.
 ///
 /// ```
@@ -173,12 +193,19 @@ struct ShardResult {
 /// let report = runtime.shutdown();
 /// assert!(report.sessions.contains_key(&7));
 /// ```
-#[derive(Debug)]
 pub struct ShardedRuntime {
-    senders: Vec<SyncSender<ShardMsg>>,
+    mailboxes: Vec<ShardMailbox>,
     handles: Vec<JoinHandle<ShardResult>>,
     stalls: Vec<AtomicUsize>,
     started: Instant,
+}
+
+impl std::fmt::Debug for ShardedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRuntime")
+            .field("n_shards", &self.mailboxes.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ShardedRuntime {
@@ -188,22 +215,29 @@ impl ShardedRuntime {
         assert!(config.n_shards > 0, "need at least one shard");
         assert!(config.mailbox_capacity > 0, "mailboxes must hold at least one record");
         assert!(config.batch_size > 0, "batches must hold at least one record");
-        let mut senders = Vec::with_capacity(config.n_shards);
+        let mut mailboxes = Vec::with_capacity(config.n_shards);
         let mut handles = Vec::with_capacity(config.n_shards);
         for shard in 0..config.n_shards {
-            let (tx, rx) = sync_channel::<ShardMsg>(config.mailbox_capacity);
             let batch_size = config.batch_size;
-            senders.push(tx);
+            let inbox = if config.use_rings {
+                let ring = Arc::new(SpscRing::new(config.mailbox_capacity));
+                mailboxes.push(ShardMailbox::Ring(Arc::clone(&ring)));
+                ShardInbox::Ring(ring)
+            } else {
+                let (tx, rx) = sync_channel::<ShardMsg>(config.mailbox_capacity);
+                mailboxes.push(ShardMailbox::Channel(tx));
+                ShardInbox::Channel(rx)
+            };
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("dlrv-shard-{shard}"))
-                    .spawn(move || shard_worker(shard, rx, batch_size))
+                    .spawn(move || shard_worker(shard, inbox, batch_size))
                     .expect("spawning a shard worker failed"),
             );
         }
         ShardedRuntime {
             stalls: (0..config.n_shards).map(|_| AtomicUsize::new(0)).collect(),
-            senders,
+            mailboxes,
             handles,
             started: Instant::now(),
         }
@@ -211,13 +245,13 @@ impl ShardedRuntime {
 
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
-        self.senders.len()
+        self.mailboxes.len()
     }
 
     /// The shard a session is routed to (stable hash of the session id, so a
     /// session's records always land on the same mailbox and stay FIFO).
     pub fn shard_of(&self, session: SessionId) -> usize {
-        (splitmix64(session) % self.senders.len() as u64) as usize
+        (splitmix64(session) % self.mailboxes.len() as u64) as usize
     }
 
     /// Opens `session` with the monitors described by `spec`.
@@ -295,11 +329,18 @@ impl ShardedRuntime {
     /// Graceful shutdown: delivers everything still queued, finishes sessions the
     /// stream never closed, joins the workers and returns the report.
     pub fn shutdown(self) -> StreamReport {
-        for tx in &self.senders {
-            // A full mailbox blocks here too; Drain must arrive after all records.
-            let _ = tx.send(ShardMsg::Drain);
+        for mailbox in &self.mailboxes {
+            match mailbox {
+                // A full mailbox blocks here too; Drain must arrive after all records.
+                ShardMailbox::Channel(tx) => {
+                    let _ = tx.send(ShardMsg::Drain);
+                }
+                // Rings need no sentinel: close marks end-of-stream and the
+                // consumer keeps popping until empty before it sees Closed.
+                ShardMailbox::Ring(ring) => ring.close(),
+            }
         }
-        drop(self.senders);
+        drop(self.mailboxes);
         let mut per_shard = Vec::with_capacity(self.handles.len());
         let mut sessions = BTreeMap::new();
         for (shard, handle) in self.handles.into_iter().enumerate() {
@@ -328,18 +369,27 @@ impl ShardedRuntime {
 
     fn send(&self, shard: usize, msg: ShardMsg) {
         dlrv_obs::counter!("stream.mailbox_enqueued").inc();
-        match self.senders[shard].try_send(msg) {
-            Ok(()) => {}
-            Err(TrySendError::Full(msg)) => {
-                self.stalls[shard].fetch_add(1, Ordering::Relaxed);
-                dlrv_obs::counter!("stream.backpressure_stalls").inc();
-                let _stall = dlrv_obs::span("stream.backpressure_wait");
-                self.senders[shard]
-                    .send(msg)
-                    .expect("shard worker terminated while its mailbox was full");
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                panic!("shard worker terminated before shutdown");
+        match &self.mailboxes[shard] {
+            ShardMailbox::Channel(tx) => match tx.try_send(msg) {
+                Ok(()) => {}
+                Err(TrySendError::Full(msg)) => {
+                    self.stalls[shard].fetch_add(1, Ordering::Relaxed);
+                    dlrv_obs::counter!("stream.backpressure_stalls").inc();
+                    let _stall = dlrv_obs::span("stream.backpressure_wait");
+                    tx.send(msg)
+                        .expect("shard worker terminated while its mailbox was full");
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    panic!("shard worker terminated before shutdown");
+                }
+            },
+            ShardMailbox::Ring(ring) => {
+                if let Err(msg) = ring.try_push(msg) {
+                    self.stalls[shard].fetch_add(1, Ordering::Relaxed);
+                    dlrv_obs::counter!("stream.backpressure_stalls").inc();
+                    let _stall = dlrv_obs::span("stream.backpressure_wait");
+                    ring.push_blocking(msg);
+                }
             }
         }
     }
@@ -354,7 +404,7 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-fn shard_worker(shard: usize, rx: Receiver<ShardMsg>, batch_size: usize) -> ShardResult {
+fn shard_worker(shard: usize, inbox: ShardInbox, batch_size: usize) -> ShardResult {
     let mut sessions: BTreeMap<SessionId, DecentralizedSession> = BTreeMap::new();
     let mut outcomes: Vec<(SessionId, SessionOutcome)> = Vec::new();
     let mut metrics = ShardMetrics {
@@ -368,16 +418,26 @@ fn shard_worker(shard: usize, rx: Receiver<ShardMsg>, batch_size: usize) -> Shar
 
     while !draining {
         batch.clear();
-        match rx.recv() {
-            Ok(msg) => batch.push(msg),
-            // All senders gone without a Drain (runtime dropped): treat as drain.
-            Err(_) => break,
-        }
-        while batch.len() < batch_size {
-            match rx.try_recv() {
-                Ok(msg) => batch.push(msg),
-                Err(_) => break,
+        match &inbox {
+            ShardInbox::Channel(rx) => {
+                match rx.recv() {
+                    Ok(msg) => batch.push(msg),
+                    // All senders gone without a Drain (runtime dropped): treat as drain.
+                    Err(_) => break,
+                }
+                while batch.len() < batch_size {
+                    match rx.try_recv() {
+                        Ok(msg) => batch.push(msg),
+                        Err(_) => break,
+                    }
+                }
             }
+            ShardInbox::Ring(ring) => match ring.pop_batch_blocking(&mut batch, batch_size) {
+                PopState::Items => {}
+                // Ring closed after its last record: everything is delivered.
+                PopState::Closed => break,
+                PopState::Empty => unreachable!("blocking pop never returns Empty"),
+            },
         }
 
         let started = Instant::now();
@@ -536,32 +596,36 @@ mod tests {
 
     #[test]
     fn sessions_reach_verdicts_across_shard_counts() {
-        for n_shards in [1, 2, 4] {
-            let runtime = ShardedRuntime::start(StreamConfig {
-                n_shards,
-                ..StreamConfig::default()
-            });
-            let spec = reachability_spec();
-            for session in 0..10u64 {
-                runtime.open_session(session, spec.clone());
-                for e in goal_events() {
-                    runtime.feed_event(session, e);
+        for use_rings in [false, true] {
+            for n_shards in [1, 2, 4] {
+                let runtime = ShardedRuntime::start(StreamConfig {
+                    n_shards,
+                    use_rings,
+                    ..StreamConfig::default()
+                });
+                let spec = reachability_spec();
+                for session in 0..10u64 {
+                    runtime.open_session(session, spec.clone());
+                    for e in goal_events() {
+                        runtime.feed_event(session, e);
+                    }
+                    runtime.close_session(session);
                 }
-                runtime.close_session(session);
+                let report = runtime.shutdown();
+                let tag = format!("{n_shards} shards, rings={use_rings}");
+                assert_eq!(report.sessions.len(), 10, "{tag}");
+                for (id, outcome) in &report.sessions {
+                    assert_eq!(outcome.verdict, Verdict::True, "session {id}, {tag}");
+                    assert!(!outcome.drained);
+                    assert_eq!(outcome.events, 2);
+                    assert!(outcome.monitor_messages > 0);
+                }
+                assert_eq!(report.total_events, 20);
+                assert_eq!(report.per_shard.len(), n_shards);
+                let opened: usize = report.per_shard.iter().map(|m| m.sessions_opened).sum();
+                assert_eq!(opened, 10);
+                assert!(report.events_per_sec > 0.0);
             }
-            let report = runtime.shutdown();
-            assert_eq!(report.sessions.len(), 10, "{n_shards} shards");
-            for (id, outcome) in &report.sessions {
-                assert_eq!(outcome.verdict, Verdict::True, "session {id}");
-                assert!(!outcome.drained);
-                assert_eq!(outcome.events, 2);
-                assert!(outcome.monitor_messages > 0);
-            }
-            assert_eq!(report.total_events, 20);
-            assert_eq!(report.per_shard.len(), n_shards);
-            let opened: usize = report.per_shard.iter().map(|m| m.sessions_opened).sum();
-            assert_eq!(opened, 10);
-            assert!(report.events_per_sec > 0.0);
         }
     }
 
@@ -617,24 +681,27 @@ mod tests {
         }
         let bytes = encode_stream(&records);
 
-        let runtime = ShardedRuntime::start(StreamConfig {
-            n_shards: 2,
-            mailbox_capacity: 2, // tiny mailbox: exercise the backpressure path
-            batch_size: 4,
-        });
-        let spec = reachability_spec();
-        let mut source = ReaderSource::new(&bytes[..]);
-        let pumped = runtime
-            .pump(&mut source, &mut |open| {
-                assert_eq!(open.property, "goal");
-                assert_eq!(open.n_processes, 2);
-                Ok(spec.clone())
-            })
-            .unwrap();
-        assert_eq!(pumped, records.len());
-        let report = runtime.shutdown();
-        assert_eq!(report.sessions.len(), 4);
-        assert!(report.sessions.values().all(|o| o.verdict == Verdict::True));
+        for use_rings in [false, true] {
+            let runtime = ShardedRuntime::start(StreamConfig {
+                n_shards: 2,
+                mailbox_capacity: 2, // tiny mailbox: exercise the backpressure path
+                batch_size: 4,
+                use_rings,
+            });
+            let spec = reachability_spec();
+            let mut source = ReaderSource::new(&bytes[..]);
+            let pumped = runtime
+                .pump(&mut source, &mut |open| {
+                    assert_eq!(open.property, "goal");
+                    assert_eq!(open.n_processes, 2);
+                    Ok(spec.clone())
+                })
+                .unwrap();
+            assert_eq!(pumped, records.len());
+            let report = runtime.shutdown();
+            assert_eq!(report.sessions.len(), 4, "rings={use_rings}");
+            assert!(report.sessions.values().all(|o| o.verdict == Verdict::True));
+        }
     }
 
     #[test]
@@ -686,6 +753,41 @@ mod tests {
         assert_eq!(report.per_shard[0].routing_errors, 2);
         assert_eq!(report.sessions[&1].verdict, Verdict::True);
         assert_eq!(report.sessions[&1].events, 2);
+    }
+
+    #[test]
+    fn zero_event_shards_still_report_zeroed_rows() {
+        // A shard that never receives a record must still produce its metrics
+        // row (all zeros, stall counter included) — consumers of per-shard
+        // JSON index rows by shard, so omission would silently misalign them.
+        for use_rings in [false, true] {
+            let runtime = ShardedRuntime::start(StreamConfig {
+                n_shards: 4,
+                use_rings,
+                ..StreamConfig::default()
+            });
+            let spec = reachability_spec();
+            // One session: exactly one shard sees traffic.
+            runtime.open_session(1, spec);
+            for e in goal_events() {
+                runtime.feed_event(1, e);
+            }
+            runtime.close_session(1);
+            let report = runtime.shutdown();
+            assert_eq!(report.per_shard.len(), 4, "rings={use_rings}");
+            let mut idle_rows = 0;
+            for (i, m) in report.per_shard.iter().enumerate() {
+                assert_eq!(m.shard, i, "rows stay in shard order");
+                if m.events_processed == 0 {
+                    idle_rows += 1;
+                    assert_eq!(m.sessions_opened, 0);
+                    assert_eq!(m.backpressure_stalls, 0);
+                    // (`batches` is not asserted: the channel path counts the
+                    // Drain sentinel itself as one batch, the ring path does not.)
+                }
+            }
+            assert_eq!(idle_rows, 3, "rings={use_rings}");
+        }
     }
 
     #[test]

@@ -1,10 +1,16 @@
 //! Property-based tests of the wire codec: arbitrary events and record sequences must
 //! survive the JSON round-trip, and the frame decoder must reassemble any chunking of
 //! the byte stream — the wire never guarantees record-aligned reads.
+//!
+//! The binary codec is pinned *differentially* against the JSON codec: for any
+//! record sequence, decoding the binary encoding and decoding the JSON encoding
+//! must produce identical records (timestamps bit-for-bit), under any chunking,
+//! and even when the two frame formats are interleaved on a single stream.
 
 use dlrv_ltl::Assignment;
 use dlrv_stream::{
-    encode_stream, event_from_json, event_to_json, record_from_json, record_to_json,
+    encode_frame, encode_stream, encode_stream_binary, event_from_binary, event_to_binary,
+    event_from_json, event_to_json, record_from_json, record_to_json, BinaryStreamEncoder,
     FrameDecoder, StreamRecord,
 };
 use dlrv_vclock::{Event, EventKind, VectorClock};
@@ -106,6 +112,109 @@ proptest! {
         let mut decoded = Vec::new();
         let mut pos = 0usize;
         let mut s = chunk_seed;
+        while pos < bytes.len() {
+            let len = (1 + mix(&mut s) % 97) as usize;
+            let end = (pos + len).min(bytes.len());
+            decoder.push(&bytes[pos..end]);
+            pos = end;
+            while let Some(r) = decoder.next_record().map_err(|e| format!("{e}"))? {
+                decoded.push(r);
+            }
+        }
+        prop_assert_eq!(decoded, records);
+        prop_assert!(decoder.pending_bytes() == 0, "trailing bytes after full stream");
+    }
+
+    /// Differential event codec: for any event, the binary round-trip must land on
+    /// exactly the same event as the JSON round-trip — timestamp bits included —
+    /// and the binary decoder must consume exactly the bytes the encoder wrote.
+    #[test]
+    fn binary_and_json_event_codecs_agree(seed in 0u64..1 << 48) {
+        let event = event_from_seed(seed);
+        let mut buf = Vec::new();
+        event_to_binary(&event, &mut buf);
+        let mut pos = 0usize;
+        let via_binary = event_from_binary(&buf, &mut pos).map_err(|e| format!("{e}"))?;
+        prop_assert!(pos == buf.len(), "binary decoder must consume the whole encoding");
+        let via_json = event_from_json(&event_to_json(&event)).map_err(|e| format!("{e}"))?;
+        prop_assert_eq!(&via_binary, &via_json);
+        prop_assert_eq!(&via_binary, &event);
+        prop_assert_eq!(via_binary.time.to_bits(), event.time.to_bits());
+    }
+
+    /// Differential stream codec under arbitrary chunking: the binary encoding of
+    /// a record sequence, sliced into pseudo-random chunks, must decode to exactly
+    /// the records the JSON encoding decodes to.  Also pins the size win: the
+    /// binary stream must never be larger than the JSON stream.
+    #[test]
+    fn binary_framed_streams_decode_identically_to_json(
+        seed in 0u64..1 << 48,
+        n_records in 1usize..20,
+        chunk_seed in 1u64..1 << 32,
+    ) {
+        let records: Vec<StreamRecord> =
+            (0..n_records).map(|i| record_from_seed(seed.wrapping_add(i as u64 * 7919))).collect();
+        let json_bytes = encode_stream(&records);
+        let binary_bytes = encode_stream_binary(&records);
+        prop_assert!(
+            binary_bytes.len() <= json_bytes.len(),
+            "binary stream ({} B) larger than JSON stream ({} B)",
+            binary_bytes.len(),
+            json_bytes.len()
+        );
+
+        let mut via_json = Vec::new();
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&json_bytes);
+        while let Some(r) = decoder.next_record().map_err(|e| format!("{e}"))? {
+            via_json.push(r);
+        }
+
+        let mut via_binary = Vec::new();
+        let mut decoder = FrameDecoder::new();
+        let mut pos = 0usize;
+        let mut s = chunk_seed;
+        while pos < binary_bytes.len() {
+            let len = (1 + mix(&mut s) % 97) as usize;
+            let end = (pos + len).min(binary_bytes.len());
+            decoder.push(&binary_bytes[pos..end]);
+            pos = end;
+            while let Some(r) = decoder.next_record().map_err(|e| format!("{e}"))? {
+                via_binary.push(r);
+            }
+        }
+        prop_assert!(decoder.pending_bytes() == 0, "trailing bytes after full stream");
+        prop_assert_eq!(&via_binary, &via_json);
+        prop_assert_eq!(via_binary, records);
+    }
+
+    /// Mixed-format streams: each record independently picks the JSON or the
+    /// binary framing (the decoder autodetects per frame via the header bit), the
+    /// concatenation is sliced into arbitrary chunks, and the decoder must still
+    /// reproduce every record in order.  This is the exact shape a connection
+    /// takes when the wire format is renegotiated mid-stream.
+    #[test]
+    fn mixed_binary_and_json_frames_survive_arbitrary_chunking(
+        seed in 0u64..1 << 48,
+        n_records in 1usize..20,
+        chunk_seed in 1u64..1 << 32,
+    ) {
+        let records: Vec<StreamRecord> =
+            (0..n_records).map(|i| record_from_seed(seed.wrapping_add(i as u64 * 7919))).collect();
+        let mut s = chunk_seed;
+        let mut encoder = BinaryStreamEncoder::new();
+        let mut bytes = Vec::new();
+        for record in &records {
+            if mix(&mut s).is_multiple_of(2) {
+                bytes.extend(encode_frame(record));
+            } else {
+                encoder.encode_frame_into(record, &mut bytes);
+            }
+        }
+
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut pos = 0usize;
         while pos < bytes.len() {
             let len = (1 + mix(&mut s) % 97) as usize;
             let end = (pos + len).min(bytes.len());

@@ -39,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod event;
 pub mod fixtures;
 pub mod intern;
@@ -46,6 +47,7 @@ pub mod lattice;
 pub mod slice;
 pub mod vc;
 
+pub use batch::{compare_many, first_equal};
 pub use event::{Computation, Event, EventKind};
 pub use intern::{ClockIntern, SharedClock};
 pub use lattice::{evaluate_path, oracle_evaluate, CutId, Lattice, OracleResult};

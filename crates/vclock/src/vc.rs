@@ -117,6 +117,15 @@ impl VectorClock {
     pub fn entries(&self) -> &[u64] {
         &self.entries
     }
+
+    /// Overwrites this clock with `other`, reusing the existing entry buffer
+    /// (unlike `*self = other.clone()`, which allocates a fresh one).  The slab
+    /// recyclers of the monitor hot path lean on this to turn per-event clock
+    /// clones into plain memcpys.
+    pub fn copy_from(&mut self, other: &VectorClock) {
+        self.entries.clear();
+        self.entries.extend_from_slice(&other.entries);
+    }
 }
 
 impl fmt::Display for VectorClock {

@@ -34,9 +34,12 @@
 //! sessions through the sharded `dlrv-stream` runtime), `deploy` runs the
 //! real-socket family (one `monitord` OS process per monitor over TCP/Unix
 //! sockets, optionally through the fault-injection shim — `--fault
-//! drop=p,delay=ms,dup=p,reorder=p` overrides the scenarios' shim spec) and
-//! `custom` runs the registry's user-style LTL properties.  Targets are
-//! positional arguments; `--target NAME` is an equivalent spelling.
+//! drop=p,delay=ms,dup=p,reorder=p` overrides the scenarios' shim spec),
+//! `hotpath` runs the hot-path optimization ablation (the streaming engine with
+//! each of the binary wire / arena recycling / SPSC ring switches toggled one at
+//! a time, then all together) and `custom` runs the registry's user-style LTL
+//! properties.  Targets are positional arguments; `--target NAME` is an
+//! equivalent spelling.
 //!
 //! `--property 'LTL'` (or `--property-file PATH`, whose format allows `#` comments
 //! plus optional `name:` / `procs:` headers before the formula) runs an arbitrary
@@ -121,14 +124,16 @@ use std::process::exit;
 const EVENTS: usize = 20;
 
 /// Everything a target argument may select.
-const KNOWN_TARGETS: [&str; 16] = [
+const KNOWN_TARGETS: [&str; 17] = [
     "all", "table5_1", "automata_dot", "fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8",
-    "fig5_9", "sweep", "throughput", "overhead", "custom", "deploy", "analyze", "report",
+    "fig5_9", "sweep", "throughput", "overhead", "custom", "deploy", "hotpath", "analyze",
+    "report",
 ];
 
 /// The targets backed by the scenario registry (the ones `--scenario` can filter,
 /// `--no-opt` can override and `--format json` can serialize).
-const REGISTRY_TARGETS: [&str; 5] = ["sweep", "throughput", "overhead", "custom", "deploy"];
+const REGISTRY_TARGETS: [&str; 6] =
+    ["sweep", "throughput", "overhead", "custom", "deploy", "hotpath"];
 
 /// Output format of metric-producing targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -682,6 +687,7 @@ fn parse_cli(args: Vec<String>) -> Cli {
                 ScenarioFamily::Overhead => vec!["overhead"],
                 ScenarioFamily::Custom => vec!["custom", "sweep"],
                 ScenarioFamily::Deploy => vec!["deploy"],
+                ScenarioFamily::Hotpath => vec!["hotpath"],
                 _ => vec!["sweep"],
             };
             wanted_targets.push("analyze");
@@ -841,19 +847,23 @@ fn main() {
     }
 }
 
-/// The registry families one registry target runs: `throughput`, `overhead` and
-/// `deploy` own their families, `custom` focuses on the custom LTL family, and
-/// `sweep` runs every offline in-process family (paper, comm-frequency, extended
-/// and custom).
+/// The registry families one registry target runs: `throughput`, `overhead`,
+/// `deploy` and `hotpath` own their families, `custom` focuses on the custom LTL
+/// family, and `sweep` runs every offline in-process family (paper,
+/// comm-frequency, extended and custom).
 fn target_selects(target: &str, family: ScenarioFamily) -> bool {
     match target {
         "throughput" => family == ScenarioFamily::Throughput,
         "overhead" => family == ScenarioFamily::Overhead,
         "custom" => family == ScenarioFamily::Custom,
         "deploy" => family == ScenarioFamily::Deploy,
+        "hotpath" => family == ScenarioFamily::Hotpath,
         _ => !matches!(
             family,
-            ScenarioFamily::Throughput | ScenarioFamily::Overhead | ScenarioFamily::Deploy
+            ScenarioFamily::Throughput
+                | ScenarioFamily::Overhead
+                | ScenarioFamily::Deploy
+                | ScenarioFamily::Hotpath
         ),
     }
 }
@@ -942,14 +952,16 @@ fn validate_results(
                     );
                     exit(1);
                 }
-                // A throughput family whose rates are all zero was never actually
-                // measured — fail exactly like an absent family.
-                if family == "throughput"
+                // A streamed family whose rates are all zero was never actually
+                // measured — fail exactly like an absent family.  `hotpath` runs
+                // through the same streaming engine as `throughput`, so the same
+                // liveness check applies.
+                if (family == "throughput" || family == "hotpath")
                     && members.iter().any(|r| r.avg.events_per_sec <= 0.0)
                 {
                     eprintln!(
-                        "error: `{}` has throughput scenarios with zero \
-                         events_per_sec; regenerate with `--target throughput`",
+                        "error: `{}` has {family} scenarios with zero \
+                         events_per_sec; regenerate with `--target {family}`",
                         path.display()
                     );
                     exit(1);
@@ -1622,7 +1634,9 @@ fn registry_target(target: &str, cli: &Cli) {
             text.push('\n');
             write_output(cli, &text, &format!("{} scenarios", results.len()));
         }
-        Format::Text if target == "throughput" => throughput_table(&results),
+        Format::Text if target == "throughput" || target == "hotpath" => {
+            throughput_table(&results)
+        }
         Format::Text if target == "overhead" => overhead_table(&results),
         Format::Text if target == "custom" => sweep_table("Custom property scenarios", &results),
         Format::Text if target == "deploy" => deploy_table(&results),

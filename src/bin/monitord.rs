@@ -25,7 +25,7 @@ use dlrv_core::results::{options_from_json, property_from_json};
 use dlrv_core::CompiledProperty;
 use dlrv_monitor::{DecentralizedMonitor, MonitorMsg};
 use dlrv_net::{
-    connect_with_retry, encode_json_frame, DaemonReport, DaemonStatus, DaemonTelemetry, Endpoint,
+    connect_with_retry, encode_wire_frame, DaemonReport, DaemonStatus, DaemonTelemetry, Endpoint,
     FaultInjector, FaultStats, FramedConn, Interest, Listener, NetError, Reactor, WireMsg,
     TELEMETRY_EVERY_EVENTS,
 };
@@ -173,6 +173,9 @@ struct RunState {
     /// Messages the monitor emitted, pre-shim (what a co-located
     /// `FeedSession` would count).
     logical_msgs: u64,
+    /// True when the hello negotiated the binary wire: outgoing monitor frames
+    /// are binary-encoded (incoming frames self-describe either way).
+    binary_wire: bool,
 }
 
 struct Daemon {
@@ -268,12 +271,11 @@ impl Daemon {
             }
         }
         if readable {
-            let frames = match self.conns.get_mut(&token) {
-                Some(entry) => entry.conn.on_readable()?,
+            let msgs = match self.conns.get_mut(&token) {
+                Some(entry) => entry.conn.on_readable_msgs()?,
                 None => return Ok(()),
             };
-            for frame in frames {
-                let msg = WireMsg::from_json(&frame)?;
+            for msg in msgs {
                 self.handle_frame(token, msg)?;
                 if self.shutdown {
                     return Ok(());
@@ -324,6 +326,7 @@ impl Daemon {
                 initial_state,
                 fault,
                 peers,
+                binary_wire,
             } => {
                 if self.run.is_some() {
                     return self.fail(token, "duplicate hello");
@@ -374,6 +377,7 @@ impl Daemon {
                     received: vec![0; n_processes],
                     events_seen: 0,
                     logical_msgs: 0,
+                    binary_wire,
                 };
                 // Dial the lower-numbered peers; higher-numbered peers dial us.
                 for (j, peer) in peers.iter().enumerate().take(process) {
@@ -383,7 +387,7 @@ impl Daemon {
                     let peer_token = self.next_token;
                     self.next_token += 1;
                     let mut conn = FramedConn::new(sock);
-                    conn.send(&WireMsg::PeerHello { from: process }.to_json())?;
+                    conn.send_msg(&WireMsg::PeerHello { from: process })?;
                     run.peer_overhead[j] = 1;
                     self.reactor
                         .register(conn.raw_fd(), peer_token, Interest::READABLE)?;
@@ -599,14 +603,16 @@ impl Daemon {
             } else {
                 let seq = run.next_seq[dest];
                 run.next_seq[dest] += 1;
-                let frame = encode_json_frame(
+                // Encoded here (not via the connection) because the fault shim
+                // operates on whole opaque frames — binary or JSON alike.
+                let frame = encode_wire_frame(
                     &WireMsg::Monitor {
                         from: run.process,
                         seq,
                         time,
                         msg,
-                    }
-                    .to_json(),
+                    },
+                    run.binary_wire,
                 );
                 let injector = run.injectors[dest]
                     .as_mut()
@@ -730,7 +736,7 @@ impl Daemon {
 
     fn reply(&mut self, token: u64, msg: &WireMsg) -> Result<(), NetError> {
         if let Some(entry) = self.conns.get_mut(&token) {
-            entry.conn.send(&msg.to_json())?;
+            entry.conn.send_msg(msg)?;
         }
         self.update_interest(token)
     }

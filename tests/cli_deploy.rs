@@ -210,6 +210,9 @@ fn full_control_session_shuts_down_gracefully_with_exit_0() {
         initial_state: 0,
         fault: None,
         peers: vec![endpoint.clone()],
+        // This session stays on the original all-JSON wire: it pins that a
+        // plain-JSON orchestrator still drives a daemon end to end.
+        binary_wire: false,
     };
     assert_eq!(rpc(&mut conn, &hello), WireMsg::HelloOk { process: 0 });
 

@@ -68,7 +68,13 @@ fn assert_verdicts_match_baseline(
     label: &str,
 ) {
     let config = deploy_config(property, vec![1]);
-    let params = DeployParams { transport, fault };
+    // Faults exercise the binary wire: byte-opaque drop/dup/delay/reorder must
+    // behave identically whatever the frame payload format is.
+    let params = DeployParams {
+        transport,
+        fault,
+        binary_wire: true,
+    };
     let outcome = run_deploy(&config, MonitorOptions::default(), &params)
         .unwrap_or_else(|e| panic!("{property:?} [{label}]: deploy failed: {e}"));
     for (i, &seed) in config.seeds.iter().enumerate() {
@@ -189,6 +195,7 @@ fn total_frame_loss_is_a_pinned_divergence() {
         let params = DeployParams {
             transport: DeployTransport::Unix,
             fault: Some(fault),
+            binary_wire: true,
         };
         let outcome = run_deploy(&config, MonitorOptions::default(), &params)
             .unwrap_or_else(|e| panic!("{property:?} [drop]: deploy failed: {e}"));

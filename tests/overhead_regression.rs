@@ -86,8 +86,9 @@ fn full_suite_never_loses_to_the_baseline_on_any_property() {
 
 #[test]
 fn every_flag_combination_reports_identical_verdicts() {
-    // All 8 settings of the three switches, on the paper's worst case: same detected
-    // verdicts and same possible-verdict union as the all-off baseline.
+    // All 16 settings of the four switches (the three §4.3 optimizations plus
+    // arena recycling), on the paper's worst case: same detected verdicts and
+    // same possible-verdict union as the all-off baseline.
     let config = overhead_config(PaperProperty::C);
     let baseline = run_experiment_with_options(&config, MonitorOptions::ALL_OFF);
     for opts in MonitorOptions::all_combinations() {
@@ -99,6 +100,45 @@ fn every_flag_combination_reports_identical_verdicts() {
         assert_eq!(
             result.avg.possible_verdicts, baseline.avg.possible_verdicts,
             "{opts:?}: possible verdicts diverged"
+        );
+    }
+}
+
+#[test]
+fn arena_recycling_is_invisible_in_every_counted_metric() {
+    // Arena recycling changes *where* views and tokens are allocated, never what
+    // the monitor computes: unlike the §4.3 switches (which trade messages for
+    // work), toggling it must leave every counted metric bit-identical, not just
+    // bounded.  A drift here means the pools leaked state between runs.
+    for property in PaperProperty::ALL {
+        let config = overhead_config(property);
+        let on = run_experiment_with_options(&config, MonitorOptions::default());
+        let off = run_experiment_with_options(
+            &config,
+            MonitorOptions {
+                arena_recycling: false,
+                ..MonitorOptions::default()
+            },
+        );
+        assert_eq!(
+            (
+                on.avg.monitor_messages,
+                on.avg.monitor_tokens,
+                on.avg.total_global_views,
+                on.avg.peak_global_views,
+            ),
+            (
+                off.avg.monitor_messages,
+                off.avg.monitor_tokens,
+                off.avg.total_global_views,
+                off.avg.peak_global_views,
+            ),
+            "{property}: arena recycling changed a counted metric"
+        );
+        assert_eq!(on.detected_verdicts, off.detected_verdicts, "{property}: verdicts");
+        assert_eq!(
+            on.avg.possible_verdicts, off.avg.possible_verdicts,
+            "{property}: possible verdicts"
         );
     }
 }

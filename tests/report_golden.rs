@@ -58,14 +58,14 @@ fn record(
             },
             options: MonitorOptions::default(),
             stream: (family == ScenarioFamily::Throughput).then_some(StreamParams {
-                n_sessions: 50,
-                n_shards: 4,
                 mailbox_capacity: 64,
                 batch_size: 8,
+                ..StreamParams::sized(50, 4)
             }),
             deploy: (family == ScenarioFamily::Deploy).then(|| DeployParams {
                 transport: DeployTransport::Unix,
                 fault: Some(FaultSpec::parse("delay=1,dup=0.2,seed=7").expect("valid spec")),
+                binary_wire: true,
             }),
         },
         detected_verdicts: avg.detected_final_verdicts.clone(),

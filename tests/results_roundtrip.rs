@@ -147,6 +147,51 @@ fn overhead_fields_are_populated_and_survive_the_roundtrip() {
 }
 
 #[test]
+fn zero_event_shards_emit_zeroed_per_shard_rows_that_round_trip() {
+    // One session across four shards: sessions pin to `session % n_shards`, so
+    // three shards never see an event.  Each idle shard must still emit its own
+    // per-shard JSON row — all counters zero, `backpressure_stalls` included —
+    // and the full per-shard vector must survive the document round-trip.  A
+    // missing row would make shard arrays ragged across scenarios and silently
+    // break per-shard joins in the report dashboard.
+    let mut scenario = small("throughput-B-s200-sh4");
+    scenario.stream = Some(dlrv::StreamParams::sized(1, 4));
+    let result = scenario.run();
+
+    let shards = &result.per_seed[0].per_shard;
+    assert_eq!(shards.len(), 4, "one row per shard, idle shards included");
+    let idle: Vec<_> = shards.iter().filter(|m| m.events_processed == 0).collect();
+    assert_eq!(idle.len(), 3, "exactly one shard owns the single session");
+    for m in &idle {
+        assert_eq!(m.sessions_opened, 0, "shard {}: sessions_opened", m.shard);
+        assert_eq!(m.sessions_closed, 0, "shard {}: sessions_closed", m.shard);
+        assert_eq!(m.backpressure_stalls, 0, "shard {}: backpressure_stalls", m.shard);
+    }
+    // Shard ids must stay a dense 0..n range even with idle members.
+    let ids: Vec<usize> = shards.iter().map(|m| m.shard).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3]);
+
+    let doc = sweep_to_json(&[(scenario, result.clone())]);
+    let raw_rows = doc
+        .get("scenarios")
+        .unwrap()
+        .as_array()
+        .unwrap()[0]
+        .get("per_seed")
+        .unwrap()
+        .as_array()
+        .unwrap()[0]
+        .get("per_shard")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .len();
+    assert_eq!(raw_rows, 4, "the emitted JSON itself carries all four rows");
+    let record = &sweep_from_json(&doc).expect("schema")[0];
+    assert_eq!(record.per_seed[0].per_shard, result.per_seed[0].per_shard);
+}
+
+#[test]
 fn scenario_wall_clock_duration_is_reported() {
     // The per-scenario duration is an additive schema field: present in emitted
     // documents, non-zero for any scenario that actually ran.

@@ -12,8 +12,8 @@
 use dlrv::dlrv_distsim::{initial_global_state, run_simulation, NullMonitor, SimConfig};
 use dlrv::dlrv_monitor::{replay_decentralized, timestamp_order, MonitorOptions};
 use dlrv::dlrv_stream::{
-    encode_stream, interleave_sessions, ReaderSource, SessionSpec, SessionStream,
-    ShardedRuntime, StreamConfig,
+    encode_stream, encode_stream_binary, interleave_sessions, ReaderSource, SessionSpec,
+    SessionStream, ShardedRuntime, StreamConfig,
 };
 use dlrv::dlrv_trace::generate_workload;
 use dlrv::dlrv_vclock::Event;
@@ -30,12 +30,29 @@ struct Baseline {
     monitor_messages: usize,
 }
 
+/// The hot-path engine variants: JSON vs binary wire frames × channel vs ring
+/// mailboxes.  Every test sweeps these against the same offline oracle — the
+/// engine switches must never change what a session detects.
+const ENGINES: [(bool, bool); 4] = [(false, false), (true, false), (false, true), (true, true)];
+
+/// Encodes the interleaved wire stream in the chosen frame format.
+fn wire_bytes(inputs: &[SessionStream], binary_wire: bool) -> Vec<u8> {
+    let records = interleave_sessions(inputs);
+    if binary_wire {
+        encode_stream_binary(&records)
+    } else {
+        encode_stream(&records)
+    }
+}
+
 #[test]
 fn streamed_verdicts_equal_offline_replay_for_every_flag_combination() {
-    // §4.3 ablation over the wire: for every setting of the optimization switches,
-    // streaming must still match the offline replay *run with the same switches* —
-    // verdict-for-verdict and token-for-token.  Property C at 3 processes is the
-    // paper's message-overhead worst case, so it exercises every optimization.
+    // §4.3 ablation over the wire: for every setting of the optimization switches
+    // (including arena recycling) crossed with every engine variant (binary codec
+    // on/off × SPSC rings on/off), streaming must still match the offline replay
+    // *run with the same switches* — verdict-for-verdict and token-for-token.
+    // Property C at 3 processes is the paper's message-overhead worst case, so it
+    // exercises every optimization.
     let property = PaperProperty::C;
     let config = ExperimentConfig {
         events_per_process: 6,
@@ -60,44 +77,47 @@ fn streamed_verdicts_equal_offline_replay_for_every_flag_combination() {
         initial_state: initial_global_state(&workload, &registry).0,
         events,
     };
-    let bytes = encode_stream(&interleave_sessions(std::slice::from_ref(&input)));
-
     for opts in MonitorOptions::all_combinations() {
         let replay = replay_decentralized(&report.computation, &registry, &automaton, opts);
 
-        let runtime = ShardedRuntime::start(StreamConfig {
-            n_shards: 2,
-            mailbox_capacity: 8,
-            batch_size: 4,
-        });
-        let mut source = ReaderSource::new(&bytes[..]);
-        runtime
-            .pump(&mut source, &mut |open| {
-                Ok(Arc::new(SessionSpec {
-                    n_processes: open.n_processes,
-                    automaton: automaton.clone(),
-                    registry: registry.clone(),
-                    initial_state: open.initial_state,
-                    options: opts,
-                }))
-            })
-            .expect("freshly encoded stream must decode");
-        let outcome = &runtime.shutdown().sessions[&0];
+        for (binary_wire, use_rings) in ENGINES {
+            let bytes = wire_bytes(std::slice::from_ref(&input), binary_wire);
+            let runtime = ShardedRuntime::start(StreamConfig {
+                n_shards: 2,
+                mailbox_capacity: 8,
+                batch_size: 4,
+                use_rings,
+            });
+            let mut source = ReaderSource::new(&bytes[..]);
+            runtime
+                .pump(&mut source, &mut |open| {
+                    Ok(Arc::new(SessionSpec {
+                        n_processes: open.n_processes,
+                        automaton: automaton.clone(),
+                        registry: registry.clone(),
+                        initial_state: open.initial_state,
+                        options: opts,
+                    }))
+                })
+                .expect("freshly encoded stream must decode");
+            let outcome = &runtime.shutdown().sessions[&0];
 
-        assert_eq!(
-            outcome.detected_verdicts,
-            replay.detected_final_verdicts(),
-            "{opts:?}: detected verdicts diverge"
-        );
-        assert_eq!(
-            outcome.possible_verdicts,
-            replay.possible_verdicts(),
-            "{opts:?}: possible verdicts diverge"
-        );
-        assert_eq!(
-            outcome.monitor_messages, replay.monitor_messages,
-            "{opts:?}: message counts diverge"
-        );
+            let engine = format!("binary_wire={binary_wire}, use_rings={use_rings}");
+            assert_eq!(
+                outcome.detected_verdicts,
+                replay.detected_final_verdicts(),
+                "{opts:?}, {engine}: detected verdicts diverge"
+            );
+            assert_eq!(
+                outcome.possible_verdicts,
+                replay.possible_verdicts(),
+                "{opts:?}, {engine}: possible verdicts diverge"
+            );
+            assert_eq!(
+                outcome.monitor_messages, replay.monitor_messages,
+                "{opts:?}, {engine}: message counts diverge"
+            );
+        }
     }
 }
 
@@ -112,89 +132,92 @@ fn streamed_verdicts_equal_offline_replay_for_custom_properties() {
         PropertySpec::parse_named("nested-until", "G(P0.p U (P1.p U P2.p))").expect("valid LTL"),
     ];
     for spec in &specs {
-        let n_processes = spec.min_processes();
-        let config = ExperimentConfig {
-            events_per_process: 8,
-            ..ExperimentConfig::paper_default(spec.clone(), n_processes)
-        };
-        let compiled = CompiledProperty::compile(spec, n_processes);
-        let (automaton, registry) = (&compiled.automaton, &compiled.registry);
+        for arena_recycling in [true, false] {
+            let opts = MonitorOptions {
+                arena_recycling,
+                ..MonitorOptions::default()
+            };
+            let n_processes = spec.min_processes();
+            let config = ExperimentConfig {
+                events_per_process: 8,
+                ..ExperimentConfig::paper_default(spec.clone(), n_processes)
+            };
+            let compiled = CompiledProperty::compile(spec, n_processes);
+            let (automaton, registry) = (&compiled.automaton, &compiled.registry);
 
-        let mut baselines = Vec::new();
-        for (s, seed) in [7u64, 19, 31].into_iter().enumerate() {
-            let workload = generate_workload(&config.workload_config(seed));
-            let report = run_simulation(&workload, registry, &SimConfig::default(), |_| {
-                NullMonitor::default()
-            });
-            let replay = replay_decentralized(
-                &report.computation,
-                registry,
-                automaton,
-                MonitorOptions::default(),
-            );
-            let events: Vec<Event> = timestamp_order(&report.computation)
-                .into_iter()
-                .map(|(_, p, sn)| report.computation.events[p][(sn - 1) as usize].clone())
-                .collect();
-            baselines.push(Baseline {
-                input: SessionStream {
-                    session: s as u64,
-                    property: spec.name().to_string(),
-                    n_processes,
-                    initial_state: initial_global_state(&workload, registry).0,
-                    events,
-                },
-                detected: replay.detected_final_verdicts(),
-                possible: replay.possible_verdicts(),
-                monitor_messages: replay.monitor_messages,
-            });
-        }
+            let mut baselines = Vec::new();
+            for (s, seed) in [7u64, 19, 31].into_iter().enumerate() {
+                let workload = generate_workload(&config.workload_config(seed));
+                let report = run_simulation(&workload, registry, &SimConfig::default(), |_| {
+                    NullMonitor::default()
+                });
+                let replay =
+                    replay_decentralized(&report.computation, registry, automaton, opts);
+                let events: Vec<Event> = timestamp_order(&report.computation)
+                    .into_iter()
+                    .map(|(_, p, sn)| report.computation.events[p][(sn - 1) as usize].clone())
+                    .collect();
+                baselines.push(Baseline {
+                    input: SessionStream {
+                        session: s as u64,
+                        property: spec.name().to_string(),
+                        n_processes,
+                        initial_state: initial_global_state(&workload, registry).0,
+                        events,
+                    },
+                    detected: replay.detected_final_verdicts(),
+                    possible: replay.possible_verdicts(),
+                    monitor_messages: replay.monitor_messages,
+                });
+            }
 
-        let inputs: Vec<SessionStream> = baselines.iter().map(|b| b.input.clone()).collect();
-        let bytes = encode_stream(&interleave_sessions(&inputs));
+            let inputs: Vec<SessionStream> = baselines.iter().map(|b| b.input.clone()).collect();
 
-        for n_shards in [1usize, 2, 4] {
-            let runtime = ShardedRuntime::start(StreamConfig {
-                n_shards,
-                mailbox_capacity: 8,
-                batch_size: 4,
-            });
-            let mut source = ReaderSource::new(&bytes[..]);
-            runtime
-                .pump(&mut source, &mut |open| {
-                    assert_eq!(open.property, spec.name());
-                    Ok(Arc::new(SessionSpec {
-                        n_processes: open.n_processes,
-                        automaton: automaton.clone(),
-                        registry: registry.clone(),
-                        initial_state: open.initial_state,
-                        options: MonitorOptions::default(),
-                    }))
-                })
-                .expect("freshly encoded stream must decode");
-            let report = runtime.shutdown();
+            for (binary_wire, use_rings) in ENGINES {
+                let bytes = wire_bytes(&inputs, binary_wire);
+                for n_shards in [1usize, 2, 4] {
+                    let runtime = ShardedRuntime::start(StreamConfig {
+                        n_shards,
+                        mailbox_capacity: 8,
+                        batch_size: 4,
+                        use_rings,
+                    });
+                    let mut source = ReaderSource::new(&bytes[..]);
+                    runtime
+                        .pump(&mut source, &mut |open| {
+                            assert_eq!(open.property, spec.name());
+                            Ok(Arc::new(SessionSpec {
+                                n_processes: open.n_processes,
+                                automaton: automaton.clone(),
+                                registry: registry.clone(),
+                                initial_state: open.initial_state,
+                                options: opts,
+                            }))
+                        })
+                        .expect("freshly encoded stream must decode");
+                    let report = runtime.shutdown();
 
-            assert_eq!(report.sessions.len(), baselines.len(), "{}", spec.name());
-            for (s, baseline) in baselines.iter().enumerate() {
-                let outcome = &report.sessions[&(s as u64)];
-                assert_eq!(
-                    outcome.detected_verdicts,
-                    baseline.detected,
-                    "{}, session {s}, {n_shards} shards: detected verdicts diverge",
-                    spec.name()
-                );
-                assert_eq!(
-                    outcome.possible_verdicts,
-                    baseline.possible,
-                    "{}, session {s}, {n_shards} shards: possible verdicts diverge",
-                    spec.name()
-                );
-                assert_eq!(
-                    outcome.monitor_messages,
-                    baseline.monitor_messages,
-                    "{}, session {s}, {n_shards} shards: token counts diverge",
-                    spec.name()
-                );
+                    let tag = format!(
+                        "{}, arena={arena_recycling}, binary={binary_wire}, rings={use_rings}",
+                        spec.name()
+                    );
+                    assert_eq!(report.sessions.len(), baselines.len(), "{tag}");
+                    for (s, baseline) in baselines.iter().enumerate() {
+                        let outcome = &report.sessions[&(s as u64)];
+                        assert_eq!(
+                            outcome.detected_verdicts, baseline.detected,
+                            "{tag}, session {s}, {n_shards} shards: detected verdicts diverge"
+                        );
+                        assert_eq!(
+                            outcome.possible_verdicts, baseline.possible,
+                            "{tag}, session {s}, {n_shards} shards: possible verdicts diverge"
+                        );
+                        assert_eq!(
+                            outcome.monitor_messages, baseline.monitor_messages,
+                            "{tag}, session {s}, {n_shards} shards: token counts diverge"
+                        );
+                    }
+                }
             }
         }
     }
@@ -244,59 +267,64 @@ fn streamed_verdicts_equal_offline_replay_for_every_property() {
         }
 
         // Encode all sessions into one interleaved wire stream — the same
-        // construction the throughput runner uses.
+        // construction the throughput runner uses — once per frame format.
         let inputs: Vec<SessionStream> = baselines.iter().map(|b| b.input.clone()).collect();
-        let bytes = encode_stream(&interleave_sessions(&inputs));
 
-        // Pump the same bytes through 1, 2 and 4 shards: sharding must not change
+        // Pump the same records through every engine variant and 1, 2 and 4 shards:
+        // neither sharding, nor the frame format, nor the mailbox kind may change
         // any session's outcome.
-        for n_shards in [1usize, 2, 4] {
-            let runtime = ShardedRuntime::start(StreamConfig {
-                n_shards,
-                mailbox_capacity: 8, // small mailbox: force the backpressure path
-                batch_size: 4,
-            });
-            let mut source = ReaderSource::new(&bytes[..]);
-            runtime
-                .pump(&mut source, &mut |open| {
-                    assert_eq!(open.property, property.name());
-                    Ok(Arc::new(SessionSpec {
-                        n_processes: open.n_processes,
-                        automaton: automaton.clone(),
-                        registry: registry.clone(),
-                        initial_state: open.initial_state,
-                        options: MonitorOptions::default(),
-                    }))
-                })
-                .expect("freshly encoded stream must decode");
-            let report = runtime.shutdown();
+        for (binary_wire, use_rings) in ENGINES {
+            let bytes = wire_bytes(&inputs, binary_wire);
+            for n_shards in [1usize, 2, 4] {
+                let runtime = ShardedRuntime::start(StreamConfig {
+                    n_shards,
+                    mailbox_capacity: 8, // small mailbox: force the backpressure path
+                    batch_size: 4,
+                    use_rings,
+                });
+                let mut source = ReaderSource::new(&bytes[..]);
+                runtime
+                    .pump(&mut source, &mut |open| {
+                        assert_eq!(open.property, property.name());
+                        Ok(Arc::new(SessionSpec {
+                            n_processes: open.n_processes,
+                            automaton: automaton.clone(),
+                            registry: registry.clone(),
+                            initial_state: open.initial_state,
+                            options: MonitorOptions::default(),
+                        }))
+                    })
+                    .expect("freshly encoded stream must decode");
+                let report = runtime.shutdown();
 
-            assert_eq!(report.sessions.len(), baselines.len(), "{property}");
-            for (s, baseline) in baselines.iter().enumerate() {
-                let outcome = &report.sessions[&(s as u64)];
-                assert_eq!(
-                    outcome.detected_verdicts, baseline.detected,
-                    "{property}, session {s}, {n_shards} shards: detected verdicts diverge"
+                let tag = format!("{property}, binary={binary_wire}, rings={use_rings}");
+                assert_eq!(report.sessions.len(), baselines.len(), "{tag}");
+                for (s, baseline) in baselines.iter().enumerate() {
+                    let outcome = &report.sessions[&(s as u64)];
+                    assert_eq!(
+                        outcome.detected_verdicts, baseline.detected,
+                        "{tag}, session {s}, {n_shards} shards: detected verdicts diverge"
+                    );
+                    assert_eq!(
+                        outcome.possible_verdicts, baseline.possible,
+                        "{tag}, session {s}, {n_shards} shards: possible verdicts diverge"
+                    );
+                    assert_eq!(
+                        outcome.monitor_messages, baseline.monitor_messages,
+                        "{tag}, session {s}, {n_shards} shards: token counts diverge"
+                    );
+                    assert_eq!(
+                        outcome.events,
+                        baseline.input.events.len(),
+                        "{tag}, session {s}"
+                    );
+                    assert!(!outcome.drained, "every session was explicitly closed");
+                }
+                assert!(
+                    report.per_shard.iter().all(|m| m.routing_errors == 0),
+                    "{tag}: no record may misroute"
                 );
-                assert_eq!(
-                    outcome.possible_verdicts, baseline.possible,
-                    "{property}, session {s}, {n_shards} shards: possible verdicts diverge"
-                );
-                assert_eq!(
-                    outcome.monitor_messages, baseline.monitor_messages,
-                    "{property}, session {s}, {n_shards} shards: token counts diverge"
-                );
-                assert_eq!(
-                    outcome.events,
-                    baseline.input.events.len(),
-                    "{property}, session {s}"
-                );
-                assert!(!outcome.drained, "every session was explicitly closed");
             }
-            assert!(
-                report.per_shard.iter().all(|m| m.routing_errors == 0),
-                "{property}: no record may misroute"
-            );
         }
     }
 }
