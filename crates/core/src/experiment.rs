@@ -274,6 +274,7 @@ pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
     let k = runs.len() as f64;
     let mut avg = RunMetrics {
         n_processes: runs[0].n_processes,
+        fleet_size: runs[0].fleet_size,
         ..RunMetrics::default()
     };
     for r in runs {
@@ -289,6 +290,8 @@ pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
         avg.monitor_extra_time += r.monitor_extra_time;
         avg.wall_clock_secs += r.wall_clock_secs;
         avg.events_per_sec += r.events_per_sec;
+        avg.fleet_solo_wall_clock_secs += r.fleet_solo_wall_clock_secs;
+        avg.fleet_marginal_cost_secs += r.fleet_marginal_cost_secs;
         // RSS is a high-water mark, not a rate: the max across runs, never a mean.
         avg.peak_rss_bytes = avg.peak_rss_bytes.max(r.peak_rss_bytes);
         avg.detected_final_verdicts
@@ -307,7 +310,10 @@ pub fn average_metrics(runs: &[RunMetrics]) -> RunMetrics {
     avg.monitor_extra_time /= k;
     avg.wall_clock_secs /= k;
     avg.events_per_sec /= k;
+    avg.fleet_solo_wall_clock_secs /= k;
+    avg.fleet_marginal_cost_secs /= k;
     avg.per_shard = average_shards(runs);
+    avg.fleet_per_property = average_fleet_properties(runs);
     avg
 }
 
@@ -345,6 +351,56 @@ fn average_shards(runs: &[RunMetrics]) -> Vec<dlrv_monitor::ShardMetrics> {
             out.routing_errors = (out.routing_errors as f64 / k).round() as usize;
             out.busy_secs /= k;
             out.avg_queue_latency_secs /= k;
+            out
+        })
+        .collect()
+}
+
+/// Element-wise average of per-property fleet metrics across runs that monitored
+/// the same fleet (same member names in the same order); otherwise dropped.
+fn average_fleet_properties(runs: &[RunMetrics]) -> Vec<dlrv_monitor::FleetPropertyMetrics> {
+    let first = &runs[0].fleet_per_property;
+    if first.is_empty()
+        || runs.iter().any(|r| {
+            r.fleet_per_property.len() != first.len()
+                || r.fleet_per_property
+                    .iter()
+                    .zip(first)
+                    .any(|(a, b)| a.property != b.property)
+        })
+    {
+        return Vec::new();
+    }
+    let k = runs.len() as f64;
+    (0..first.len())
+        .map(|p| {
+            let mut out = dlrv_monitor::FleetPropertyMetrics {
+                property: first[p].property.clone(),
+                ..Default::default()
+            };
+            let mut detected = std::collections::BTreeSet::new();
+            for r in runs {
+                let m = &r.fleet_per_property[p];
+                out.monitor_tokens += m.monitor_tokens;
+                out.global_views += m.global_views;
+                out.peak_global_views += m.peak_global_views;
+                detected.extend(m.detected_final_verdicts.iter().copied());
+                out.possible_verdicts.extend(m.possible_verdicts.iter().copied());
+            }
+            out.monitor_tokens = (out.monitor_tokens as f64 / k).round() as usize;
+            out.global_views = (out.global_views as f64 / k).round() as usize;
+            out.peak_global_views = (out.peak_global_views as f64 / k).round() as usize;
+            // The averaged verdict is the combined verdict of the union, matching
+            // how detected sets fold everywhere else (False > True > Unknown).
+            out.verdict = dlrv_monitor::verdict_name(if detected.contains(&Verdict::False) {
+                Verdict::False
+            } else if detected.contains(&Verdict::True) {
+                Verdict::True
+            } else {
+                Verdict::Unknown
+            })
+            .to_string();
+            out.detected_final_verdicts = detected;
             out
         })
         .collect()

@@ -39,6 +39,7 @@
 pub mod analysis;
 pub mod deploy;
 pub mod experiment;
+pub mod fleet;
 pub mod properties;
 pub mod report;
 pub mod results;
@@ -55,6 +56,7 @@ pub use experiment::{
     average_metrics, effective_jobs, parallel_map_indexed, run_experiment,
     run_experiment_with_options, run_single, set_jobs, ExperimentConfig, ExperimentResult,
 };
+pub use fleet::{compile_fleet, run_fleet, CompiledFleetMember, FleetParams};
 pub use properties::PaperProperty;
 pub use report::{render_report, RenderedReport, TrendPoint};
 pub use results::{sweep_from_json, sweep_to_json, ScenarioRecord, RESULTS_SCHEMA_VERSION};

@@ -61,49 +61,59 @@ impl PaperProperty {
     ///
     /// Panics if `n_processes < 2`.
     pub fn build(self, n_processes: usize) -> (Formula, AtomRegistry) {
-        assert!(n_processes >= 2, "paper properties need at least two processes");
         let mut reg = AtomRegistry::new();
+        let formula = self.build_in(&mut reg, n_processes);
+        (formula, reg)
+    }
+
+    /// Builds the formula into an existing registry, interning this property's
+    /// atoms alongside whatever is already there — the substrate of fleet
+    /// compilation, where several properties share one atom space so their
+    /// monitors can interpret the same event assignments.
+    ///
+    /// Panics if `n_processes < 2`.
+    pub fn build_in(self, reg: &mut AtomRegistry, n_processes: usize) -> Formula {
+        assert!(n_processes >= 2, "paper properties need at least two processes");
         let p = |reg: &mut AtomRegistry, i: usize| Formula::Atom(reg.intern(&format!("P{i}.p"), i));
         let q = |reg: &mut AtomRegistry, i: usize| Formula::Atom(reg.intern(&format!("P{i}.q"), i));
 
-        let formula = match self {
+        match self {
             PaperProperty::A => {
                 let split = (n_processes / 2).max(1);
-                let lhs = Formula::conj((0..split).map(|i| p(&mut reg, i)));
-                let rhs = Formula::conj((split..n_processes).map(|i| p(&mut reg, i)));
+                let lhs = Formula::conj((0..split).map(|i| p(reg, i)));
+                let rhs = Formula::conj((split..n_processes).map(|i| p(reg, i)));
                 Formula::globally(Formula::until(lhs, rhs))
             }
             PaperProperty::B => {
-                Formula::eventually(Formula::conj((0..n_processes).map(|i| p(&mut reg, i))))
+                Formula::eventually(Formula::conj((0..n_processes).map(|i| p(reg, i))))
             }
             PaperProperty::C => {
-                let lhs = p(&mut reg, 0);
-                let rhs = Formula::conj((1..n_processes).map(|i| p(&mut reg, i)));
+                let lhs = p(reg, 0);
+                let rhs = Formula::conj((1..n_processes).map(|i| p(reg, i)));
                 Formula::globally(Formula::until(lhs, rhs))
             }
             PaperProperty::D => {
-                let lhs = Formula::conj((0..n_processes).map(|i| p(&mut reg, i)));
-                let rhs = Formula::conj((0..n_processes).map(|i| q(&mut reg, i)));
+                let lhs = Formula::conj((0..n_processes).map(|i| p(reg, i)));
+                let rhs = Formula::conj((0..n_processes).map(|i| q(reg, i)));
                 Formula::globally(Formula::until(lhs, rhs))
             }
             PaperProperty::E => {
-                let all_p = Formula::conj((0..n_processes).map(|i| p(&mut reg, i)));
-                let all_q = Formula::conj((0..n_processes).map(|i| q(&mut reg, i)));
+                let all_p = Formula::conj((0..n_processes).map(|i| p(reg, i)));
+                let all_q = Formula::conj((0..n_processes).map(|i| q(reg, i)));
                 Formula::eventually(Formula::and(all_p, all_q))
             }
             PaperProperty::F => {
                 let left = Formula::until(
-                    p(&mut reg, 0),
-                    Formula::conj((1..n_processes).map(|i| p(&mut reg, i))),
+                    p(reg, 0),
+                    Formula::conj((1..n_processes).map(|i| p(reg, i))),
                 );
                 let right = Formula::until(
-                    q(&mut reg, 0),
-                    Formula::conj((1..n_processes).map(|i| q(&mut reg, i))),
+                    q(reg, 0),
+                    Formula::conj((1..n_processes).map(|i| q(reg, i))),
                 );
                 Formula::globally(Formula::and(left, right))
             }
-        };
-        (formula, reg)
+        }
     }
 }
 

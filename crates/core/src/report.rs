@@ -42,7 +42,7 @@ pub struct RenderedReport {
 }
 
 /// Display order of the family sections (registry families, offline first).
-const FAMILY_ORDER: [ScenarioFamily; 8] = [
+const FAMILY_ORDER: [ScenarioFamily; 9] = [
     ScenarioFamily::Paper,
     ScenarioFamily::CommFrequency,
     ScenarioFamily::Extended,
@@ -50,6 +50,7 @@ const FAMILY_ORDER: [ScenarioFamily; 8] = [
     ScenarioFamily::Overhead,
     ScenarioFamily::Throughput,
     ScenarioFamily::Hotpath,
+    ScenarioFamily::Fleet,
     ScenarioFamily::Deploy,
 ];
 
@@ -208,6 +209,47 @@ fn overhead_table(out: &mut String, members: &[&ScenarioRecord]) {
                 );
             }
         }
+    }
+}
+
+/// The fleet table: amortization of the shared pipeline across N properties.
+/// `amort` is fleet wall clock over the solo-sum — below 1.0 means the fleet
+/// pass is cheaper than running the members back to back; `marginal s/prop` is
+/// the measured extra wall clock each added property costs beyond a solo run.
+fn fleet_table(out: &mut String, members: &[&ScenarioRecord]) {
+    out.push_str(
+        "| scenario | props | shards | events | fleet wall s | solo sum s | amort \
+         | marginal s/prop | events/sec | verdicts |\n\
+         |---|---:|---:|---:|---:|---:|---:|---:|---:|---|\n",
+    );
+    for r in members {
+        let m = &r.avg;
+        let shards = r.scenario.stream.map_or(0, |p| p.n_shards);
+        let amort = if m.fleet_solo_wall_clock_secs > 0.0 {
+            format!("{:.2}x", m.wall_clock_secs / m.fleet_solo_wall_clock_secs)
+        } else {
+            "-".to_string()
+        };
+        let per_property = m
+            .fleet_per_property
+            .iter()
+            .map(|p| format!("{}:{}", p.property, p.verdict))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {:.3} | {:.3} | {} | {:.4} | {} | {} |",
+            r.scenario.name,
+            m.fleet_size,
+            shards,
+            m.total_events,
+            m.wall_clock_secs,
+            m.fleet_solo_wall_clock_secs,
+            amort,
+            m.fleet_marginal_cost_secs,
+            fmt_rate(m.events_per_sec),
+            if per_property.is_empty() { "-".to_string() } else { per_property },
+        );
     }
 }
 
@@ -455,6 +497,7 @@ pub fn render_report(current: &[ScenarioRecord], history: &[TrendPoint]) -> Rend
                 throughput_table(&mut out, &members)
             }
             ScenarioFamily::Overhead => overhead_table(&mut out, &members),
+            ScenarioFamily::Fleet => fleet_table(&mut out, &members),
             ScenarioFamily::Deploy => deploy_table(&mut out, &members),
             _ => offline_table(&mut out, &members),
         }
@@ -500,6 +543,7 @@ mod tests {
                 options: MonitorOptions::default(),
                 stream: None,
                 deploy: None,
+                fleet: None,
             },
             detected_verdicts: avg.detected_final_verdicts.clone(),
             per_seed: vec![avg.clone()],
@@ -537,6 +581,28 @@ mod tests {
         assert!(svg.contains("<polyline"), "two points must draw a line");
         assert!(svg.contains("paper-C-n3"));
         assert!(report.markdown.contains("![paper trend](svg/trend-paper.svg)"));
+    }
+
+    #[test]
+    fn fleet_family_renders_the_amortization_table() {
+        use crate::scenario::StreamParams;
+        use dlrv_monitor::FleetPropertyMetrics;
+        let mut r = record("fleet-AB-sh4", ScenarioFamily::Fleet, 40);
+        r.scenario.stream = Some(StreamParams::sized(100, 4));
+        r.avg.wall_clock_secs = 0.30;
+        r.avg.fleet_size = 2;
+        r.avg.fleet_solo_wall_clock_secs = 0.50;
+        r.avg.fleet_marginal_cost_secs = 0.05;
+        r.avg.fleet_per_property = vec![
+            FleetPropertyMetrics { property: "A".to_string(), verdict: "true".to_string(), ..FleetPropertyMetrics::default() },
+            FleetPropertyMetrics { property: "B".to_string(), verdict: "unknown".to_string(), ..FleetPropertyMetrics::default() },
+        ];
+        let report = render_report(&[r], &[]);
+        assert!(report.markdown.contains("## fleet (1 scenarios)"), "{}", report.markdown);
+        assert!(report.markdown.contains("marginal s/prop"));
+        // 0.30 / 0.50 → fleet runs at 0.60x the cost of the solo runs.
+        assert!(report.markdown.contains("0.60x"), "{}", report.markdown);
+        assert!(report.markdown.contains("A:true B:unknown"), "{}", report.markdown);
     }
 
     #[test]

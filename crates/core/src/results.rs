@@ -27,6 +27,7 @@
 
 use crate::deploy::{DeployParams, DeployTransport};
 use crate::experiment::{ExperimentConfig, ExperimentResult};
+use crate::fleet::FleetParams;
 use crate::properties::PaperProperty;
 use crate::scenario::{Scenario, ScenarioFamily, StreamParams};
 use crate::spec::PropertySpec;
@@ -201,6 +202,29 @@ pub fn deploy_params_from_json(v: &Json) -> Result<DeployParams, JsonError> {
     })
 }
 
+/// Serializes the member list of a fleet scenario (each member in its
+/// [`property_to_json`] form, in fleet order — the wire's property-id space).
+pub fn fleet_params_to_json(params: &FleetParams) -> Json {
+    object([(
+        "properties",
+        Json::Array(params.properties.iter().map(property_to_json).collect()),
+    )])
+}
+
+/// Parses the fleet member list back.
+pub fn fleet_params_from_json(v: &Json) -> Result<FleetParams, JsonError> {
+    let properties = v
+        .get("properties")?
+        .as_array()?
+        .iter()
+        .map(property_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    if properties.is_empty() {
+        return Err(JsonError::msg("fleet params need at least one property"));
+    }
+    Ok(FleetParams::new(properties))
+}
+
 fn verdicts_to_json(set: &BTreeSet<Verdict>) -> Json {
     Json::Array(set.iter().map(|&v| Json::from(verdict_name(v))).collect())
 }
@@ -225,6 +249,13 @@ fn record_to_json(scenario: &Scenario, result: &ExperimentResult) -> Json {
                 .deploy
                 .as_ref()
                 .map_or(Json::Null, deploy_params_to_json),
+        ),
+        (
+            "fleet",
+            scenario
+                .fleet
+                .as_ref()
+                .map_or(Json::Null, fleet_params_to_json),
         ),
         ("avg", result.avg.to_json()),
         (
@@ -255,6 +286,11 @@ fn record_from_json(v: &Json) -> Result<ScenarioRecord, JsonError> {
             deploy: match v.get_opt("deploy")? {
                 None | Some(Json::Null) => None,
                 Some(params) => Some(deploy_params_from_json(params)?),
+            },
+            // Absent or null in documents written before the fleet family.
+            fleet: match v.get_opt("fleet")? {
+                None | Some(Json::Null) => None,
+                Some(params) => Some(fleet_params_from_json(params)?),
             },
         },
         avg: RunMetrics::from_json(v.get("avg")?)?,
@@ -368,6 +404,25 @@ mod tests {
         assert_eq!(records[0].scenario, scenario);
         assert_eq!(records[0].avg.per_shard.len(), 2);
         assert_eq!(records[0].avg, runs[0].1.avg);
+    }
+
+    #[test]
+    fn fleet_records_round_trip_with_members_and_metrics() {
+        let mut scenario = ScenarioRegistry::standard()
+            .get("fleet-AB-sh4")
+            .expect("registered")
+            .clone();
+        scenario.config.events_per_process = 4;
+        scenario.stream = Some(crate::scenario::StreamParams::sized(6, 2));
+        let runs = vec![(scenario.clone(), scenario.run())];
+        let text = sweep_to_json(&runs).to_string_pretty();
+        let records = sweep_from_json(&Json::parse(&text).expect("parse")).expect("schema");
+        assert_eq!(records[0].scenario, scenario);
+        assert_eq!(records[0].avg, runs[0].1.avg);
+        let fleet = records[0].scenario.fleet.as_ref().expect("fleet survives");
+        assert_eq!(fleet.joined_name(), "A+B");
+        assert_eq!(records[0].avg.fleet_size, 2);
+        assert_eq!(records[0].avg.fleet_per_property.len(), 2);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::deploy::{run_deploy, DeployParams, DeployTransport};
 use crate::experiment::{run_experiment_with_options, ExperimentConfig, ExperimentResult};
+use crate::fleet::{run_fleet, FleetParams};
 use crate::properties::PaperProperty;
 use crate::spec::PropertySpec;
 use crate::throughput::run_throughput;
@@ -62,6 +63,11 @@ pub enum ScenarioFamily {
     /// all on, and all off, so `--target hotpath` attributes the throughput
     /// gain switch by switch (`--target hotpath`).
     Hotpath,
+    /// Fleet monitoring: N properties monitored in one pass over a shared
+    /// stream — each event decoded once, clocks interned once, tokens of all
+    /// members batched onto shared monitoring messages — with solo baselines
+    /// measured back-to-back for the marginal-cost metric (`--target fleet`).
+    Fleet,
 }
 
 impl ScenarioFamily {
@@ -76,6 +82,7 @@ impl ScenarioFamily {
             ScenarioFamily::Custom => "custom",
             ScenarioFamily::Deploy => "deploy",
             ScenarioFamily::Hotpath => "hotpath",
+            ScenarioFamily::Fleet => "fleet",
         }
     }
 
@@ -90,6 +97,7 @@ impl ScenarioFamily {
             ScenarioFamily::Custom,
             ScenarioFamily::Deploy,
             ScenarioFamily::Hotpath,
+            ScenarioFamily::Fleet,
         ]
         .into_iter()
         .find(|f| f.name() == name)
@@ -167,6 +175,11 @@ pub struct Scenario {
     /// `Some` for deploy scenarios: which socket transport carries the monitors
     /// and the (optional) fault spec on every channel.  `None` runs in-process.
     pub deploy: Option<DeployParams>,
+    /// `Some` for fleet scenarios: the member properties monitored in one pass.
+    /// Fleet scenarios also carry [`stream`](Self::stream) params (the fleet
+    /// rides the sharded streaming runtime); `config.property` is the lead
+    /// member, used only to shape the workload.
+    pub fleet: Option<FleetParams>,
 }
 
 impl Scenario {
@@ -182,6 +195,13 @@ impl Scenario {
     /// Panics when a deploy scenario's process fleet fails (daemon spawn,
     /// handshake or barrier errors); use [`run_deploy`] directly for a `Result`.
     pub fn run(&self) -> ExperimentResult {
+        if let Some(fleet) = &self.fleet {
+            let params = self
+                .stream
+                .as_ref()
+                .expect("fleet scenarios carry stream params");
+            return run_fleet(&self.config, params, fleet, self.options);
+        }
         match (&self.stream, &self.deploy) {
             (Some(params), _) => run_throughput(&self.config, params, self.options),
             (None, Some(params)) => run_deploy(&self.config, self.options, params)
@@ -228,6 +248,7 @@ impl ScenarioRegistry {
                     options: MonitorOptions::default(),
                     stream: None,
                     deploy: None,
+                    fleet: None,
                 });
             }
         }
@@ -251,6 +272,7 @@ impl ScenarioRegistry {
                 options: MonitorOptions::default(),
                 stream: None,
                 deploy: None,
+                fleet: None,
             });
         }
 
@@ -272,6 +294,7 @@ impl ScenarioRegistry {
             options: MonitorOptions::default(),
             stream: None,
             deploy: None,
+            fleet: None,
         });
         registry.push(Scenario {
             name: "hotspot-D-n4".to_string(),
@@ -286,6 +309,7 @@ impl ScenarioRegistry {
             options: MonitorOptions::default(),
             stream: None,
             deploy: None,
+            fleet: None,
         });
         registry.push(Scenario {
             name: "ring-B-n4".to_string(),
@@ -300,6 +324,7 @@ impl ScenarioRegistry {
             options: MonitorOptions::default(),
             stream: None,
             deploy: None,
+            fleet: None,
         });
         registry.push(Scenario {
             name: "pipeline-A-n4".to_string(),
@@ -314,6 +339,7 @@ impl ScenarioRegistry {
             options: MonitorOptions::default(),
             stream: None,
             deploy: None,
+            fleet: None,
         });
         for n in [6usize, 8] {
             registry.push(Scenario {
@@ -327,6 +353,7 @@ impl ScenarioRegistry {
                 options: MonitorOptions::default(),
                 stream: None,
                 deploy: None,
+                fleet: None,
             });
         }
         registry.push(Scenario {
@@ -342,6 +369,7 @@ impl ScenarioRegistry {
             options: MonitorOptions::default(),
             stream: None,
             deploy: None,
+            fleet: None,
         });
 
         // The throughput family: online ingestion through the sharded streaming
@@ -368,6 +396,7 @@ impl ScenarioRegistry {
                 options: MonitorOptions::default(),
                 stream: Some(StreamParams::sized(200, 4)),
                 deploy: None,
+                fleet: None,
             });
         }
 
@@ -384,6 +413,7 @@ impl ScenarioRegistry {
                 options: MonitorOptions::default(),
                 stream: Some(StreamParams::sized(400, n_shards)),
                 deploy: None,
+                fleet: None,
             });
         }
 
@@ -405,6 +435,7 @@ impl ScenarioRegistry {
             options: MonitorOptions::default(),
             stream: Some(StreamParams::sized(200, 4)),
             deploy: None,
+            fleet: None,
         });
         registry.push(Scenario {
             name: "throughput-B-s200-sh4-ring".to_string(),
@@ -419,6 +450,7 @@ impl ScenarioRegistry {
             options: MonitorOptions::default(),
             stream: Some(StreamParams::sized(200, 4)),
             deploy: None,
+            fleet: None,
         });
 
         // The load test: a thousand concurrent sessions on eight shards.
@@ -432,6 +464,7 @@ impl ScenarioRegistry {
             options: MonitorOptions::default(),
             stream: Some(StreamParams::sized(1000, 8)),
             deploy: None,
+            fleet: None,
         });
 
         // The hotpath family: the shard-scaling workload (property C, 400
@@ -486,6 +519,7 @@ impl ScenarioRegistry {
                     options,
                     stream: Some(stream),
                     deploy: None,
+                    fleet: None,
                 });
             }
         }
@@ -517,6 +551,7 @@ impl ScenarioRegistry {
                     options,
                     stream: None,
                     deploy: None,
+                    fleet: None,
                 });
             }
         }
@@ -541,6 +576,7 @@ impl ScenarioRegistry {
             options: MonitorOptions::default(),
             stream: None,
             deploy: None,
+            fleet: None,
         };
         registry.push(custom(
             "reqack-n2",
@@ -630,6 +666,7 @@ impl ScenarioRegistry {
                 options: MonitorOptions::default(),
                 stream: None,
                 deploy: Some(DeployParams::clean(transport)),
+                fleet: None,
             });
         }
         registry.push(Scenario {
@@ -646,6 +683,7 @@ impl ScenarioRegistry {
             options: MonitorOptions::default(),
             stream: None,
             deploy: Some(DeployParams::clean(DeployTransport::Unix)),
+            fleet: None,
         });
         registry.push(Scenario {
             name: "deploy-C-n3-faulty".to_string(),
@@ -665,7 +703,55 @@ impl ScenarioRegistry {
                 ),
                 binary_wire: true,
             }),
+            fleet: None,
         });
+
+        // The fleet family: N properties monitored in one pass over a shared
+        // stream (`--target fleet`).  Each scenario runs the fleet once and one
+        // solo baseline per member over the *same* bytes, so the amortization
+        // ratio and the marginal cost per added property are measured, not
+        // inferred.  The lead (first) member shapes the workload; sessions stay
+        // small like the throughput family — the measured quantity is how much
+        // of the pipeline N properties share, not per-property lattice depth.
+        let fleet_scenario = |letters: &[PaperProperty],
+                              n_shards: usize,
+                              suffix: &str,
+                              options: MonitorOptions,
+                              label: &str| {
+            let tag: String = letters.iter().map(|p| p.name()).collect();
+            let fleet = FleetParams::new(letters.iter().map(|&p| p.into()).collect());
+            Scenario {
+                name: format!("fleet-{tag}-sh{n_shards}{suffix}"),
+                description: format!(
+                    "Fleet monitoring: properties {} in one pass, 100 sessions, \
+                     3 processes, {n_shards} shard(s){label}",
+                    fleet.joined_name()
+                ),
+                family: ScenarioFamily::Fleet,
+                config: stream_config(letters[0], 3, 6),
+                options,
+                stream: Some(StreamParams::sized(100, n_shards)),
+                deploy: None,
+                fleet: Some(fleet),
+            }
+        };
+        use PaperProperty::{A, B, C, D, E, F};
+        let on = MonitorOptions::default;
+        registry.push(fleet_scenario(&[A, B], 4, "", on(), ""));
+        registry.push(fleet_scenario(&[A, B], 1, "", on(), ""));
+        registry.push(fleet_scenario(&[C, D], 4, "", on(), ""));
+        registry.push(fleet_scenario(&[A, B, C], 4, "", on(), ""));
+        registry.push(fleet_scenario(&[D, E, F], 4, "", on(), ""));
+        registry.push(fleet_scenario(&[A, B, C, D], 4, "", on(), ""));
+        registry.push(fleet_scenario(&[A, B, C, D, E, F], 4, "", on(), ""));
+        registry.push(fleet_scenario(&[A, B, C, D, E, F], 1, "", on(), ""));
+        registry.push(fleet_scenario(
+            &[A, B, C, D, E, F],
+            4,
+            "-noopt",
+            MonitorOptions::ALL_OFF,
+            ", §4.3 optimizations off",
+        ));
 
         registry
     }
@@ -763,18 +849,24 @@ mod tests {
             shard_counts.len() >= 3,
             "need ≥ 3 shard counts, got {shard_counts:?}"
         );
-        // Offline scenarios never carry stream params; the two streaming
+        // Offline scenarios never carry stream params; the three streaming
         // families always do.
         for s in &registry {
             assert_eq!(
                 s.stream.is_some(),
                 matches!(
                     s.family,
-                    ScenarioFamily::Throughput | ScenarioFamily::Hotpath
+                    ScenarioFamily::Throughput
+                        | ScenarioFamily::Hotpath
+                        | ScenarioFamily::Fleet
                 ),
                 "{}",
                 s.name
             );
+        }
+        // And fleet members are exactly the fleet family's scenarios.
+        for s in &registry {
+            assert_eq!(s.fleet.is_some(), s.family == ScenarioFamily::Fleet, "{}", s.name);
         }
     }
 
@@ -892,10 +984,57 @@ mod tests {
             ScenarioFamily::Custom,
             ScenarioFamily::Deploy,
             ScenarioFamily::Hotpath,
+            ScenarioFamily::Fleet,
         ] {
             assert_eq!(ScenarioFamily::from_name(family.name()), Some(family));
         }
         assert_eq!(ScenarioFamily::from_name("nope"), None);
+    }
+
+    #[test]
+    fn fleet_family_covers_the_advertised_shapes() {
+        let registry = ScenarioRegistry::standard();
+        assert!(
+            registry.family(ScenarioFamily::Fleet).count() >= 8,
+            "the fleet family must ship at least eight scenarios"
+        );
+        // The headline fleet (all six properties) is measured at 1 AND 4 shards.
+        for n_shards in [1usize, 4] {
+            let name = format!("fleet-ABCDEF-sh{n_shards}");
+            let s = registry.get(&name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(s.family, ScenarioFamily::Fleet);
+            let fleet = s.fleet.as_ref().expect("fleet scenarios carry members");
+            assert_eq!(fleet.len(), 6);
+            assert_eq!(fleet.joined_name(), "A+B+C+D+E+F");
+            assert_eq!(s.stream.unwrap().n_shards, n_shards);
+            // The lead member shapes the workload.
+            assert_eq!(s.config.property.name(), "A");
+        }
+        // A no-opt variant keeps the aggregation-off transport path measured.
+        let noopt = registry.get("fleet-ABCDEF-sh4-noopt").expect("noopt fleet");
+        assert_eq!(noopt.options, MonitorOptions::ALL_OFF);
+        // Fleet sizes 2, 3, 4 and 6 are all present (the amortization curve
+        // needs intermediate points).
+        let sizes: std::collections::BTreeSet<usize> = registry
+            .family(ScenarioFamily::Fleet)
+            .map(|s| s.fleet.as_ref().unwrap().len())
+            .collect();
+        assert!(sizes.is_superset(&[2, 3, 4, 6].into()), "got {sizes:?}");
+    }
+
+    #[test]
+    fn small_fleet_scenario_runs_end_to_end() {
+        let registry = ScenarioRegistry::standard();
+        let mut scenario = registry.get("fleet-AB-sh4").expect("registered").clone();
+        scenario.config.events_per_process = 4;
+        scenario.stream = Some(StreamParams::sized(8, 2));
+        let result = scenario.run();
+        assert_eq!(result.avg.fleet_size, 2);
+        assert_eq!(result.avg.fleet_per_property.len(), 2);
+        assert!(result.avg.wall_clock_secs > 0.0);
+        assert!(result.avg.fleet_solo_wall_clock_secs > 0.0);
+        assert!(result.avg.events_per_sec > 0.0);
+        assert!(result.detected_verdicts.contains(&dlrv_ltl::Verdict::True));
     }
 
     #[test]

@@ -190,6 +190,32 @@ impl PropertySpec {
         }
     }
 
+    /// Builds the formula into an existing registry, interning this spec's atoms
+    /// alongside whatever other properties already put there.
+    ///
+    /// This is the substrate of fleet compilation ([`crate::fleet`]): every member
+    /// of a fleet is built into one shared registry so all members interpret the
+    /// same event assignments, and each member's automaton is synthesized over
+    /// that shared atom space.  Panics when `n_processes <`
+    /// [`min_processes`](Self::min_processes).
+    pub fn build_in(&self, reg: &mut AtomRegistry, n_processes: usize) -> Formula {
+        match &self.source {
+            PropertySource::Paper(p) => p.build_in(reg, n_processes),
+            PropertySource::Ltl { text, .. } => {
+                assert!(
+                    n_processes >= self.min_processes(),
+                    "property `{}` names process P{}, but only {} process(es) requested",
+                    self.name,
+                    self.min_processes() - 1,
+                    n_processes
+                );
+                // Reparse into the shared registry: atom names dedup on intern,
+                // so atoms shared with other members resolve to the same ids.
+                parse(text, reg).expect("spec text parsed once already")
+            }
+        }
+    }
+
     /// Initial values of the two per-process workload channels `(p, q)`.
     ///
     /// Until-style properties need their left-hand side to hold in the initial

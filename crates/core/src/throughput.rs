@@ -130,6 +130,7 @@ fn run_once(
         registry: registry.clone(),
         initial_state: dlrv_ltl::Assignment::ALL_FALSE, // replaced per session below
         options: opts,
+        fleet: Vec::new(),
     });
     let mut source = ReaderSource::new(&bytes[..]);
     runtime
@@ -141,6 +142,7 @@ fn run_once(
                 registry: spec.registry.clone(),
                 initial_state: open.initial_state,
                 options: spec.options,
+                fleet: Vec::new(),
             }))
         })
         .expect("a freshly encoded stream must decode");

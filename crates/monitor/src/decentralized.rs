@@ -145,6 +145,10 @@ const POOL_CAP: usize = 64;
 pub struct DecentralizedMonitor {
     /// The process this monitor is attached to.
     pid: ProcessId,
+    /// The fleet member index stamped on every token this monitor emits: `0` in
+    /// single-property runs, assigned by [`FleetMonitor`](crate::FleetMonitor)
+    /// when several properties share one transport.
+    property: u32,
     /// Number of processes.
     n: usize,
     /// The shared monitor automaton replica.
@@ -207,6 +211,7 @@ impl DecentralizedMonitor {
         }
         DecentralizedMonitor {
             pid,
+            property: 0,
             n: n_processes,
             automaton,
             registry,
@@ -228,6 +233,12 @@ impl DecentralizedMonitor {
     /// The process index this monitor is attached to.
     pub fn process_id(&self) -> ProcessId {
         self.pid
+    }
+
+    /// Assigns the fleet member index stamped on every token this monitor emits
+    /// (`0` outside fleets).  Must be set before the first event is fed.
+    pub fn set_property_id(&mut self, property: u32) {
+        self.property = property;
     }
 
     /// The current global views.
@@ -1076,6 +1087,7 @@ impl DecentralizedMonitor {
         let shared_vc = self.intern.intern(&e.vc);
         if self.opts.aggregate_tokens {
             let token = Token {
+                property: self.property,
                 parent: self.pid,
                 origin_state,
                 parent_gv,
@@ -1093,6 +1105,7 @@ impl DecentralizedMonitor {
                 let mut transitions = self.take_transition_buf();
                 transitions.push(tran);
                 let token = Token {
+                    property: self.property,
                     parent: self.pid,
                     origin_state,
                     parent_gv,

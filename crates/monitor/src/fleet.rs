@@ -1,0 +1,497 @@
+//! Fleet monitoring: N properties over one event stream with shared transport.
+//!
+//! The paper's architecture monitors one LTL property per run, so a spec suite of
+//! N properties costs N full pipelines — N stream decodes, N vector-clock
+//! updates and N independent token meshes over the *same* trace.  A
+//! [`FleetMonitor`] collapses that: it wraps one [`DecentralizedMonitor`] per
+//! property ("fleet member") behind a single [`MonitorBehavior`], so one
+//! [`FeedSession`] drives every member at once and the per-property *marginal*
+//! cost drops instead of multiplying.
+//!
+//! What is shared across members:
+//!
+//! * **The decoded event** — each [`Arc<Event>`] is decoded (or simulated) once
+//!   and handed to every member by reference; members retain the same allocation
+//!   in their histories and pending queues, so the event's vector clock exists
+//!   once per process, not once per property.
+//! * **Transport** — with `aggregate_tokens` on (§4.3.1), outbound tokens from
+//!   *all* members to the same destination ride one [`MonitorMsg::Batch`].  The
+//!   [`Token::property`] field is the property-id dimension of the batch: the
+//!   receiving fleet demultiplexes tokens back to their members.  One
+//!   `Terminated` notification per peer serves the whole fleet (every member
+//!   observes the same local history, so the notifications are identical).
+//!
+//! What is *not* shared: all monitor state — global views, waiting tokens,
+//! clock-intern pools, scratch arenas — stays strictly per member, so properties
+//! cannot bleed state into each other.  This is load-bearing for the
+//! equivalence guarantee below.
+//!
+//! **Equivalence.**  Each member is a deterministic state machine driven only by
+//! its local events and its own tokens.  The fleet preserves, per member, the
+//! exact solo schedule: members activate on the same events in the same order,
+//! a merged batch delivers member `k`'s tokens as exactly the message member `k`
+//! would have received solo (same tokens, same order, same `Token`/`Batch`
+//! wrapping), and with `aggregate_tokens` off messages pass through unmerged in
+//! emission order.  Per-property verdicts and token counts are therefore
+//! byte-identical to N independent runs — pinned by `tests/fleet_equivalence.rs`
+//! across shard counts and every [`MonitorOptions`] combination.
+
+use crate::decentralized::{DecentralizedMonitor, MonitorOptions};
+use crate::feed::{FeedSession, SessionVerdicts};
+use crate::messages::{MonitorMsg, Token};
+use crate::metrics::MonitorMetrics;
+use dlrv_automaton::MonitorAutomaton;
+use dlrv_distsim::{MonitorBehavior, MonitorContext};
+use dlrv_ltl::{Assignment, AtomRegistry, ProcessId, Verdict};
+use dlrv_vclock::Event;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One property of a fleet: the compiled monitor automaton, its atom registry
+/// and the initial global state its monitors start from.
+#[derive(Debug, Clone)]
+pub struct FleetMember {
+    /// The property's monitor automaton (shared by every process replica).
+    pub automaton: Arc<MonitorAutomaton>,
+    /// The property's atom registry (conjunct ownership).
+    pub registry: Arc<AtomRegistry>,
+    /// The initial global state the property's monitors are advanced over.
+    pub initial_state: Assignment,
+}
+
+/// The monitor of one process in a fleet run: one [`DecentralizedMonitor`] per
+/// property, all attached to the same process, sharing decoded events and
+/// outbound transport.
+///
+/// Member `k`'s tokens are stamped with [`Token::property`]` == k`; on receipt
+/// the fleet demultiplexes on that field, so a member only ever sees its own
+/// tokens and cannot observe (or disturb) another property's exploration.
+#[derive(Debug, Clone)]
+pub struct FleetMonitor {
+    pid: ProcessId,
+    n: usize,
+    /// §4.3.1 switch of the fleet's shared options: when set, tokens of *all*
+    /// members bound for one destination merge into one batch per activation;
+    /// when off, every member's messages pass through unmerged (aggregation off
+    /// means off — including the cross-property kind).
+    aggregate: bool,
+    members: Vec<DecentralizedMonitor>,
+    /// Recycled capture buffer for one member activation.
+    member_outbox: Vec<(ProcessId, MonitorMsg)>,
+    /// Cross-member per-destination token staging (aggregate mode), indexed by
+    /// destination process and flushed at the end of every fleet activation in
+    /// ascending destination order — exactly the order each member's own §4.3.1
+    /// flush uses, so the merge preserves every member's solo emission
+    /// schedule.  Buffers are reused across activations (this is the fleet's
+    /// per-event hot path; a map rebuilt per flush would churn the allocator).
+    staging: Vec<Vec<Token>>,
+    /// Per-member regroup buffers of incoming batch demultiplexing, reused
+    /// across messages.
+    demux: Vec<Vec<Token>>,
+    /// Retired token vectors (unwrapped incoming batches, flushed staging
+    /// groups), reused for outgoing batches.
+    token_pool: Vec<Vec<Token>>,
+    /// Messages forwarded verbatim, in emission order: `Terminated`
+    /// notifications (first member only — they are identical across members)
+    /// and, with `aggregate` off, every token message.
+    direct: Vec<(ProcessId, MonitorMsg)>,
+}
+
+impl FleetMonitor {
+    /// Creates the fleet monitor of process `pid`: one [`DecentralizedMonitor`]
+    /// per member, every member running under the same shared `opts`.
+    pub fn new(
+        pid: ProcessId,
+        n_processes: usize,
+        members: &[FleetMember],
+        opts: MonitorOptions,
+    ) -> Self {
+        assert!(!members.is_empty(), "a fleet needs at least one property");
+        let members: Vec<DecentralizedMonitor> = members
+            .iter()
+            .enumerate()
+            .map(|(k, m)| {
+                let mut monitor = DecentralizedMonitor::new(
+                    pid,
+                    n_processes,
+                    m.automaton.clone(),
+                    m.registry.clone(),
+                    m.initial_state,
+                    opts,
+                );
+                monitor.set_property_id(k as u32);
+                monitor
+            })
+            .collect();
+        let n_members = members.len();
+        FleetMonitor {
+            pid,
+            n: n_processes,
+            aggregate: opts.aggregate_tokens,
+            members,
+            member_outbox: Vec::new(),
+            staging: vec![Vec::new(); n_processes],
+            demux: vec![Vec::new(); n_members],
+            token_pool: Vec::new(),
+            direct: Vec::new(),
+        }
+    }
+
+    /// Caps the retired-vector pool like the monitors' own scratch arenas.
+    const TOKEN_POOL_CAP: usize = 64;
+
+    /// Retires a token vector for reuse as a future outgoing batch.
+    fn recycle_tokens(&mut self, mut tokens: Vec<Token>) {
+        if self.token_pool.len() < Self::TOKEN_POOL_CAP {
+            tokens.clear();
+            self.token_pool.push(tokens);
+        }
+    }
+
+    /// Number of properties in the fleet.
+    pub fn fleet_size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The per-property monitors, in member (property-id) order.
+    pub fn members(&self) -> &[DecentralizedMonitor] {
+        &self.members
+    }
+
+    /// Metrics snapshot of member `k`'s monitor at this process.
+    pub fn member_metrics(&self, k: usize) -> MonitorMetrics {
+        self.members[k].metrics()
+    }
+
+    /// Runs one activation of member `k`, capturing its emissions into the
+    /// fleet's staging area (aggregate mode) or pass-through buffer.
+    fn run_member(
+        &mut self,
+        k: usize,
+        now: f64,
+        activate: impl FnOnce(&mut DecentralizedMonitor, &mut MonitorContext<'_, MonitorMsg>),
+    ) {
+        let mut outbox = std::mem::take(&mut self.member_outbox);
+        debug_assert!(outbox.is_empty());
+        {
+            let mut ctx = MonitorContext::new(self.pid, self.n, now, &mut outbox);
+            activate(&mut self.members[k], &mut ctx);
+        }
+        for (dest, msg) in outbox.drain(..) {
+            match msg {
+                MonitorMsg::Terminated { .. } => {
+                    // Every member observed the same local history, so the
+                    // notifications are identical; one per peer serves the fleet.
+                    if k == 0 {
+                        self.direct.push((dest, msg));
+                    }
+                }
+                _ if !self.aggregate => self.direct.push((dest, msg)),
+                MonitorMsg::Token(token) => {
+                    self.staging[dest].push(token);
+                }
+                MonitorMsg::Batch(mut tokens) => {
+                    self.staging[dest].append(&mut tokens);
+                    self.recycle_tokens(tokens);
+                }
+            }
+        }
+        self.member_outbox = outbox;
+    }
+
+    /// Emits everything captured during one fleet activation: direct messages
+    /// first (`Terminated` precedes token traffic, as in a solo monitor's
+    /// termination), then one merged message per staged destination.
+    fn flush(&mut self, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        for (dest, msg) in self.direct.drain(..) {
+            ctx.send(dest, msg);
+        }
+        for dest in 0..self.n {
+            match self.staging[dest].len() {
+                0 => {}
+                1 => {
+                    let token = self.staging[dest].pop().expect("one staged token");
+                    ctx.send(dest, MonitorMsg::Token(token));
+                }
+                _ => {
+                    let mut tokens = self.token_pool.pop().unwrap_or_default();
+                    std::mem::swap(&mut tokens, &mut self.staging[dest]);
+                    ctx.send(dest, MonitorMsg::Batch(tokens));
+                }
+            }
+        }
+    }
+
+    /// Delivers `tokens` (all of one member, in received order) as the message
+    /// the member would have received solo: a singleton travels as
+    /// [`MonitorMsg::Token`], anything larger as [`MonitorMsg::Batch`].
+    fn deliver_member_tokens(
+        &mut self,
+        k: usize,
+        from: ProcessId,
+        mut tokens: Vec<Token>,
+        now: f64,
+    ) {
+        debug_assert!(!tokens.is_empty());
+        let msg = if tokens.len() == 1 {
+            MonitorMsg::Token(tokens.pop().expect("one delivered token"))
+        } else {
+            MonitorMsg::Batch(tokens)
+        };
+        self.run_member(k, now, |m, ctx| m.on_monitor_message(from, msg, ctx));
+    }
+}
+
+impl MonitorBehavior for FleetMonitor {
+    type Message = MonitorMsg;
+
+    fn on_local_event(&mut self, event: &Arc<Event>, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        // One decode, one clock: every member retains the same `Arc<Event>`.
+        for k in 0..self.members.len() {
+            self.run_member(k, ctx.now, |m, mctx| m.on_local_event(event, mctx));
+        }
+        self.flush(ctx);
+    }
+
+    fn on_monitor_message(
+        &mut self,
+        from: ProcessId,
+        msg: MonitorMsg,
+        ctx: &mut MonitorContext<'_, MonitorMsg>,
+    ) {
+        match msg {
+            MonitorMsg::Terminated { .. } => {
+                // One wire notification fans out to every member (each solo run
+                // would have received its own copy).
+                for k in 0..self.members.len() {
+                    let msg = msg.clone();
+                    self.run_member(k, ctx.now, |m, mctx| {
+                        m.on_monitor_message(from, msg, mctx)
+                    });
+                }
+            }
+            MonitorMsg::Token(token) => {
+                let k = token.property as usize;
+                self.deliver_member_tokens(k, from, vec![token], ctx.now);
+            }
+            MonitorMsg::Batch(mut tokens) => {
+                // Demultiplex on the property id, preserving per-member order,
+                // then deliver each member's group as one activation (ascending
+                // member order, matching the sender's member-major merge).
+                for token in tokens.drain(..) {
+                    let k = token.property as usize;
+                    self.demux[k].push(token);
+                }
+                self.recycle_tokens(tokens);
+                for k in 0..self.demux.len() {
+                    if self.demux[k].is_empty() {
+                        continue;
+                    }
+                    let mut group = self.token_pool.pop().unwrap_or_default();
+                    std::mem::swap(&mut group, &mut self.demux[k]);
+                    self.deliver_member_tokens(k, from, group, ctx.now);
+                }
+            }
+        }
+        self.flush(ctx);
+    }
+
+    fn on_local_termination(&mut self, ctx: &mut MonitorContext<'_, MonitorMsg>) {
+        for k in 0..self.members.len() {
+            self.run_member(k, ctx.now, |m, mctx| m.on_local_termination(mctx));
+        }
+        self.flush(ctx);
+    }
+}
+
+impl SessionVerdicts for FleetMonitor {
+    fn detected_verdicts(&self) -> BTreeSet<Verdict> {
+        let mut set = BTreeSet::new();
+        for m in &self.members {
+            set.extend(m.detected_final_verdicts().iter().copied());
+        }
+        set
+    }
+
+    fn possible_verdicts(&self) -> BTreeSet<Verdict> {
+        let mut set = BTreeSet::new();
+        for m in &self.members {
+            set.extend(m.possible_verdicts());
+        }
+        set
+    }
+}
+
+/// A feed session monitoring a whole property fleet in one pass.
+pub type FleetSession = FeedSession<FleetMonitor>;
+
+/// Creates a fleet session: one [`FleetMonitor`] per process, each wrapping one
+/// [`DecentralizedMonitor`] per property, all under the same shared options.
+pub fn fleet_session(
+    n_processes: usize,
+    members: &[FleetMember],
+    opts: MonitorOptions,
+) -> FleetSession {
+    FeedSession::new(n_processes, |pid| {
+        FleetMonitor::new(pid, n_processes, members, opts)
+    })
+}
+
+/// Union of ⊤/⊥ verdicts member `k` detected at any process of `session`.
+pub fn fleet_member_detected(session: &FleetSession, k: usize) -> BTreeSet<Verdict> {
+    let mut set = BTreeSet::new();
+    for fleet in session.monitors() {
+        set.extend(fleet.members()[k].detected_final_verdicts().iter().copied());
+    }
+    set
+}
+
+/// Union of the verdicts member `k` still considers possible at any process.
+pub fn fleet_member_possible(session: &FleetSession, k: usize) -> BTreeSet<Verdict> {
+    let mut set = BTreeSet::new();
+    for fleet in session.monitors() {
+        set.extend(fleet.members()[k].possible_verdicts());
+    }
+    set
+}
+
+/// Metrics snapshots of member `k`'s monitors, in process order.
+pub fn fleet_member_metrics(session: &FleetSession, k: usize) -> Vec<MonitorMetrics> {
+    session
+        .monitors()
+        .iter()
+        .map(|fleet| fleet.member_metrics(k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed::decentralized_session;
+    use dlrv_ltl::Formula;
+    use dlrv_vclock::{EventKind, VectorClock};
+
+    /// Two different properties over the same two-process alphabet.
+    fn two_property_setup() -> (Vec<FleetMember>, Arc<AtomRegistry>) {
+        let mut reg = AtomRegistry::new();
+        let a = reg.intern("P0.p", 0);
+        let b = reg.intern("P1.p", 1);
+        let registry = Arc::new(reg);
+        let phi0 = Formula::eventually(Formula::and(Formula::Atom(a), Formula::Atom(b)));
+        let phi1 = Formula::globally(Formula::Atom(a));
+        let members = vec![
+            FleetMember {
+                automaton: Arc::new(MonitorAutomaton::synthesize(&phi0, &registry)),
+                registry: registry.clone(),
+                initial_state: Assignment::ALL_FALSE,
+            },
+            FleetMember {
+                automaton: Arc::new(MonitorAutomaton::synthesize(&phi1, &registry)),
+                registry: registry.clone(),
+                initial_state: Assignment::ALL_FALSE,
+            },
+        ];
+        (members, registry)
+    }
+
+    fn internal(process: ProcessId, sn: u64, vc: Vec<u64>, state: Assignment, time: f64) -> Event {
+        Event {
+            process,
+            kind: EventKind::Internal,
+            sn,
+            vc: VectorClock::from_entries(vc),
+            state,
+            time,
+        }
+    }
+
+    fn sample_events(registry: &AtomRegistry) -> Vec<Event> {
+        let a = registry.ids().next().expect("atom P0.p");
+        vec![
+            internal(0, 1, vec![1, 0], Assignment::from_true_atoms([a]), 1.0),
+            internal(1, 1, vec![0, 1], Assignment::ALL_FALSE, 2.0),
+            internal(0, 2, vec![2, 0], Assignment::ALL_FALSE, 3.0),
+            internal(1, 2, vec![0, 2], Assignment::ALL_FALSE, 4.0),
+        ]
+    }
+
+    #[test]
+    fn fleet_matches_solo_runs_member_for_member() {
+        for opts in MonitorOptions::all_combinations() {
+            let (members, registry) = two_property_setup();
+            let mut fleet = fleet_session(2, &members, opts);
+            let mut solos: Vec<_> = members
+                .iter()
+                .map(|m| {
+                    decentralized_session(2, &m.automaton, &m.registry, m.initial_state, opts)
+                })
+                .collect();
+            for event in sample_events(&registry) {
+                fleet.feed_owned(event.clone());
+                for solo in &mut solos {
+                    solo.feed_owned(event.clone());
+                }
+            }
+            fleet.finish();
+            for solo in &mut solos {
+                solo.finish();
+            }
+            for (k, solo) in solos.iter().enumerate() {
+                assert_eq!(
+                    fleet_member_detected(&fleet, k),
+                    solo.detected_verdicts(),
+                    "detected verdicts of member {k} under {opts:?}"
+                );
+                assert_eq!(
+                    fleet_member_possible(&fleet, k),
+                    solo.possible_verdicts(),
+                    "possible verdicts of member {k} under {opts:?}"
+                );
+                let fleet_tokens: usize = fleet_member_metrics(&fleet, k)
+                    .iter()
+                    .map(|m| m.tokens_sent)
+                    .sum();
+                let solo_tokens: usize =
+                    solo.monitors().iter().map(|m| m.metrics().tokens_sent).sum();
+                assert_eq!(fleet_tokens, solo_tokens, "token count of member {k} under {opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_transport_is_cheaper_than_sum_of_solos() {
+        let (members, registry) = two_property_setup();
+        let opts = MonitorOptions::default();
+        let mut fleet = fleet_session(2, &members, opts);
+        let mut solos: Vec<_> = members
+            .iter()
+            .map(|m| decentralized_session(2, &m.automaton, &m.registry, m.initial_state, opts))
+            .collect();
+        for event in sample_events(&registry) {
+            fleet.feed_owned(event.clone());
+            for solo in &mut solos {
+                solo.feed_owned(event.clone());
+            }
+        }
+        fleet.finish();
+        let solo_messages: usize = solos
+            .iter_mut()
+            .map(|solo| {
+                solo.finish();
+                solo.monitor_messages()
+            })
+            .sum();
+        assert!(
+            fleet.monitor_messages() < solo_messages,
+            "fleet sent {} messages, solos {}",
+            fleet.monitor_messages(),
+            solo_messages
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one property")]
+    fn empty_fleet_is_rejected() {
+        let _ = FleetMonitor::new(0, 2, &[], MonitorOptions::default());
+    }
+}

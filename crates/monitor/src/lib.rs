@@ -19,6 +19,9 @@
 //!   longer require a complete trace up front; the shared `Arc` is retained by the
 //!   monitors' histories directly — no per-event deep clone.  The substrate of the
 //!   online `dlrv-stream` runtime.
+//! * [`fleet`] — fleet monitoring: a [`FleetMonitor`] wraps one decentralized
+//!   monitor per property behind a single behavior, so N properties share one
+//!   decoded event stream and one batched token transport (see `docs/FLEET.md`).
 //!
 //! The §4.3 optimizations (token aggregation, global-view dedup/merge, disjunctive
 //! pruning) are switchable per monitor through [`MonitorOptions`]; see
@@ -63,6 +66,7 @@
 pub mod centralized;
 pub mod decentralized;
 pub mod feed;
+pub mod fleet;
 pub mod global_view;
 pub mod messages;
 pub mod metrics;
@@ -74,7 +78,14 @@ pub use feed::{
     centralized_session, combined_verdict, decentralized_session, CentralizedSession,
     DecentralizedSession, FeedSession, SessionVerdicts,
 };
+pub use fleet::{
+    fleet_member_detected, fleet_member_metrics, fleet_member_possible, fleet_session,
+    FleetMember, FleetMonitor, FleetSession,
+};
 pub use global_view::{GlobalView, GvState};
 pub use messages::{ConjunctEval, EvalState, MonitorMsg, Token, TokenTransition};
-pub use metrics::{verdict_from_name, verdict_name, MonitorMetrics, RunMetrics, ShardMetrics};
+pub use metrics::{
+    verdict_from_name, verdict_name, FleetPropertyMetrics, MonitorMetrics, RunMetrics,
+    ShardMetrics,
+};
 pub use replay::{replay_decentralized, timestamp_order, ReplayResult};

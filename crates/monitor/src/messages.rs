@@ -95,6 +95,12 @@ impl TokenTransition {
 /// A token (monitoring message) exchanged between monitors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
+    /// The fleet member (property) this token belongs to: `0` in single-property
+    /// runs, the member index in a [`FleetMonitor`](crate::FleetMonitor) run.
+    /// This is the property-id dimension of [`MonitorMsg::Batch`] — one batch may
+    /// aggregate tokens of several properties bound for the same destination, each
+    /// self-identifying, and the receiving fleet demultiplexes on this field.
+    pub property: u32,
     /// The process whose monitor created the token.
     pub parent: ProcessId,
     /// The automaton state of the global view that launched the exploration.
@@ -240,6 +246,7 @@ mod tests {
 
     fn parked(next_target_event: u64) -> Token {
         Token {
+            property: 0,
             parent: 0,
             origin_state: 0,
             parent_gv: 0,

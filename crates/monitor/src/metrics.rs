@@ -194,6 +194,59 @@ impl ShardMetrics {
     }
 }
 
+/// Per-property metrics of one fleet run: the slice of a fleet-of-N record that
+/// belongs to one monitored property (summed across the run's sessions).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetPropertyMetrics {
+    /// The property's name within the fleet (`"A"`, `"reqack"`, …).
+    pub property: String,
+    /// The property's combined final verdict across all sessions
+    /// ([`verdict_name`] form: `"true"` / `"false"` / `"unknown"`).
+    pub verdict: String,
+    /// Union of final verdicts this property's monitors detected.
+    pub detected_final_verdicts: BTreeSet<Verdict>,
+    /// Union of possible verdicts over this property's global views.
+    pub possible_verdicts: BTreeSet<Verdict>,
+    /// Tokens this property's monitors sent (fleet transport shares the
+    /// *messages*; token payloads stay attributable per property).
+    pub monitor_tokens: usize,
+    /// Global views this property's monitors created.
+    pub global_views: usize,
+    /// Sum of this property's monitors' peak live-view counts.
+    pub peak_global_views: usize,
+}
+
+impl FleetPropertyMetrics {
+    /// Serializes the per-property slice; field names are part of the results schema.
+    pub fn to_json(&self) -> Json {
+        object([
+            ("property", Json::from(self.property.as_str())),
+            ("verdict", Json::from(self.verdict.as_str())),
+            (
+                "detected_final_verdicts",
+                verdicts_to_json(&self.detected_final_verdicts),
+            ),
+            ("possible_verdicts", verdicts_to_json(&self.possible_verdicts)),
+            ("monitor_tokens", Json::from(self.monitor_tokens)),
+            ("global_views", Json::from(self.global_views)),
+            ("peak_global_views", Json::from(self.peak_global_views)),
+        ])
+    }
+
+    /// Parses the slice back from its [`FleetPropertyMetrics::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<FleetPropertyMetrics, JsonError> {
+        Ok(FleetPropertyMetrics {
+            property: v.get("property")?.as_str()?.to_string(),
+            verdict: v.get("verdict")?.as_str()?.to_string(),
+            detected_final_verdicts: verdicts_from_json(v.get("detected_final_verdicts")?)?,
+            possible_verdicts: verdicts_from_json(v.get("possible_verdicts")?)?,
+            monitor_tokens: v.get("monitor_tokens")?.as_usize()?,
+            global_views: v.get("global_views")?.as_usize()?,
+            peak_global_views: v.get("peak_global_views")?.as_usize()?,
+        })
+    }
+}
+
 /// Metrics aggregated over all monitors of one run (one row of a paper figure).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
@@ -243,6 +296,21 @@ pub struct RunMetrics {
     /// measurement, not simulated, so it varies run to run.  `0` when not measured
     /// (non-Linux, or records that predate the field).
     pub peak_rss_bytes: u64,
+    /// Number of properties monitored as one fleet over a shared event stream.
+    /// `0` for single-property runs and records that predate fleet monitoring.
+    pub fleet_size: usize,
+    /// Sum of the wall-clock seconds of `fleet_size` *solo* baseline runs over the
+    /// exact same wire stream, measured back-to-back with the fleet run — the
+    /// denominator of the fleet's amortization ratio.  Like `wall_clock_secs`
+    /// this is real elapsed time.  `0.0` outside the fleet family.
+    pub fleet_solo_wall_clock_secs: f64,
+    /// Measured marginal wall-clock cost of each property added to the fleet
+    /// beyond the first: `(fleet_wall − solo_sum/N) / (N − 1)` seconds, where
+    /// `solo_sum/N` estimates one property's standalone cost.  `0.0` when the
+    /// fleet has fewer than two members or outside the fleet family.
+    pub fleet_marginal_cost_secs: f64,
+    /// Per-property slice of a fleet run (empty outside the fleet family).
+    pub fleet_per_property: Vec<FleetPropertyMetrics>,
 }
 
 impl RunMetrics {
@@ -276,6 +344,24 @@ impl RunMetrics {
             ("monitor_tokens", Json::from(self.monitor_tokens)),
             ("peak_global_views", Json::from(self.peak_global_views)),
             ("peak_rss_bytes", Json::from(self.peak_rss_bytes)),
+            ("fleet_size", Json::from(self.fleet_size)),
+            (
+                "fleet_solo_wall_clock_secs",
+                Json::from(self.fleet_solo_wall_clock_secs),
+            ),
+            (
+                "fleet_marginal_cost_secs",
+                Json::from(self.fleet_marginal_cost_secs),
+            ),
+            (
+                "fleet_per_property",
+                Json::Array(
+                    self.fleet_per_property
+                        .iter()
+                        .map(FleetPropertyMetrics::to_json)
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -313,6 +399,23 @@ impl RunMetrics {
                 .map_or(Ok(0), Json::as_usize)?,
             // The RSS field postdates the §4.3 fields (PR 8); additive like them.
             peak_rss_bytes: v.get_opt("peak_rss_bytes")?.map_or(Ok(0), Json::as_u64)?,
+            // The fleet fields postdate the RSS field; pre-fleet records are
+            // single-property runs, so they default to "no fleet".
+            fleet_size: v.get_opt("fleet_size")?.map_or(Ok(0), Json::as_usize)?,
+            fleet_solo_wall_clock_secs: v
+                .get_opt("fleet_solo_wall_clock_secs")?
+                .map_or(Ok(0.0), Json::as_f64)?,
+            fleet_marginal_cost_secs: v
+                .get_opt("fleet_marginal_cost_secs")?
+                .map_or(Ok(0.0), Json::as_f64)?,
+            fleet_per_property: match v.get_opt("fleet_per_property")? {
+                None => Vec::new(),
+                Some(arr) => arr
+                    .as_array()?
+                    .iter()
+                    .map(FleetPropertyMetrics::from_json)
+                    .collect::<Result<_, _>>()?,
+            },
         })
     }
 
@@ -484,6 +587,14 @@ mod tests {
         m.monitor_tokens = 44; // likewise
         m.peak_global_views = 9;
         m.peak_rss_bytes = 1 << 30;
+        m.fleet_size = 3;
+        m.fleet_solo_wall_clock_secs = 2.5;
+        m.fleet_marginal_cost_secs = 0.1;
+        m.fleet_per_property = vec![FleetPropertyMetrics {
+            property: "A".to_string(),
+            verdict: "true".to_string(),
+            ..FleetPropertyMetrics::default()
+        }];
         let Json::Object(mut fields) = m.to_json() else {
             panic!("metrics must serialize to an object")
         };
@@ -496,6 +607,10 @@ mod tests {
                     | "monitor_tokens"
                     | "peak_global_views"
                     | "peak_rss_bytes"
+                    | "fleet_size"
+                    | "fleet_solo_wall_clock_secs"
+                    | "fleet_marginal_cost_secs"
+                    | "fleet_per_property"
             )
         });
         let back = RunMetrics::from_json(&Json::Object(fields)).unwrap();
@@ -505,7 +620,40 @@ mod tests {
         assert_eq!(back.monitor_tokens, 0, "overhead fields default to unmeasured");
         assert_eq!(back.peak_global_views, 0);
         assert_eq!(back.peak_rss_bytes, 0, "RSS defaults to unmeasured");
+        assert_eq!(back.fleet_size, 0, "pre-fleet records are single-property runs");
+        assert_eq!(back.fleet_solo_wall_clock_secs, 0.0);
+        assert_eq!(back.fleet_marginal_cost_secs, 0.0);
+        assert!(back.fleet_per_property.is_empty());
         assert_eq!(back.total_events, 12);
+    }
+
+    #[test]
+    fn fleet_fields_round_trip() {
+        let m = RunMetrics {
+            fleet_size: 2,
+            fleet_solo_wall_clock_secs: 3.75,
+            fleet_marginal_cost_secs: 0.0625,
+            fleet_per_property: vec![
+                FleetPropertyMetrics {
+                    property: "A".to_string(),
+                    verdict: "true".to_string(),
+                    detected_final_verdicts: BTreeSet::from([Verdict::True]),
+                    possible_verdicts: BTreeSet::from([Verdict::True, Verdict::Unknown]),
+                    monitor_tokens: 17,
+                    global_views: 42,
+                    peak_global_views: 8,
+                },
+                FleetPropertyMetrics {
+                    property: "B".to_string(),
+                    verdict: "unknown".to_string(),
+                    ..FleetPropertyMetrics::default()
+                },
+            ],
+            ..RunMetrics::default()
+        };
+        let text = m.to_json().to_string_pretty();
+        let back = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(m, back);
     }
 
     #[test]

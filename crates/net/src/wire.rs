@@ -107,6 +107,7 @@ fn transition_from_json(v: &Json) -> Result<TokenTransition, JsonError> {
 /// Serializes a token.
 pub fn token_to_json(t: &Token) -> Json {
     object([
+        ("property", Json::from(t.property as u64)),
         ("parent", Json::from(t.parent)),
         ("origin_state", Json::from(t.origin_state)),
         ("parent_gv", Json::from(t.parent_gv)),
@@ -123,6 +124,8 @@ pub fn token_to_json(t: &Token) -> Json {
 /// Parses a token back from its [`token_to_json`] form.
 pub fn token_from_json(v: &Json) -> Result<Token, JsonError> {
     Ok(Token {
+        // Additive (absent in pre-fleet documents): `0` is the solo-run id.
+        property: v.get_opt("property")?.map_or(Ok(0), Json::as_u64)? as u32,
         parent: v.get("parent")?.as_usize()?,
         origin_state: v.get("origin_state")?.as_usize()?,
         parent_gv: v.get("parent_gv")?.as_u64()?,
@@ -715,6 +718,7 @@ fn transition_from_binary(buf: &[u8], pos: &mut usize) -> Result<TokenTransition
 }
 
 fn token_to_binary(t: &Token, out: &mut Vec<u8>) {
+    varint::write_u64(out, t.property as u64);
     varint::write_u64(out, t.parent as u64);
     varint::write_u64(out, t.origin_state as u64);
     varint::write_u64(out, t.parent_gv);
@@ -728,6 +732,7 @@ fn token_to_binary(t: &Token, out: &mut Vec<u8>) {
 }
 
 fn token_from_binary(buf: &[u8], pos: &mut usize) -> Result<Token, NetError> {
+    let property = read_uv(buf, pos, "token property")? as u32;
     let parent = read_usize(buf, pos, "token parent")?;
     let origin_state = read_usize(buf, pos, "token origin_state")?;
     let parent_gv = read_uv(buf, pos, "token parent_gv")?;
@@ -741,6 +746,7 @@ fn token_from_binary(buf: &[u8], pos: &mut usize) -> Result<Token, NetError> {
         transitions.push(transition_from_binary(buf, pos)?);
     }
     Ok(Token {
+        property,
         parent,
         origin_state,
         parent_gv,
@@ -882,6 +888,7 @@ mod tests {
 
     fn sample_token(seq: u64) -> Token {
         Token {
+            property: (seq % 3) as u32,
             parent: 1,
             origin_state: 3,
             parent_gv: 40 + seq,

@@ -71,6 +71,7 @@ fn hot_msg_from_seed(seed: &mut u64) -> WireMsg {
         },
     };
     let token = |seed: &mut u64| Token {
+        property: (mix(seed) % 4) as u32,
         parent: (mix(seed) % n as u64) as usize,
         origin_state: (mix(seed) % 8) as usize,
         parent_gv: mix(seed),

@@ -72,5 +72,6 @@ pub use codec::{
 };
 pub use ring::{PopState, SpscRing};
 pub use runtime::{
-    OpenRequest, SessionOutcome, SessionSpec, ShardedRuntime, StreamConfig, StreamReport,
+    FleetMemberSpec, OpenRequest, PropertyOutcome, SessionOutcome, SessionSpec, ShardedRuntime,
+    StreamConfig, StreamReport,
 };

@@ -25,7 +25,11 @@ use crate::codec::{EventSource, SessionId, StreamError, StreamRecord};
 use crate::ring::{PopState, SpscRing};
 use dlrv_automaton::MonitorAutomaton;
 use dlrv_ltl::{Assignment, AtomRegistry, Verdict};
-use dlrv_monitor::{decentralized_session, DecentralizedSession, MonitorOptions, ShardMetrics};
+use dlrv_monitor::{
+    combined_verdict, decentralized_session, fleet_member_detected, fleet_member_metrics,
+    fleet_member_possible, fleet_session, DecentralizedSession, FleetMember, FleetSession,
+    MonitorOptions, ShardMetrics,
+};
 use dlrv_vclock::Event;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -75,6 +79,24 @@ pub struct SessionSpec {
     pub initial_state: Assignment,
     /// §4.3 optimization switches.
     pub options: MonitorOptions,
+    /// Fleet mode: when non-empty, the session monitors this whole property
+    /// fleet in one pass (`automaton`/`registry`/`initial_state` above are
+    /// ignored — each member carries its own) and the shard instantiates one
+    /// [`FleetSession`] instead of a solo [`DecentralizedSession`].
+    pub fleet: Vec<FleetMemberSpec>,
+}
+
+/// One property of a fleet [`SessionSpec`].
+#[derive(Debug, Clone)]
+pub struct FleetMemberSpec {
+    /// The property's name, reported per member in [`SessionOutcome::per_property`].
+    pub property: String,
+    /// The property's monitor automaton.
+    pub automaton: Arc<MonitorAutomaton>,
+    /// The property's atom registry.
+    pub registry: Arc<AtomRegistry>,
+    /// The initial global state of the property's monitors.
+    pub initial_state: Assignment,
 }
 
 /// An [`StreamRecord::Open`] as seen by the spec resolver of [`ShardedRuntime::pump`].
@@ -113,6 +135,29 @@ pub struct SessionOutcome {
     /// True when the session was finished by shutdown drain rather than an explicit
     /// [`StreamRecord::Close`].
     pub drained: bool,
+    /// Per-property outcomes of a fleet session, in member order (empty for a
+    /// solo session).
+    pub per_property: Vec<PropertyOutcome>,
+}
+
+/// The final state of one property of a fleet session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyOutcome {
+    /// The property's name (from its [`FleetMemberSpec`]).
+    pub property: String,
+    /// The property's combined final verdict.
+    pub verdict: Verdict,
+    /// ⊤/⊥ verdicts the property's monitors detected.
+    pub detected_verdicts: BTreeSet<Verdict>,
+    /// Verdicts the property's monitors still considered possible at close.
+    pub possible_verdicts: BTreeSet<Verdict>,
+    /// Tokens the property's monitors sent (byte-identical to a solo run of the
+    /// same property — pinned by `tests/fleet_equivalence.rs`).
+    pub monitor_tokens: usize,
+    /// Global views the property's monitors created.
+    pub global_views: usize,
+    /// Sum of the property's monitors' peak concurrently-live view counts.
+    pub peak_global_views: usize,
 }
 
 /// Aggregate result of a runtime's lifetime, produced by [`ShardedRuntime::shutdown`].
@@ -185,6 +230,7 @@ enum ShardInbox {
 ///     registry: Arc::new(reg),
 ///     initial_state: Assignment::ALL_FALSE,
 ///     options: MonitorOptions::default(),
+///     fleet: Vec::new(),
 /// });
 /// let runtime = ShardedRuntime::start(StreamConfig { n_shards: 2, ..Default::default() });
 /// runtime.open_session(7, spec);
@@ -404,8 +450,75 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// One shard-resident session: solo (one property) or a whole fleet.
+enum ShardSession {
+    Solo(DecentralizedSession),
+    Fleet {
+        session: FleetSession,
+        /// The fleet spec, kept for the per-property names of the outcome.
+        spec: Arc<SessionSpec>,
+    },
+}
+
+impl ShardSession {
+    fn of(spec: &Arc<SessionSpec>) -> ShardSession {
+        if spec.fleet.is_empty() {
+            ShardSession::Solo(decentralized_session(
+                spec.n_processes,
+                &spec.automaton,
+                &spec.registry,
+                spec.initial_state,
+                spec.options,
+            ))
+        } else {
+            let members: Vec<FleetMember> = spec
+                .fleet
+                .iter()
+                .map(|m| FleetMember {
+                    automaton: m.automaton.clone(),
+                    registry: m.registry.clone(),
+                    initial_state: m.initial_state,
+                })
+                .collect();
+            ShardSession::Fleet {
+                session: fleet_session(spec.n_processes, &members, spec.options),
+                spec: spec.clone(),
+            }
+        }
+    }
+
+    fn n_processes(&self) -> usize {
+        match self {
+            ShardSession::Solo(s) => s.n_processes(),
+            ShardSession::Fleet { session, .. } => session.n_processes(),
+        }
+    }
+
+    fn feed_owned(&mut self, event: Event) {
+        match self {
+            ShardSession::Solo(s) => {
+                s.feed_owned(event);
+            }
+            ShardSession::Fleet { session, .. } => {
+                session.feed_owned(event);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        match self {
+            ShardSession::Solo(s) => {
+                s.finish();
+            }
+            ShardSession::Fleet { session, .. } => {
+                session.finish();
+            }
+        }
+    }
+}
+
 fn shard_worker(shard: usize, inbox: ShardInbox, batch_size: usize) -> ShardResult {
-    let mut sessions: BTreeMap<SessionId, DecentralizedSession> = BTreeMap::new();
+    let mut sessions: BTreeMap<SessionId, ShardSession> = BTreeMap::new();
     let mut outcomes: Vec<(SessionId, SessionOutcome)> = Vec::new();
     let mut metrics = ShardMetrics {
         shard,
@@ -464,16 +577,7 @@ fn shard_worker(shard: usize, inbox: ShardInbox, batch_size: usize) -> ShardResu
                         metrics.routing_errors += 1;
                         continue;
                     }
-                    sessions.insert(
-                        session,
-                        decentralized_session(
-                            spec.n_processes,
-                            &spec.automaton,
-                            &spec.registry,
-                            spec.initial_state,
-                            spec.options,
-                        ),
-                    );
+                    sessions.insert(session, ShardSession::of(&spec));
                     metrics.sessions_opened += 1;
                 }
                 ShardMsg::Event {
@@ -526,28 +630,77 @@ fn shard_worker(shard: usize, inbox: ShardInbox, batch_size: usize) -> ShardResu
     ShardResult { metrics, outcomes }
 }
 
-fn outcome_of(session: DecentralizedSession, drained: bool) -> SessionOutcome {
-    let mut events = 0usize;
-    let mut global_views = 0usize;
-    let mut monitor_tokens = 0usize;
-    let mut peak_global_views = 0usize;
-    for m in session.monitors() {
-        let mm = m.metrics();
-        events += mm.events_observed;
-        global_views += mm.global_views_created;
-        monitor_tokens += mm.tokens_sent;
-        peak_global_views += mm.max_live_views;
-    }
-    SessionOutcome {
-        verdict: session.verdict(),
-        detected_verdicts: session.detected_verdicts(),
-        possible_verdicts: session.possible_verdicts(),
-        monitor_messages: session.monitor_messages(),
-        monitor_tokens,
-        events,
-        global_views,
-        peak_global_views,
-        drained,
+fn outcome_of(session: ShardSession, drained: bool) -> SessionOutcome {
+    match session {
+        ShardSession::Solo(session) => {
+            let mut events = 0usize;
+            let mut global_views = 0usize;
+            let mut monitor_tokens = 0usize;
+            let mut peak_global_views = 0usize;
+            for m in session.monitors() {
+                let mm = m.metrics();
+                events += mm.events_observed;
+                global_views += mm.global_views_created;
+                monitor_tokens += mm.tokens_sent;
+                peak_global_views += mm.max_live_views;
+            }
+            SessionOutcome {
+                verdict: session.verdict(),
+                detected_verdicts: session.detected_verdicts(),
+                possible_verdicts: session.possible_verdicts(),
+                monitor_messages: session.monitor_messages(),
+                monitor_tokens,
+                events,
+                global_views,
+                peak_global_views,
+                drained,
+                per_property: Vec::new(),
+            }
+        }
+        ShardSession::Fleet { session, spec } => {
+            // `events` counts the stream's events once (every member observes
+            // the same decoded events); the work metrics sum across members.
+            let mut events = 0usize;
+            let mut global_views = 0usize;
+            let mut monitor_tokens = 0usize;
+            let mut peak_global_views = 0usize;
+            let mut per_property = Vec::with_capacity(spec.fleet.len());
+            for (k, member) in spec.fleet.iter().enumerate() {
+                let metrics = fleet_member_metrics(&session, k);
+                let member_tokens: usize = metrics.iter().map(|m| m.tokens_sent).sum();
+                let member_views: usize =
+                    metrics.iter().map(|m| m.global_views_created).sum();
+                let member_peak: usize = metrics.iter().map(|m| m.max_live_views).sum();
+                if k == 0 {
+                    events = metrics.iter().map(|m| m.events_observed).sum();
+                }
+                global_views += member_views;
+                monitor_tokens += member_tokens;
+                peak_global_views += member_peak;
+                let detected = fleet_member_detected(&session, k);
+                per_property.push(PropertyOutcome {
+                    property: member.property.clone(),
+                    verdict: combined_verdict(&detected),
+                    detected_verdicts: detected,
+                    possible_verdicts: fleet_member_possible(&session, k),
+                    monitor_tokens: member_tokens,
+                    global_views: member_views,
+                    peak_global_views: member_peak,
+                });
+            }
+            SessionOutcome {
+                verdict: session.verdict(),
+                detected_verdicts: session.detected_verdicts(),
+                possible_verdicts: session.possible_verdicts(),
+                monitor_messages: session.monitor_messages(),
+                monitor_tokens,
+                events,
+                global_views,
+                peak_global_views,
+                drained,
+                per_property,
+            }
+        }
     }
 }
 
@@ -569,6 +722,7 @@ mod tests {
             registry: Arc::new(reg),
             initial_state: Assignment::ALL_FALSE,
             options: MonitorOptions::default(),
+            fleet: Vec::new(),
         })
     }
 

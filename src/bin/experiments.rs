@@ -112,8 +112,8 @@ use dlrv_core::dlrv_analyze::{
 use dlrv_core::{
     analyze_spec, analyze_to_dot, measured_overhead_for, parallel_map_indexed, render_report,
     set_jobs, sweep_from_json, sweep_to_json, CompiledProperty, ExperimentConfig,
-    ExperimentResult, PaperProperty, PropertySpec, PropertySpecError, Scenario, ScenarioFamily,
-    ScenarioRecord, ScenarioRegistry, TrendPoint,
+    ExperimentResult, FleetParams, PaperProperty, PropertySpec, PropertySpecError, Scenario,
+    ScenarioFamily, ScenarioRecord, ScenarioRegistry, StreamParams, TrendPoint,
 };
 use dlrv_core::dlrv_net::FaultSpec;
 use dlrv_monitor::{MonitorOptions, RunMetrics};
@@ -124,16 +124,16 @@ use std::process::exit;
 const EVENTS: usize = 20;
 
 /// Everything a target argument may select.
-const KNOWN_TARGETS: [&str; 17] = [
+const KNOWN_TARGETS: [&str; 18] = [
     "all", "table5_1", "automata_dot", "fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8",
-    "fig5_9", "sweep", "throughput", "overhead", "custom", "deploy", "hotpath", "analyze",
-    "report",
+    "fig5_9", "sweep", "throughput", "overhead", "custom", "deploy", "hotpath", "fleet",
+    "analyze", "report",
 ];
 
 /// The targets backed by the scenario registry (the ones `--scenario` can filter,
 /// `--no-opt` can override and `--format json` can serialize).
-const REGISTRY_TARGETS: [&str; 6] =
-    ["sweep", "throughput", "overhead", "custom", "deploy", "hotpath"];
+const REGISTRY_TARGETS: [&str; 7] =
+    ["sweep", "throughput", "overhead", "custom", "deploy", "hotpath", "fleet"];
 
 /// Output format of metric-producing targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,8 +158,12 @@ struct Cli {
     /// `--property LTL`: run a user-supplied LTL formula end-to-end.
     property: Option<String>,
     /// `--property-file PATH`: like `--property`, reading the formula (plus optional
-    /// `name:` / `procs:` headers) from a file.
-    property_file: Option<PathBuf>,
+    /// `name:` / `procs:` headers) from a file.  Repeated flags build a property
+    /// fleet: every named file is monitored in one streaming pass.
+    property_files: Vec<PathBuf>,
+    /// `--properties A,B,C`: paper properties to monitor as one fleet (combined
+    /// with any `--property-file` members).
+    properties: Vec<String>,
     /// `--procs N`: process count for `--property` runs (default: the smallest count
     /// the formula's atoms allow, at least two).
     procs: Option<usize>,
@@ -205,7 +209,8 @@ fn usage_error(message: &str) -> ! {
         "usage: experiments [TARGET...] [--target NAME] [--jobs N] \
          [--format text|json] [--out PATH] [--scenario NAME[,NAME...]] [--no-opt] \
          [--fault drop=p,delay=ms,dup=p,reorder=p[,seed=n]] \
-         [--property LTL | --property-file PATH] [--procs N] [--emit-dot NAME] \
+         [--property LTL | --property-file PATH... | --properties A,B,...] \
+         [--procs N] [--emit-dot NAME] \
          [--analyze-property LTL|PATH] [--deny warn|error|LINT-ID[,...]] \
          [--allow LINT-ID[,...]] [--results PATH] \
          [--budget alphabet=N,states=N,transitions=N] [--list-scenarios] \
@@ -304,7 +309,8 @@ fn parse_cli(args: Vec<String>) -> Cli {
         validate: None,
         no_opt: false,
         property: None,
-        property_file: None,
+        property_files: Vec::new(),
+        properties: Vec::new(),
         procs: None,
         emit_dot: None,
         analyze_property: None,
@@ -387,7 +393,17 @@ fn parse_cli(args: Vec<String>) -> Cli {
             }
             "--property-file" => {
                 let value = flag_value(&mut iter, "--property-file", inline.as_deref());
-                cli.property_file = Some(PathBuf::from(value));
+                cli.property_files.push(PathBuf::from(value));
+            }
+            "--properties" => {
+                let value = flag_value(&mut iter, "--properties", inline.as_deref());
+                for name in value.split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        usage_error("--properties expects paper property letters (A-F)");
+                    }
+                    cli.properties.push(name.to_string());
+                }
             }
             "--procs" => {
                 let value = flag_value(&mut iter, "--procs", inline.as_deref());
@@ -517,10 +533,31 @@ fn parse_cli(args: Vec<String>) -> Cli {
     if cli.list_scenarios && !cli.targets.is_empty() {
         usage_error("--list-scenarios cannot be combined with targets");
     }
-    if cli.property.is_some() && cli.property_file.is_some() {
-        usage_error("--property and --property-file are mutually exclusive");
+    if cli.property.is_some() && (!cli.property_files.is_empty() || !cli.properties.is_empty()) {
+        usage_error(
+            "--property runs a single inline formula; use --properties and/or \
+             repeated --property-file for fleets",
+        );
     }
-    let property_mode = cli.property.is_some() || cli.property_file.is_some();
+    // Unknown `--properties` letters fail up front, with the usual typo
+    // suggestion against the paper catalog.
+    for name in &cli.properties {
+        if PaperProperty::from_name(name).is_none() {
+            unknown_name_error(
+                "property",
+                name,
+                PaperProperty::ALL.map(PaperProperty::name),
+                "expected paper property letters A-F",
+            );
+        }
+    }
+    let property_mode = cli.property.is_some()
+        || !cli.property_files.is_empty()
+        || !cli.properties.is_empty();
+    let fleet_mode = !cli.properties.is_empty() || cli.property_files.len() > 1;
+    if fleet_mode && cli.emit_dot.is_some() {
+        usage_error("--emit-dot renders one automaton; it does not apply to property fleets");
+    }
     if property_mode
         && (!cli.targets.is_empty()
             || cli.list_scenarios
@@ -688,6 +725,7 @@ fn parse_cli(args: Vec<String>) -> Cli {
                 ScenarioFamily::Custom => vec!["custom", "sweep"],
                 ScenarioFamily::Deploy => vec!["deploy"],
                 ScenarioFamily::Hotpath => vec!["hotpath"],
+                ScenarioFamily::Fleet => vec!["fleet"],
                 _ => vec!["sweep"],
             };
             wanted_targets.push("analyze");
@@ -766,7 +804,7 @@ fn main() {
         );
         return;
     }
-    if cli.property.is_some() || cli.property_file.is_some() {
+    if cli.property.is_some() || !cli.property_files.is_empty() || !cli.properties.is_empty() {
         run_user_property(&cli);
         return;
     }
@@ -858,12 +896,14 @@ fn target_selects(target: &str, family: ScenarioFamily) -> bool {
         "custom" => family == ScenarioFamily::Custom,
         "deploy" => family == ScenarioFamily::Deploy,
         "hotpath" => family == ScenarioFamily::Hotpath,
+        "fleet" => family == ScenarioFamily::Fleet,
         _ => !matches!(
             family,
             ScenarioFamily::Throughput
                 | ScenarioFamily::Overhead
                 | ScenarioFamily::Deploy
                 | ScenarioFamily::Hotpath
+                | ScenarioFamily::Fleet
         ),
     }
 }
@@ -969,6 +1009,24 @@ fn validate_results(
                 // Deploy records must carry their transport/fault parameters and a
                 // real wall clock — a zero wall clock means no process fleet ever
                 // ran (the family's measurements are sockets, not simulations).
+                // Fleet records must carry their member list and real
+                // measurements on both sides of the amortization comparison —
+                // a zero rate or solo-sum means the fleet pass never ran.
+                if family == "fleet"
+                    && members.iter().any(|r| {
+                        r.scenario.fleet.is_none()
+                            || r.avg.fleet_size == 0
+                            || r.avg.events_per_sec <= 0.0
+                            || r.avg.fleet_solo_wall_clock_secs <= 0.0
+                    })
+                {
+                    eprintln!(
+                        "error: `{}` has fleet scenarios without fleet params or with \
+                         unmeasured fleet metrics; regenerate with `--target fleet`",
+                        path.display()
+                    );
+                    exit(1);
+                }
                 if family == "deploy"
                     && members
                         .iter()
@@ -1141,7 +1199,11 @@ fn read_property_file(path: &std::path::Path) -> (Option<String>, Option<usize>,
 /// end-to-end: parse → workload generation → simulation under decentralized
 /// monitors → verdicts and metrics, reported exactly like a registry scenario.
 fn run_user_property(cli: &Cli) {
-    let (name, file_procs, text) = match (&cli.property, &cli.property_file) {
+    if !cli.properties.is_empty() || cli.property_files.len() > 1 {
+        run_user_fleet(cli);
+        return;
+    }
+    let (name, file_procs, text) = match (&cli.property, cli.property_files.first()) {
         (Some(text), _) => (None, None, text.clone()),
         (None, Some(path)) => read_property_file(path),
         (None, None) => unreachable!("property mode requires a formula"),
@@ -1212,6 +1274,7 @@ fn run_user_property(cli: &Cli) {
         },
         stream: None,
         deploy: None,
+        fleet: None,
     };
     let results = vec![(scenario.clone(), scenario.run())];
     match cli.format {
@@ -1221,6 +1284,85 @@ fn run_user_property(cli: &Cli) {
             write_output(cli, &text, "1 scenario");
         }
         Format::Text => sweep_table("Custom property run", &results),
+    }
+}
+
+/// `--properties A,B,C` / repeated `--property-file`: monitor a fleet of
+/// properties in one streaming pass.  Every member shares the decoded events,
+/// the interned vector clocks and the batched token transport; the reported
+/// metrics include the measured amortization against running each member solo.
+fn run_user_fleet(cli: &Cli) {
+    let mut specs: Vec<PropertySpec> = Vec::new();
+    for name in &cli.properties {
+        let property =
+            PaperProperty::from_name(name).expect("parse_cli validated the letters");
+        specs.push(PropertySpec::paper(property));
+    }
+    let mut file_procs_max: Option<usize> = None;
+    for path in &cli.property_files {
+        let (name, file_procs, text) = read_property_file(path);
+        specs.push(parse_property_or_exit(name.as_deref().unwrap_or("custom"), &text));
+        if let Some(p) = file_procs {
+            file_procs_max = Some(file_procs_max.map_or(p, |m| m.max(p)));
+        }
+    }
+    let min_procs = specs.iter().map(PropertySpec::min_processes).max().unwrap_or(2).max(2);
+    let procs = cli.procs.or(file_procs_max).unwrap_or(min_procs);
+    if procs < min_procs {
+        usage_error(&format!(
+            "the fleet names process P{}, so it needs --procs >= {min_procs}",
+            min_procs - 1
+        ));
+    }
+    // Fleet members share one atom registry (events carry registry-relative
+    // state bitmasks), so the combined atom count is bounded like a single
+    // spec's — fail with a usage error rather than the library assert.
+    {
+        let mut reg = dlrv_core::dlrv_ltl::AtomRegistry::new();
+        for spec in &specs {
+            spec.build_in(&mut reg, procs);
+        }
+        if reg.len() > dlrv_core::MAX_SPEC_ATOMS {
+            usage_error(&format!(
+                "the fleet's properties name {} distinct atoms at {procs} processes; \
+                 the shared-registry limit is {} (drop members or reduce --procs)",
+                reg.len(),
+                dlrv_core::MAX_SPEC_ATOMS
+            ));
+        }
+    }
+    let lead = specs[0].clone();
+    let fleet = FleetParams::new(specs);
+    let scenario = Scenario {
+        name: format!("fleet-{}-{procs}p", fleet.joined_name()),
+        description: format!(
+            "User fleet of {} properties ({}) on {procs} processes, one streaming pass",
+            fleet.len(),
+            fleet.joined_name()
+        ),
+        family: ScenarioFamily::Fleet,
+        config: ExperimentConfig {
+            events_per_process: 6,
+            seeds: vec![1],
+            ..ExperimentConfig::paper_default(lead, procs)
+        },
+        options: if cli.no_opt {
+            MonitorOptions::ALL_OFF
+        } else {
+            MonitorOptions::default()
+        },
+        stream: Some(StreamParams::sized(100, 4)),
+        deploy: None,
+        fleet: Some(fleet),
+    };
+    let results = vec![(scenario.clone(), scenario.run())];
+    match cli.format {
+        Format::Json => {
+            let mut text = sweep_to_json(&results).to_string_pretty();
+            text.push('\n');
+            write_output(cli, &text, "1 fleet scenario");
+        }
+        Format::Text => fleet_table(&results),
     }
 }
 
@@ -1604,10 +1746,22 @@ fn run_sweep() -> Vec<(PaperProperty, usize, RunMetrics)> {
 fn list_scenarios() {
     let registry = ScenarioRegistry::standard();
     println!("== Scenario registry ({} scenarios) ==", registry.len());
-    println!("{:<18} {:<16} description", "name", "family");
+    // Per-family counts first (registry order), so the registry's shape is
+    // visible without scrolling the full listing.
+    let mut counts: Vec<(&str, usize)> = Vec::new();
+    for scenario in &registry {
+        match counts.iter_mut().find(|(name, _)| *name == scenario.family.name()) {
+            Some((_, count)) => *count += 1,
+            None => counts.push((scenario.family.name(), 1)),
+        }
+    }
+    let summary: Vec<String> = counts.iter().map(|(name, n)| format!("{name}: {n}")).collect();
+    println!("families: {}", summary.join(", "));
+    println!();
+    println!("{:<24} {:<16} description", "name", "family");
     for scenario in &registry {
         println!(
-            "{:<18} {:<16} {}",
+            "{:<24} {:<16} {}",
             scenario.name,
             scenario.family.name(),
             scenario.description
@@ -1640,6 +1794,7 @@ fn registry_target(target: &str, cli: &Cli) {
         Format::Text if target == "overhead" => overhead_table(&results),
         Format::Text if target == "custom" => sweep_table("Custom property scenarios", &results),
         Format::Text if target == "deploy" => deploy_table(&results),
+        Format::Text if target == "fleet" => fleet_table(&results),
         Format::Text => sweep_table("Scenario sweep", &results),
     }
 }
@@ -1886,6 +2041,54 @@ fn throughput_table(results: &[(Scenario, ExperimentResult)]) {
             m.monitor_messages,
             max_lat_ms,
             stalls
+        );
+    }
+    println!();
+}
+
+/// The fleet amortization table: one row per fleet scenario, the fleet pass's
+/// wall clock against the solo-sum of its members (`amort` below 1.00x means
+/// the shared decode/clock/transport paid for themselves), plus the measured
+/// marginal wall-clock cost each added property contributes.
+fn fleet_table(results: &[(Scenario, ExperimentResult)]) {
+    println!("== Fleet monitoring ({} scenarios) ==", results.len());
+    println!(
+        "{:<24} {:>5} {:>7} {:>9} {:>12} {:>9} {:>9} {:>7} {:>11}  per-property verdicts",
+        "scenario",
+        "props",
+        "shards",
+        "events",
+        "events/sec",
+        "fleet s",
+        "solo s",
+        "amort",
+        "marginal s"
+    );
+    for (scenario, result) in results {
+        let m = &result.avg;
+        let shards = scenario.stream.map_or(0, |p| p.n_shards);
+        let amort = if m.fleet_solo_wall_clock_secs > 0.0 {
+            format!("{:.2}x", m.wall_clock_secs / m.fleet_solo_wall_clock_secs)
+        } else {
+            "-".to_string()
+        };
+        let verdicts: Vec<String> = m
+            .fleet_per_property
+            .iter()
+            .map(|p| format!("{}:{}", p.property, p.verdict))
+            .collect();
+        println!(
+            "{:<24} {:>5} {:>7} {:>9} {:>12.0} {:>9.3} {:>9.3} {:>7} {:>11.4}  {}",
+            scenario.name,
+            m.fleet_size,
+            shards,
+            m.total_events,
+            m.events_per_sec,
+            m.wall_clock_secs,
+            m.fleet_solo_wall_clock_secs,
+            amort,
+            m.fleet_marginal_cost_secs,
+            verdicts.join(" ")
         );
     }
     println!();

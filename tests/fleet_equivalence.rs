@@ -1,0 +1,246 @@
+//! Fleet/solo equivalence: monitoring N properties as one fleet — one decode,
+//! one clock intern, batched token transport — must be **observationally
+//! invisible**.  For every fleet member, across shard counts and every §4.3
+//! optimization combination, the fleet's per-property verdicts and token counts
+//! must equal a solo run of that member over the same wire bytes.
+//!
+//! This is the soundness anchor of the fleet subsystem: amortizing shared work
+//! is only a perf optimization if nothing a member monitor computes changes.
+
+use dlrv::dlrv_distsim::{initial_global_state, run_simulation, NullMonitor, SimConfig};
+use dlrv::dlrv_monitor::{timestamp_order, MonitorOptions};
+use dlrv::dlrv_stream::{
+    encode_stream_binary, interleave_sessions, FleetMemberSpec, ReaderSource, SessionOutcome,
+    SessionSpec, SessionStream, ShardedRuntime, StreamConfig,
+};
+use dlrv::dlrv_trace::generate_workload;
+use dlrv::{
+    compile_fleet, CompiledFleetMember, ExperimentConfig, FleetParams, PaperProperty,
+    PropertySpec,
+};
+use dlrv::dlrv_ltl::AtomRegistry;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Builds a paper-letter fleet.
+fn paper_fleet(letters: &[PaperProperty]) -> FleetParams {
+    FleetParams::new(letters.iter().map(|&p| PropertySpec::from(p)).collect())
+}
+
+/// Generates `n_sessions` session streams against the fleet's shared registry
+/// and encodes them into one binary wire stream (the canonical fleet path).
+fn fleet_wire(
+    config: &ExperimentConfig,
+    registry: &Arc<AtomRegistry>,
+    n_sessions: usize,
+) -> Vec<u8> {
+    let mut inputs = Vec::with_capacity(n_sessions);
+    for s in 0..n_sessions {
+        let workload = generate_workload(&config.workload_config(1000 + s as u64));
+        let report = run_simulation(&workload, registry, &SimConfig::default(), |_| {
+            NullMonitor::default()
+        });
+        let events = timestamp_order(&report.computation)
+            .into_iter()
+            .map(|(_, p, sn)| report.computation.events[p][(sn - 1) as usize].clone())
+            .collect();
+        inputs.push(SessionStream {
+            session: s as u64,
+            property: "fleet".to_string(),
+            n_processes: config.n_processes,
+            initial_state: initial_global_state(&workload, registry).0,
+            events,
+        });
+    }
+    encode_stream_binary(&interleave_sessions(&inputs))
+}
+
+/// Pumps `bytes` once with a fleet spec over all `members`.
+fn run_as_fleet(
+    bytes: &[u8],
+    registry: &Arc<AtomRegistry>,
+    members: &[CompiledFleetMember],
+    opts: MonitorOptions,
+    n_shards: usize,
+) -> BTreeMap<u64, SessionOutcome> {
+    let runtime = ShardedRuntime::start(StreamConfig {
+        n_shards,
+        mailbox_capacity: 8,
+        batch_size: 4,
+        use_rings: true,
+    });
+    let mut source = ReaderSource::new(bytes);
+    runtime
+        .pump(&mut source, &mut |open| {
+            Ok(Arc::new(SessionSpec {
+                n_processes: open.n_processes,
+                automaton: members[0].automaton.clone(),
+                registry: registry.clone(),
+                initial_state: open.initial_state,
+                options: opts,
+                fleet: members
+                    .iter()
+                    .map(|m| FleetMemberSpec {
+                        property: m.name.clone(),
+                        automaton: m.automaton.clone(),
+                        registry: registry.clone(),
+                        initial_state: open.initial_state,
+                    })
+                    .collect(),
+            }))
+        })
+        .expect("freshly encoded stream must decode");
+    runtime.shutdown().sessions
+}
+
+/// Pumps `bytes` once monitoring only `member` (the solo baseline).
+fn run_as_solo(
+    bytes: &[u8],
+    registry: &Arc<AtomRegistry>,
+    member: &CompiledFleetMember,
+    opts: MonitorOptions,
+    n_shards: usize,
+) -> BTreeMap<u64, SessionOutcome> {
+    let runtime = ShardedRuntime::start(StreamConfig {
+        n_shards,
+        mailbox_capacity: 8,
+        batch_size: 4,
+        use_rings: true,
+    });
+    let mut source = ReaderSource::new(bytes);
+    runtime
+        .pump(&mut source, &mut |open| {
+            Ok(Arc::new(SessionSpec {
+                n_processes: open.n_processes,
+                automaton: member.automaton.clone(),
+                registry: registry.clone(),
+                initial_state: open.initial_state,
+                options: opts,
+                fleet: Vec::new(),
+            }))
+        })
+        .expect("freshly encoded stream must decode");
+    runtime.shutdown().sessions
+}
+
+/// Asserts, session by session, that fleet member `k` matches its solo run.
+fn assert_member_matches(
+    fleet: &BTreeMap<u64, SessionOutcome>,
+    solo: &BTreeMap<u64, SessionOutcome>,
+    k: usize,
+    tag: &str,
+) {
+    assert_eq!(fleet.len(), solo.len(), "{tag}: session counts diverge");
+    for (session, solo_outcome) in solo {
+        let member = &fleet[session].per_property[k];
+        assert_eq!(
+            member.detected_verdicts, solo_outcome.detected_verdicts,
+            "{tag}, member {k}, session {session}: detected verdicts diverge"
+        );
+        assert_eq!(
+            member.possible_verdicts, solo_outcome.possible_verdicts,
+            "{tag}, member {k}, session {session}: possible verdicts diverge"
+        );
+        assert_eq!(
+            member.verdict, solo_outcome.verdict,
+            "{tag}, member {k}, session {session}: combined verdicts diverge"
+        );
+        assert_eq!(
+            member.monitor_tokens, solo_outcome.monitor_tokens,
+            "{tag}, member {k}, session {session}: token counts diverge"
+        );
+        assert_eq!(
+            member.global_views, solo_outcome.global_views,
+            "{tag}, member {k}, session {session}: view counts diverge"
+        );
+        assert_eq!(
+            member.peak_global_views, solo_outcome.peak_global_views,
+            "{tag}, member {k}, session {session}: peak view counts diverge"
+        );
+    }
+}
+
+#[test]
+fn fleet_members_equal_solo_runs_for_every_flag_combination() {
+    // The §4.3 ablation over the fleet: every optimization combination (token
+    // aggregation changes how fleet tokens share messages; view dedup, pruning
+    // and arena recycling change per-member internals) crossed with 1, 2 and 4
+    // shards.  Properties A, B and C share the p-atoms, so the shared registry
+    // path is genuinely exercised.
+    let fleet = paper_fleet(&[PaperProperty::A, PaperProperty::B, PaperProperty::C]);
+    let config = ExperimentConfig {
+        events_per_process: 6,
+        ..ExperimentConfig::paper_default(PaperProperty::A, 3)
+    };
+    let (registry, members) = compile_fleet(&fleet, config.n_processes);
+    let bytes = fleet_wire(&config, &registry, 4);
+
+    for opts in MonitorOptions::all_combinations() {
+        for n_shards in [1usize, 2, 4] {
+            let tag = format!("{opts:?}, {n_shards} shards");
+            let fleet_sessions = run_as_fleet(&bytes, &registry, &members, opts, n_shards);
+            for (k, member) in members.iter().enumerate() {
+                let solo = run_as_solo(&bytes, &registry, member, opts, n_shards);
+                assert_member_matches(&fleet_sessions, &solo, k, &tag);
+            }
+        }
+    }
+}
+
+#[test]
+fn six_property_fleet_equals_solo_runs() {
+    // The headline shape: all six paper properties monitored at once.  Default
+    // options, every shard count the BENCH scenarios use.
+    let fleet = paper_fleet(&PaperProperty::ALL);
+    let config = ExperimentConfig {
+        events_per_process: 6,
+        ..ExperimentConfig::paper_default(PaperProperty::A, 3)
+    };
+    let (registry, members) = compile_fleet(&fleet, config.n_processes);
+    let bytes = fleet_wire(&config, &registry, 6);
+
+    for n_shards in [1usize, 4] {
+        let tag = format!("A-F fleet, {n_shards} shards");
+        let fleet_sessions =
+            run_as_fleet(&bytes, &registry, &members, MonitorOptions::default(), n_shards);
+        // Every session carries all six per-property slices, in member order.
+        for outcome in fleet_sessions.values() {
+            assert_eq!(outcome.per_property.len(), 6, "{tag}");
+        }
+        let names: Vec<&str> = fleet_sessions[&0]
+            .per_property
+            .iter()
+            .map(|p| p.property.as_str())
+            .collect();
+        assert_eq!(names, ["A", "B", "C", "D", "E", "F"], "{tag}");
+        for (k, member) in members.iter().enumerate() {
+            let solo = run_as_solo(&bytes, &registry, member, MonitorOptions::default(), n_shards);
+            assert_member_matches(&fleet_sessions, &solo, k, &tag);
+        }
+    }
+}
+
+#[test]
+fn fleet_of_one_is_a_solo_run() {
+    // Degenerate fleet: a single member must behave exactly like the plain
+    // (non-fleet) session path, including the session-level message count.
+    let fleet = paper_fleet(&[PaperProperty::D]);
+    let config = ExperimentConfig {
+        events_per_process: 6,
+        ..ExperimentConfig::paper_default(PaperProperty::D, 3)
+    };
+    let (registry, members) = compile_fleet(&fleet, config.n_processes);
+    let bytes = fleet_wire(&config, &registry, 3);
+
+    let fleet_sessions =
+        run_as_fleet(&bytes, &registry, &members, MonitorOptions::default(), 2);
+    let solo = run_as_solo(&bytes, &registry, &members[0], MonitorOptions::default(), 2);
+    assert_member_matches(&fleet_sessions, &solo, 0, "fleet of one");
+    for (session, outcome) in &solo {
+        assert_eq!(
+            fleet_sessions[session].monitor_messages, outcome.monitor_messages,
+            "session {session}: a fleet of one must send exactly the solo messages"
+        );
+        assert_eq!(fleet_sessions[session].events, outcome.events, "session {session}");
+    }
+}

@@ -67,6 +67,7 @@ fn record(
                 fault: Some(FaultSpec::parse("delay=1,dup=0.2,seed=7").expect("valid spec")),
                 binary_wire: true,
             }),
+            fleet: None,
         },
         detected_verdicts: avg.detected_final_verdicts.clone(),
         per_seed: vec![avg.clone()],

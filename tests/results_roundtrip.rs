@@ -28,6 +28,10 @@ fn sweep_json_round_trips_run_metrics_field_for_field() {
     // metrics, all-off options, overhead counters) is exercised.
     let mut streamed = small("throughput-B-s200-sh4");
     streamed.stream = Some(dlrv::StreamParams::sized(8, 2));
+    // A fleet run: the scenario carries a `fleet` member list and the metrics
+    // carry the amortization fields plus per-property slices.
+    let mut fleet = small("fleet-AB-sh4");
+    fleet.stream = Some(dlrv::StreamParams::sized(6, 2));
     let scenarios = [
         small("paper-D-n3"),
         small("commfreq-nocomm"),
@@ -38,6 +42,7 @@ fn sweep_json_round_trips_run_metrics_field_for_field() {
         // instead of a paper letter, and must parse back to an equal spec.
         small("custom-reqack-n2"),
         streamed,
+        fleet,
     ];
     let runs: Vec<(Scenario, ExperimentResult)> =
         scenarios.iter().map(|s| (s.clone(), s.run())).collect();
@@ -128,6 +133,51 @@ fn assert_metrics_eq(parsed: &RunMetrics, original: &RunMetrics, scenario: &str)
     assert_eq!(
         parsed.peak_global_views, original.peak_global_views,
         "{scenario}: peak_global_views"
+    );
+    // The fleet additions: member count, the solo-sum baseline, the measured
+    // marginal cost, and the per-property metric slices.
+    assert_eq!(parsed.fleet_size, original.fleet_size, "{scenario}: fleet_size");
+    assert_eq!(
+        parsed.fleet_solo_wall_clock_secs.to_bits(),
+        original.fleet_solo_wall_clock_secs.to_bits(),
+        "{scenario}: fleet_solo_wall_clock_secs"
+    );
+    assert_eq!(
+        parsed.fleet_marginal_cost_secs.to_bits(),
+        original.fleet_marginal_cost_secs.to_bits(),
+        "{scenario}: fleet_marginal_cost_secs"
+    );
+    assert_eq!(
+        parsed.fleet_per_property, original.fleet_per_property,
+        "{scenario}: fleet_per_property"
+    );
+}
+
+#[test]
+fn fleet_fields_are_populated_and_survive_the_roundtrip() {
+    // The fleet fields are measured, not merely serialized: a two-member fleet
+    // records its size, a positive solo-sum baseline, and one metric slice per
+    // property — and all of it comes back intact from the JSON document.
+    let mut scenario = small("fleet-AB-sh4");
+    scenario.stream = Some(dlrv::StreamParams::sized(6, 2));
+    let result = scenario.run();
+    assert_eq!(result.avg.fleet_size, 2, "two members");
+    assert!(result.avg.fleet_solo_wall_clock_secs > 0.0, "solo baseline ran");
+    assert!(result.avg.fleet_marginal_cost_secs >= 0.0);
+    let names: Vec<&str> = result
+        .avg
+        .fleet_per_property
+        .iter()
+        .map(|p| p.property.as_str())
+        .collect();
+    assert_eq!(names, ["A", "B"], "one slice per member, in fleet order");
+    let doc = sweep_to_json(&[(scenario, result.clone())]);
+    let record = &sweep_from_json(&doc).expect("schema")[0];
+    assert_eq!(record.avg.fleet_size, result.avg.fleet_size);
+    assert_eq!(record.avg.fleet_per_property, result.avg.fleet_per_property);
+    assert_eq!(
+        record.avg.fleet_solo_wall_clock_secs.to_bits(),
+        result.avg.fleet_solo_wall_clock_secs.to_bits()
     );
 }
 

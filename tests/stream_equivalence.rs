@@ -97,6 +97,7 @@ fn streamed_verdicts_equal_offline_replay_for_every_flag_combination() {
                         registry: registry.clone(),
                         initial_state: open.initial_state,
                         options: opts,
+                        fleet: Vec::new(),
                     }))
                 })
                 .expect("freshly encoded stream must decode");
@@ -192,6 +193,7 @@ fn streamed_verdicts_equal_offline_replay_for_custom_properties() {
                                 registry: registry.clone(),
                                 initial_state: open.initial_state,
                                 options: opts,
+                                fleet: Vec::new(),
                             }))
                         })
                         .expect("freshly encoded stream must decode");
@@ -292,6 +294,7 @@ fn streamed_verdicts_equal_offline_replay_for_every_property() {
                             registry: registry.clone(),
                             initial_state: open.initial_state,
                             options: MonitorOptions::default(),
+                            fleet: Vec::new(),
                         }))
                     })
                     .expect("freshly encoded stream must decode");
